@@ -1,0 +1,95 @@
+// Experiment E9: tradeoff landscape around Theorem 1.
+//
+// The paper positions its 2-pass/2^k-stretch point against [AGM12b]
+// (O(k) passes / 2k-1 stretch) and offline constructions.  This bench pits
+// the streaming spanner against offline Baswana-Sen and greedy at matched
+// k: edges kept, measured stretch, passes, and access model.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "baseline/baswana_sen.h"
+#include "baseline/greedy_spanner.h"
+#include "bench/table.h"
+#include "core/multipass_spanner.h"
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kw;
+using namespace kw::bench;
+
+void add_row(Table& table, const char* algorithm, const char* model,
+             const char* passes, unsigned k, double bound, const Graph& g,
+             const Graph& h, double ms) {
+  const auto report = multiplicative_stretch(g, h, false);
+  table.add_row({algorithm, model, passes, fmt_int(k), fmt_int(h.m()),
+                 fmt(report.max_stretch, 2), fmt(bound, 0),
+                 fmt(report.mean_stretch, 2), fmt(ms, 0),
+                 verdict(report.connected_ok &&
+                         report.max_stretch <= bound + 1e-9)});
+}
+
+void run_suite(Table& table, Vertex n, std::uint64_t seed) {
+  const Graph g = erdos_renyi_gnm(n, 8ULL * n, seed);
+  table.add_row({"-- graph --", "-", "-", "-", fmt_int(g.m()), "-", "-", "-",
+                 "-", fmt_int(n)});
+  for (const unsigned k : {2u, 3u}) {
+    {
+      const DynamicStream stream = DynamicStream::from_graph(g, seed + k);
+      TwoPassConfig config;
+      config.k = k;
+      config.seed = seed + 10 + k;
+      TwoPassSpanner spanner(n, config);
+      Timer timer;
+      const TwoPassResult result = spanner.run(stream);
+      add_row(table, "KW14 two-pass", "dynamic stream", "2", k,
+              std::pow(2.0, k), g, result.spanner, timer.millis());
+    }
+    {
+      const DynamicStream stream = DynamicStream::from_graph(g, seed + k);
+      MultipassConfig config;
+      config.k = k;
+      config.seed = seed + 30 + k;
+      Timer timer;
+      const MultipassResult result = multipass_baswana_sen(stream, config);
+      char passes[16];
+      std::snprintf(passes, sizeof(passes), "%zu", result.passes_used);
+      add_row(table, "AGM12b-style k-pass", "dynamic stream", passes, k,
+              2.0 * k - 1.0, g, result.spanner, timer.millis());
+    }
+    {
+      Timer timer;
+      const Graph h = baswana_sen_spanner(g, k, seed + 20 + k);
+      add_row(table, "Baswana-Sen", "offline", "-", k, 2.0 * k - 1.0, g, h,
+              timer.millis());
+    }
+    {
+      Timer timer;
+      const Graph h = greedy_spanner(g, k);
+      add_row(table, "greedy", "offline", "-", k, 2.0 * k - 1.0, g, h,
+              timer.millis());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("E9: tradeoff landscape (Section 3 discussion)",
+         "KW14 trades stretch (2^k vs 2k-1) for streaming access in O(1) "
+         "passes; offline baselines anchor the size/stretch frontier.");
+  Table table({"algorithm", "model", "passes", "k", "|E_H|", "max stretch",
+               "stretch bound", "mean stretch", "ms", "verdict"});
+  run_suite(table, 256, 31);
+  run_suite(table, 512, 37);
+  table.print();
+  std::printf(
+      "\nNotes: greedy is the size-optimal offline anchor; KW14's larger "
+      "stretch budget (2^k) buys the 2-pass dynamic-stream guarantee -- "
+      "the paper's point.  Sizes land in the same n^{1+1/k} regime.\n");
+  return 0;
+}

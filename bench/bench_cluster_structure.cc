@@ -1,0 +1,89 @@
+// Experiment E2 (Claim 11 + Lemmas 12/13 internals): cluster structure of
+// the Section 3.1 construction.
+//
+// On the offline reference: per level i, the number of terminal copies, the
+// largest terminal neighborhood |N(T_u)| against the Claim 11 bound
+// C log n * n^{(i+1)/k}, and the largest witness-subgraph cluster diameter
+// against the Lemma 13 induction bound 2^{i+1} - 2.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/table.h"
+#include "core/offline_kw_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace {
+
+using namespace kw;
+using namespace kw::bench;
+
+void run_point(Table& table, Vertex n, unsigned k, std::uint64_t seed) {
+  const Graph g = erdos_renyi_gnm(n, 8ULL * n, seed);
+  const OfflineKwResult result = offline_kw_spanner(g, k, seed + 1);
+  const Graph phi = Graph::from_edges(n, result.forest.witness_edges());
+  const double logn = std::log2(static_cast<double>(n));
+
+  std::vector<std::size_t> terminals(k, 0);
+  std::vector<std::size_t> max_neighborhood(k, 0);
+  std::vector<std::uint32_t> max_diameter(k, 0);
+  for (const CopyRef t : result.forest.terminals()) {
+    ++terminals[t.level];
+    const auto members = result.forest.terminal_members(t);
+    const std::unordered_set<Vertex> member_set(members.begin(),
+                                                members.end());
+    std::unordered_set<Vertex> neighborhood;
+    for (const Vertex w : members) {
+      for (const auto& nb : g.neighbors(w)) {
+        if (!member_set.contains(nb.to)) neighborhood.insert(nb.to);
+      }
+    }
+    max_neighborhood[t.level] =
+        std::max(max_neighborhood[t.level], neighborhood.size());
+    if (members.size() > 1) {
+      const std::uint32_t diameter = induced_diameter(phi, members);
+      if (diameter != kUnreachableHops) {
+        max_diameter[t.level] = std::max(max_diameter[t.level], diameter);
+      }
+    }
+  }
+
+  for (unsigned i = 0; i < k; ++i) {
+    const double claim11 =
+        8.0 * logn *
+        std::pow(static_cast<double>(n),
+                 static_cast<double>(i + 1) / static_cast<double>(k));
+    const std::uint32_t diameter_bound = (1u << (i + 1)) - 2;
+    const bool ok =
+        static_cast<double>(max_neighborhood[i]) <= claim11 &&
+        max_diameter[i] <= diameter_bound;
+    table.add_row({fmt_int(n), fmt_int(k), fmt_int(i), fmt_int(terminals[i]),
+                   fmt_int(max_neighborhood[i]), fmt(claim11, 0),
+                   fmt_int(max_diameter[i]), fmt_int(diameter_bound),
+                   verdict(ok)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("E2: cluster structure (Claim 11, Lemma 13 induction)",
+         "Claims: terminal |N(T_u)| <= C log n * n^{(i+1)/k}; cluster "
+         "diameter under witness edges <= 2^{i+1} - 2.");
+  Table table({"n", "k", "level", "terminals", "max |N(T_u)|",
+               "Claim 11 bound", "max diam", "diam bound", "verdict"});
+  std::uint64_t seed = 10;
+  for (const Vertex n : {256u, 512u}) {
+    for (const unsigned k : {2u, 3u, 4u}) {
+      run_point(table, n, k, seed);
+      seed += 10;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nNotes: diameters measured inside phi(T_u) (witness subgraph); "
+      "level k-1 copies are always terminal.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E1 (Theorem 1): two-pass 2^k-spanner in ~O(n^{1+1/k}) bits.
+//
+// For each (family, n, k): build the spanner from a dynamic stream with
+// deletions, verify exactly two passes, and report measured stretch against
+// the 2^k bound, measured size against the Lemma 12 bound
+// O(k n^{1+1/k} log n), nominal sketch bytes, and throughput.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/table.h"
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kw;
+using namespace kw::bench;
+
+void run_point(Table& table, const std::string& label, Vertex n,
+               std::uint64_t density, unsigned k, std::uint64_t seed) {
+  const std::string family = label == "er-dense" ? "er" : label;
+  const Graph g = make_family(family, n, density * n, seed);
+  const DynamicStream stream =
+      DynamicStream::with_churn(g, g.m() / 2, seed + 1);
+
+  TwoPassConfig config;
+  config.k = k;
+  config.seed = seed + 2;
+  TwoPassSpanner spanner(g.n(), config);
+  Timer timer;
+  const TwoPassResult result = spanner.run(stream);
+  const double build_ms = timer.millis();
+
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  const double stretch_bound = std::pow(2.0, k);
+  const double nd = static_cast<double>(g.n());
+  const double size_bound =
+      4.0 * k * std::pow(nd, 1.0 + 1.0 / k) * std::log2(nd);
+  const double updates_per_sec =
+      2.0 * static_cast<double>(stream.size()) / (build_ms / 1e3);
+
+  const bool ok = report.connected_ok &&
+                  report.max_stretch <= stretch_bound + 1e-9 &&
+                  static_cast<double>(result.spanner.m()) <= size_bound &&
+                  stream.passes_used() == 2;
+  // Space-shape evidence: nominal bytes / (k n^{1+1/k} log^3 n) should stay
+  // a constant across n (it is the Theorem 1 formula times our cell fatness).
+  const double space_units =
+      k * std::pow(nd, 1.0 + 1.0 / k) * std::pow(std::log2(nd), 3.0);
+  table.add_row({label, fmt_int(g.n()), fmt_int(g.m()), fmt_int(k),
+                 fmt_int(stream.passes_used()), fmt_int(result.spanner.m()),
+                 fmt(100.0 * static_cast<double>(result.spanner.m()) /
+                         static_cast<double>(g.m()),
+                     0),
+                 fmt(report.max_stretch, 2), fmt(stretch_bound, 0),
+                 fmt(report.mean_stretch, 2), fmt_bytes(result.touched_bytes),
+                 fmt(static_cast<double>(result.nominal_bytes) / space_units,
+                     0),
+                 fmt(updates_per_sec / 1e3, 0), verdict(ok)});
+}
+
+}  // namespace
+
+int main() {
+  banner("E1: two-pass multiplicative spanner (Theorem 1)",
+         "Claim: 2 passes, stretch <= 2^k, |E'| = O(k n^{1+1/k} log n), "
+         "~O(n^{1+1/k}) bits.  Streams include deletions (churn = m/2).");
+  Table table({"family", "n", "m", "k", "passes", "|E_H|", "kept%",
+               "max stretch", "2^k", "mean stretch", "touched",
+               "nominal/units", "kups", "verdict"});
+  std::uint64_t seed = 1;
+  for (const std::string family : {"er", "ba", "regular"}) {
+    for (const Vertex n : {128u, 256u, 512u}) {
+      for (const unsigned k : {2u, 3u, 4u}) {
+        run_point(table, family, n, 6, k, seed++);
+      }
+    }
+  }
+  // Dense inputs: compression becomes visible once m >> n^{1+1/k}.
+  for (const Vertex n : {256u, 512u}) {
+    for (const unsigned k : {2u, 3u, 4u}) {
+      run_point(table, "er-dense", n, 24, k, seed++);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nNotes: 'touched' is memory actually held by this simulator; "
+      "'nominal/units' is the worst-case dense footprint divided by "
+      "k n^{1+1/k} log2(n)^3 -- a constant across n evidences the Theorem 1 "
+      "space shape; kups = stream updates/sec x1000 over both passes.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a 2^k-spanner of a dynamic graph stream in two passes
+// and answer distance queries from the compressed graph.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: make a graph, turn it into a dynamic stream
+// with deletions, run TwoPassSpanner, inspect the result.
+#include <cstdio>
+
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+int main() {
+  using namespace kw;
+
+  // 1. A synthetic input graph: G(n, m) with n = 300, m = 2400.
+  const Vertex n = 400;
+  const Graph g = erdos_renyi_gnm(n, 12000, /*seed=*/7);
+  std::printf("input graph: n=%u m=%zu\n", g.n(), g.m());
+
+  // 2. The dynamic stream: every edge inserted in random order, plus 1200
+  //    phantom edges that are inserted and later deleted.  A sketch that
+  //    mishandles deletions would leak phantom edges into the spanner.
+  const DynamicStream stream = DynamicStream::with_churn(g, 4000, /*seed=*/8);
+  std::printf("stream: %zu updates (including deletions)\n", stream.size());
+
+  // 3. Configure and run the two-pass spanner (Theorem 1): stretch <= 2^k
+  //    using ~O(n^{1+1/k}) bits.
+  TwoPassConfig config;
+  config.k = 2;  // stretch bound 2^k = 4
+  config.seed = 9;
+  TwoPassSpanner spanner_builder(n, config);
+  const TwoPassResult result = spanner_builder.run(stream);
+  std::printf("passes used: %zu (Theorem 1 allows 2)\n",
+              stream.passes_used());
+  std::printf("spanner edges: %zu (%.1f%% of input)\n", result.spanner.m(),
+              100.0 * static_cast<double>(result.spanner.m()) /
+                  static_cast<double>(g.m()));
+  std::printf("sketch memory: %.1f MiB touched (%.0f MiB worst-case dense)\n",
+              static_cast<double>(result.touched_bytes) / (1 << 20),
+              static_cast<double>(result.nominal_bytes) / (1 << 20));
+
+  // 4. Ground-truth check: distances in the spanner vs the true graph.
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  std::printf("max stretch: %.2f (bound %.0f), mean stretch: %.2f\n",
+              report.max_stretch, 4.0, report.mean_stretch);
+
+  // 5. Query distances from the compressed representation only.
+  const auto d = bfs_distances(result.spanner, /*source=*/0);
+  const auto d_true = bfs_distances(g, 0);
+  std::printf("sample queries (source 0):\n");
+  for (const Vertex v : {10u, 100u, 299u}) {
+    std::printf("  d(0,%3u): spanner=%u true=%u\n", v, d[v], d_true[v]);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: distance sketching over a churning social graph.
+//
+// The paper's motivation (Section 1): search engines and social networks
+// need distance queries over massive graphs that arrive as streams of edge
+// insertions AND deletions (friendships form and dissolve).  This example
+// simulates a preferential-attachment network with heavy churn, builds
+// spanners at several space budgets (k), and shows the space/accuracy
+// dial.
+#include <cmath>
+#include <cstdio>
+
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace kw;
+
+  const Vertex n = 600;
+  // Hubby preferential-attachment graph: the degree-skew stresses the
+  // cluster construction (hubs join C_1/C_2 neighborhoods quickly).
+  const Graph g = barabasi_albert_graph(n, 4, /*seed=*/21);
+  // 60% churn: the network rewired heavily before settling.
+  const DynamicStream stream =
+      DynamicStream::with_churn(g, 3 * g.m() / 5, /*seed=*/22);
+  std::printf(
+      "social graph: n=%u m=%zu, stream=%zu updates (%zu deletions)\n\n",
+      g.n(), g.m(), stream.size(), (stream.size() - g.m()) / 2);
+
+  std::printf("%4s %10s %12s %12s %12s %10s\n", "k", "stretch<=", "edges kept",
+              "max stretch", "mean stretch", "build ms");
+  for (const unsigned k : {2u, 3u, 4u}) {
+    TwoPassConfig config;
+    config.k = k;
+    config.seed = 23 + k;
+    TwoPassSpanner builder(n, config);
+    Timer timer;
+    const TwoPassResult result = builder.run(stream);
+    const double ms = timer.millis();
+    const auto report = multiplicative_stretch(g, result.spanner, false);
+    std::printf("%4u %10.0f %7zu (%2.0f%%) %12.2f %12.2f %10.0f\n", k,
+                std::pow(2.0, k), result.spanner.m(),
+                100.0 * static_cast<double>(result.spanner.m()) /
+                    static_cast<double>(g.m()),
+                report.max_stretch, report.mean_stretch, ms);
+  }
+
+  std::printf(
+      "\nReading the dial: larger k shrinks the synopsis (n^{1+1/k}) at the "
+      "cost of a larger worst-case stretch bound (2^k); mean stretch stays "
+      "far below the bound on social topologies.\n");
+  return 0;
+}

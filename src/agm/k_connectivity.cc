@@ -1,0 +1,72 @@
+#include "agm/k_connectivity.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "agm/spanning_forest.h"
+#include "util/random.h"
+
+namespace kw {
+
+KConnectivitySketch::KConnectivitySketch(Vertex n, std::size_t k,
+                                         const AgmConfig& config)
+    : n_(n) {
+  if (k == 0) throw std::invalid_argument("k must be >= 1");
+  layers_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    AgmConfig layer = config;
+    layer.seed = derive_seed(config.seed, 0x6c0 + i);
+    layers_.emplace_back(n, layer);
+  }
+}
+
+void KConnectivitySketch::update(Vertex u, Vertex v, std::int64_t delta) {
+  for (auto& layer : layers_) layer.update(u, v, delta);
+}
+
+void KConnectivitySketch::merge(const KConnectivitySketch& other,
+                                std::int64_t sign) {
+  if (other.layers_.size() != layers_.size() || other.n_ != n_) {
+    throw std::invalid_argument("merging incompatible k-connectivity sketches");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].merge(other.layers_[i], sign);
+  }
+}
+
+KConnectivityResult KConnectivitySketch::extract() && {
+  KConnectivityResult result;
+  result.certificate = Graph(n_);
+  std::vector<Edge> removed;  // all forest edges peeled so far
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Subtract previously peeled forests from this layer (linearity).
+    for (const auto& e : removed) {
+      layers_[i].subtract_edge(e.u, e.v, 1);
+    }
+    const ForestResult forest = agm_spanning_forest(layers_[i]);
+    result.complete = result.complete && forest.complete;
+    for (const auto& e : forest.edges) {
+      result.certificate.add_edge(e.u, e.v, e.weight);
+      removed.push_back(e);
+    }
+    result.forests.push_back(forest.edges);
+  }
+  return result;
+}
+
+std::size_t KConnectivitySketch::nominal_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.nominal_bytes();
+  return total;
+}
+
+KConnectivityResult KConnectivitySketch::from_stream(
+    const DynamicStream& stream, std::size_t k, const AgmConfig& config) {
+  KConnectivitySketch sketch(stream.n(), k, config);
+  stream.replay([&sketch](const EdgeUpdate& u) {
+    sketch.update(u.u, u.v, u.delta);
+  });
+  return std::move(sketch).extract();
+}
+
+}  // namespace kw

@@ -1,0 +1,55 @@
+// k-edge-connectivity certificates from linear sketches -- the [AGM12a]
+// construction the paper's introduction cites ("connectivity,
+// k-connectivity ... with near linear space").
+//
+// Maintain k independent AGM sketch sets during the stream.  Afterwards,
+// extract a spanning forest F_1 from the first sketch, subtract F_1's edges
+// from the second (linearity!), extract F_2, and so on.  The union
+// F_1 u ... u F_k is a sparse certificate: it preserves every cut of G up
+// to size k, hence min(lambda(G), k) = lambda(certificate)
+// (Nagamochi-Ibaraki).  Space: k times one sketch.
+#ifndef KW_AGM_K_CONNECTIVITY_H
+#define KW_AGM_K_CONNECTIVITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "agm/neighborhood_sketch.h"
+#include "graph/graph.h"
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+
+struct KConnectivityResult {
+  std::vector<std::vector<Edge>> forests;  // F_1 .. F_k, edge-disjoint
+  Graph certificate;                       // their union
+  bool complete = true;                    // every forest extraction clean
+};
+
+// Streaming front-end: k sketch sets updated together in one pass.
+class KConnectivitySketch {
+ public:
+  KConnectivitySketch(Vertex n, std::size_t k, const AgmConfig& config);
+
+  void update(Vertex u, Vertex v, std::int64_t delta);
+
+  // this += sign * other (distributed merge); same (n, k, seed) required.
+  void merge(const KConnectivitySketch& other, std::int64_t sign = 1);
+
+  // Consumes the sketches: peels k edge-disjoint spanning forests.
+  [[nodiscard]] KConnectivityResult extract() &&;
+
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+
+  // Convenience: one pass over a stream.
+  [[nodiscard]] static KConnectivityResult from_stream(
+      const DynamicStream& stream, std::size_t k, const AgmConfig& config);
+
+ private:
+  Vertex n_;
+  std::vector<AgmGraphSketch> layers_;
+};
+
+}  // namespace kw
+
+#endif  // KW_AGM_K_CONNECTIVITY_H

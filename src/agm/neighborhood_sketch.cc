@@ -1,0 +1,73 @@
+#include "agm/neighborhood_sketch.h"
+
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace kw {
+
+namespace {
+
+[[nodiscard]] L0SamplerConfig round_config(Vertex n, const AgmConfig& config,
+                                           std::size_t round) {
+  L0SamplerConfig c;
+  c.max_coord = num_pairs(n);
+  c.instances = config.sampler_instances;
+  // Same seed for every vertex within a round => summable; different seed
+  // across rounds => independent retries.
+  c.seed = derive_seed(config.seed, 0xa6000 + round);
+  return c;
+}
+
+}  // namespace
+
+AgmGraphSketch::AgmGraphSketch(Vertex n, const AgmConfig& config)
+    : n_(n), config_(config) {
+  if (n < 2) throw std::invalid_argument("AGM sketch needs n >= 2");
+  samplers_.reserve(static_cast<std::size_t>(n) * config.rounds);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t r = 0; r < config.rounds; ++r) {
+      samplers_.emplace_back(round_config(n, config, r));
+    }
+  }
+}
+
+void AgmGraphSketch::update(Vertex u, Vertex v, std::int64_t delta) {
+  if (u == v || u >= n_ || v >= n_) {
+    throw std::out_of_range("AGM update endpoints invalid");
+  }
+  const std::uint64_t coord = pair_id(u, v, n_);
+  const Vertex lo = u < v ? u : v;
+  const Vertex hi = u < v ? v : u;
+  for (std::size_t r = 0; r < config_.rounds; ++r) {
+    samplers_[lo * config_.rounds + r].update(coord, delta);
+    samplers_[hi * config_.rounds + r].update(coord, -delta);
+  }
+}
+
+void AgmGraphSketch::subtract_edge(Vertex u, Vertex v,
+                                   std::int64_t multiplicity) {
+  update(u, v, -multiplicity);
+}
+
+void AgmGraphSketch::merge(const AgmGraphSketch& other, std::int64_t sign) {
+  if (other.n_ != n_ || other.config_.rounds != config_.rounds ||
+      other.config_.seed != config_.seed) {
+    throw std::invalid_argument("merging incompatible AGM sketches");
+  }
+  for (std::size_t i = 0; i < samplers_.size(); ++i) {
+    samplers_[i].merge(other.samplers_[i], sign);
+  }
+}
+
+L0Sampler AgmGraphSketch::zero_sampler(std::size_t round) const {
+  return L0Sampler(round_config(n_, config_, round));
+}
+
+std::size_t AgmGraphSketch::nominal_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : samplers_) total += s.nominal_bytes();
+  return total;
+}
+
+}  // namespace kw

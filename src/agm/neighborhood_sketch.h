@@ -1,0 +1,68 @@
+// AGM vertex-neighborhood sketches [AGM12a], Theorem 10 substrate.
+//
+// Vertex u's incidence vector a_u over the C(n,2) pair coordinates holds
+// +mult at pair {u,v} if u is the smaller endpoint and -mult if the larger.
+// Summing a_u over a vertex set S cancels every edge inside S and leaves
+// exactly the boundary edges -- the property Boruvka-over-sketches needs,
+// and the property the paper exploits for supernode collapsing in the
+// additive-spanner construction ("an AGM sketch for H can be obtained from
+// an AGM sketch for G by adding sketches of vertex neighborhoods").
+//
+// Each vertex keeps one L0 sampler per Boruvka round (fresh randomness per
+// round keeps rounds independent); samplers of the same round share seeds
+// across vertices so they can be summed.
+#ifndef KW_AGM_NEIGHBORHOOD_SKETCH_H
+#define KW_AGM_NEIGHBORHOOD_SKETCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sketch/l0_sampler.h"
+
+namespace kw {
+
+struct AgmConfig {
+  std::size_t rounds = 12;            // Boruvka rounds supported
+  std::size_t sampler_instances = 4;  // repetitions inside each L0 sampler
+  std::uint64_t seed = 1;
+};
+
+class AgmGraphSketch {
+ public:
+  AgmGraphSketch(Vertex n, const AgmConfig& config);
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return config_.rounds; }
+
+  // Stream-facing: apply a signed edge update.
+  void update(Vertex u, Vertex v, std::int64_t delta);
+
+  // Subtract an explicit edge multiset (e.g. E_low in Algorithm 3); uses
+  // linearity, so this may happen after the stream ends.
+  void subtract_edge(Vertex u, Vertex v, std::int64_t multiplicity);
+
+  // this += sign * other (distributed merge).
+  void merge(const AgmGraphSketch& other, std::int64_t sign = 1);
+
+  // Sampler of `vertex` for a given round (summed by the forest builder).
+  [[nodiscard]] const L0Sampler& sampler(Vertex vertex,
+                                         std::size_t round) const {
+    return samplers_[vertex * config_.rounds + round];
+  }
+
+  // Fresh zero sampler compatible with a round's randomness (accumulator
+  // for supernode sums).
+  [[nodiscard]] L0Sampler zero_sampler(std::size_t round) const;
+
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+
+ private:
+  Vertex n_;
+  AgmConfig config_;
+  std::vector<L0Sampler> samplers_;  // n * rounds, row-major by vertex
+};
+
+}  // namespace kw
+
+#endif  // KW_AGM_NEIGHBORHOOD_SKETCH_H

@@ -1,0 +1,82 @@
+#include "agm/spanning_forest.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/connectivity.h"
+
+namespace kw {
+
+ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
+                                 const std::vector<std::uint32_t>& partition) {
+  const Vertex n = sketch.n();
+  if (partition.size() != n) {
+    throw std::invalid_argument("partition size mismatch");
+  }
+  // Union-find over original vertices; supernodes pre-merged.  Note: edges
+  // internal to a supernode cancel in the summed sketch only if the
+  // supernode's member set is summed, which is exactly what we do -- so a
+  // decoded edge is always a boundary edge of its component.
+  UnionFind uf(n);
+  {
+    std::vector<Vertex> first_of(n, kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t label = partition[v];
+      if (label >= n) throw std::invalid_argument("bad partition label");
+      if (first_of[label] == kInvalidVertex) {
+        first_of[label] = v;
+      } else {
+        uf.unite(first_of[label], v);
+      }
+    }
+  }
+
+  ForestResult result;
+  for (std::size_t round = 0; round < sketch.rounds(); ++round) {
+    // Group vertices by current component.
+    std::vector<std::vector<Vertex>> members(n);
+    for (Vertex v = 0; v < n; ++v) {
+      members[uf.find(v)].push_back(v);
+    }
+    // One summed sketch and one decoded outgoing edge per component.
+    std::vector<Edge> merges;
+    bool decode_failure = false;
+    for (Vertex root = 0; root < n; ++root) {
+      if (uf.find(root) != root || members[root].empty()) continue;
+      L0Sampler acc = sketch.zero_sampler(round);
+      for (const Vertex v : members[root]) {
+        acc.merge(sketch.sampler(v, round), 1);
+      }
+      const auto rec = acc.decode();
+      if (!rec.has_value()) {
+        // Zero sketch = isolated component (fine); nonzero = decode failure.
+        if (!acc.is_zero()) decode_failure = true;
+        continue;
+      }
+      const auto [u, v] = pair_from_id(rec->coord, n);
+      if (uf.find(u) == uf.find(v)) continue;  // should not happen; defensive
+      merges.push_back({u, v, 1.0});
+    }
+    if (merges.empty()) {
+      result.rounds_used = round + 1;
+      result.complete = !decode_failure;
+      return result;  // fixed point: spanning unless a decode failed
+    }
+    for (const auto& e : merges) {
+      if (uf.unite(e.u, e.v)) result.edges.push_back(e);
+    }
+    result.rounds_used = round + 1;
+  }
+  // Rounds exhausted; completeness unknown -- report potentially incomplete
+  // so callers can retry with more rounds.
+  result.complete = false;
+  return result;
+}
+
+ForestResult agm_spanning_forest(const AgmGraphSketch& sketch) {
+  std::vector<std::uint32_t> identity(sketch.n());
+  std::iota(identity.begin(), identity.end(), 0u);
+  return agm_spanning_forest(sketch, identity);
+}
+
+}  // namespace kw

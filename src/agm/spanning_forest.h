@@ -1,0 +1,37 @@
+// Spanning forest from AGM sketches (Theorem 10, [AGM12a]).
+//
+// Boruvka over supernodes: each round sums the member sketches of every
+// active component (linearity), decodes one outgoing edge per component, and
+// contracts.  O(log n) rounds suffice whp.  Components may start as given
+// supernodes (the contraction the additive spanner needs), and explicit
+// edges can be subtracted from the sketch first (E_low) -- both match how
+// Algorithm 3 consumes this primitive.
+#ifndef KW_AGM_SPANNING_FOREST_H
+#define KW_AGM_SPANNING_FOREST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "agm/neighborhood_sketch.h"
+#include "graph/graph.h"
+
+namespace kw {
+
+struct ForestResult {
+  std::vector<Edge> edges;     // forest edges (endpoints in original ids)
+  std::size_t rounds_used = 0;
+  bool complete = true;  // false if rounds ran out while still merging
+};
+
+// Computes a spanning forest of the sketched graph.  `partition[v]` gives
+// the initial supernode of v (identity partition for a plain forest); the
+// result connects supernodes, never returning an edge internal to one.
+[[nodiscard]] ForestResult agm_spanning_forest(
+    const AgmGraphSketch& sketch, const std::vector<std::uint32_t>& partition);
+
+// Convenience: identity partition.
+[[nodiscard]] ForestResult agm_spanning_forest(const AgmGraphSketch& sketch);
+
+}  // namespace kw
+
+#endif  // KW_AGM_SPANNING_FOREST_H

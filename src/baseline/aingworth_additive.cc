@@ -1,0 +1,88 @@
+#include "baseline/aingworth_additive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "graph/shortest_paths.h"
+#include "util/random.h"
+
+namespace kw {
+
+Graph aingworth_additive_spanner(const Graph& g, std::uint64_t seed) {
+  const Vertex n = g.n();
+  Rng rng(seed);
+  const double threshold =
+      std::sqrt(static_cast<double>(n) *
+                std::log(std::max<double>(2.0, static_cast<double>(n)))) + 1.0;
+
+  std::map<std::pair<Vertex, Vertex>, double> keep;
+  auto add = [&keep](Vertex u, Vertex v, double w) {
+    keep.try_emplace({std::min(u, v), std::max(u, v)}, w);
+  };
+
+  // 1. All edges incident on low-degree vertices.
+  std::vector<bool> high(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    high[v] = static_cast<double>(g.degree(v)) >= threshold;
+  }
+  for (const auto& e : g.edges()) {
+    if (!high[e.u] || !high[e.v]) add(e.u, e.v, e.weight);
+  }
+
+  // 2. Random dominating set for high-degree vertices: sampling at rate
+  // c*log(n)/threshold hits each large neighborhood whp.
+  const double rate = std::min(
+      1.0, 3.0 * std::log(std::max<double>(2.0, static_cast<double>(n))) /
+               threshold);
+  std::vector<Vertex> centers;
+  for (Vertex v = 0; v < n; ++v) {
+    if (rng.next_bernoulli(rate)) centers.push_back(v);
+  }
+  // Ensure domination deterministically: any uncovered high-degree vertex
+  // promotes one neighbor (keeps the +2 guarantee regardless of luck).
+  std::vector<bool> covered(n, false);
+  auto mark_cover = [&](Vertex c) {
+    covered[c] = true;
+    for (const auto& nb : g.neighbors(c)) covered[nb.to] = true;
+  };
+  for (const Vertex c : centers) mark_cover(c);
+  for (Vertex v = 0; v < n; ++v) {
+    if (high[v] && !covered[v]) {
+      centers.push_back(v);
+      mark_cover(v);
+    }
+  }
+
+  // 3. BFS tree from every center.
+  for (const Vertex c : centers) {
+    // Parent pointers via BFS.
+    std::vector<Vertex> parent(n, kInvalidVertex);
+    std::vector<std::uint32_t> dist(n, kUnreachableHops);
+    std::vector<Vertex> frontier{c};
+    dist[c] = 0;
+    while (!frontier.empty()) {
+      std::vector<Vertex> next;
+      for (const Vertex x : frontier) {
+        for (const auto& nb : g.neighbors(x)) {
+          if (dist[nb.to] == kUnreachableHops) {
+            dist[nb.to] = dist[x] + 1;
+            parent[nb.to] = x;
+            next.push_back(nb.to);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (parent[v] != kInvalidVertex) add(v, parent[v], 1.0);
+    }
+  }
+
+  Graph h(n);
+  for (const auto& [key, w] : keep) h.add_edge(key.first, key.second, w);
+  return h;
+}
+
+}  // namespace kw

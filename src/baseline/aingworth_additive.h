@@ -1,0 +1,21 @@
+// Offline +2 additive spanner in O~(n^{3/2}) edges [ACIM99 / DHZ00 style].
+//
+// Baseline for the additive-spanner experiments (E3): keep all edges of
+// low-degree vertices (degree < sqrt(n log n)); hit every high-degree
+// neighborhood with a dominating set of size O~(sqrt n); add a BFS tree
+// rooted at each dominating center.  Distortion +2 on unweighted graphs.
+#ifndef KW_BASELINE_AINGWORTH_ADDITIVE_H
+#define KW_BASELINE_AINGWORTH_ADDITIVE_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+[[nodiscard]] Graph aingworth_additive_spanner(const Graph& g,
+                                               std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_BASELINE_AINGWORTH_ADDITIVE_H

@@ -1,0 +1,111 @@
+#include "baseline/baswana_sen.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kw {
+
+Graph baswana_sen_spanner(const Graph& g, unsigned k, std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("baswana_sen: k must be >= 1");
+  if (k == 1) return g;
+  const Vertex n = g.n();
+  Rng rng(seed);
+  Graph spanner(n);
+
+  // cluster[v]: id of v's cluster center, or kInvalidVertex if unclustered.
+  std::vector<Vertex> cluster(n);
+  for (Vertex v = 0; v < n; ++v) cluster[v] = v;
+  const double rate = std::pow(static_cast<double>(n), -1.0 / k);
+
+  for (unsigned phase = 0; phase + 1 < k; ++phase) {
+    // Sample surviving cluster centers.
+    std::vector<bool> sampled_center(n, false);
+    for (Vertex c = 0; c < n; ++c) {
+      sampled_center[c] = rng.next_bernoulli(rate);
+    }
+    std::vector<Vertex> next_cluster(n, kInvalidVertex);
+    // Vertices in sampled clusters stay.
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] != kInvalidVertex && sampled_center[cluster[v]]) {
+        next_cluster[v] = cluster[v];
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (cluster[v] == kInvalidVertex || next_cluster[v] != kInvalidVertex) {
+        continue;  // already settled (or not participating)
+      }
+      // Least-weight edge to a sampled neighboring cluster, if any.
+      const Neighbor* to_sampled = nullptr;
+      for (const auto& nb : g.neighbors(v)) {
+        const Vertex c = cluster[nb.to];
+        if (c == kInvalidVertex || !sampled_center[c]) continue;
+        if (to_sampled == nullptr || nb.weight < to_sampled->weight) {
+          to_sampled = &nb;
+        }
+      }
+      if (to_sampled != nullptr) {
+        // Join that cluster through this edge; also keep one edge to every
+        // neighboring cluster with smaller weight than the joining edge.
+        spanner.add_edge(v, to_sampled->to, to_sampled->weight);
+        next_cluster[v] = cluster[to_sampled->to];
+        std::map<Vertex, const Neighbor*> best;
+        for (const auto& nb : g.neighbors(v)) {
+          const Vertex c = cluster[nb.to];
+          if (c == kInvalidVertex || nb.weight >= to_sampled->weight) continue;
+          auto [it, inserted] = best.try_emplace(c, &nb);
+          if (!inserted && nb.weight < it->second->weight) it->second = &nb;
+        }
+        for (const auto& [c, nb] : best) {
+          spanner.add_edge(v, nb->to, nb->weight);
+        }
+      } else {
+        // No sampled neighbor: keep one least-weight edge per neighboring
+        // cluster and leave the clustering.
+        std::map<Vertex, const Neighbor*> best;
+        for (const auto& nb : g.neighbors(v)) {
+          const Vertex c = cluster[nb.to];
+          if (c == kInvalidVertex) continue;
+          auto [it, inserted] = best.try_emplace(c, &nb);
+          if (!inserted && nb.weight < it->second->weight) it->second = &nb;
+        }
+        for (const auto& [c, nb] : best) {
+          spanner.add_edge(v, nb->to, nb->weight);
+        }
+      }
+    }
+    cluster = next_cluster;
+  }
+
+  // Final phase: every vertex keeps one least-weight edge to each adjacent
+  // surviving cluster.
+  for (Vertex v = 0; v < n; ++v) {
+    std::map<Vertex, const Neighbor*> best;
+    for (const auto& nb : g.neighbors(v)) {
+      const Vertex c = cluster[nb.to];
+      if (c == kInvalidVertex) continue;
+      if (cluster[v] != kInvalidVertex && c == cluster[v]) continue;
+      auto [it, inserted] = best.try_emplace(c, &nb);
+      if (!inserted && nb.weight < it->second->weight) it->second = &nb;
+    }
+    for (const auto& [c, nb] : best) {
+      spanner.add_edge(v, nb->to, nb->weight);
+    }
+  }
+
+  // Deduplicate parallel edges introduced by symmetric insertions.
+  std::map<std::pair<Vertex, Vertex>, double> dedup;
+  for (const auto& e : spanner.edges()) {
+    const auto key = std::make_pair(std::min(e.u, e.v), std::max(e.u, e.v));
+    auto [it, inserted] = dedup.try_emplace(key, e.weight);
+    if (!inserted && e.weight < it->second) it->second = e.weight;
+  }
+  Graph out(n);
+  for (const auto& [key, w] : dedup) out.add_edge(key.first, key.second, w);
+  return out;
+}
+
+}  // namespace kw

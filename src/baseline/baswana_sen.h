@@ -1,0 +1,29 @@
+// Baswana-Sen randomized (2k-1)-spanner [BS07].
+//
+// The offline algorithm the paper explicitly contrasts with: Section 3 notes
+// the two-pass construction "does not seem to be a less adaptive
+// implementation of Baswana and Sen" -- we implement BS07 so experiment E9
+// can compare cluster growth (BS07: radius +1 per phase; KW14: diameter
+// doubles per phase) and the resulting size/stretch tradeoffs.
+//
+// k-1 clustering phases: sample cluster centers at rate n^{-1/k} per phase;
+// unsampled vertices adjacent to a sampled cluster join it via one edge,
+// others keep one edge per neighboring cluster.  Phase k-1 joins every
+// vertex to each adjacent cluster.  Stretch 2k-1, expected size O(k n^{1+1/k}).
+#ifndef KW_BASELINE_BASWANA_SEN_H
+#define KW_BASELINE_BASWANA_SEN_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+// Unweighted Baswana-Sen (weights ignored for clustering, preserved on
+// output edges).  k >= 1; k == 1 returns g itself (stretch 1).
+[[nodiscard]] Graph baswana_sen_spanner(const Graph& g, unsigned k,
+                                        std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_BASELINE_BASWANA_SEN_H

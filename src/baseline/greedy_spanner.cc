@@ -1,0 +1,58 @@
+#include "baseline/greedy_spanner.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/shortest_paths.h"
+
+namespace kw {
+
+namespace {
+
+// Distance from u to v in h, truncated: abandons paths longer than `limit`
+// (returns +inf then).  Keeps the greedy loop fast.
+[[nodiscard]] double bounded_distance(const Graph& h, Vertex u, Vertex v,
+                                      double limit) {
+  std::vector<double> dist(h.n(), kUnreachableDist);
+  using Item = std::pair<double, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[u] = 0.0;
+  heap.push({0.0, u});
+  while (!heap.empty()) {
+    const auto [d, x] = heap.top();
+    heap.pop();
+    if (d > dist[x]) continue;
+    if (x == v) return d;
+    if (d > limit) return kUnreachableDist;
+    for (const auto& nb : h.neighbors(x)) {
+      const double cand = d + nb.weight;
+      if (cand < dist[nb.to] && cand <= limit) {
+        dist[nb.to] = cand;
+        heap.push({cand, nb.to});
+      }
+    }
+  }
+  return dist[v];
+}
+
+}  // namespace
+
+Graph greedy_spanner(const Graph& g, unsigned k) {
+  if (k == 0) throw std::invalid_argument("greedy_spanner: k must be >= 1");
+  std::vector<Edge> sorted = g.edges();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  const double t = 2.0 * k - 1.0;
+  Graph h(g.n());
+  for (const auto& e : sorted) {
+    const double limit = t * e.weight;
+    if (bounded_distance(h, e.u, e.v, limit) > limit) {
+      h.add_edge(e.u, e.v, e.weight);
+    }
+  }
+  return h;
+}
+
+}  // namespace kw

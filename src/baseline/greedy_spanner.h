@@ -1,0 +1,19 @@
+// Classical greedy (2k-1)-spanner [Althofer et al. 1993].
+//
+// Process edges in nondecreasing weight order; keep an edge iff the current
+// spanner distance between its endpoints exceeds (2k-1) times its weight.
+// Guarantees stretch 2k-1 and O(n^{1+1/k}) edges -- the offline gold
+// standard our streaming constructions are compared against (experiment E9).
+#ifndef KW_BASELINE_GREEDY_SPANNER_H
+#define KW_BASELINE_GREEDY_SPANNER_H
+
+#include "graph/graph.h"
+
+namespace kw {
+
+// Returns the greedy (2k-1)-spanner of g (k >= 1).  O(m * (m + n log n)).
+[[nodiscard]] Graph greedy_spanner(const Graph& g, unsigned k);
+
+}  // namespace kw
+
+#endif  // KW_BASELINE_GREEDY_SPANNER_H

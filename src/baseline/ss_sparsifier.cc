@@ -1,0 +1,33 @@
+#include "baseline/ss_sparsifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/effective_resistance.h"
+#include "util/random.h"
+
+namespace kw {
+
+Graph ss_sparsify(const Graph& g, const SsOptions& options,
+                  std::uint64_t seed) {
+  const auto resistances = options.dense_resistances
+                               ? all_edge_resistances_dense(g)
+                               : all_edge_resistances(g);
+  Rng rng(seed);
+  const double logn =
+      std::log(std::max<double>(2.0, static_cast<double>(g.n())));
+  const double scale =
+      options.oversample * logn / (options.epsilon * options.epsilon);
+  Graph h(g.n());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const auto& e = g.edges()[i];
+    const double pe = std::min(1.0, e.weight * resistances[i] * scale);
+    if (pe <= 0.0) continue;
+    if (rng.next_bernoulli(pe)) {
+      h.add_edge(e.u, e.v, e.weight / pe);
+    }
+  }
+  return h;
+}
+
+}  // namespace kw

@@ -1,0 +1,28 @@
+// Offline Spielman-Srivastava spectral sparsifier (Theorem 7, [SS08]).
+//
+// Sample each edge independently with probability
+// p_e = min(1, C * w_e * R_e * log n / eps^2) and weight surviving edges by
+// w_e / p_e.  Effective resistances come from the exact solver substrate.
+// This is the quality upper bound the streaming sparsifier (Corollary 2) is
+// measured against in experiment E5.
+#ifndef KW_BASELINE_SS_SPARSIFIER_H
+#define KW_BASELINE_SS_SPARSIFIER_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+struct SsOptions {
+  double epsilon = 0.3;
+  double oversample = 0.5;  // the constant C in p_e
+  bool dense_resistances = false;  // use the O(n^3) exact backend
+};
+
+[[nodiscard]] Graph ss_sparsify(const Graph& g, const SsOptions& options,
+                                std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_BASELINE_SS_SPARSIFIER_H

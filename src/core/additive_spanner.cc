@@ -1,0 +1,189 @@
+#include "core/additive_spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "agm/spanning_forest.h"
+#include "util/random.h"
+
+namespace kw {
+
+namespace {
+
+[[nodiscard]] double degree_threshold_for(Vertex n,
+                                          const AdditiveConfig& config) {
+  const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+  return std::max(4.0, config.threshold_factor * config.d * logn);
+}
+
+[[nodiscard]] SparseRecoveryConfig neighborhood_config(
+    Vertex n, const AdditiveConfig& config) {
+  SparseRecoveryConfig c;
+  c.max_coord = n;
+  c.budget = static_cast<std::size_t>(
+      std::ceil(config.budget_slack * degree_threshold_for(n, config)));
+  c.rows = 3;
+  c.seed = derive_seed(config.seed, 0xad1);
+  return c;
+}
+
+[[nodiscard]] L0SamplerConfig center_config(Vertex n,
+                                            const AdditiveConfig& config) {
+  L0SamplerConfig c;
+  c.max_coord = n;
+  c.instances = 4;
+  c.seed = derive_seed(config.seed, 0xad2);
+  return c;
+}
+
+[[nodiscard]] DistinctElementsConfig degree_config(
+    Vertex n, const AdditiveConfig& config) {
+  DistinctElementsConfig c;
+  c.max_coord = n;
+  c.epsilon = config.degree_epsilon;
+  c.repetitions = config.degree_repetitions;
+  c.seed = derive_seed(config.seed, 0xad3);
+  return c;
+}
+
+[[nodiscard]] AgmConfig agm_config(const AdditiveConfig& config) {
+  AgmConfig c;
+  c.rounds = config.agm_rounds;
+  c.sampler_instances = config.agm_instances;
+  c.seed = derive_seed(config.seed, 0xad4);
+  return c;
+}
+
+}  // namespace
+
+AdditiveSpannerSketch::AdditiveSpannerSketch(Vertex n,
+                                             const AdditiveConfig& config)
+    : n_(n),
+      config_(config),
+      threshold_(degree_threshold_for(n, config)),
+      in_centers_(n, 0),
+      agm_(n, agm_config(config)) {
+  if (n < 2) throw std::invalid_argument("additive spanner needs n >= 2");
+  if (config.d < 1.0) throw std::invalid_argument("d must be >= 1");
+  // Centers: each vertex independently with probability ~ c/d so that
+  // every Theta(d log n)-degree vertex sees one whp.
+  const double rate = std::min(1.0, config.center_rate_factor / config.d);
+  const KWiseHash center_hash(8, derive_seed(config.seed, 0xad0));
+  for (Vertex v = 0; v < n; ++v) {
+    in_centers_[v] = center_hash.unit(v) < rate ? 1 : 0;
+  }
+  neighborhood_.reserve(n);
+  center_sampler_.reserve(n);
+  degree_.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    (void)v;
+    neighborhood_.emplace_back(neighborhood_config(n, config));
+    center_sampler_.emplace_back(center_config(n, config));
+    degree_.emplace_back(degree_config(n, config));
+  }
+}
+
+void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
+  if (finished_) throw std::logic_error("sketch already finished");
+  const Vertex a = update.u;
+  const Vertex b = update.v;
+  if (a == b) return;
+  neighborhood_[a].update(b, update.delta);
+  neighborhood_[b].update(a, update.delta);
+  degree_[a].update(b, update.delta);
+  degree_[b].update(a, update.delta);
+  // A^r(u) sketches N(u) cap C (cap Z^r handled inside the L0 sampler).
+  if (in_centers_[b]) center_sampler_[a].update(b, update.delta);
+  if (in_centers_[a]) center_sampler_[b].update(a, update.delta);
+  agm_.update(a, b, update.delta);
+}
+
+AdditiveResult AdditiveSpannerSketch::finish() {
+  if (finished_) throw std::logic_error("sketch already finished");
+  finished_ = true;
+  AdditiveResult result;
+  auto& diag = result.diagnostics;
+
+  // 1. Classify vertices by estimated degree; decode E_low.
+  std::map<std::pair<Vertex, Vertex>, std::int64_t> elow;  // pair -> mult
+  std::vector<char> low(n_, 0);
+  for (Vertex u = 0; u < n_; ++u) {
+    const double est = degree_[u].estimate();
+    if (est > threshold_) continue;
+    const auto support = neighborhood_[u].decode();
+    if (!support.has_value()) {
+      ++diag.low_decode_failures;  // treated as high-degree below
+      continue;
+    }
+    low[u] = 1;
+    ++diag.low_degree_vertices;
+    for (const auto& rec : *support) {
+      const auto v = static_cast<Vertex>(rec.coord);
+      elow.try_emplace({std::min(u, v), std::max(u, v)}, rec.value);
+    }
+  }
+
+  // 2. Attach remaining (high-degree) vertices to centers.
+  std::map<std::pair<Vertex, Vertex>, double> edges;
+  auto add = [&edges](Vertex a, Vertex b) {
+    edges.try_emplace({std::min(a, b), std::max(a, b)}, 1.0);
+  };
+  for (const auto& [key, mult] : elow) {
+    (void)mult;
+    add(key.first, key.second);
+  }
+  std::vector<Vertex> cluster(n_);
+  std::iota(cluster.begin(), cluster.end(), 0u);
+  for (Vertex u = 0; u < n_; ++u) {
+    if (low[u]) continue;
+    if (in_centers_[u]) continue;  // u is itself a cluster center
+    const auto rec = center_sampler_[u].decode();
+    if (!rec.has_value()) {
+      ++diag.unattached_high_degree;  // stays a singleton supernode
+      continue;
+    }
+    const auto w = static_cast<Vertex>(rec->coord);
+    add(u, w);           // F edge (u, w) is a real edge of G
+    cluster[u] = w;
+  }
+
+  // 3. G' = G - E_low via sketch linearity; contract clusters; forest.
+  for (const auto& [key, mult] : elow) {
+    agm_.subtract_edge(key.first, key.second, mult);
+  }
+  const ForestResult forest = agm_spanning_forest(agm_, cluster);
+  diag.forest_rounds = forest.rounds_used;
+  diag.forest_complete = forest.complete;
+  for (const auto& e : forest.edges) add(e.u, e.v);
+  {
+    std::vector<char> seen(n_, 0);
+    for (Vertex v = 0; v < n_; ++v) seen[cluster[v]] = 1;
+    diag.clusters = static_cast<std::size_t>(
+        std::count(seen.begin(), seen.end(), static_cast<char>(1)));
+  }
+
+  Graph spanner(n_);
+  for (const auto& [key, w] : edges) {
+    spanner.add_edge(key.first, key.second, w);
+  }
+  result.spanner = std::move(spanner);
+
+  result.nominal_bytes = agm_.nominal_bytes();
+  for (Vertex v = 0; v < n_; ++v) {
+    result.nominal_bytes += neighborhood_[v].nominal_bytes() +
+                            center_sampler_[v].nominal_bytes() +
+                            degree_[v].nominal_bytes();
+  }
+  return result;
+}
+
+AdditiveResult AdditiveSpannerSketch::run(const DynamicStream& stream) {
+  if (stream.n() != n_) throw std::invalid_argument("stream size mismatch");
+  stream.replay([this](const EdgeUpdate& u) { update(u); });
+  return finish();
+}
+
+}  // namespace kw

@@ -1,0 +1,129 @@
+#include "core/cluster_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace kw {
+
+ClusterHierarchy ClusterHierarchy::sample(Vertex n, unsigned k,
+                                          std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("hierarchy needs k >= 1");
+  ClusterHierarchy h;
+  h.n = n;
+  h.k = k;
+  h.in_level.assign(k, std::vector<char>(n, 0));
+  h.level_members.assign(k, {});
+  // C_i membership is decided by a per-level hash of the vertex id so that
+  // independently seeded components (pass 1 / pass 2 / offline reference)
+  // can recompute the same hierarchy from the seed alone.
+  for (unsigned i = 0; i < k; ++i) {
+    const double rate =
+        std::pow(static_cast<double>(n), -static_cast<double>(i) /
+                                             static_cast<double>(k));
+    const KWiseHash hash(8, derive_seed(seed, 0xc100 + i));
+    for (Vertex v = 0; v < n; ++v) {
+      const bool in = i == 0 || hash.unit(v) < rate;
+      h.in_level[i][v] = in ? 1 : 0;
+      if (in) h.level_members[i].push_back(v);
+    }
+  }
+  return h;
+}
+
+ClusterForest::ClusterForest(const ClusterHierarchy& hierarchy)
+    : hierarchy_(hierarchy) {
+  const Vertex n = hierarchy.n;
+  const unsigned k = hierarchy.k;
+  parent_.assign(k, std::vector<Vertex>(n, kInvalidVertex));
+  witness_.assign(k, std::vector<Edge>(n));
+  terminal_.assign(k, std::vector<char>(n, 0));
+  members_.assign(k, std::vector<std::vector<Vertex>>(n));
+  // Every copy starts as {its own vertex}.
+  for (unsigned i = 0; i < k; ++i) {
+    for (const Vertex v : hierarchy.level_members[i]) {
+      members_[i][v] = {v};
+    }
+  }
+}
+
+void ClusterForest::build(const ConnectorFn& find_connector) {
+  const auto& h = hierarchy_;
+  for (unsigned i = 0; i < h.k; ++i) {
+    for (const Vertex u : h.level_members[i]) {
+      if (i + 1 == h.k) {
+        terminal_[i][u] = 1;  // top level copies are always terminal
+        continue;
+      }
+      const auto connector = find_connector(u, i, members_[i][u]);
+      if (!connector.has_value()) {
+        terminal_[i][u] = 1;
+        continue;
+      }
+      const Vertex w = connector->parent;
+      if (!h.contains(i + 1, w)) {
+        throw std::logic_error("connector parent not in C_{i+1}");
+      }
+      parent_[i][u] = w;
+      witness_[i][u] = connector->witness;
+      // Attach T_u's members under (w, i+1).
+      auto& up = members_[i + 1][w];
+      up.insert(up.end(), members_[i][u].begin(), members_[i][u].end());
+    }
+  }
+  built_ = true;
+}
+
+std::vector<CopyRef> ClusterForest::terminals() const {
+  std::vector<CopyRef> out;
+  for (unsigned i = 0; i < hierarchy_.k; ++i) {
+    for (const Vertex v : hierarchy_.level_members[i]) {
+      if (terminal_[i][v]) out.push_back({v, i});
+    }
+  }
+  return out;
+}
+
+CopyRef ClusterForest::terminal_parent_of(Vertex a) const {
+  CopyRef cur{a, 0};
+  while (!terminal_[cur.level][cur.v]) {
+    const Vertex p = parent_[cur.level][cur.v];
+    if (p == kInvalidVertex) {
+      throw std::logic_error("non-terminal copy without parent");
+    }
+    cur = {p, cur.level + 1};
+  }
+  return cur;
+}
+
+std::vector<Vertex> ClusterForest::terminal_members(const CopyRef& t) const {
+  std::vector<Vertex> out = members_[t.level][t.v];
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Edge> ClusterForest::witness_edges() const {
+  std::vector<Edge> out;
+  for (unsigned i = 0; i < hierarchy_.k; ++i) {
+    for (const Vertex v : hierarchy_.level_members[i]) {
+      if (parent_[i][v] != kInvalidVertex) out.push_back(witness_[i][v]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> ClusterForest::terminals_per_level() const {
+  std::vector<std::size_t> out(hierarchy_.k, 0);
+  for (unsigned i = 0; i < hierarchy_.k; ++i) {
+    for (const Vertex v : hierarchy_.level_members[i]) {
+      if (terminal_[i][v]) ++out[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace kw

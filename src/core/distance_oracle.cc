@@ -1,0 +1,35 @@
+#include "core/distance_oracle.h"
+
+#include <utility>
+
+namespace kw {
+
+DistanceOracle::DistanceOracle(Graph spanner, double stretch, bool weighted)
+    : spanner_(std::move(spanner)), stretch_(stretch), weighted_(weighted) {}
+
+double DistanceOracle::distance(Vertex u, Vertex v) {
+  if (u == v) return 0.0;
+  // Cache on the endpoint with the smaller id so (u,v) and (v,u) share.
+  const Vertex source = u < v ? u : v;
+  const Vertex target = u < v ? v : u;
+  if (weighted_) {
+    auto it = weighted_cache_.find(source);
+    if (it == weighted_cache_.end()) {
+      it = weighted_cache_.emplace(source, dijkstra_distances(spanner_, source))
+               .first;
+    }
+    return it->second[target];
+  }
+  auto it = hop_cache_.find(source);
+  if (it == hop_cache_.end()) {
+    it = hop_cache_.emplace(source, bfs_distances(spanner_, source)).first;
+  }
+  const std::uint32_t d = it->second[target];
+  return d == kUnreachableHops ? kUnreachableDist : static_cast<double>(d);
+}
+
+bool DistanceOracle::within(Vertex u, Vertex v, double limit) {
+  return distance(u, v) <= limit;
+}
+
+}  // namespace kw

@@ -1,0 +1,48 @@
+// Approximate distance oracle over a spanner (the [KP12] interface).
+//
+// Section 6 uses the 2-pass spanner as a distance oracle: given (u,v),
+// return an estimate d with d(u,v) <= d_hat <= lambda * d(u,v), lambda =
+// 2^k.  This wrapper owns the spanner graph and answers queries with
+// cached single-source BFS / Dijkstra, which is how the ESTIMATE procedure
+// (Algorithm 4) consumes it and how downstream users would too.
+#ifndef KW_CORE_DISTANCE_ORACLE_H
+#define KW_CORE_DISTANCE_ORACLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_paths.h"
+
+namespace kw {
+
+class DistanceOracle {
+ public:
+  // Takes ownership of the spanner; `stretch` is the oracle's multiplicative
+  // guarantee (2^k for Theorem 1 spanners), recorded for introspection.
+  DistanceOracle(Graph spanner, double stretch, bool weighted = false);
+
+  // Estimated distance; +inf when disconnected in the spanner.
+  [[nodiscard]] double distance(Vertex u, Vertex v);
+
+  // True iff distance(u, v) <= limit (saves work for threshold queries).
+  [[nodiscard]] bool within(Vertex u, Vertex v, double limit);
+
+  [[nodiscard]] const Graph& spanner() const noexcept { return spanner_; }
+  [[nodiscard]] double stretch() const noexcept { return stretch_; }
+  [[nodiscard]] std::size_t cached_sources() const noexcept {
+    return weighted_ ? weighted_cache_.size() : hop_cache_.size();
+  }
+
+ private:
+  Graph spanner_;
+  double stretch_;
+  bool weighted_;
+  std::unordered_map<Vertex, std::vector<std::uint32_t>> hop_cache_;
+  std::unordered_map<Vertex, std::vector<double>> weighted_cache_;
+};
+
+}  // namespace kw
+
+#endif  // KW_CORE_DISTANCE_ORACLE_H

@@ -1,0 +1,271 @@
+#include "core/kp12_sparsifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/two_pass_spanner.h"
+#include "graph/shortest_paths.h"
+#include "stream/weight_classes.h"
+#include "util/bit_util.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace kw {
+
+namespace {
+
+// Nested subsample level of a pair under a hash: largest L such that the
+// pair survives rate 2^-L.
+[[nodiscard]] std::size_t survive_level(const KWiseHash& hash,
+                                        std::uint64_t pair,
+                                        std::size_t max_level) {
+  const std::uint64_t h = hash(pair);
+  std::size_t level = 0;
+  while (level + 1 <= max_level && h < (kFieldPrime >> (level + 1))) {
+    ++level;
+  }
+  return level;
+}
+
+// Distance oracle over a fixed spanner graph: BFS from each queried source,
+// cached.  Distances are hop counts (the pipeline treats G as unweighted).
+class SpannerOracle {
+ public:
+  explicit SpannerOracle(Graph spanner) : spanner_(std::move(spanner)) {}
+
+  [[nodiscard]] double distance(Vertex u, Vertex v) {
+    auto it = cache_.find(u);
+    if (it == cache_.end()) {
+      it = cache_.emplace(u, bfs_distances(spanner_, u)).first;
+    }
+    const std::uint32_t d = it->second[v];
+    return d == kUnreachableHops ? kUnreachableDist : static_cast<double>(d);
+  }
+
+ private:
+  Graph spanner_;
+  std::unordered_map<Vertex, std::vector<std::uint32_t>> cache_;
+};
+
+}  // namespace
+
+Kp12Sparsifier::Kp12Sparsifier(Vertex n, const Kp12Config& config)
+    : n_(n), config_(config) {}
+
+Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
+  const std::size_t t_levels =
+      config_.t_levels > 0 ? config_.t_levels
+                           : ceil_log2(std::max<Vertex>(n_, 2)) + 1;
+  const std::size_t j_copies = config_.j_copies;
+  const std::size_t h_levels = 2 * ceil_log2(std::max<Vertex>(n_, 2)) + 1;
+  const std::size_t z_samples = config_.z_samples;
+  const double lambda = std::pow(2.0, static_cast<double>(config_.spanner.k));
+  const double cutoff = lambda * lambda;
+
+  Kp12Result result;
+  auto& diag = result.diagnostics;
+
+  // ---- Instance setup -------------------------------------------------
+  // ESTIMATE oracles O[j][t] on E^j_t (nested in t at rate 2^{-(t-1)}).
+  std::vector<KWiseHash> estimate_hashes;
+  std::vector<std::vector<TwoPassSpanner>> oracles(j_copies);
+  for (std::size_t j = 0; j < j_copies; ++j) {
+    estimate_hashes.emplace_back(8, derive_seed(config_.seed, 0x3000 + j));
+    oracles[j].reserve(t_levels);
+    for (std::size_t t = 0; t < t_levels; ++t) {
+      TwoPassConfig sc = config_.spanner;
+      sc.augmented = false;
+      sc.seed = derive_seed(config_.seed, 0x4000 + j * 256 + t);
+      oracles[j].emplace_back(n_, sc);
+    }
+  }
+  // SAMPLE instances A[s][j] on E_{s,j} (nested in j, independent in s),
+  // augmented per Claims 16/18/20.
+  std::vector<KWiseHash> sample_hashes;
+  std::vector<std::vector<TwoPassSpanner>> samplers(z_samples);
+  for (std::size_t s = 0; s < z_samples; ++s) {
+    sample_hashes.emplace_back(8, derive_seed(config_.seed, 0x5000 + s));
+    samplers[s].reserve(h_levels);
+    for (std::size_t j = 0; j < h_levels; ++j) {
+      TwoPassConfig sc = config_.spanner;
+      sc.augmented = true;
+      sc.seed = derive_seed(config_.seed, 0x6000 + s * 256 + j);
+      samplers[s].emplace_back(n_, sc);
+    }
+  }
+  diag.oracle_instances = j_copies * t_levels;
+  diag.sample_instances = z_samples * h_levels;
+
+  // ---- Pass 1 (all instances simultaneously) --------------------------
+  stream.replay([&](const EdgeUpdate& upd) {
+    const std::uint64_t pair = pair_id(upd.u, upd.v, n_);
+    for (std::size_t j = 0; j < j_copies; ++j) {
+      const std::size_t lvl =
+          survive_level(estimate_hashes[j], pair, t_levels - 1);
+      for (std::size_t t = 0; t <= lvl; ++t) {
+        oracles[j][t].pass1_update(upd);
+      }
+    }
+    for (std::size_t s = 0; s < z_samples; ++s) {
+      const std::size_t lvl =
+          survive_level(sample_hashes[s], pair, h_levels - 1);
+      for (std::size_t j = 0; j <= lvl; ++j) {
+        samplers[s][j].pass1_update(upd);
+      }
+    }
+  });
+  for (auto& row : oracles) {
+    for (auto& o : row) o.finish_pass1();
+  }
+  for (auto& row : samplers) {
+    for (auto& a : row) a.finish_pass1();
+  }
+
+  // ---- Pass 2 ----------------------------------------------------------
+  stream.replay([&](const EdgeUpdate& upd) {
+    const std::uint64_t pair = pair_id(upd.u, upd.v, n_);
+    for (std::size_t j = 0; j < j_copies; ++j) {
+      const std::size_t lvl =
+          survive_level(estimate_hashes[j], pair, t_levels - 1);
+      for (std::size_t t = 0; t <= lvl; ++t) {
+        oracles[j][t].pass2_update(upd);
+      }
+    }
+    for (std::size_t s = 0; s < z_samples; ++s) {
+      const std::size_t lvl =
+          survive_level(sample_hashes[s], pair, h_levels - 1);
+      for (std::size_t j = 0; j <= lvl; ++j) {
+        samplers[s][j].pass2_update(upd);
+      }
+    }
+  });
+
+  // ---- Finish all instances -------------------------------------------
+  std::vector<std::vector<SpannerOracle>> oracle_graphs;
+  oracle_graphs.reserve(j_copies);
+  for (auto& row : oracles) {
+    std::vector<SpannerOracle> out;
+    out.reserve(row.size());
+    for (auto& o : row) {
+      TwoPassResult r = o.finish();
+      result.nominal_bytes += r.nominal_bytes;
+      if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
+      out.emplace_back(std::move(r.spanner));
+    }
+    oracle_graphs.push_back(std::move(out));
+  }
+
+  // sample_outputs[s][j]: spanner edges + augmented (execution-path) edges.
+  std::vector<std::vector<std::vector<Edge>>> sample_outputs(z_samples);
+  for (std::size_t s = 0; s < z_samples; ++s) {
+    sample_outputs[s].reserve(h_levels);
+    for (std::size_t j = 0; j < h_levels; ++j) {
+      TwoPassResult r = samplers[s][j].finish();
+      result.nominal_bytes += r.nominal_bytes;
+      if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
+      // Augmented edges already include everything decoded; union in the
+      // spanner's own edges (witnesses etc.) for safety.
+      std::map<std::pair<Vertex, Vertex>, double> dedup;
+      for (const auto& e : r.augmented_edges) {
+        dedup.try_emplace({std::min(e.u, e.v), std::max(e.u, e.v)}, 1.0);
+      }
+      for (const auto& e : r.spanner.edges()) {
+        dedup.try_emplace({std::min(e.u, e.v), std::max(e.u, e.v)}, 1.0);
+      }
+      std::vector<Edge> edges;
+      edges.reserve(dedup.size());
+      for (const auto& [key, w] : dedup) {
+        edges.push_back({key.first, key.second, w});
+      }
+      sample_outputs[s].push_back(std::move(edges));
+    }
+  }
+
+  // ---- ESTIMATE queries (Algorithm 4, query side) ----------------------
+  // q(e) = 2^{-t*}, t* = smallest t such that >= (1-delta) J copies report
+  // oracle distance > lambda^2.  Cached per pair.
+  std::unordered_map<std::uint64_t, std::size_t> q_exponent;  // pair -> t*
+  auto q_of = [&](Vertex u, Vertex v) -> std::size_t {
+    const std::uint64_t pair = pair_id(u, v, n_);
+    const auto it = q_exponent.find(pair);
+    if (it != q_exponent.end()) return it->second;
+    ++diag.q_queries;
+    std::size_t t_star = t_levels;  // sentinel: "never disconnects"
+    for (std::size_t t = 0; t < t_levels; ++t) {
+      std::size_t votes = 0;
+      for (std::size_t j = 0; j < j_copies; ++j) {
+        if (oracle_graphs[j][t].distance(u, v) > cutoff) ++votes;
+      }
+      if (static_cast<double>(votes) >=
+          config_.xi_threshold_fraction * static_cast<double>(j_copies)) {
+        t_star = t;
+        break;
+      }
+    }
+    q_exponent.emplace(pair, t_star);
+    return t_star;
+  };
+
+  // ---- SAMPLE + SPARSIFY (Algorithms 5-6) -------------------------------
+  // Edge e contributes weight 2^{j} / Z each time invocation s outputs it at
+  // exactly level j = t*(e).
+  std::map<std::pair<Vertex, Vertex>, double> weight;
+  for (std::size_t s = 0; s < z_samples; ++s) {
+    for (std::size_t j = 0; j < h_levels; ++j) {
+      for (const auto& e : sample_outputs[s][j]) {
+        const std::size_t t_star = q_of(e.u, e.v);
+        if (t_star != j) continue;  // Alg 5 line 7: weight 0
+        weight[{std::min(e.u, e.v), std::max(e.u, e.v)}] +=
+            std::pow(2.0, static_cast<double>(j)) /
+            static_cast<double>(z_samples);
+      }
+    }
+  }
+
+  Graph sparsifier(n_);
+  for (const auto& [key, w] : weight) {
+    if (w <= 0.0) continue;
+    sparsifier.add_edge(key.first, key.second, w);
+    ++diag.edges_weighted;
+  }
+  result.sparsifier = std::move(sparsifier);
+  return result;
+}
+
+WeightedKp12Result weighted_kp12_sparsify(const DynamicStream& stream,
+                                          const Kp12Config& config,
+                                          double wmin, double wmax,
+                                          double class_eps) {
+  const WeightClassPartition partition(wmin, wmax, class_eps);
+  // The per-class substreams correspond to one update-local filter on the
+  // same two physical passes; the simulator materialises them up front.
+  const auto class_streams = partition.split_stream(stream);
+
+  WeightedKp12Result out;
+  std::map<std::pair<Vertex, Vertex>, double> weights;
+  for (std::size_t cls = 0; cls < class_streams.size(); ++cls) {
+    if (class_streams[cls].size() == 0) {
+      out.per_class.emplace_back();
+      continue;
+    }
+    Kp12Config cc = config;
+    cc.seed = derive_seed(config.seed, 0x8800 + cls);
+    Kp12Sparsifier sparsifier(stream.n(), cc);
+    Kp12Result r = sparsifier.run(class_streams[cls]);
+    const double scale = partition.representative(cls) * (1.0 + class_eps);
+    for (const auto& e : r.sparsifier.edges()) {
+      weights[{std::min(e.u, e.v), std::max(e.u, e.v)}] += e.weight * scale;
+    }
+    out.per_class.push_back(r.diagnostics);
+    out.nominal_bytes += r.nominal_bytes;
+  }
+  Graph g(stream.n());
+  for (const auto& [key, w] : weights) g.add_edge(key.first, key.second, w);
+  out.sparsifier = std::move(g);
+  return out;
+}
+
+}  // namespace kw

@@ -1,0 +1,77 @@
+// Corollary 2: eps-spectral sparsifiers in two passes and n^{1+o(1)}/eps^4
+// space, via the [KP12] reduction from sparsification to spanners
+// (Section 6, Algorithms 4-6).
+//
+// Pipeline:
+//   ESTIMATE   (Alg 4): J x T two-pass spanner distance oracles on nested
+//                       subsampled edge sets E^j_t; the robust connectivity
+//                       estimate q(e) = 2^-t* where t* is the smallest rate
+//                       at which a (1-delta) majority of copies report
+//                       d(u,v) > lambda^2.
+//   SAMPLE     (Alg 5): H = log n^2 sampling levels; the augmented spanner
+//                       of each E_j outputs all edges its execution path
+//                       decodes; an edge e counts iff q(e) = 2^-j, with
+//                       weight 2^j.
+//   SPARSIFY   (Alg 6): average Z independent SAMPLE invocations.
+//
+// Every spanner instance runs during the same two physical passes over the
+// stream (instances see update-level filtered substreams derived from
+// per-instance hashes -- the Section 6.3 pseudorandomness substitution).
+#ifndef KW_CORE_KP12_SPARSIFIER_H
+#define KW_CORE_KP12_SPARSIFIER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/graph.h"
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+
+struct Kp12Diagnostics {
+  std::size_t oracle_instances = 0;   // J * T
+  std::size_t sample_instances = 0;   // Z * H
+  std::size_t edges_weighted = 0;     // edges with nonzero output weight
+  std::size_t q_queries = 0;
+  std::size_t unhealthy_spanners = 0;  // instances with decode trouble
+};
+
+struct Kp12Result {
+  Graph sparsifier;  // weighted; compare against G via spectral_envelope
+  Kp12Diagnostics diagnostics;
+  std::size_t nominal_bytes = 0;
+};
+
+class Kp12Sparsifier {
+ public:
+  Kp12Sparsifier(Vertex n, const Kp12Config& config);
+
+  // Runs the full pipeline with exactly two replays of the stream.
+  // The input graph is treated as unweighted (Corollary 2's weighted case
+  // is weighted_kp12_sparsify below).
+  [[nodiscard]] Kp12Result run(const DynamicStream& stream);
+
+ private:
+  Vertex n_;
+  Kp12Config config_;
+};
+
+// Corollary 2, weighted case: round weights to powers of (1 + class_eps),
+// sparsify each class independently (all classes share the same two
+// physical passes -- per-class filtering is update-local), and union the
+// outputs scaled by the class representative.  Space gains the
+// (1/eps) log(wmax/wmin) factor of the corollary.
+struct WeightedKp12Result {
+  Graph sparsifier;
+  std::vector<Kp12Diagnostics> per_class;
+  std::size_t nominal_bytes = 0;
+};
+
+[[nodiscard]] WeightedKp12Result weighted_kp12_sparsify(
+    const DynamicStream& stream, const Kp12Config& config, double wmin,
+    double wmax, double class_eps = 1.0);
+
+}  // namespace kw
+
+#endif  // KW_CORE_KP12_SPARSIFIER_H

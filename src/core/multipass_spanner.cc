@@ -1,0 +1,153 @@
+#include "core/multipass_spanner.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/l0_sampler.h"
+#include "sketch/linear_kv_sketch.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace kw {
+
+namespace {
+
+constexpr Vertex kUnclustered = kInvalidVertex;
+
+[[nodiscard]] L0SamplerConfig sampler_config(Vertex n,
+                                             const MultipassConfig& config,
+                                             unsigned phase) {
+  L0SamplerConfig c;
+  c.max_coord = num_pairs(n);
+  c.instances = config.sampler_instances;
+  c.seed = derive_seed(config.seed, 0xbb00 + phase);
+  return c;
+}
+
+[[nodiscard]] LinearKvConfig table_config(Vertex n,
+                                          const MultipassConfig& config,
+                                          unsigned phase) {
+  LinearKvConfig c;
+  c.max_key = n;                    // keys are cluster center ids
+  c.max_payload_coord = num_pairs(n);  // payload recovers a concrete edge
+  const double nd = static_cast<double>(n);
+  c.capacity = static_cast<std::size_t>(std::ceil(
+      config.table_capacity_factor * std::pow(nd, 1.0 / config.k) *
+      std::max(1.0, std::log2(nd))));
+  c.seed = derive_seed(config.seed, 0xbc00 + phase);
+  return c;
+}
+
+}  // namespace
+
+MultipassResult multipass_baswana_sen(const DynamicStream& stream,
+                                      const MultipassConfig& config) {
+  const Vertex n = stream.n();
+  if (config.k == 0) throw std::invalid_argument("k must be >= 1");
+  MultipassResult result;
+  std::map<std::pair<Vertex, Vertex>, double> edges;
+  auto add_pair = [&edges, n](std::uint64_t pair_coord) {
+    const auto [a, b] = pair_from_id(pair_coord, n);
+    edges.try_emplace({a, b}, 1.0);
+  };
+
+  // cluster_of[v]: center of v's current cluster; kUnclustered once v has
+  // left the clustering (its edges are already covered).
+  std::vector<Vertex> cluster_of(n);
+  for (Vertex v = 0; v < n; ++v) cluster_of[v] = v;
+  const double survive_rate =
+      std::pow(static_cast<double>(n), -1.0 / config.k);
+
+  for (unsigned phase = 1; phase <= config.k; ++phase) {
+    const bool final_phase = phase == config.k;
+    // Surviving centers, decided before the pass (shared randomness).
+    std::vector<char> survives(n, 0);
+    if (!final_phase) {
+      const KWiseHash survive_hash(8,
+                                   derive_seed(config.seed, 0xbd00 + phase));
+      for (Vertex c = 0; c < n; ++c) {
+        survives[c] = survive_hash.unit(c) < survive_rate ? 1 : 0;
+      }
+    }
+
+    // Per-vertex sketches for this pass.
+    std::vector<L0Sampler> to_sampled;
+    std::vector<LinearKeyValueSketch> per_cluster;
+    to_sampled.reserve(n);
+    per_cluster.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+      to_sampled.emplace_back(sampler_config(n, config, phase));
+      per_cluster.emplace_back(table_config(n, config, phase));
+    }
+
+    // The pass: each endpoint files the edge under the *other* endpoint's
+    // current cluster (known before the pass).
+    stream.replay([&](const EdgeUpdate& upd) {
+      const std::uint64_t coord = pair_id(upd.u, upd.v, n);
+      for (int side = 0; side < 2; ++side) {
+        const Vertex v = side == 0 ? upd.u : upd.v;
+        const Vertex u = side == 0 ? upd.v : upd.u;
+        const Vertex cu = cluster_of[u];
+        if (cu == kUnclustered) continue;  // u already settled
+        if (cu == cluster_of[v]) continue;  // intra-cluster edge
+        if (!final_phase && survives[cu] != 0) {
+          to_sampled[v].update(coord, upd.delta);
+        }
+        per_cluster[v].update(cu, upd.delta, coord, upd.delta);
+      }
+    });
+    ++result.passes_used;
+    for (Vertex v = 0; v < n; ++v) {
+      result.nominal_bytes +=
+          to_sampled[v].nominal_bytes() + per_cluster[v].nominal_bytes();
+    }
+
+    // Post-pass re-homing.
+    std::vector<Vertex> next_cluster = cluster_of;
+    for (Vertex v = 0; v < n; ++v) {
+      const Vertex cv = cluster_of[v];
+      if (cv == kUnclustered) continue;
+      if (!final_phase && survives[cv] != 0) continue;  // cluster survives
+      // Try to join a sampled neighboring cluster through one edge.
+      if (!final_phase) {
+        const auto rec = to_sampled[v].decode();
+        if (rec.has_value()) {
+          add_pair(rec->coord);
+          const auto [a, b] = pair_from_id(rec->coord, n);
+          const Vertex other = a == v ? b : a;
+          next_cluster[v] = cluster_of[other];
+          continue;
+        }
+      }
+      // No sampled neighbor (or final phase): one edge per neighboring
+      // cluster, then leave the clustering.
+      const auto decoded = per_cluster[v].decode();
+      if (decoded.has_value()) {
+        for (const auto& entry : *decoded) {
+          const auto support = per_cluster[v].decode_payload(entry);
+          if (support.has_value() && !support->empty()) {
+            add_pair(support->front().coord);
+          } else {
+            ++result.unrecovered;
+          }
+        }
+      } else {
+        ++result.unrecovered;
+      }
+      next_cluster[v] = kUnclustered;
+    }
+    cluster_of = next_cluster;
+  }
+
+  Graph spanner(n);
+  for (const auto& [key, w] : edges) {
+    spanner.add_edge(key.first, key.second, w);
+  }
+  result.spanner = std::move(spanner);
+  return result;
+}
+
+}  // namespace kw

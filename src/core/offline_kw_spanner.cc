@@ -1,0 +1,60 @@
+#include "core/offline_kw_spanner.h"
+
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+namespace kw {
+
+OfflineKwResult offline_kw_spanner(const Graph& g, unsigned k,
+                                   std::uint64_t seed) {
+  const Vertex n = g.n();
+  const ClusterHierarchy hierarchy = ClusterHierarchy::sample(n, k, seed);
+  ClusterForest forest(hierarchy);
+
+  // Phase 1: connector = first edge from T_u into C_{i+1} by adjacency scan.
+  forest.build([&g, &hierarchy](Vertex /*u*/, unsigned level,
+                                const std::vector<Vertex>& members)
+                   -> std::optional<Connector> {
+    for (const Vertex a : members) {
+      for (const auto& nb : g.neighbors(a)) {
+        if (hierarchy.contains(level + 1, nb.to)) {
+          Connector c;
+          c.parent = nb.to;
+          c.witness = {a, nb.to, nb.weight};
+          return c;
+        }
+      }
+    }
+    return std::nullopt;
+  });
+
+  // Phase 2: witness edges for non-terminals; for each terminal copy one
+  // edge from every outside neighbor v into T_u.
+  std::map<std::pair<Vertex, Vertex>, double> edges;
+  auto add = [&edges](Vertex a, Vertex b, double w) {
+    edges.try_emplace({std::min(a, b), std::max(a, b)}, w);
+  };
+  for (const auto& e : forest.witness_edges()) add(e.u, e.v, e.weight);
+
+  for (const CopyRef t : forest.terminals()) {
+    const std::vector<Vertex> members = forest.terminal_members(t);
+    const std::unordered_set<Vertex> member_set(members.begin(),
+                                                members.end());
+    // For each outside neighbor v, one edge (w, v) with w in T_u.
+    std::unordered_set<Vertex> handled;
+    for (const Vertex w : members) {
+      for (const auto& nb : g.neighbors(w)) {
+        if (member_set.contains(nb.to)) continue;
+        if (!handled.insert(nb.to).second) continue;
+        add(w, nb.to, nb.weight);
+      }
+    }
+  }
+
+  Graph spanner(n);
+  for (const auto& [key, w] : edges) spanner.add_edge(key.first, key.second, w);
+  return {std::move(spanner), std::move(forest)};
+}
+
+}  // namespace kw

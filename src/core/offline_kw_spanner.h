@@ -1,0 +1,31 @@
+// Offline reference implementation of the Section 3.1 "basic algorithm".
+//
+// Identical structure to the streaming version (same hierarchy sampling,
+// same forest semantics), but connectors and neighborhood recovery read the
+// graph directly.  Serves as ground truth: the streaming implementation must
+// produce a spanner with the same guarantees (Lemma 12 size, Lemma 13
+// stretch), and experiment E2 validates Claim 11 on this version.
+#ifndef KW_CORE_OFFLINE_KW_SPANNER_H
+#define KW_CORE_OFFLINE_KW_SPANNER_H
+
+#include <cstdint>
+
+#include "core/cluster_forest.h"
+#include "core/config.h"
+#include "graph/graph.h"
+
+namespace kw {
+
+struct OfflineKwResult {
+  Graph spanner;
+  ClusterForest forest;
+};
+
+// Runs the two-phase construction of Section 3.1 on a materialised
+// unweighted graph.  Weight handling (Remark 14) lives at the caller.
+[[nodiscard]] OfflineKwResult offline_kw_spanner(const Graph& g, unsigned k,
+                                                 std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_CORE_OFFLINE_KW_SPANNER_H

@@ -1,0 +1,373 @@
+#include "core/two_pass_spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stream/weight_classes.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace kw {
+
+TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
+    : n_(n),
+      config_(config),
+      hierarchy_(ClusterHierarchy::sample(n, config.k, config.seed)),
+      edge_levels_(2 * ceil_log2(std::max<Vertex>(n, 2)) + 1),
+      vertex_levels_(2 * ceil_log2(std::max<Vertex>(n, 2)) + 1),
+      edge_level_hash_(8, derive_seed(config.seed, 0xe1)),
+      y_hash_(8, derive_seed(config.seed, 0xe2)) {
+  if (n < 2) throw std::invalid_argument("spanner needs n >= 2");
+  if (config.k == 0) throw std::invalid_argument("spanner needs k >= 1");
+  // Y_j at half-octave rates 2^{-j/2} (default): finer steps than the
+  // paper's 2^{-j} sharpen the guarantee that some level isolates <= B
+  // neighbors per key.  bench_ablation compares the two ladders.
+  if (!config_.y_half_octave) {
+    vertex_levels_ = ceil_log2(std::max<Vertex>(n, 2)) + 1;
+  }
+  const double step = config_.y_half_octave ? 0.5 : 1.0;
+  y_thresholds_.resize(vertex_levels_);
+  for (std::size_t j = 0; j < vertex_levels_; ++j) {
+    y_thresholds_[j] = static_cast<std::uint64_t>(
+        static_cast<double>(kFieldPrime) *
+        std::pow(2.0, -step * static_cast<double>(j)));
+  }
+}
+
+std::uint64_t TwoPassSpanner::sketch_key(Vertex v, unsigned r,
+                                         std::size_t j) const {
+  return (static_cast<std::uint64_t>(v) * config_.k + r) * edge_levels_ + j;
+}
+
+SparseRecoveryConfig TwoPassSpanner::pass1_config(unsigned r,
+                                                  std::size_t j) const {
+  SparseRecoveryConfig c;
+  c.max_coord = num_pairs(n_);
+  c.budget = config_.pass1_budget;
+  c.rows = config_.pass1_rows;
+  // Randomness is a function of (r, j) only -- identical for every vertex,
+  // which is what makes Q_j(u) = sum_{v in T_u} S^{i+1}_j(v) a valid sketch.
+  c.seed = derive_seed(config_.seed, 0x1000 + r * 1024 + j);
+  return c;
+}
+
+LinearKvConfig TwoPassSpanner::table_config(unsigned level,
+                                            std::size_t term_index,
+                                            std::size_t j) const {
+  LinearKvConfig c;
+  c.max_key = n_;
+  c.max_payload_coord = n_;
+  const double nd = static_cast<double>(n_);
+  // Claim 11: terminal trees at level i have |N(T_u)| <= C log n *
+  // n^{(i+1)/k} whp; the table must hold that many keys.
+  const double bound =
+      std::pow(nd, static_cast<double>(level + 1) / config_.k) *
+      std::max(1.0, std::log2(nd));
+  c.capacity = static_cast<std::size_t>(
+      std::ceil(config_.table_capacity_factor * bound));
+  c.tables = config_.kv_tables;
+  c.load_factor = config_.kv_load_factor;
+  c.payload_budget = config_.table_payload_budget;
+  c.payload_rows = config_.table_payload_rows;
+  // Independent randomness per (terminal, j); the key/payload hash choices
+  // never need to be shared across tables because tables are not merged
+  // across terminals.
+  c.seed = derive_seed(config_.seed, 0x20000 + term_index * 64 + j);
+  return c;
+}
+
+std::size_t TwoPassSpanner::edge_level_of(std::uint64_t pair) const {
+  const std::uint64_t h = edge_level_hash_(pair);
+  std::size_t level = 0;
+  while (level + 1 < edge_levels_ && h < (kFieldPrime >> (level + 1))) {
+    ++level;
+  }
+  return level;
+}
+
+std::size_t TwoPassSpanner::y_level_of(Vertex v) const {
+  const std::uint64_t h = y_hash_(v);
+  std::size_t level = 0;
+  while (level + 1 < vertex_levels_ && h < y_thresholds_[level + 1]) {
+    ++level;
+  }
+  return level;
+}
+
+void TwoPassSpanner::pass1_update(const EdgeUpdate& update) {
+  if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
+  if (update.u == update.v) return;
+  const std::uint64_t coord = pair_id(update.u, update.v, n_);
+  const std::size_t jmax = edge_level_of(coord);
+  for (unsigned r = 1; r < config_.k; ++r) {
+    // S^r_j(u) covers ({u} x C_r) cap E cap E_j: endpoint u keeps the edge
+    // iff the *other* endpoint is in C_r.
+    for (int side = 0; side < 2; ++side) {
+      const Vertex keeper = side == 0 ? update.u : update.v;
+      const Vertex other = side == 0 ? update.v : update.u;
+      if (!hierarchy_.contains(r, other)) continue;
+      for (std::size_t j = 0; j <= jmax; ++j) {
+        const std::uint64_t key = sketch_key(keeper, r, j);
+        auto it = pass1_sketches_.find(key);
+        if (it == pass1_sketches_.end()) {
+          it = pass1_sketches_
+                   .emplace(key, SparseRecoverySketch(pass1_config(r, j)))
+                   .first;
+          ++diagnostics_.pass1_sketches_touched;
+        }
+        it->second.update(coord, update.delta);
+      }
+    }
+  }
+}
+
+void TwoPassSpanner::note_augmented(const Edge& e) {
+  if (!config_.augmented) return;
+  augmented_.try_emplace({std::min(e.u, e.v), std::max(e.u, e.v)}, e.weight);
+}
+
+std::optional<Connector> TwoPassSpanner::sketch_connector(
+    unsigned level, const std::vector<Vertex>& members) {
+  const std::unordered_set<Vertex> member_set(members.begin(), members.end());
+  // Scan E_j levels from sparsest to densest; the first nonempty decodable
+  // support yields the parent and witness (Algorithm 1 lines 11-18).
+  for (std::size_t j = edge_levels_; j-- > 0;) {
+    SparseRecoverySketch q(pass1_config(level + 1, j));
+    bool any = false;
+    for (const Vertex v : members) {
+      const auto it = pass1_sketches_.find(sketch_key(v, level + 1, j));
+      if (it == pass1_sketches_.end()) continue;
+      q.merge(it->second, 1);
+      any = true;
+    }
+    if (!any) continue;  // all-zero sum: nothing at this sampling level
+    const auto decoded = q.decode();
+    if (!decoded.has_value()) {
+      ++diagnostics_.pass1_scan_failures;
+      continue;  // overloaded level; keep descending (denser levels below
+                 // will also fail, but a success may still appear)
+    }
+    if (decoded->empty()) continue;
+    // Every decoded coordinate is an edge (a, b) with a in T_u (sketch
+    // owner side) and b in C_{level+1}.  Pick the first orientable one.
+    for (const auto& rec : *decoded) {
+      const auto [x, y] = pair_from_id(rec.coord, n_);
+      note_augmented({x, y, 1.0});
+      Connector c;
+      if (hierarchy_.contains(level + 1, y) && member_set.contains(x)) {
+        c.parent = y;
+        c.witness = {x, y, 1.0};
+        return c;
+      }
+      if (hierarchy_.contains(level + 1, x) && member_set.contains(y)) {
+        c.parent = x;
+        c.witness = {y, x, 1.0};
+        return c;
+      }
+    }
+    // Decoded edges were not orientable (should not happen): treat as scan
+    // failure and continue.
+    ++diagnostics_.pass1_scan_failures;
+  }
+  return std::nullopt;
+}
+
+void TwoPassSpanner::finish_pass1() {
+  if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
+  forest_.emplace(hierarchy_);
+  forest_->build([this](Vertex /*u*/, unsigned level,
+                        const std::vector<Vertex>& members) {
+    return sketch_connector(level, members);
+  });
+  diagnostics_.terminals_per_level = forest_->terminals_per_level();
+
+  // Prepare pass-2 structures.
+  terminals_ = forest_->terminals();
+  terminal_member_sets_.clear();
+  terminal_member_sets_.reserve(terminals_.size());
+  tables_.clear();
+  tables_.reserve(terminals_.size());
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    const auto members = forest_->terminal_members(terminals_[t]);
+    terminal_member_sets_.emplace_back(members.begin(), members.end());
+    std::vector<LinearKeyValueSketch> per_level;
+    per_level.reserve(vertex_levels_);
+    for (std::size_t j = 0; j < vertex_levels_; ++j) {
+      per_level.emplace_back(
+          table_config(terminals_[t].level, t, j));
+    }
+    tables_.push_back(std::move(per_level));
+  }
+  terminal_of_vertex_.assign(n_, 0);
+  std::unordered_map<std::uint64_t, std::uint32_t> term_index;
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    term_index[static_cast<std::uint64_t>(terminals_[t].level) * n_ +
+               terminals_[t].v] = static_cast<std::uint32_t>(t);
+  }
+  for (Vertex a = 0; a < n_; ++a) {
+    const CopyRef tp = forest_->terminal_parent_of(a);
+    terminal_of_vertex_[a] =
+        term_index.at(static_cast<std::uint64_t>(tp.level) * n_ + tp.v);
+  }
+  // Pass-1 sketches are dead weight from here on; a real streaming device
+  // would reuse this memory for the pass-2 tables.
+  for (const auto& [key, sketch] : pass1_sketches_) {
+    (void)key;
+    pass1_touched_bytes_ += sketch.nominal_bytes();
+  }
+  pass1_sketches_.clear();
+  phase_ = Phase::kPass2;
+}
+
+void TwoPassSpanner::pass2_update(const EdgeUpdate& update) {
+  if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
+  if (update.u == update.v) return;
+  for (int side = 0; side < 2; ++side) {
+    const Vertex a = side == 0 ? update.u : update.v;
+    const Vertex b = side == 0 ? update.v : update.u;
+    const std::uint32_t t = terminal_of_vertex_[a];
+    if (terminal_member_sets_[t].contains(b)) continue;  // b in T_u: skip
+    const std::size_t jmax = std::min(y_level_of(a), vertex_levels_ - 1);
+    for (std::size_t j = 0; j <= jmax; ++j) {
+      // "add SKETCH(delta * a) to the b-th entry of H^u_j".
+      tables_[t][j].update(/*key=*/b, update.delta, /*payload_coord=*/a,
+                           update.delta);
+    }
+  }
+}
+
+TwoPassResult TwoPassSpanner::finish() {
+  if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
+  phase_ = Phase::kDone;
+
+  std::map<std::pair<Vertex, Vertex>, double> edges;
+  auto add = [&edges](Vertex a, Vertex b, double w) {
+    edges.try_emplace({std::min(a, b), std::max(a, b)}, w);
+  };
+
+  // Non-terminal copies contribute their witness edges (pass-1 output).
+  for (const auto& e : forest_->witness_edges()) {
+    add(e.u, e.v, e.weight);
+    note_augmented(e);
+  }
+
+  // Terminal copies: recover one edge per outside neighbor.  For each key v
+  // take the sparsest Y_j level at which the embedded neighborhood sketch
+  // decodes (Algorithm 2 lines 23-33).
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    std::unordered_set<Vertex> resolved;
+    std::unordered_set<Vertex> seen;  // keys observed at any level
+    for (std::size_t j = vertex_levels_; j-- > 0;) {
+      const auto decoded = tables_[t][j].decode();
+      if (!decoded.has_value()) {
+        ++diagnostics_.pass2_tables_undecodable;
+        continue;
+      }
+      for (const auto& entry : *decoded) {
+        const auto v = static_cast<Vertex>(entry.key);
+        seen.insert(v);
+        if (resolved.contains(v)) continue;
+        const auto support = tables_[t][j].decode_payload(entry);
+        if (!support.has_value() || support->empty()) continue;
+        const auto w = static_cast<Vertex>(support->front().coord);
+        add(w, v, 1.0);
+        note_augmented({w, v, 1.0});
+        resolved.insert(v);
+      }
+    }
+    for (const Vertex v : seen) {
+      if (!resolved.contains(v)) ++diagnostics_.pass2_neighbors_unrecovered;
+    }
+  }
+
+  TwoPassResult result;
+  Graph spanner(n_);
+  for (const auto& [key, w] : edges) {
+    spanner.add_edge(key.first, key.second, w);
+  }
+  result.spanner = std::move(spanner);
+  if (config_.augmented) {
+    result.augmented_edges.reserve(augmented_.size());
+    for (const auto& [key, w] : augmented_) {
+      result.augmented_edges.push_back({key.first, key.second, w});
+    }
+  }
+  result.diagnostics = diagnostics_;
+
+  // Nominal space: the dense footprint of every sketch the algorithm
+  // declares (pass 1: n * (k-1) * edge_levels copies of SKETCH_B; pass 2:
+  // the declared tables).
+  const SparseRecoverySketch proto(pass1_config(1, 0));
+  result.nominal_bytes = static_cast<std::size_t>(n_) *
+                         (config_.k > 1 ? config_.k - 1 : 0) * edge_levels_ *
+                         proto.nominal_bytes();
+  result.touched_bytes = pass1_touched_bytes_;
+  for (const auto& per_level : tables_) {
+    for (const auto& table : per_level) {
+      result.nominal_bytes += table.nominal_bytes();
+      result.touched_bytes += table.touched_bytes();
+    }
+  }
+  return result;
+}
+
+const ClusterForest& TwoPassSpanner::forest() const {
+  if (!forest_.has_value()) {
+    throw std::logic_error("forest unavailable before finish_pass1()");
+  }
+  return *forest_;
+}
+
+TwoPassResult TwoPassSpanner::run(const DynamicStream& stream) {
+  if (stream.n() != n_) throw std::invalid_argument("stream size mismatch");
+  stream.replay([this](const EdgeUpdate& u) { pass1_update(u); });
+  finish_pass1();
+  stream.replay([this](const EdgeUpdate& u) { pass2_update(u); });
+  return finish();
+}
+
+WeightedSpannerResult weighted_two_pass_spanner(const DynamicStream& stream,
+                                                const TwoPassConfig& config,
+                                                double wmin, double wmax,
+                                                double class_eps) {
+  const WeightClassPartition partition(wmin, wmax, class_eps);
+  // One spanner instance per weight class, all driven by the same two
+  // physical passes (the per-class filtering is done update-by-update).
+  std::vector<TwoPassSpanner> instances;
+  instances.reserve(partition.num_classes());
+  for (std::size_t c = 0; c < partition.num_classes(); ++c) {
+    TwoPassConfig cc = config;
+    cc.seed = derive_seed(config.seed, 0x77000 + c);
+    instances.emplace_back(stream.n(), cc);
+  }
+  stream.replay([&](const EdgeUpdate& upd) {
+    instances[partition.class_of(upd.weight)].pass1_update(upd);
+  });
+  for (auto& inst : instances) inst.finish_pass1();
+  stream.replay([&](const EdgeUpdate& upd) {
+    instances[partition.class_of(upd.weight)].pass2_update(upd);
+  });
+
+  WeightedSpannerResult out;
+  std::map<std::pair<Vertex, Vertex>, double> edges;
+  for (std::size_t c = 0; c < instances.size(); ++c) {
+    TwoPassResult r = instances[c].finish();
+    // Upper representative keeps d_H >= d_G (H's weights dominate true
+    // weights), costing a (1+eps) factor in the stretch bound.
+    const double w = partition.representative(c) * (1.0 + class_eps);
+    for (const auto& e : r.spanner.edges()) {
+      const auto key = std::make_pair(std::min(e.u, e.v), std::max(e.u, e.v));
+      auto [it, inserted] = edges.try_emplace(key, w);
+      if (!inserted && w < it->second) it->second = w;
+    }
+    out.per_class.push_back(r.diagnostics);
+    out.nominal_bytes += r.nominal_bytes;
+  }
+  Graph g(stream.n());
+  for (const auto& [key, w] : edges) g.add_edge(key.first, key.second, w);
+  out.spanner = std::move(g);
+  return out;
+}
+
+}  // namespace kw

@@ -1,0 +1,150 @@
+// Theorem 1: a 2^k-spanner in two passes and ~O(n^{1+1/k}) bits
+// (Algorithms 1 and 2 of the paper).
+//
+// Pass 1 maintains, for every vertex u, level r in [1, k-1] and sampling
+// level j, the sketch S^r_j(u) = SKETCH_B(({u} x C_r) cap E cap E_j).  After
+// the pass, the cluster forest is built bottom-up: the connector for T_u at
+// level i sums members' S^{i+1}_j sketches (linearity!) and decodes from the
+// sparsest level downward until a nonempty support appears -- that support
+// is an edge from T_u into C_{i+1}, and its witness.
+//
+// Pass 2 maintains, for every *terminal* copy u and level j, the linear hash
+// table H^u_j keyed by outside vertices v with an embedded neighborhood
+// sketch of N(v) cap T_u cap Y_j as value.  After the pass, each outside
+// neighbor v of each terminal tree contributes one recovered edge (w, v),
+// w in T_u.  The spanner is phi(F) plus those edges (Lemma 12 size bound,
+// Lemma 13 stretch bound).
+//
+// The class exposes the incremental pass interface (pass1_update /
+// finish_pass1 / pass2_update / finish) because the KP12 sparsifier runs
+// many instances in parallel over the *same* two stream passes; run() is the
+// single-instance convenience that also enforces the two-pass contract.
+//
+// `augmented` mode additionally reports every edge decoded on the execution
+// path (Claims 16, 18, 20) -- the property the sparsifier's sampling lemma
+// needs.
+#ifndef KW_CORE_TWO_PASS_SPANNER_H
+#define KW_CORE_TWO_PASS_SPANNER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster_forest.h"
+#include "core/config.h"
+#include "graph/graph.h"
+#include "sketch/linear_kv_sketch.h"
+#include "sketch/sparse_recovery.h"
+#include "stream/dynamic_stream.h"
+#include "util/hashing.h"
+
+namespace kw {
+
+struct TwoPassDiagnostics {
+  std::size_t pass1_sketches_touched = 0;
+  std::size_t pass1_scan_failures = 0;   // decode failures while scanning
+  std::size_t pass2_tables_undecodable = 0;
+  std::size_t pass2_neighbors_unrecovered = 0;
+  std::vector<std::size_t> terminals_per_level;
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return pass2_tables_undecodable == 0 && pass2_neighbors_unrecovered == 0;
+  }
+};
+
+struct TwoPassResult {
+  Graph spanner;
+  // Augmented mode: every edge of G observed by a successful decode on the
+  // execution path (superset of the spanner's edge set restricted to
+  // decoded locations); empty otherwise.
+  std::vector<Edge> augmented_edges;
+  TwoPassDiagnostics diagnostics;
+  std::size_t nominal_bytes = 0;  // dense sketch footprint (space claim)
+  std::size_t touched_bytes = 0;  // memory actually held by this simulator
+};
+
+class TwoPassSpanner {
+ public:
+  TwoPassSpanner(Vertex n, const TwoPassConfig& config);
+
+  // --- incremental interface (for running many instances per pass) ---
+  void pass1_update(const EdgeUpdate& update);
+  void finish_pass1();  // builds the cluster forest, prepares pass 2
+  void pass2_update(const EdgeUpdate& update);
+  [[nodiscard]] TwoPassResult finish();
+
+  // Valid after finish_pass1().
+  [[nodiscard]] const ClusterForest& forest() const;
+
+  // --- convenience: exactly two replays of the stream ---
+  [[nodiscard]] TwoPassResult run(const DynamicStream& stream);
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+
+ private:
+  enum class Phase { kPass1, kBetween, kPass2, kDone };
+
+  [[nodiscard]] std::uint64_t sketch_key(Vertex v, unsigned r,
+                                         std::size_t j) const;
+  [[nodiscard]] SparseRecoveryConfig pass1_config(unsigned r,
+                                                  std::size_t j) const;
+  [[nodiscard]] LinearKvConfig table_config(unsigned level,
+                                            std::size_t term_index,
+                                            std::size_t j) const;
+  // Levels of E_j that a pair survives (nested subsampling).
+  [[nodiscard]] std::size_t edge_level_of(std::uint64_t pair) const;
+  [[nodiscard]] std::size_t y_level_of(Vertex v) const;
+
+  [[nodiscard]] std::optional<Connector> sketch_connector(
+      unsigned level, const std::vector<Vertex>& members);
+
+  void note_augmented(const Edge& e);
+
+  Vertex n_;
+  TwoPassConfig config_;
+  Phase phase_ = Phase::kPass1;
+  ClusterHierarchy hierarchy_;
+  std::size_t edge_levels_;    // log2(n^2) + 1 sampling levels for E_j
+  std::size_t vertex_levels_;  // Y_j levels at half-octave rates 2^{-j/2}
+  KWiseHash edge_level_hash_;
+  KWiseHash y_hash_;
+  std::vector<std::uint64_t> y_thresholds_;  // survive j iff hash < thresh[j]
+
+  // Pass 1: lazily materialised S^r_j(u); absent means identically zero.
+  std::unordered_map<std::uint64_t, SparseRecoverySketch> pass1_sketches_;
+
+  // Between passes.
+  std::optional<ClusterForest> forest_;
+  std::vector<CopyRef> terminals_;
+  std::vector<std::uint32_t> terminal_of_vertex_;  // index into terminals_
+  std::vector<std::unordered_set<Vertex>> terminal_member_sets_;
+
+  // Pass 2: H^u_j tables, one vector per terminal copy.
+  std::vector<std::vector<LinearKeyValueSketch>> tables_;
+
+  TwoPassDiagnostics diagnostics_;
+  std::size_t pass1_touched_bytes_ = 0;  // recorded before pass-1 teardown
+  std::map<std::pair<Vertex, Vertex>, double> augmented_;  // dedup
+};
+
+// Remark 14: weighted graphs via geometric weight classes.  Splits the
+// stream into classes [wmin (1+eps)^c, wmin (1+eps)^{c+1}), runs one
+// TwoPassSpanner per class (all during the same two passes), and unions the
+// results with each class's upper representative weight.  The stretch bound
+// becomes (1+eps) 2^k.
+struct WeightedSpannerResult {
+  Graph spanner;
+  std::vector<TwoPassDiagnostics> per_class;
+  std::size_t nominal_bytes = 0;
+};
+
+[[nodiscard]] WeightedSpannerResult weighted_two_pass_spanner(
+    const DynamicStream& stream, const TwoPassConfig& config, double wmin,
+    double wmax, double class_eps = 1.0);
+
+}  // namespace kw
+
+#endif  // KW_CORE_TWO_PASS_SPANNER_H

@@ -1,0 +1,75 @@
+#include "graph/connectivity.h"
+
+#include <numeric>
+
+namespace kw {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  UnionFind uf(g.n());
+  for (const auto& e : g.edges()) uf.unite(e.u, e.v);
+  std::vector<std::uint32_t> label(g.n(), 0);
+  std::vector<std::uint32_t> remap(g.n(), static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    const std::size_t root = uf.find(v);
+    if (remap[root] == static_cast<std::uint32_t>(-1)) remap[root] = next++;
+    label[v] = remap[root];
+  }
+  return label;
+}
+
+std::size_t component_count(const Graph& g) {
+  UnionFind uf(g.n());
+  for (const auto& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.component_count();
+}
+
+std::vector<Edge> spanning_forest_offline(const Graph& g) {
+  UnionFind uf(g.n());
+  std::vector<Edge> forest;
+  for (const auto& e : g.edges()) {
+    if (uf.unite(e.u, e.v)) forest.push_back(e);
+  }
+  return forest;
+}
+
+bool same_partition(const Graph& a, const Graph& b) {
+  if (a.n() != b.n()) return false;
+  const auto la = connected_components(a);
+  const auto lb = connected_components(b);
+  // Same partition iff the label pairs induce a bijection.
+  std::vector<std::uint32_t> a_to_b(a.n(), static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> b_to_a(b.n(), static_cast<std::uint32_t>(-1));
+  for (Vertex v = 0; v < a.n(); ++v) {
+    if (a_to_b[la[v]] == static_cast<std::uint32_t>(-1)) a_to_b[la[v]] = lb[v];
+    if (b_to_a[lb[v]] == static_cast<std::uint32_t>(-1)) b_to_a[lb[v]] = la[v];
+    if (a_to_b[la[v]] != lb[v] || b_to_a[lb[v]] != la[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace kw

@@ -1,0 +1,51 @@
+// Union-find and offline connectivity utilities (ground truth for the AGM
+// spanning-forest sketch of Theorem 10).
+#ifndef KW_GRAPH_CONNECTIVITY_H
+#define KW_GRAPH_CONNECTIVITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  // Representative with path halving.
+  [[nodiscard]] std::size_t find(std::size_t x);
+
+  // Returns true iff the sets were distinct (union by size).
+  bool unite(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool same(std::size_t a, std::size_t b) {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+// Component label per vertex (labels are in [0, #components)).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+[[nodiscard]] std::size_t component_count(const Graph& g);
+
+// Any spanning forest of g (edges of g), via union-find.
+[[nodiscard]] std::vector<Edge> spanning_forest_offline(const Graph& g);
+
+// True iff the two graphs (same vertex count) have identical connectivity
+// partitions -- the acceptance criterion for AGM forest outputs.
+[[nodiscard]] bool same_partition(const Graph& a, const Graph& b);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_CONNECTIVITY_H

@@ -1,0 +1,60 @@
+#include "graph/effective_resistance.h"
+
+#include <limits>
+
+#include "graph/connectivity.h"
+#include "graph/eigen.h"
+#include "graph/laplacian.h"
+#include "graph/linear_solver.h"
+
+namespace kw {
+
+double effective_resistance(const Graph& g, Vertex u, Vertex v) {
+  if (u == v) return 0.0;
+  std::vector<double> b(g.n(), 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  const CgResult solve = solve_laplacian(g, b);
+  if (!solve.converged) {
+    // Either disconnected pair (b not in range) or stagnation; check which.
+    const auto labels = connected_components(g);
+    if (labels[u] != labels[v]) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return solve.x[u] - solve.x[v];
+}
+
+std::vector<double> all_edge_resistances(const Graph& g) {
+  std::vector<double> r;
+  r.reserve(g.m());
+  for (const auto& e : g.edges()) {
+    r.push_back(effective_resistance(g, e.u, e.v));
+  }
+  return r;
+}
+
+std::vector<double> all_edge_resistances_dense(const Graph& g) {
+  const DenseMatrix l = laplacian_dense(g);
+  const EigenDecomposition eig = symmetric_eigen(l);
+  const std::size_t n = g.n();
+  // Pseudo-inverse: sum over nonzero eigenvalues of (1/lambda) q q^T.
+  // Tolerance keeps the all-ones nullspace (and any component nullspaces)
+  // out of the inverse.
+  const double cutoff =
+      1e-9 * (eig.values.empty() ? 1.0 : std::max(1.0, eig.values.back()));
+  std::vector<double> r;
+  r.reserve(g.m());
+  for (const auto& e : g.edges()) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (eig.values[j] <= cutoff) continue;
+      const double comp = eig.vectors.at(e.u, j) - eig.vectors.at(e.v, j);
+      acc += comp * comp / eig.values[j];
+    }
+    r.push_back(acc);
+  }
+  return r;
+}
+
+}  // namespace kw

@@ -1,0 +1,29 @@
+// Exact effective resistances (Section 2 / Theorem 7 substrate).
+//
+// R_e is the potential difference across e when a unit current is injected
+// at one endpoint and extracted at the other: R_uv = (chi_u - chi_v)^T L^+
+// (chi_u - chi_v).  Two backends: per-pair conjugate-gradient solves
+// (scales to thousands of vertices) and a dense pseudo-inverse (for tests).
+#ifndef KW_GRAPH_EFFECTIVE_RESISTANCE_H
+#define KW_GRAPH_EFFECTIVE_RESISTANCE_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+// Effective resistance between a single pair (must be in the same connected
+// component; returns +inf otherwise).
+[[nodiscard]] double effective_resistance(const Graph& g, Vertex u, Vertex v);
+
+// Effective resistance of every edge of g, via one CG solve per edge.
+[[nodiscard]] std::vector<double> all_edge_resistances(const Graph& g);
+
+// Dense-pseudo-inverse backend (O(n^3)); used to cross-check the CG path in
+// tests and for small sparsifier experiments.
+[[nodiscard]] std::vector<double> all_edge_resistances_dense(const Graph& g);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_EFFECTIVE_RESISTANCE_H

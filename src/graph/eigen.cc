@@ -1,0 +1,91 @@
+#include "graph/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kw {
+
+EigenDecomposition symmetric_eigen(const DenseMatrix& a, double tolerance,
+                                   std::size_t max_sweeps) {
+  const std::size_t n = a.rows();
+  EigenDecomposition result;
+  DenseMatrix m = a;
+  DenseMatrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&m, n]() {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) acc += m.at(i, j) * m.at(i, j);
+    }
+    return std::sqrt(acc);
+  };
+  double frob = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) frob += m.at(i, j) * m.at(i, j);
+  }
+  frob = std::sqrt(frob);
+  const double target = tolerance * std::max(frob, 1e-300);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    if (off_diagonal_norm() <= target) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m.at(p, p);
+        const double aqq = m.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m.at(k, p);
+          const double mkq = m.at(k, q);
+          m.at(k, p) = c * mkp - s * mkq;
+          m.at(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m.at(p, k);
+          const double mqk = m.at(q, k);
+          m.at(p, k) = c * mpk - s * mqk;
+          m.at(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_diagonal_norm() <= target) {
+    result.converged = true;
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&m](std::size_t x, std::size_t y) {
+    return m.at(x, x) < m.at(y, y);
+  });
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = m.at(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace kw

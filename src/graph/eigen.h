@@ -1,0 +1,30 @@
+// Dense symmetric eigensolver (cyclic Jacobi rotations).
+//
+// Substrate for measuring spectral-sparsifier quality exactly: Corollary 2's
+// guarantee (1-eps)G ⪯ H ⪯ (1+eps)G is checked via the eigenvalues of
+// L_G^{+/2} L_H L_G^{+/2}.  O(n^3) per sweep; intended for n <= ~512.
+#ifndef KW_GRAPH_EIGEN_H
+#define KW_GRAPH_EIGEN_H
+
+#include <vector>
+
+#include "graph/laplacian.h"
+
+namespace kw {
+
+struct EigenDecomposition {
+  std::vector<double> values;  // ascending
+  DenseMatrix vectors;         // column j is the eigenvector of values[j]
+  std::size_t sweeps = 0;
+  bool converged = false;
+};
+
+// Jacobi eigenvalue algorithm for a symmetric matrix.  tolerance bounds the
+// off-diagonal Frobenius mass at convergence relative to the matrix norm.
+[[nodiscard]] EigenDecomposition symmetric_eigen(const DenseMatrix& a,
+                                                 double tolerance = 1e-11,
+                                                 std::size_t max_sweeps = 64);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_EIGEN_H

@@ -1,0 +1,251 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "util/random.h"
+
+namespace kw {
+
+Graph erdos_renyi_gnp(Vertex n, double p, std::uint64_t seed) {
+  Graph g(n);
+  if (p <= 0.0 || n < 2) return g;
+  Rng rng(seed);
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping: jump between successful pairs directly, O(m) time.
+  // The gap before the next success is Geometric(p): floor(ln(1-r)/ln(1-p)).
+  const double log1mp = std::log1p(-p);
+  std::uint64_t pair = 0;
+  const std::uint64_t total = num_pairs(n);
+  while (true) {
+    const double r = rng.next_double();
+    const auto skip =
+        static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log1mp));
+    pair += skip;
+    if (pair >= total) break;
+    const auto [u, v] = pair_from_id(pair, n);
+    g.add_edge(u, v);
+    ++pair;
+  }
+  return g;
+}
+
+Graph erdos_renyi_gnm(Vertex n, std::uint64_t m, std::uint64_t seed) {
+  const std::uint64_t total = num_pairs(n);
+  if (m > total) throw std::invalid_argument("gnm: m exceeds pair count");
+  Graph g(n);
+  Rng rng(seed);
+  // Floyd's sampling of m distinct pair ids.
+  std::set<std::uint64_t> chosen;
+  for (std::uint64_t j = total - m; j < total; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    const std::uint64_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+  }
+  for (const std::uint64_t id : chosen) {
+    const auto [u, v] = pair_from_id(id, n);
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph path_graph(Vertex n) {
+  Graph g(n);
+  for (Vertex i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(Vertex n) {
+  if (n < 3) throw std::invalid_argument("cycle needs n >= 3");
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph grid_graph(Vertex rows, Vertex cols) {
+  Graph g(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(Vertex n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph star_graph(Vertex n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph hypercube_graph(std::uint32_t dim) {
+  const Vertex n = static_cast<Vertex>(1) << dim;
+  Graph g(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const Vertex w = v ^ (static_cast<Vertex>(1) << b);
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph barbell_graph(Vertex clique_n, Vertex path_len) {
+  const Vertex n = 2 * clique_n + (path_len > 0 ? path_len - 1 : 0);
+  Graph g(n);
+  auto add_clique = [&g](Vertex base, Vertex size) {
+    for (Vertex u = 0; u < size; ++u) {
+      for (Vertex v = u + 1; v < size; ++v) g.add_edge(base + u, base + v);
+    }
+  };
+  add_clique(0, clique_n);
+  add_clique(clique_n, clique_n);
+  // Path from vertex 0 of the first clique to vertex 0 of the second.
+  Vertex prev = 0;
+  for (Vertex i = 0; i + 1 < path_len; ++i) {
+    const Vertex mid = 2 * clique_n + i;
+    g.add_edge(prev, mid);
+    prev = mid;
+  }
+  if (path_len > 0) g.add_edge(prev, clique_n);
+  return g;
+}
+
+Graph random_regular_graph(Vertex n, std::uint32_t d, std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(n) * d % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  Rng rng(seed);
+  // Configuration model: pair up d copies of each vertex, rejecting
+  // self-loops and parallel edges; a handful of stubs may stay unmatched.
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  Graph g(n);
+  std::set<std::pair<Vertex, Vertex>> used;
+  for (int attempt = 0; attempt < 200 && stubs.size() >= 2; ++attempt) {
+    // Fisher-Yates shuffle, then greedily match adjacent stubs.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const std::size_t j = rng.next_below(i);
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    std::vector<Vertex> leftover;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      Vertex a = stubs[i];
+      Vertex b = stubs[i + 1];
+      if (a == b || used.contains({std::min(a, b), std::max(a, b)})) {
+        leftover.push_back(a);
+        leftover.push_back(b);
+        continue;
+      }
+      used.insert({std::min(a, b), std::max(a, b)});
+      g.add_edge(a, b);
+    }
+    if (stubs.size() % 2 == 1) leftover.push_back(stubs.back());
+    stubs = std::move(leftover);
+  }
+  return g;
+}
+
+Graph barabasi_albert_graph(Vertex n, std::uint32_t edges_per_vertex,
+                            std::uint64_t seed) {
+  if (n <= edges_per_vertex) {
+    throw std::invalid_argument("barabasi_albert: need n > edges_per_vertex");
+  }
+  Rng rng(seed);
+  Graph g(n);
+  // Seed clique over the first edges_per_vertex+1 vertices.
+  const Vertex seed_n = edges_per_vertex + 1;
+  std::vector<Vertex> endpoint_pool;  // degree-proportional sampling pool
+  for (Vertex u = 0; u < seed_n; ++u) {
+    for (Vertex v = u + 1; v < seed_n; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (Vertex v = seed_n; v < n; ++v) {
+    std::set<Vertex> targets;
+    while (targets.size() < edges_per_vertex) {
+      const Vertex t = endpoint_pool[rng.next_below(endpoint_pool.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (const Vertex t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph with_random_weights(const Graph& g, double wmin, double wmax,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Graph out(g.n());
+  for (const auto& e : g.edges()) {
+    out.add_edge(e.u, e.v, wmin + (wmax - wmin) * rng.next_double());
+  }
+  return out;
+}
+
+Graph with_geometric_weights(const Graph& g, double wmin, double wmax,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> ladder;
+  for (double w = wmin; w <= wmax * (1 + 1e-12); w *= 2.0) ladder.push_back(w);
+  Graph out(g.n());
+  for (const auto& e : g.edges()) {
+    out.add_edge(e.u, e.v, ladder[rng.next_below(ladder.size())]);
+  }
+  return out;
+}
+
+Graph make_family(const std::string& family, Vertex n, std::uint64_t target_m,
+                  std::uint64_t seed) {
+  if (family == "er") {
+    const std::uint64_t m = std::min<std::uint64_t>(target_m, num_pairs(n));
+    return erdos_renyi_gnm(n, m, seed);
+  }
+  if (family == "ba") {
+    const std::uint32_t per =
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(target_m / n));
+    return barabasi_albert_graph(n, per, seed);
+  }
+  if (family == "grid") {
+    const auto side = static_cast<Vertex>(std::sqrt(static_cast<double>(n)));
+    return grid_graph(side, side);
+  }
+  if (family == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((static_cast<Vertex>(1) << (dim + 1)) <= n) ++dim;
+    return hypercube_graph(dim);
+  }
+  if (family == "regular") {
+    std::uint32_t d =
+        std::max<std::uint32_t>(2, static_cast<std::uint32_t>(2 * target_m / n));
+    if (static_cast<std::uint64_t>(n) * d % 2 != 0) ++d;
+    return random_regular_graph(n, d, seed);
+  }
+  if (family == "path") return path_graph(n);
+  if (family == "cycle") return cycle_graph(n);
+  if (family == "barbell") return barbell_graph(n / 3, n / 3);
+  throw std::invalid_argument("unknown graph family: " + family);
+}
+
+}  // namespace kw

@@ -1,0 +1,78 @@
+// Synthetic graph workloads.
+//
+// The paper has no dataset; its algorithms are evaluated here on the graph
+// families streaming papers traditionally use: Erdos-Renyi, preferential
+// attachment, bounded-degree meshes (grid/hypercube), paths/cycles (worst
+// case for distances), barbells (worst case for cuts/conductance) and random
+// regular graphs (expanders, worst case for sparsification).
+#ifndef KW_GRAPH_GENERATORS_H
+#define KW_GRAPH_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+// G(n, p): every pair independently with probability p.
+[[nodiscard]] Graph erdos_renyi_gnp(Vertex n, double p, std::uint64_t seed);
+
+// G(n, m): exactly m distinct uniform edges (m <= n*(n-1)/2).
+[[nodiscard]] Graph erdos_renyi_gnm(Vertex n, std::uint64_t m,
+                                    std::uint64_t seed);
+
+// Path 0-1-...-(n-1).
+[[nodiscard]] Graph path_graph(Vertex n);
+
+// Cycle on n >= 3 vertices.
+[[nodiscard]] Graph cycle_graph(Vertex n);
+
+// rows x cols grid mesh.
+[[nodiscard]] Graph grid_graph(Vertex rows, Vertex cols);
+
+// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(Vertex n);
+
+// Star with center 0.
+[[nodiscard]] Graph star_graph(Vertex n);
+
+// Hypercube on 2^dim vertices.
+[[nodiscard]] Graph hypercube_graph(std::uint32_t dim);
+
+// Two cliques of size clique_n joined by a path of path_len edges.
+[[nodiscard]] Graph barbell_graph(Vertex clique_n, Vertex path_len);
+
+// Random d-regular-ish multigraph via the configuration model with rejection
+// of self-loops and duplicates; the result is simple, degrees may be d-1 for
+// a few vertices.  Good expander whp for d >= 3.
+[[nodiscard]] Graph random_regular_graph(Vertex n, std::uint32_t d,
+                                         std::uint64_t seed);
+
+// Barabasi-Albert preferential attachment: each new vertex attaches
+// `edges_per_vertex` edges to existing vertices proportionally to degree.
+[[nodiscard]] Graph barabasi_albert_graph(Vertex n,
+                                          std::uint32_t edges_per_vertex,
+                                          std::uint64_t seed);
+
+// Copy of g with each edge weight drawn uniformly from [wmin, wmax].
+[[nodiscard]] Graph with_random_weights(const Graph& g, double wmin,
+                                        double wmax, std::uint64_t seed);
+
+// Copy of g with weights drawn from a geometric ladder
+// {wmin, 2*wmin, 4*wmin, ...} capped at wmax; exercises the weight-class
+// machinery of Remark 14 directly.
+[[nodiscard]] Graph with_geometric_weights(const Graph& g, double wmin,
+                                           double wmax, std::uint64_t seed);
+
+// Named family lookup used by benches: "er", "ba", "grid", "hypercube",
+// "regular", "path", "cycle", "barbell".  Target_m is advisory (families
+// with fixed density ignore it).  Throws std::invalid_argument for unknown
+// names.
+[[nodiscard]] Graph make_family(const std::string& family, Vertex n,
+                                std::uint64_t target_m, std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_GENERATORS_H

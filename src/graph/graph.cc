@@ -1,0 +1,58 @@
+#include "graph/graph.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace kw {
+
+VertexPair pair_from_id(std::uint64_t id, std::uint64_t n) {
+  // Solve for the row a: the largest a with a*n - a*(a+1)/2 <= id.  Use the
+  // closed-form estimate from the quadratic and fix up by +-1 to dodge
+  // floating point error.
+  const double nd = static_cast<double>(n);
+  double est = nd - 0.5 -
+               std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(id));
+  auto a = static_cast<std::uint64_t>(est);
+  if (a >= n) a = n - 1;
+  auto row_start = [n](std::uint64_t r) { return r * n - r * (r + 1) / 2; };
+  while (a > 0 && row_start(a) > id) --a;
+  while (a + 1 < n && row_start(a + 1) <= id) ++a;
+  const std::uint64_t b = a + 1 + (id - row_start(a));
+  return {static_cast<Vertex>(a), static_cast<Vertex>(b)};
+}
+
+void Graph::add_edge(Vertex u, Vertex v, double weight) {
+  if (u == v) throw std::invalid_argument("self-loops are not allowed");
+  if (u >= n_ || v >= n_) throw std::out_of_range("vertex out of range");
+  const auto index = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back({u, v, weight});
+  adjacency_[u].push_back({v, weight, index});
+  adjacency_[v].push_back({u, weight, index});
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const Vertex target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  for (const auto& nb : smaller) {
+    if (nb.to == target) return true;
+  }
+  return false;
+}
+
+double Graph::total_weight() const {
+  double sum = 0.0;
+  for (const auto& e : edges_) sum += e.weight;
+  return sum;
+}
+
+Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  for (const auto& e : edges) g.add_edge(e.u, e.v, e.weight);
+  return g;
+}
+
+}  // namespace kw

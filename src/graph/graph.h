@@ -1,0 +1,102 @@
+// Core undirected weighted graph representation.
+//
+// The streaming algorithms never materialise the input graph (that is the
+// point of the paper); this class exists for (a) workload generation, (b) the
+// offline baselines, and (c) ground-truth evaluation of spanner stretch and
+// sparsifier quality.
+#ifndef KW_GRAPH_GRAPH_H
+#define KW_GRAPH_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kw {
+
+using Vertex = std::uint32_t;
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+  double weight = 1.0;
+
+  [[nodiscard]] bool operator==(const Edge& o) const noexcept {
+    return u == o.u && v == o.v && weight == o.weight;
+  }
+};
+
+// Canonical coordinate of the unordered pair {u,v}, u != v, in
+// [0, n*(n-1)/2).  This is the index of the pair in the row-major upper
+// triangle and is the coordinate space all edge sketches operate on.
+[[nodiscard]] constexpr std::uint64_t pair_id(Vertex u, Vertex v,
+                                              std::uint64_t n) noexcept {
+  const std::uint64_t a = u < v ? u : v;
+  const std::uint64_t b = u < v ? v : u;
+  return a * n - a * (a + 1) / 2 + (b - a - 1);
+}
+
+struct VertexPair {
+  Vertex u = 0;
+  Vertex v = 0;
+};
+
+// Inverse of pair_id.
+[[nodiscard]] VertexPair pair_from_id(std::uint64_t id, std::uint64_t n);
+
+// Number of unordered pairs over n vertices.
+[[nodiscard]] constexpr std::uint64_t num_pairs(std::uint64_t n) noexcept {
+  return n * (n - 1) / 2;
+}
+
+struct Neighbor {
+  Vertex to = 0;
+  double weight = 1.0;
+  std::uint32_t edge_index = 0;  // index into edges()
+};
+
+// Simple undirected weighted graph (no self-loops; parallel edges are
+// allowed by add_edge but generators produce simple graphs).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(Vertex n) : n_(n), adjacency_(n) {}
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t m() const noexcept { return edges_.size(); }
+
+  // Adds undirected edge {u,v}; u != v, both < n().
+  void add_edge(Vertex u, Vertex v, double weight = 1.0);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(Vertex v) const {
+    return adjacency_[v];
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const {
+    return adjacency_[v].size();
+  }
+
+  // O(deg) membership test.
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  // Total edge weight.
+  [[nodiscard]] double total_weight() const;
+
+  // Returns the subgraph with the same vertex set and the given edge list.
+  [[nodiscard]] static Graph from_edges(Vertex n,
+                                        const std::vector<Edge>& edges);
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_GRAPH_H

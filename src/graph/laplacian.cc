@@ -1,0 +1,81 @@
+#include "graph/laplacian.h"
+
+#include <cassert>
+
+namespace kw {
+
+std::vector<double> DenseMatrix::multiply(std::span<const double> x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  assert(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += a * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+double laplacian_quadratic_form(const Graph& g, std::span<const double> x) {
+  double acc = 0.0;
+  for (const auto& e : g.edges()) {
+    const double d = x[e.u] - x[e.v];
+    acc += e.weight * d * d;
+  }
+  return acc;
+}
+
+std::vector<double> laplacian_multiply(const Graph& g,
+                                       std::span<const double> x) {
+  std::vector<double> y(g.n(), 0.0);
+  for (const auto& e : g.edges()) {
+    const double d = x[e.u] - x[e.v];
+    y[e.u] += e.weight * d;
+    y[e.v] -= e.weight * d;
+  }
+  return y;
+}
+
+DenseMatrix laplacian_dense(const Graph& g) {
+  DenseMatrix l(g.n(), g.n());
+  for (const auto& e : g.edges()) {
+    l.at(e.u, e.u) += e.weight;
+    l.at(e.v, e.v) += e.weight;
+    l.at(e.u, e.v) -= e.weight;
+    l.at(e.v, e.u) -= e.weight;
+  }
+  return l;
+}
+
+double cut_weight(const Graph& g, const std::vector<bool>& in_cut) {
+  double acc = 0.0;
+  for (const auto& e : g.edges()) {
+    if (in_cut[e.u] != in_cut[e.v]) acc += e.weight;
+  }
+  return acc;
+}
+
+}  // namespace kw

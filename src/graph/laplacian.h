@@ -1,0 +1,65 @@
+// Graph Laplacians: quadratic forms, matvec, dense materialisation.
+//
+// L_G(i,j) = -w(i,j), L_G(i,i) = sum_j w(i,j) (Section 2 of the paper).
+// The sparsifier experiments need x^T L x evaluation (Definition 6), dense
+// Laplacians for the Jacobi eigensolver, and matvec for conjugate gradient.
+#ifndef KW_GRAPH_LAPLACIAN_H
+#define KW_GRAPH_LAPLACIAN_H
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+// Dense symmetric matrix, row-major n x n.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> x) const;
+
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  [[nodiscard]] DenseMatrix transpose() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// x^T L_g x computed edge-wise: sum_e w_e (x_u - x_v)^2.  O(m), exact, and
+// never materialises L.
+[[nodiscard]] double laplacian_quadratic_form(const Graph& g,
+                                              std::span<const double> x);
+
+// y = L_g x, edge-wise, O(m).
+[[nodiscard]] std::vector<double> laplacian_multiply(const Graph& g,
+                                                     std::span<const double> x);
+
+// Dense Laplacian of g.
+[[nodiscard]] DenseMatrix laplacian_dense(const Graph& g);
+
+// Weight of the cut (S, V\S) where S = {v : in_cut[v]}.  Equals the
+// quadratic form at the 0/1 indicator, the cut-preservation special case of
+// spectral approximation.
+[[nodiscard]] double cut_weight(const Graph& g, const std::vector<bool>& in_cut);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_LAPLACIAN_H

@@ -1,0 +1,94 @@
+#include "graph/linear_solver.h"
+
+#include <cmath>
+
+#include "graph/laplacian.h"
+
+namespace kw {
+
+namespace {
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void center(std::vector<double>& x) {
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+}  // namespace
+
+CgResult solve_laplacian(const Graph& g, std::span<const double> b,
+                         const CgOptions& options) {
+  const std::size_t n = g.n();
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner: inverse weighted degree (1 for isolated vertices
+  // so the preconditioner stays positive definite on the working subspace).
+  std::vector<double> inv_diag(n, 1.0);
+  {
+    std::vector<double> degree(n, 0.0);
+    for (const auto& e : g.edges()) {
+      degree[e.u] += e.weight;
+      degree[e.v] += e.weight;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      inv_diag[i] = degree[i] > 0.0 ? 1.0 / degree[i] : 1.0;
+    }
+  }
+
+  std::vector<double> r(b.begin(), b.end());
+  center(r);
+  const double b_norm = std::sqrt(dot(r, r));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  center(z);
+  std::vector<double> p = z;
+  double rz = dot(r, z);
+
+  const std::size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 20 * n;
+
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    const std::vector<double> lp = laplacian_multiply(g, p);
+    const double p_lp = dot(p, lp);
+    if (p_lp <= 0.0) break;  // numerical breakdown
+    const double alpha = rz / p_lp;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * lp[i];
+    }
+    result.iterations = iter + 1;
+    const double r_norm = std::sqrt(dot(r, r));
+    result.residual_norm = r_norm;
+    if (r_norm <= options.tolerance * b_norm) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    center(z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  center(result.x);
+  return result;
+}
+
+}  // namespace kw

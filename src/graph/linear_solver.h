@@ -1,0 +1,37 @@
+// Conjugate-gradient solver for Laplacian systems L x = b, b ⟂ 1.
+//
+// Substrate for exact effective resistances (Theorem 7 context) on graphs too
+// large for the dense eigensolver.  The solution is pinned to mean zero,
+// which selects the pseudo-inverse solution on a connected graph.
+#ifndef KW_GRAPH_LINEAR_SOLVER_H
+#define KW_GRAPH_LINEAR_SOLVER_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+struct CgOptions {
+  double tolerance = 1e-9;     // relative residual ||r|| / ||b||
+  std::size_t max_iterations = 0;  // 0 => 20n default
+};
+
+// Solves L_g x = b with the Jacobi (diagonal) preconditioner.  b must sum to
+// ~0 per connected component; the caller is responsible for this (effective
+// resistance right-hand sides do).  The returned x has mean zero.
+[[nodiscard]] CgResult solve_laplacian(const Graph& g, std::span<const double> b,
+                                       const CgOptions& options = {});
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_LINEAR_SOLVER_H

@@ -1,0 +1,89 @@
+#include "graph/min_cut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/connectivity.h"
+
+namespace kw {
+
+MinCutResult stoer_wagner_min_cut(const Graph& g) {
+  const std::size_t n = g.n();
+  MinCutResult result;
+  result.side.assign(n, false);
+  if (n < 2 || component_count(g) > 1) {
+    result.connected = component_count(g) <= 1 && n >= 2;
+    result.weight = 0.0;
+    return result;
+  }
+
+  // Dense weight matrix; supernodes merge rows/columns.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const auto& e : g.edges()) {
+    w[e.u][e.v] += e.weight;
+    w[e.v][e.u] += e.weight;
+  }
+  // members[i]: original vertices merged into supernode i.
+  std::vector<std::vector<Vertex>> members(n);
+  for (Vertex v = 0; v < n; ++v) members[v] = {v};
+  std::vector<std::size_t> active(n);
+  for (std::size_t i = 0; i < n; ++i) active[i] = i;
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<Vertex> best_shore;
+
+  while (active.size() > 1) {
+    // Maximum adjacency (minimum cut phase) from an arbitrary start.
+    std::vector<double> weight_to_a(n, 0.0);
+    std::vector<char> in_a(n, 0);
+    std::size_t prev = active[0];
+    in_a[prev] = 1;
+    for (const std::size_t v : active) {
+      if (v != prev) weight_to_a[v] = w[prev][v];
+    }
+    std::size_t last = prev;
+    for (std::size_t step = 1; step < active.size(); ++step) {
+      std::size_t pick = n;
+      double pick_weight = -1.0;
+      for (const std::size_t v : active) {
+        if (!in_a[v] && weight_to_a[v] > pick_weight) {
+          pick_weight = weight_to_a[v];
+          pick = v;
+        }
+      }
+      in_a[pick] = 1;
+      prev = last;
+      last = pick;
+      for (const std::size_t v : active) {
+        if (!in_a[v]) weight_to_a[v] += w[pick][v];
+      }
+    }
+    // Cut-of-the-phase: {last} vs rest.
+    if (weight_to_a[last] < best) {
+      best = weight_to_a[last];
+      best_shore = members[last];
+    }
+    // Merge last into prev.
+    for (const std::size_t v : active) {
+      if (v == last || v == prev) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+    members[prev].insert(members[prev].end(), members[last].begin(),
+                         members[last].end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+
+  result.weight = best;
+  for (const Vertex v : best_shore) result.side[v] = true;
+  return result;
+}
+
+std::size_t edge_connectivity(const Graph& g) {
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  if (!cut.connected) return 0;
+  return static_cast<std::size_t>(std::llround(cut.weight));
+}
+
+}  // namespace kw

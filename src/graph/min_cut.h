@@ -1,0 +1,27 @@
+// Global minimum cut (Stoer-Wagner) -- ground truth for the k-connectivity
+// certificate extension and for cut-preservation audits.
+#ifndef KW_GRAPH_MIN_CUT_H
+#define KW_GRAPH_MIN_CUT_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+struct MinCutResult {
+  double weight = 0.0;             // total weight crossing the cut
+  std::vector<bool> side;          // side[v]: v is in the smaller shore
+  bool connected = true;           // false => weight 0, arbitrary sides
+};
+
+// Stoer-Wagner minimum cut, O(n^3).  Parallel edges add their weights.
+// For an unweighted graph the result is the edge connectivity.
+[[nodiscard]] MinCutResult stoer_wagner_min_cut(const Graph& g);
+
+// Unweighted edge connectivity (0 when disconnected or n < 2).
+[[nodiscard]] std::size_t edge_connectivity(const Graph& g);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_MIN_CUT_H

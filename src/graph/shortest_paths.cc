@@ -1,0 +1,160 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace kw {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> dist(g.n(), kUnreachableHops);
+  std::vector<Vertex> frontier{source};
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  std::vector<Vertex> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const Vertex v : frontier) {
+      for (const auto& nb : g.neighbors(v)) {
+        if (dist[nb.to] == kUnreachableHops) {
+          dist[nb.to] = level;
+          next.push_back(nb.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::vector<double> dijkstra_distances(const Graph& g, Vertex source) {
+  std::vector<double> dist(g.n(), kUnreachableDist);
+  using Item = std::pair<double, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const auto& nb : g.neighbors(v)) {
+      const double cand = d + nb.weight;
+      if (cand < dist[nb.to]) {
+        dist[nb.to] = cand;
+        heap.push({cand, nb.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> result;
+  result.reserve(g.n());
+  for (Vertex v = 0; v < g.n(); ++v) result.push_back(bfs_distances(g, v));
+  return result;
+}
+
+StretchReport multiplicative_stretch(const Graph& g, const Graph& h,
+                                     bool weighted) {
+  StretchReport report;
+  if (g.m() == 0) return report;
+  // Group G's edges by source endpoint so each vertex needs one SSSP in H.
+  std::vector<std::vector<const Edge*>> by_source(g.n());
+  for (const auto& e : g.edges()) by_source[e.u].push_back(&e);
+
+  double sum = 0.0;
+  for (Vertex s = 0; s < g.n(); ++s) {
+    if (by_source[s].empty()) continue;
+    std::vector<double> dist_h;
+    std::vector<std::uint32_t> hops_h;
+    if (weighted) {
+      dist_h = dijkstra_distances(h, s);
+    } else {
+      hops_h = bfs_distances(h, s);
+    }
+    for (const Edge* e : by_source[s]) {
+      double dh;
+      double dg;
+      if (weighted) {
+        dh = dist_h[e->v];
+        dg = e->weight;  // d_G(u,v) <= w(e); stretch vs the edge weight is
+                         // the standard (conservative) per-edge bound
+      } else {
+        dh = hops_h[e->v] == kUnreachableHops
+                 ? kUnreachableDist
+                 : static_cast<double>(hops_h[e->v]);
+        dg = 1.0;
+      }
+      ++report.pairs_evaluated;
+      if (dh == kUnreachableDist) {
+        report.connected_ok = false;
+        continue;
+      }
+      const double stretch = dh / dg;
+      report.max_stretch = std::max(report.max_stretch, stretch);
+      sum += stretch;
+    }
+  }
+  if (report.pairs_evaluated > 0) {
+    report.mean_stretch = sum / static_cast<double>(report.pairs_evaluated);
+  }
+  return report;
+}
+
+AdditiveReport additive_surplus(const Graph& g, const Graph& h) {
+  AdditiveReport report;
+  double sum = 0.0;
+  for (Vertex s = 0; s < g.n(); ++s) {
+    const auto dg = bfs_distances(g, s);
+    const auto dh = bfs_distances(h, s);
+    for (Vertex t = s + 1; t < g.n(); ++t) {
+      if (dg[t] == kUnreachableHops) continue;  // pair not connected in G
+      ++report.pairs_evaluated;
+      if (dh[t] == kUnreachableHops) {
+        report.connected_ok = false;
+        continue;
+      }
+      const std::uint64_t surplus = dh[t] - dg[t];
+      report.max_surplus = std::max(report.max_surplus, surplus);
+      sum += static_cast<double>(surplus);
+    }
+  }
+  if (report.pairs_evaluated > 0) {
+    report.mean_surplus = sum / static_cast<double>(report.pairs_evaluated);
+  }
+  return report;
+}
+
+std::uint32_t induced_diameter(const Graph& g,
+                               const std::vector<Vertex>& members) {
+  if (members.empty()) return 0;
+  std::unordered_set<Vertex> member_set(members.begin(), members.end());
+  std::uint32_t diameter = 0;
+  for (const Vertex s : members) {
+    // BFS restricted to member vertices.
+    std::vector<std::uint32_t> dist(g.n(), kUnreachableHops);
+    std::queue<Vertex> queue;
+    dist[s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop();
+      for (const auto& nb : g.neighbors(v)) {
+        if (!member_set.contains(nb.to)) continue;
+        if (dist[nb.to] == kUnreachableHops) {
+          dist[nb.to] = dist[v] + 1;
+          queue.push(nb.to);
+        }
+      }
+    }
+    for (const Vertex t : members) {
+      if (dist[t] == kUnreachableHops) return kUnreachableHops;
+      diameter = std::max(diameter, dist[t]);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace kw

@@ -1,0 +1,68 @@
+// Exact shortest paths and spanner-quality evaluation.
+//
+// Ground truth for the experiments: multiplicative stretch (Theorem 1) is
+// evaluated per edge of G (the maximum stretch of a t-spanner is attained on
+// an edge), additive distortion (Theorem 3) is evaluated over all pairs.
+#ifndef KW_GRAPH_SHORTEST_PATHS_H
+#define KW_GRAPH_SHORTEST_PATHS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+inline constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+inline constexpr double kUnreachableDist =
+    std::numeric_limits<double>::infinity();
+
+// Unweighted single-source BFS distances (hops); kUnreachableHops if not
+// connected to source.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       Vertex source);
+
+// Weighted single-source Dijkstra distances; kUnreachableDist if unreachable.
+// All edge weights must be nonnegative.
+[[nodiscard]] std::vector<double> dijkstra_distances(const Graph& g,
+                                                     Vertex source);
+
+// All-pairs unweighted distances via n BFS runs (O(n*(n+m))).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_hops(
+    const Graph& g);
+
+struct StretchReport {
+  double max_stretch = 1.0;   // max over evaluated pairs of d_H / d_G
+  double mean_stretch = 1.0;  // mean over evaluated pairs
+  bool connected_ok = true;   // H connects everything G connects
+  std::size_t pairs_evaluated = 0;
+};
+
+// Multiplicative stretch of subgraph H w.r.t. G, evaluated over the edges of
+// G (sufficient for the worst case).  Uses hops when `weighted` is false and
+// Dijkstra otherwise.  H must be on the same vertex set.
+[[nodiscard]] StretchReport multiplicative_stretch(const Graph& g,
+                                                   const Graph& h,
+                                                   bool weighted);
+
+struct AdditiveReport {
+  std::uint64_t max_surplus = 0;   // max over pairs of d_H - d_G (hops)
+  double mean_surplus = 0.0;       // mean over connected pairs
+  bool connected_ok = true;
+  std::size_t pairs_evaluated = 0;
+};
+
+// Additive distortion of H w.r.t. unweighted G over all connected pairs.
+[[nodiscard]] AdditiveReport additive_surplus(const Graph& g, const Graph& h);
+
+// Diameter in hops of the subgraph induced by `members` using only edges of
+// g between members; returns kUnreachableHops if that induced subgraph is
+// disconnected.  Used to validate the cluster-diameter induction (Lemma 13).
+[[nodiscard]] std::uint32_t induced_diameter(const Graph& g,
+                                             const std::vector<Vertex>& members);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_SHORTEST_PATHS_H

@@ -1,0 +1,137 @@
+#include "graph/spectral_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/eigen.h"
+#include "graph/laplacian.h"
+#include "util/random.h"
+
+namespace kw {
+
+SpectralEnvelope spectral_envelope(const Graph& g, const Graph& h) {
+  if (g.n() != h.n()) {
+    throw std::invalid_argument("spectral_envelope: vertex count mismatch");
+  }
+  const std::size_t n = g.n();
+  SpectralEnvelope envelope;
+  if (n == 0) return envelope;
+
+  const EigenDecomposition eg = symmetric_eigen(laplacian_dense(g));
+  const double lambda_max = eg.values.empty() ? 0.0 : eg.values.back();
+  const double cutoff = 1e-9 * std::max(1.0, lambda_max);
+
+  // Columns of Q: eigenvectors with nonzero eigenvalue, scaled by
+  // lambda^{-1/2}; then M = Q^T L_H Q has the pencil eigenvalues.
+  std::vector<std::size_t> support;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (eg.values[j] > cutoff) support.push_back(j);
+  }
+  if (support.empty()) {
+    envelope.comparable = h.m() == 0;
+    return envelope;
+  }
+  const std::size_t k = support.size();
+  DenseMatrix q(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t j = support[c];
+    const double scale = 1.0 / std::sqrt(eg.values[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.at(i, c) = eg.vectors.at(i, j) * scale;
+    }
+  }
+  const DenseMatrix lh = laplacian_dense(h);
+  const DenseMatrix m = q.transpose().multiply(lh.multiply(q));
+  const EigenDecomposition em = symmetric_eigen(m);
+  envelope.min_eigenvalue = em.values.front();
+  envelope.max_eigenvalue = em.values.back();
+
+  // H has mass outside range(L_G) iff x^T L_H x > 0 for some null vector x
+  // of L_G; equivalent to trace(L_H) > trace of projected part (within tol).
+  double trace_lh = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace_lh += lh.at(i, i);
+  double trace_projected = 0.0;
+  // trace(Q_0^T L_H Q_0) over null directions = trace_lh - trace(P L_H) with
+  // P the range projector; compute via the non-null eigenvectors directly.
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t j = support[c];
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = eg.vectors.at(i, j);
+    const std::vector<double> lhx = lh.multiply(col);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += col[i] * lhx[i];
+    trace_projected += acc;
+  }
+  envelope.comparable =
+      trace_lh - trace_projected <= 1e-6 * std::max(1.0, trace_lh);
+  return envelope;
+}
+
+CutReport compare_cuts(const Graph& g, const Graph& h, std::size_t samples,
+                       std::uint64_t seed) {
+  if (g.n() != h.n()) {
+    throw std::invalid_argument("compare_cuts: vertex count mismatch");
+  }
+  CutReport report;
+  Rng rng(seed);
+  double sum = 0.0;
+  auto evaluate = [&](const std::vector<bool>& side) {
+    const double wg = cut_weight(g, side);
+    if (wg <= 0.0) return;
+    const double wh = cut_weight(h, side);
+    const double err = std::abs(wh / wg - 1.0);
+    report.max_relative_error = std::max(report.max_relative_error, err);
+    sum += err;
+    ++report.cuts_evaluated;
+  };
+
+  std::vector<bool> side(g.n(), false);
+  // Singleton cuts.
+  for (Vertex v = 0; v < g.n(); ++v) {
+    side.assign(g.n(), false);
+    side[v] = true;
+    evaluate(side);
+  }
+  // Random bisections.
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (Vertex v = 0; v < g.n(); ++v) side[v] = rng.next_bernoulli(0.5);
+    evaluate(side);
+  }
+  if (report.cuts_evaluated > 0) {
+    report.mean_relative_error =
+        sum / static_cast<double>(report.cuts_evaluated);
+  }
+  return report;
+}
+
+double max_quadratic_form_error(const Graph& g, const Graph& h,
+                                std::size_t samples, std::uint64_t seed) {
+  if (g.n() != h.n()) {
+    throw std::invalid_argument(
+        "max_quadratic_form_error: vertex count mismatch");
+  }
+  Rng rng(seed);
+  double worst = 0.0;
+  std::vector<double> x(g.n());
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Box-Muller standard normals; Laplacian forms ignore the mean shift.
+    for (std::size_t i = 0; i < x.size(); i += 2) {
+      const double u1 = std::max(rng.next_double(), 1e-300);
+      const double u2 = rng.next_double();
+      const double radius = std::sqrt(-2.0 * std::log(u1));
+      x[i] = radius * std::cos(2.0 * 3.141592653589793 * u2);
+      if (i + 1 < x.size()) {
+        x[i + 1] = radius * std::sin(2.0 * 3.141592653589793 * u2);
+      }
+    }
+    const double qg = laplacian_quadratic_form(g, x);
+    if (qg <= 0.0) continue;
+    const double qh = laplacian_quadratic_form(h, x);
+    worst = std::max(worst, std::abs(qh / qg - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace kw

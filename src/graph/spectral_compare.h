@@ -1,0 +1,53 @@
+// Exact spectral-approximation measurement (Definition 6 / Corollary 2).
+//
+// H is an eps-spectral sparsifier of G iff all eigenvalues of the pencil
+// (L_H, L_G) restricted to range(L_G) lie in [1-eps, 1+eps].  We compute
+// that envelope exactly with the dense eigensolver, and also report cut
+// preservation over sampled cuts (the binary-x special case the paper
+// mentions).
+#ifndef KW_GRAPH_SPECTRAL_COMPARE_H
+#define KW_GRAPH_SPECTRAL_COMPARE_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace kw {
+
+struct SpectralEnvelope {
+  double min_eigenvalue = 1.0;  // lambda_min of L_G^{+/2} L_H L_G^{+/2}
+  double max_eigenvalue = 1.0;  // lambda_max of the same pencil
+  bool comparable = true;       // false if H has weight outside range(L_G)
+
+  // Smallest eps such that (1-eps)G <= H <= (1+eps)G.
+  [[nodiscard]] double epsilon() const {
+    const double lo = 1.0 - min_eigenvalue;
+    const double hi = max_eigenvalue - 1.0;
+    return lo > hi ? lo : hi;
+  }
+};
+
+// Exact pencil eigenvalue envelope; O(n^3).  Requires same vertex count.
+[[nodiscard]] SpectralEnvelope spectral_envelope(const Graph& g,
+                                                 const Graph& h);
+
+struct CutReport {
+  double max_relative_error = 0.0;  // max over sampled cuts |w_H/w_G - 1|
+  double mean_relative_error = 0.0;
+  std::size_t cuts_evaluated = 0;
+};
+
+// Relative cut error over `samples` random bisections plus all singleton
+// (degree) cuts.  Cheap (O(samples * m)); usable at any n.
+[[nodiscard]] CutReport compare_cuts(const Graph& g, const Graph& h,
+                                     std::size_t samples, std::uint64_t seed);
+
+// Quadratic-form relative error over `samples` random dense unit vectors --
+// a cheap Monte-Carlo proxy for the exact envelope at large n.
+[[nodiscard]] double max_quadratic_form_error(const Graph& g, const Graph& h,
+                                              std::size_t samples,
+                                              std::uint64_t seed);
+
+}  // namespace kw
+
+#endif  // KW_GRAPH_SPECTRAL_COMPARE_H

@@ -1,0 +1,57 @@
+// Theorem 4: the Omega(nd) lower bound for n/d-additive spanners,
+// simulated as the two-player INDEX communication game from Section 5.
+//
+// Alice's input encodes s = n/d disjoint random graphs G_1..G_s ~ G(d, 1/2);
+// she streams their edges through the algorithm and ships its state to Bob.
+// Bob -- holding an index, i.e. a pair {U, V} inside block J -- picks random
+// pairs {U_l, V_l} in every block, streams the connecting path edges
+// {V_l, U_{l+1}}, takes the output spanner H and answers "X_I = 1" iff
+// {U, V} is an edge of H.
+//
+// The theorem says any 1-pass algorithm that wins with probability 2/3 must
+// use Omega(nd) bits.  The experiment (E4) plays the game against the
+// Algorithm-3 sketch at varying space (parameter d_alg) and against a
+// store-everything baseline, showing success collapses to coin-flipping
+// once the state is much smaller than nd bits.
+#ifndef KW_LOWERBOUND_IND_GAME_H
+#define KW_LOWERBOUND_IND_GAME_H
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "graph/graph.h"
+
+namespace kw {
+
+struct IndGameSetup {
+  Vertex block_size = 16;     // d: vertices per block
+  Vertex num_blocks = 8;      // s: number of disjoint G(d, 1/2) blocks
+  std::uint64_t seed = 1;
+};
+
+struct IndGameOutcome {
+  std::size_t trials = 0;
+  std::size_t correct = 0;
+  std::size_t state_bytes = 0;  // streaming algorithm state (nominal)
+
+  [[nodiscard]] double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(trials);
+  }
+};
+
+// Plays `trials` independent games against the Algorithm-3 additive-spanner
+// sketch configured by `config` (its d knob controls the space ~O(n*d_alg)).
+[[nodiscard]] IndGameOutcome play_ind_game_additive(
+    const IndGameSetup& setup, const AdditiveConfig& config,
+    std::size_t trials);
+
+// Control arm: an algorithm that remembers every edge exactly (unbounded
+// state); should win essentially always.
+[[nodiscard]] IndGameOutcome play_ind_game_exact(const IndGameSetup& setup,
+                                                 std::size_t trials);
+
+}  // namespace kw
+
+#endif  // KW_LOWERBOUND_IND_GAME_H

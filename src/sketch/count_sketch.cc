@@ -1,0 +1,77 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace kw {
+
+CountSketch::CountSketch(const CountSketchConfig& config)
+    : config_(config),
+      bucket_hashes_(config.rows, /*independence=*/2,
+                     derive_seed(config.seed, 0xc51)),
+      sign_hashes_(config.rows, /*independence=*/4,
+                   derive_seed(config.seed, 0xc52)),
+      counters_(config.rows * config.width, 0) {
+  if (config.rows == 0 || config.width == 0) {
+    throw std::invalid_argument("count sketch needs rows, width > 0");
+  }
+}
+
+void CountSketch::update(std::uint64_t coord, std::int64_t delta) {
+  if (coord >= config_.max_coord) {
+    throw std::out_of_range("count sketch coordinate out of range");
+  }
+  if (delta == 0) return;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const std::size_t bucket = bucket_hashes_[r].bucket(coord, config_.width);
+    counters_[r * config_.width + bucket] += sign_of(r, coord) * delta;
+  }
+}
+
+void CountSketch::merge(const CountSketch& other, std::int64_t sign) {
+  if (other.counters_.size() != counters_.size() ||
+      other.config_.seed != config_.seed ||
+      other.config_.max_coord != config_.max_coord) {
+    throw std::invalid_argument("merging incompatible count sketches");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += sign * other.counters_[i];
+  }
+}
+
+double CountSketch::estimate(std::uint64_t coord) const {
+  std::vector<double> votes;
+  votes.reserve(config_.rows);
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const std::size_t bucket = bucket_hashes_[r].bucket(coord, config_.width);
+    votes.push_back(static_cast<double>(sign_of(r, coord)) *
+                    static_cast<double>(counters_[r * config_.width + bucket]));
+  }
+  std::nth_element(votes.begin(), votes.begin() + votes.size() / 2,
+                   votes.end());
+  return votes[votes.size() / 2];
+}
+
+std::vector<CountSketch::Heavy> CountSketch::heavy_hitters(
+    const std::vector<std::uint64_t>& candidates, double threshold) const {
+  std::vector<Heavy> out;
+  for (const std::uint64_t c : candidates) {
+    const double est = estimate(c);
+    if (std::abs(est) >= threshold) out.push_back({c, est});
+  }
+  return out;
+}
+
+bool CountSketch::is_zero() const noexcept {
+  return std::all_of(counters_.begin(), counters_.end(),
+                     [](std::int64_t v) { return v == 0; });
+}
+
+std::size_t CountSketch::nominal_bytes() const noexcept {
+  return counters_.size() * sizeof(std::int64_t) + sizeof(CountSketchConfig);
+}
+
+}  // namespace kw

@@ -1,0 +1,69 @@
+// CountSketch [CCF02] -- the alternative the paper names for Theorem 8
+// ("we could also use other sketches, such as CountSketch instead of
+// Theorem 8, improving upon the logarithmic factors in the space, though
+// the reconstruction time will be larger").
+//
+// R rows of W counters; coordinate i goes to bucket h_r(i) with sign
+// s_r(i) in {-1,+1}.  The median over rows of s_r(i) * C[r][h_r(i)]
+// estimates x_i with error ||x_tail||_2 / sqrt(W).  Linear, mergeable,
+// handles deletions.  Includes the heavy-hitters decode the paper alludes
+// to (enumerate a candidate set, keep verified-large coordinates).
+#ifndef KW_SKETCH_COUNT_SKETCH_H
+#define KW_SKETCH_COUNT_SKETCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace kw {
+
+struct CountSketchConfig {
+  std::uint64_t max_coord = 1;
+  std::size_t width = 64;  // W buckets per row
+  std::size_t rows = 5;    // R repetitions (median)
+  std::uint64_t seed = 1;
+};
+
+class CountSketch {
+ public:
+  explicit CountSketch(const CountSketchConfig& config);
+
+  void update(std::uint64_t coord, std::int64_t delta);
+
+  // this += sign * other (same configuration required).
+  void merge(const CountSketch& other, std::int64_t sign = 1);
+
+  // Median-of-rows point estimate of x[coord].
+  [[nodiscard]] double estimate(std::uint64_t coord) const;
+
+  // Heavy hitters among `candidates`: coordinates whose estimate has
+  // absolute value >= threshold.
+  struct Heavy {
+    std::uint64_t coord;
+    double estimate;
+  };
+  [[nodiscard]] std::vector<Heavy> heavy_hitters(
+      const std::vector<std::uint64_t>& candidates, double threshold) const;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+  [[nodiscard]] const CountSketchConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t sign_of(std::size_t row,
+                                     std::uint64_t coord) const {
+    return (sign_hashes_[row](coord) & 1) != 0 ? 1 : -1;
+  }
+
+  CountSketchConfig config_;
+  HashFamily bucket_hashes_;
+  HashFamily sign_hashes_;
+  std::vector<std::int64_t> counters_;  // rows * width
+};
+
+}  // namespace kw
+
+#endif  // KW_SKETCH_COUNT_SKETCH_H

@@ -1,0 +1,112 @@
+#include "sketch/distinct_elements.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace kw {
+
+DistinctElementsSketch::DistinctElementsSketch(
+    const DistinctElementsConfig& config)
+    : config_(config),
+      levels_(ceil_log2(std::max<std::uint64_t>(config.max_coord, 2)) + 2),
+      cells_per_level_(static_cast<std::size_t>(
+          std::ceil(4.0 / (config.epsilon * config.epsilon)))),
+      level_hashes_(config.repetitions, /*independence=*/8,
+                    derive_seed(config.seed, 0xd1)),
+      cell_hashes_(config.repetitions, /*independence=*/4,
+                   derive_seed(config.seed, 0xd2)),
+      fp_base_(field_reduce(derive_seed(config.seed, 0xd3))) {
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0,1)");
+  }
+  if (config.repetitions == 0) {
+    throw std::invalid_argument("repetitions must be positive");
+  }
+  if (fp_base_ < 2) fp_base_ = 3;
+  fingerprints_.assign(config.repetitions,
+                       std::vector<std::uint64_t>(levels_ * cells_per_level_, 0));
+}
+
+void DistinctElementsSketch::update(std::uint64_t coord, std::int64_t delta) {
+  if (coord >= config_.max_coord) {
+    throw std::out_of_range("distinct elements coordinate out of range");
+  }
+  if (delta == 0) return;
+  const std::uint64_t term_base = field_pow(fp_base_, coord + 1);
+  const std::uint64_t term = field_mul(field_from_signed(delta), term_base);
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    const std::uint64_t h = level_hashes_[rep](coord);
+    const std::uint64_t cell = cell_hashes_[rep].bucket(coord, cells_per_level_);
+    for (std::size_t j = 0; j < levels_; ++j) {
+      if (j > 0 && h >= (kFieldPrime >> j)) break;
+      auto& fp = fingerprints_[rep][j * cells_per_level_ + cell];
+      fp = field_add(fp, term);
+    }
+  }
+}
+
+void DistinctElementsSketch::merge(const DistinctElementsSketch& other,
+                                   std::int64_t sign) {
+  if (other.fingerprints_.size() != fingerprints_.size() ||
+      other.config_.seed != config_.seed ||
+      other.config_.max_coord != config_.max_coord) {
+    throw std::invalid_argument("merging incompatible distinct sketches");
+  }
+  for (std::size_t rep = 0; rep < fingerprints_.size(); ++rep) {
+    auto& mine = fingerprints_[rep];
+    const auto& theirs = other.fingerprints_[rep];
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = sign >= 0 ? field_add(mine[i], theirs[i])
+                          : field_sub(mine[i], theirs[i]);
+    }
+  }
+}
+
+double DistinctElementsSketch::estimate_one(std::size_t rep) const {
+  const auto& fps = fingerprints_[rep];
+  const auto k = static_cast<double>(cells_per_level_);
+  // Find the shallowest level whose occupancy is inside the linear-counting
+  // sweet spot; shallower levels carry less subsampling variance.
+  double fallback = 0.0;
+  for (std::size_t j = 0; j < levels_; ++j) {
+    std::size_t occupied = 0;
+    for (std::size_t c = 0; c < cells_per_level_; ++c) {
+      if (fps[j * cells_per_level_ + c] != 0) ++occupied;
+    }
+    if (occupied == 0) {
+      // Nothing survives at this rate: if j == 0 the vector is empty.
+      if (j == 0) return 0.0;
+      continue;
+    }
+    const double occ_frac = static_cast<double>(occupied) / k;
+    const double linear_count =
+        -k * std::log(std::max(1.0 - occ_frac, 0.5 / k));
+    const double scaled = linear_count * std::pow(2.0, static_cast<double>(j));
+    if (occ_frac <= 0.7) return scaled;
+    fallback = scaled;  // saturated level; keep deepest saturated estimate
+  }
+  return fallback;
+}
+
+double DistinctElementsSketch::estimate() const {
+  std::vector<double> estimates;
+  estimates.reserve(config_.repetitions);
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    estimates.push_back(estimate_one(rep));
+  }
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + estimates.size() / 2, estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+std::size_t DistinctElementsSketch::nominal_bytes() const noexcept {
+  return config_.repetitions * levels_ * cells_per_level_ *
+             sizeof(std::uint64_t) +
+         sizeof(DistinctElementsConfig);
+}
+
+}  // namespace kw

@@ -1,0 +1,46 @@
+#include "sketch/fingerprint.h"
+
+#include "util/random.h"
+
+namespace kw {
+
+FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
+  r1_ = field_reduce(derive_seed(seed, 0xf1));
+  r2_ = field_reduce(derive_seed(seed, 0xf2));
+  if (r1_ == 0) r1_ = 3;
+  if (r2_ == 0) r2_ = 5;
+}
+
+CellState classify_cell(const OneSparseCell& cell, std::uint64_t max_coord,
+                        const FingerprintBasis& basis, Recovered* out) {
+  if (cell.is_zero()) return CellState::kZero;
+  if (cell.count == 0) return CellState::kManyOrUnknown;
+  // Candidate coordinate: coord_sum / count must divide exactly.  The sums
+  // live mod 2^64; for a genuinely 1-sparse cell the true values satisfy
+  // coord_sum = count * coord without wraparound whenever |count| * coord
+  // < 2^63, which holds for every coordinate space used in this library
+  // (coordinates < 2^42, multiplicities poly(n)).
+  const auto count = cell.count;
+  const auto signed_sum = static_cast<std::int64_t>(cell.coord_sum);
+  if (signed_sum % count != 0) return CellState::kManyOrUnknown;
+  const std::int64_t coord_signed = signed_sum / count;
+  if (coord_signed < 0 ||
+      static_cast<std::uint64_t>(coord_signed) >= max_coord) {
+    return CellState::kManyOrUnknown;
+  }
+  const auto coord = static_cast<std::uint64_t>(coord_signed);
+  // Verify both fingerprints: fp must equal count * r^(coord+1).
+  if (cell.fp1 != basis.term1(coord, count)) {
+    return CellState::kManyOrUnknown;
+  }
+  if (cell.fp2 != basis.term2(coord, count)) {
+    return CellState::kManyOrUnknown;
+  }
+  if (out != nullptr) {
+    out->coord = coord;
+    out->value = count;
+  }
+  return CellState::kOneSparse;
+}
+
+}  // namespace kw

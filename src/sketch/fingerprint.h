@@ -1,0 +1,95 @@
+// Polynomial identity fingerprints over F_{2^61-1}.
+//
+// A vector x is fingerprinted as F(x) = sum_i x_i * r^(i+1) mod p for a
+// random evaluation point r.  F is linear in x, so it composes with every
+// other linear sketch here; by Schwartz-Zippel two distinct vectors collide
+// with probability <= max_coord/p per evaluation point.  Sketches carry two
+// independent points to push collision probability below 2^-38 even for
+// coordinate spaces of size n^2.
+#ifndef KW_SKETCH_FINGERPRINT_H
+#define KW_SKETCH_FINGERPRINT_H
+
+#include <cstdint>
+
+#include "util/prime_field.h"
+
+namespace kw {
+
+// A pair of evaluation points derived from a seed.  Shared by all cells of a
+// sketch so cell contents can be compared and subtracted.
+class FingerprintBasis {
+ public:
+  explicit FingerprintBasis(std::uint64_t seed);
+  FingerprintBasis() : FingerprintBasis(0) {}
+
+  // Contribution of (coordinate, signed delta) to each fingerprint.
+  [[nodiscard]] std::uint64_t term1(std::uint64_t coord,
+                                    std::int64_t delta) const noexcept {
+    return field_mul(field_from_signed(delta), field_pow(r1_, coord + 1));
+  }
+  [[nodiscard]] std::uint64_t term2(std::uint64_t coord,
+                                    std::int64_t delta) const noexcept {
+    return field_mul(field_from_signed(delta), field_pow(r2_, coord + 1));
+  }
+
+  [[nodiscard]] std::uint64_t r1() const noexcept { return r1_; }
+  [[nodiscard]] std::uint64_t r2() const noexcept { return r2_; }
+
+ private:
+  std::uint64_t r1_;
+  std::uint64_t r2_;
+};
+
+// Linear one-sparse detector: the classic (count, coordinate-weighted sum,
+// fingerprint) triple.  Exactly recovers (coord, value) when the underlying
+// vector has a single nonzero coordinate; detects "zero" and (whp) "more
+// than one" otherwise.
+struct OneSparseCell {
+  std::int64_t count = 0;      // sum of deltas
+  std::uint64_t coord_sum = 0;  // sum of delta * coord, mod 2^64 (exact: linear)
+  std::uint64_t fp1 = 0;       // fingerprints over F_p
+  std::uint64_t fp2 = 0;
+
+  void add(std::uint64_t coord, std::int64_t delta,
+           const FingerprintBasis& basis) noexcept {
+    count += delta;
+    coord_sum += static_cast<std::uint64_t>(delta) * coord;
+    fp1 = field_add(fp1, basis.term1(coord, delta));
+    fp2 = field_add(fp2, basis.term2(coord, delta));
+  }
+
+  void merge(const OneSparseCell& other, std::int64_t sign) noexcept {
+    count += sign * other.count;
+    coord_sum += static_cast<std::uint64_t>(sign) * other.coord_sum;
+    if (sign >= 0) {
+      fp1 = field_add(fp1, other.fp1);
+      fp2 = field_add(fp2, other.fp2);
+    } else {
+      fp1 = field_sub(fp1, other.fp1);
+      fp2 = field_sub(fp2, other.fp2);
+    }
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return count == 0 && coord_sum == 0 && fp1 == 0 && fp2 == 0;
+  }
+};
+
+struct Recovered {
+  std::uint64_t coord = 0;
+  std::int64_t value = 0;
+};
+
+enum class CellState { kZero, kOneSparse, kManyOrUnknown };
+
+// Classifies a cell; on kOneSparse fills `out` with the unique (coord, value).
+// `max_coord` bounds valid coordinates (exclusive) and is part of the
+// verification.
+[[nodiscard]] CellState classify_cell(const OneSparseCell& cell,
+                                      std::uint64_t max_coord,
+                                      const FingerprintBasis& basis,
+                                      Recovered* out);
+
+}  // namespace kw
+
+#endif  // KW_SKETCH_FINGERPRINT_H

@@ -1,0 +1,64 @@
+// L0-sampling from a linear sketch.
+//
+// Samples a (near-)uniform nonzero coordinate of a dynamic vector: the
+// standard level construction.  Level j keeps a one-sparse detector over the
+// coordinates surviving rate-2^-j subsampling (nested, driven by one k-wise
+// hash); when the vector has L0 nonzeros, the level near log2(L0) is
+// one-sparse with constant probability, and the detector then returns its
+// (coordinate, value) exactly.  `instances` independent copies boost the
+// success probability.
+//
+// This is the sketch the paper cites for [AGM12a]-style neighborhood
+// sampling and the replacement it mentions for the Y_j sets in Section 3.2.
+#ifndef KW_SKETCH_L0_SAMPLER_H
+#define KW_SKETCH_L0_SAMPLER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/fingerprint.h"
+#include "util/hashing.h"
+
+namespace kw {
+
+struct L0SamplerConfig {
+  std::uint64_t max_coord = 1;
+  std::size_t instances = 4;  // independent repetitions tried at decode
+  std::uint64_t seed = 1;
+};
+
+class L0Sampler {
+ public:
+  explicit L0Sampler(const L0SamplerConfig& config);
+
+  void update(std::uint64_t coord, std::int64_t delta);
+
+  // this += sign * other; other must share the configuration.
+  void merge(const L0Sampler& other, std::int64_t sign = 1);
+
+  // A nonzero coordinate with its value, or nullopt if every instance
+  // failed (e.g. the vector is zero).
+  [[nodiscard]] std::optional<Recovered> decode() const;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+
+  [[nodiscard]] const L0SamplerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+
+  L0SamplerConfig config_;
+  std::size_t levels_;
+  FingerprintBasis basis_;
+  HashFamily level_hashes_;           // one per instance
+  std::vector<OneSparseCell> cells_;  // instances * levels
+};
+
+}  // namespace kw
+
+#endif  // KW_SKETCH_L0_SAMPLER_H

@@ -1,0 +1,184 @@
+#include "sketch/linear_kv_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace kw {
+
+namespace {
+
+[[nodiscard]] SparseRecoveryConfig payload_config(const LinearKvConfig& c) {
+  SparseRecoveryConfig pc;
+  pc.max_coord = c.max_payload_coord;
+  pc.budget = c.payload_budget;
+  pc.rows = c.payload_rows;
+  pc.seed = derive_seed(c.seed, 0x52);
+  return pc;
+}
+
+}  // namespace
+
+bool LinearKeyValueSketch::Cell::is_zero() const noexcept {
+  if (!key_part.is_zero()) return false;
+  return std::all_of(payload.begin(), payload.end(),
+                     [](const OneSparseCell& c) { return c.is_zero(); });
+}
+
+LinearKeyValueSketch::LinearKeyValueSketch(const LinearKvConfig& config)
+    : config_(config),
+      cells_per_table_(std::max<std::size_t>(
+          4, static_cast<std::size_t>(std::ceil(
+                 static_cast<double>(config.capacity) / config.load_factor)))),
+      key_basis_(derive_seed(config.seed, 0x51)),
+      payload_geometry_(payload_config(config)),
+      table_hashes_(config.tables, /*independence=*/4,
+                    derive_seed(config.seed, 0x53)) {
+  if (config.tables == 0) throw std::invalid_argument("tables must be > 0");
+  if (config.load_factor <= 0.0 || config.load_factor > 1.0) {
+    throw std::invalid_argument("load_factor must be in (0,1]");
+  }
+}
+
+LinearKeyValueSketch::Cell LinearKeyValueSketch::make_cell() const {
+  Cell cell;
+  cell.payload.resize(payload_geometry_.cell_count());
+  return cell;
+}
+
+std::uint64_t LinearKeyValueSketch::slot(std::size_t table,
+                                         std::uint64_t key) const {
+  return table * cells_per_table_ +
+         table_hashes_[table].bucket(key, cells_per_table_);
+}
+
+void LinearKeyValueSketch::update(std::uint64_t key, std::int64_t key_delta,
+                                  std::uint64_t payload_coord,
+                                  std::int64_t payload_delta) {
+  if (key >= config_.max_key) {
+    throw std::out_of_range("kv sketch key out of range");
+  }
+  if (key_delta == 0 && payload_delta == 0) return;
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    const std::uint64_t s = slot(t, key);
+    auto it = cells_.find(s);
+    if (it == cells_.end()) it = cells_.emplace(s, make_cell()).first;
+    Cell& cell = it->second;
+    if (key_delta != 0) cell.key_part.add(key, key_delta, key_basis_);
+    if (payload_delta != 0) {
+      payload_geometry_.update_state(cell.payload, payload_coord,
+                                     payload_delta);
+    }
+    if (cell.is_zero()) cells_.erase(it);
+  }
+}
+
+void LinearKeyValueSketch::merge(const LinearKeyValueSketch& other,
+                                 std::int64_t sign) {
+  if (other.config_.seed != config_.seed ||
+      other.config_.max_key != config_.max_key ||
+      other.cells_per_table_ != cells_per_table_ ||
+      other.config_.tables != config_.tables) {
+    throw std::invalid_argument("merging incompatible kv sketches");
+  }
+  for (const auto& [slot_id, cell] : other.cells_) {
+    auto it = cells_.find(slot_id);
+    if (it == cells_.end()) it = cells_.emplace(slot_id, make_cell()).first;
+    Cell& mine = it->second;
+    mine.key_part.merge(cell.key_part, sign);
+    for (std::size_t i = 0; i < mine.payload.size(); ++i) {
+      mine.payload[i].merge(cell.payload[i], sign);
+    }
+    if (mine.is_zero()) cells_.erase(it);
+  }
+}
+
+bool LinearKeyValueSketch::is_zero() const noexcept {
+  return std::all_of(cells_.begin(), cells_.end(),
+                     [](const auto& kv) { return kv.second.is_zero(); });
+}
+
+std::optional<std::vector<KvEntry>> LinearKeyValueSketch::decode() const {
+  std::unordered_map<std::uint64_t, Cell> work = cells_;
+  std::vector<KvEntry> found;
+
+  // Peeling: find a cell whose key detector verifies one-sparse, record
+  // (key, count, payload), subtract from all tables, repeat.
+  while (true) {
+    std::optional<KvEntry> next;
+    for (const auto& [slot_id, cell] : work) {
+      if (cell.is_zero()) continue;
+      Recovered rec;
+      if (cell.key_part.count != 0 &&
+          classify_cell(cell.key_part, config_.max_key, key_basis_, &rec) ==
+              CellState::kOneSparse) {
+        KvEntry entry;
+        entry.key = rec.coord;
+        entry.key_count = rec.value;
+        entry.payload = cell.payload;
+        next = std::move(entry);
+        break;
+      }
+      (void)slot_id;
+    }
+    if (!next.has_value()) break;
+
+    // Subtract the recovered entry from every table position of its key.
+    for (std::size_t t = 0; t < config_.tables; ++t) {
+      const std::uint64_t s = slot(t, next->key);
+      auto it = work.find(s);
+      if (it == work.end()) it = work.emplace(s, make_cell()).first;
+      OneSparseCell key_delta;
+      key_delta.add(next->key, next->key_count, key_basis_);
+      it->second.key_part.merge(key_delta, -1);
+      for (std::size_t i = 0; i < it->second.payload.size(); ++i) {
+        it->second.payload[i].merge(next->payload[i], -1);
+      }
+      if (it->second.is_zero()) work.erase(it);
+    }
+    found.push_back(std::move(*next));
+  }
+
+  const bool clean =
+      std::all_of(work.begin(), work.end(),
+                  [](const auto& kv) { return kv.second.is_zero(); });
+  if (!clean) return std::nullopt;
+
+  std::sort(found.begin(), found.end(),
+            [](const KvEntry& a, const KvEntry& b) { return a.key < b.key; });
+  // Defensive fold of duplicates (possible only under fingerprint collision).
+  std::vector<KvEntry> out;
+  for (auto& e : found) {
+    if (!out.empty() && out.back().key == e.key) {
+      out.back().key_count += e.key_count;
+      for (std::size_t i = 0; i < out.back().payload.size(); ++i) {
+        out.back().payload[i].merge(e.payload[i], 1);
+      }
+    } else {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Recovered>> LinearKeyValueSketch::decode_payload(
+    const KvEntry& entry) const {
+  return payload_geometry_.decode_state(entry.payload);
+}
+
+std::size_t LinearKeyValueSketch::nominal_bytes() const noexcept {
+  const std::size_t cell_bytes =
+      sizeof(OneSparseCell) * (1 + payload_geometry_.cell_count());
+  return config_.tables * cells_per_table_ * cell_bytes +
+         sizeof(LinearKvConfig);
+}
+
+std::size_t LinearKeyValueSketch::touched_bytes() const noexcept {
+  const std::size_t cell_bytes =
+      sizeof(OneSparseCell) * (1 + payload_geometry_.cell_count());
+  return cells_.size() * cell_bytes + sizeof(LinearKvConfig);
+}
+
+}  // namespace kw

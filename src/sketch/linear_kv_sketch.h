@@ -1,0 +1,105 @@
+// The linear hash table of Section 3.2 (the H^u_j structures).
+//
+// A linear sketch of a key -> payload-sketch map: each update carries a key,
+// a signed key-count delta, and a payload contribution ("add SKETCH(delta*a)
+// to the b-th entry of H^u_j" in Algorithm 2).  Implementation: `tables`
+// independent hash tables of cells; a cell holds a one-sparse detector over
+// *keys* plus an embedded SKETCH_B state over payload coordinates.
+// Decoding peels cells whose key detector verifies as one-sparse: that
+// certifies every update in the cell shares one key, so the cell's embedded
+// payload sketch is that key's complete payload; the recovered pair is then
+// subtracted from the other tables.
+//
+// Everything is component-wise additive (field arithmetic for fingerprints),
+// so sketches with equal (capacity, geometry, seed) merge exactly --
+// linearity.  Storage is hash-map-backed: memory is proportional to touched
+// cells while nominal_bytes() reports the dense size a streaming device
+// would allocate.
+#ifndef KW_SKETCH_LINEAR_KV_SKETCH_H
+#define KW_SKETCH_LINEAR_KV_SKETCH_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/fingerprint.h"
+#include "sketch/sparse_recovery.h"
+#include "util/hashing.h"
+
+namespace kw {
+
+struct LinearKvConfig {
+  std::uint64_t max_key = 1;            // keys live in [0, max_key)
+  std::uint64_t max_payload_coord = 1;  // payload coordinate space
+  std::size_t capacity = 8;     // decodable up to ~capacity distinct keys
+  std::size_t tables = 3;       // independent hash tables
+  double load_factor = 0.5;     // cells_per_table = capacity / load
+  std::size_t payload_budget = 4;  // embedded SKETCH_B budget per entry
+  std::size_t payload_rows = 3;
+  std::uint64_t seed = 1;
+};
+
+struct KvEntry {
+  std::uint64_t key = 0;
+  std::int64_t key_count = 0;           // net sum of key deltas
+  std::vector<OneSparseCell> payload;   // embedded payload sketch state
+};
+
+class LinearKeyValueSketch {
+ public:
+  explicit LinearKeyValueSketch(const LinearKvConfig& config);
+
+  // Applies one update: key count += key_delta, payload sketch gets
+  // (payload_coord, payload_delta).  Either part may be a no-op (delta 0).
+  void update(std::uint64_t key, std::int64_t key_delta,
+              std::uint64_t payload_coord, std::int64_t payload_delta);
+
+  // this += sign * other (same configuration required).
+  void merge(const LinearKeyValueSketch& other, std::int64_t sign = 1);
+
+  // Recovers the full key -> (count, payload) map, or nullopt when the
+  // table is overloaded / a verification failed.  Keys whose entire state
+  // cancelled to zero do not appear.  Sorted by key.
+  [[nodiscard]] std::optional<std::vector<KvEntry>> decode() const;
+
+  // Decodes a recovered entry's embedded payload sketch (exact support of
+  // the payload vector, or nullopt if it exceeded the payload budget).
+  [[nodiscard]] std::optional<std::vector<Recovered>> decode_payload(
+      const KvEntry& entry) const;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+
+  // Actual memory held by the map-backed storage (proportional to touched
+  // cells; a real streaming device would allocate nominal_bytes()).
+  [[nodiscard]] std::size_t touched_bytes() const noexcept;
+
+  [[nodiscard]] const LinearKvConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Cell {
+    OneSparseCell key_part;
+    std::vector<OneSparseCell> payload;
+
+    [[nodiscard]] bool is_zero() const noexcept;
+  };
+
+  [[nodiscard]] std::uint64_t slot(std::size_t table, std::uint64_t key) const;
+  [[nodiscard]] Cell make_cell() const;
+
+  LinearKvConfig config_;
+  std::size_t cells_per_table_;
+  FingerprintBasis key_basis_;
+  SparseRecoverySketch payload_geometry_;  // zero sketch: hashes/basis only
+  HashFamily table_hashes_;
+  // Sparse storage: slot id (table * cells_per_table + cell) -> cell.
+  std::unordered_map<std::uint64_t, Cell> cells_;
+};
+
+}  // namespace kw
+
+#endif  // KW_SKETCH_LINEAR_KV_SKETCH_H

@@ -1,0 +1,115 @@
+#include "sketch/sparse_recovery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace kw {
+
+SparseRecoverySketch::SparseRecoverySketch(const SparseRecoveryConfig& config)
+    : config_(config),
+      buckets_per_row_(2 * std::max<std::size_t>(config.budget, 1)),
+      basis_(derive_seed(config.seed, 0xb0)),
+      row_hashes_(config.rows, /*independence=*/4,
+                  derive_seed(config.seed, 0xa0)) {
+  if (config.rows == 0) throw std::invalid_argument("rows must be positive");
+  cells_.resize(cell_count());
+}
+
+std::size_t SparseRecoverySketch::cell_index(std::size_t row,
+                                             std::uint64_t coord) const {
+  return row * buckets_per_row_ +
+         row_hashes_[row].bucket(coord, buckets_per_row_);
+}
+
+void SparseRecoverySketch::update_state(std::span<OneSparseCell> cells,
+                                        std::uint64_t coord,
+                                        std::int64_t delta) const {
+  if (coord >= config_.max_coord) {
+    throw std::out_of_range("sparse recovery coordinate out of range");
+  }
+  if (delta == 0) return;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    cells[cell_index(r, coord)].add(coord, delta, basis_);
+  }
+}
+
+void SparseRecoverySketch::update(std::uint64_t coord, std::int64_t delta) {
+  update_state(cells_, coord, delta);
+}
+
+void SparseRecoverySketch::merge(const SparseRecoverySketch& other,
+                                 std::int64_t sign) {
+  if (other.cells_.size() != cells_.size() ||
+      other.config_.seed != config_.seed ||
+      other.config_.max_coord != config_.max_coord) {
+    throw std::invalid_argument("merging incompatible sparse sketches");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i], sign);
+  }
+}
+
+bool SparseRecoverySketch::is_zero() const noexcept {
+  return std::all_of(cells_.begin(), cells_.end(),
+                     [](const OneSparseCell& c) { return c.is_zero(); });
+}
+
+std::optional<std::vector<Recovered>> SparseRecoverySketch::decode_state(
+    std::span<const OneSparseCell> cells) const {
+  // Peel on a scratch copy of the cells.
+  std::vector<OneSparseCell> work(cells.begin(), cells.end());
+  std::vector<Recovered> found;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      Recovered rec;
+      if (classify_cell(work[i], config_.max_coord, basis_, &rec) !=
+          CellState::kOneSparse) {
+        continue;
+      }
+      found.push_back(rec);
+      // Subtract the recovered item from every row.
+      for (std::size_t r = 0; r < config_.rows; ++r) {
+        OneSparseCell delta;
+        delta.add(rec.coord, rec.value, basis_);
+        work[cell_index(r, rec.coord)].merge(delta, -1);
+      }
+      progress = true;
+    }
+  }
+  const bool clean =
+      std::all_of(work.begin(), work.end(),
+                  [](const OneSparseCell& c) { return c.is_zero(); });
+  if (!clean) return std::nullopt;
+  std::sort(found.begin(), found.end(),
+            [](const Recovered& a, const Recovered& b) {
+              return a.coord < b.coord;
+            });
+  // Peeling can split one coordinate into several partial recoveries only if
+  // a fingerprint collision occurred; fold duplicates defensively.
+  std::vector<Recovered> out;
+  for (const auto& rec : found) {
+    if (!out.empty() && out.back().coord == rec.coord) {
+      out.back().value += rec.value;
+    } else {
+      out.push_back(rec);
+    }
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const Recovered& r) { return r.value == 0; }),
+            out.end());
+  return out;
+}
+
+std::optional<std::vector<Recovered>> SparseRecoverySketch::decode() const {
+  return decode_state(cells_);
+}
+
+std::size_t SparseRecoverySketch::nominal_bytes() const noexcept {
+  return cells_.size() * sizeof(OneSparseCell) + sizeof(SparseRecoveryConfig);
+}
+
+}  // namespace kw

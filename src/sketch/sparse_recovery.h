@@ -1,0 +1,90 @@
+// Exact B-sparse recovery (the paper's SKETCH_B / DECODE pair, Theorem 8).
+//
+// Construction: R independent rows, each hashing coordinates into 2B
+// one-sparse cells (util k-wise hashing).  DECODE is IBLT-style peeling:
+// repeatedly find a verified one-sparse cell, record its (coord, value) and
+// subtract it everywhere.  Success iff the residual is identically zero, so
+// overload (||x||_0 > B) is *detected*, matching the paper's "we always know
+// if a SKETCH_B(x) can be decoded" convention (Section 2).
+//
+// The sketch is linear: update() applies (coord, +-delta), merge() adds or
+// subtracts whole sketches that share (budget, rows, seed).
+//
+// The geometry/randomness is separable from the state: update_state() /
+// decode_state() operate on caller-owned cell arrays with this sketch's
+// hashes and fingerprint basis.  That is how the linear hash tables of
+// Section 3.2 embed a SKETCH_B as the *value* of each table cell.
+#ifndef KW_SKETCH_SPARSE_RECOVERY_H
+#define KW_SKETCH_SPARSE_RECOVERY_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sketch/fingerprint.h"
+#include "util/hashing.h"
+
+namespace kw {
+
+struct SparseRecoveryConfig {
+  std::uint64_t max_coord = 1;  // coordinate space is [0, max_coord)
+  std::size_t budget = 8;       // B: recover up to B nonzeros
+  std::size_t rows = 4;         // independent hash rows
+  std::uint64_t seed = 1;
+};
+
+class SparseRecoverySketch {
+ public:
+  explicit SparseRecoverySketch(const SparseRecoveryConfig& config);
+
+  void update(std::uint64_t coord, std::int64_t delta);
+
+  // this += sign * other.  Other must share the configuration.
+  void merge(const SparseRecoverySketch& other, std::int64_t sign = 1);
+
+  // Exact support recovery; nullopt if x is not decodable (too dense or a
+  // fingerprint check failed).  Result is sorted by coordinate.
+  [[nodiscard]] std::optional<std::vector<Recovered>> decode() const;
+
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  [[nodiscard]] const SparseRecoveryConfig& config() const noexcept {
+    return config_;
+  }
+
+  // Dense size of the sketch state in bytes (the space a streaming device
+  // would allocate).
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+
+  // ---- geometry-only interface over external state -------------------
+  // Number of cells a compatible external state array must have.
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return config_.rows * buckets_per_row_;
+  }
+  // Applies (coord, delta) to an external state array.
+  void update_state(std::span<OneSparseCell> cells, std::uint64_t coord,
+                    std::int64_t delta) const;
+  // Decodes an external state array written via update_state (or linear
+  // combinations thereof).
+  [[nodiscard]] std::optional<std::vector<Recovered>> decode_state(
+      std::span<const OneSparseCell> cells) const;
+
+  [[nodiscard]] const FingerprintBasis& basis() const noexcept {
+    return basis_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t row,
+                                       std::uint64_t coord) const;
+
+  SparseRecoveryConfig config_;
+  std::size_t buckets_per_row_;
+  FingerprintBasis basis_;
+  HashFamily row_hashes_;
+  std::vector<OneSparseCell> cells_;  // rows * buckets_per_row_
+};
+
+}  // namespace kw
+
+#endif  // KW_SKETCH_SPARSE_RECOVERY_H

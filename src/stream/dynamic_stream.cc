@@ -1,0 +1,120 @@
+#include "stream/dynamic_stream.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/random.h"
+
+namespace kw {
+
+Graph DynamicStream::materialize() const {
+  std::map<std::pair<Vertex, Vertex>, std::pair<std::int64_t, double>> net;
+  for (const auto& upd : updates_) {
+    const auto key = std::minmax(upd.u, upd.v);
+    auto& entry = net[{key.first, key.second}];
+    entry.first += upd.delta;
+    entry.second = upd.weight;
+  }
+  Graph g(n_);
+  for (const auto& [pair, entry] : net) {
+    if (entry.first < 0) {
+      throw std::logic_error("stream yields negative edge multiplicity");
+    }
+    if (entry.first > 0) g.add_edge(pair.first, pair.second, entry.second);
+  }
+  return g;
+}
+
+DynamicStream DynamicStream::from_graph(const Graph& g, std::uint64_t seed) {
+  DynamicStream stream(g.n());
+  for (const auto& e : g.edges()) stream.push({e.u, e.v, +1, e.weight});
+  Rng rng(seed);
+  auto& ops = stream.updates_;
+  for (std::size_t i = ops.size(); i > 1; --i) {
+    std::swap(ops[i - 1], ops[rng.next_below(i)]);
+  }
+  return stream;
+}
+
+DynamicStream DynamicStream::with_churn(const Graph& g,
+                                        std::size_t churn_edges,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  // Phantom edges: uniform pairs not in g (retry on collision with g; the
+  // same phantom pair may repeat, which is fine -- it is inserted and
+  // deleted each time).
+  struct Event {
+    double key;
+    EdgeUpdate update;
+  };
+  std::vector<Event> events;
+  events.reserve(g.m() + 2 * churn_edges);
+  for (const auto& e : g.edges()) {
+    events.push_back({rng.next_double(), {e.u, e.v, +1, e.weight}});
+  }
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  while (made < churn_edges && attempts < 100 * churn_edges + 100) {
+    ++attempts;
+    const Vertex u = static_cast<Vertex>(rng.next_below(g.n()));
+    const Vertex v = static_cast<Vertex>(rng.next_below(g.n()));
+    if (u == v || g.has_edge(u, v)) continue;
+    const double t_insert = rng.next_double();
+    // Deletion strictly after insertion.
+    const double t_delete = t_insert + (1.0 - t_insert) * rng.next_double();
+    events.push_back({t_insert, {u, v, +1, 1.0}});
+    events.push_back({t_delete, {u, v, -1, 1.0}});
+    ++made;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.key < b.key; });
+  DynamicStream stream(g.n());
+  for (const auto& ev : events) stream.push(ev.update);
+  return stream;
+}
+
+DynamicStream DynamicStream::with_multiplicity(const Graph& g,
+                                               std::uint32_t max_multiplicity,
+                                               bool delete_back,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  struct Event {
+    double key;
+    EdgeUpdate update;
+  };
+  std::vector<Event> events;
+  for (const auto& e : g.edges()) {
+    const std::uint32_t mult =
+        1 + static_cast<std::uint32_t>(rng.next_below(max_multiplicity));
+    double last_insert = 0.0;
+    for (std::uint32_t i = 0; i < mult; ++i) {
+      const double t = rng.next_double();
+      last_insert = std::max(last_insert, t);
+      events.push_back({t, {e.u, e.v, +1, e.weight}});
+    }
+    if (delete_back) {
+      for (std::uint32_t i = 1; i < mult; ++i) {
+        const double t =
+            last_insert + (1.0 - last_insert) * rng.next_double();
+        events.push_back({t, {e.u, e.v, -1, e.weight}});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.key < b.key; });
+  DynamicStream stream(g.n());
+  for (const auto& ev : events) stream.push(ev.update);
+  return stream;
+}
+
+std::vector<DynamicStream> DynamicStream::split(std::size_t parts) const {
+  std::vector<DynamicStream> result(parts, DynamicStream(n_));
+  for (std::size_t i = 0; i < updates_.size(); ++i) {
+    result[i % parts].push(updates_[i]);
+  }
+  return result;
+}
+
+}  // namespace kw

@@ -1,0 +1,80 @@
+// Dynamic edge streams: storage, replay with pass accounting, and workload
+// builders (insert-only, churn, multiplicity, adversarial orderings).
+#ifndef KW_STREAM_DYNAMIC_STREAM_H
+#define KW_STREAM_DYNAMIC_STREAM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/update.h"
+
+namespace kw {
+
+// A finite dynamic stream over a fixed vertex set.  Algorithms consume it
+// through replay(), which counts passes -- the experimental harness asserts
+// each algorithm uses exactly the number of passes its theorem allows.
+class DynamicStream {
+ public:
+  explicit DynamicStream(Vertex n) : n_(n) {}
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+
+  void push(const EdgeUpdate& update) { updates_.push_back(update); }
+
+  [[nodiscard]] const std::vector<EdgeUpdate>& updates() const noexcept {
+    return updates_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return updates_.size(); }
+
+  // One sequential pass over the stream.
+  void replay(const std::function<void(const EdgeUpdate&)>& fn) const {
+    ++passes_used_;
+    for (const auto& u : updates_) fn(u);
+  }
+
+  [[nodiscard]] std::size_t passes_used() const noexcept {
+    return passes_used_;
+  }
+  void reset_pass_count() const noexcept { passes_used_ = 0; }
+
+  // The graph defined by the stream's net multiplicities (an edge is present
+  // iff its net multiplicity is positive; weight = last seen weight).
+  [[nodiscard]] Graph materialize() const;
+
+  // ---- Builders -------------------------------------------------------
+
+  // All edges of g inserted once, in random order.
+  [[nodiscard]] static DynamicStream from_graph(const Graph& g,
+                                                std::uint64_t seed);
+
+  // Stream whose final graph is g, padded with `churn_edges` phantom edges
+  // (not in g) that are inserted and later deleted.  Exercises the
+  // deletion path: a sketch that mishandles deletions keeps phantom edges.
+  [[nodiscard]] static DynamicStream with_churn(const Graph& g,
+                                                std::size_t churn_edges,
+                                                std::uint64_t seed);
+
+  // Stream whose final multigraph gives each edge of g multiplicity in
+  // [1, max_multiplicity], with the surplus insertions optionally deleted
+  // back down to exactly 1 (exercises multiplicity handling end to end).
+  [[nodiscard]] static DynamicStream with_multiplicity(
+      const Graph& g, std::uint32_t max_multiplicity, bool delete_back,
+      std::uint64_t seed);
+
+  // Splits the stream round-robin into `parts` streams (the distributed
+  // setting of Section 1: each server sketches its own part; linearity of
+  // the sketches makes the merge exact).
+  [[nodiscard]] std::vector<DynamicStream> split(std::size_t parts) const;
+
+ private:
+  Vertex n_;
+  std::vector<EdgeUpdate> updates_;
+  mutable std::size_t passes_used_ = 0;
+};
+
+}  // namespace kw
+
+#endif  // KW_STREAM_DYNAMIC_STREAM_H

@@ -1,0 +1,41 @@
+#include "stream/weight_classes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace kw {
+
+WeightClassPartition::WeightClassPartition(double wmin, double wmax,
+                                           double eps) {
+  if (wmin <= 0.0 || wmax < wmin) {
+    throw std::invalid_argument("weight classes need 0 < wmin <= wmax");
+  }
+  if (eps <= 0.0) throw std::invalid_argument("weight classes need eps > 0");
+  wmin_ = wmin;
+  log_base_ = std::log1p(eps);
+  const double span = std::log(wmax / wmin) / log_base_;
+  num_classes_ = static_cast<std::size_t>(std::floor(span)) + 1;
+}
+
+std::size_t WeightClassPartition::class_of(double w) const {
+  if (w <= wmin_) return 0;
+  const auto c =
+      static_cast<std::size_t>(std::floor(std::log(w / wmin_) / log_base_));
+  return std::min(c, num_classes_ - 1);
+}
+
+double WeightClassPartition::representative(std::size_t c) const {
+  return wmin_ * std::exp(log_base_ * static_cast<double>(c));
+}
+
+std::vector<DynamicStream> WeightClassPartition::split_stream(
+    const DynamicStream& stream) const {
+  std::vector<DynamicStream> parts(num_classes_, DynamicStream(stream.n()));
+  stream.replay([this, &parts](const EdgeUpdate& upd) {
+    parts[class_of(upd.weight)].push(upd);
+  });
+  return parts;
+}
+
+}  // namespace kw

@@ -1,0 +1,46 @@
+// Geometric weight classes (Remark 14).
+//
+// Weighted spanners reduce to unweighted ones: round each weight to the
+// nearest power of (1+eps), run the unweighted construction per class, take
+// the union.  Cost: a factor O(log_{1+eps}(wmax/wmin)) in space; stretch
+// grows by at most (1+eps).
+#ifndef KW_STREAM_WEIGHT_CLASSES_H
+#define KW_STREAM_WEIGHT_CLASSES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+
+class WeightClassPartition {
+ public:
+  // Classes cover [wmin, wmax]; class c holds weights in
+  // [wmin*(1+eps)^c, wmin*(1+eps)^{c+1}).
+  WeightClassPartition(double wmin, double wmax, double eps);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return num_classes_;
+  }
+
+  // Class of weight w (clamped into range).
+  [[nodiscard]] std::size_t class_of(double w) const;
+
+  // Representative (lower edge) weight of a class.
+  [[nodiscard]] double representative(std::size_t c) const;
+
+  // Splits a weighted stream into one unweighted-by-class stream per class;
+  // per-update weights are preserved so the spanner can report true weights.
+  [[nodiscard]] std::vector<DynamicStream> split_stream(
+      const DynamicStream& stream) const;
+
+ private:
+  double wmin_;
+  double log_base_;
+  std::size_t num_classes_;
+};
+
+}  // namespace kw
+
+#endif  // KW_STREAM_WEIGHT_CLASSES_H

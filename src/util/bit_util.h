@@ -1,0 +1,29 @@
+// Small integer helpers shared across modules.
+#ifndef KW_UTIL_BIT_UTIL_H
+#define KW_UTIL_BIT_UTIL_H
+
+#include <bit>
+#include <cstdint>
+
+namespace kw {
+
+// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return 64 - static_cast<std::uint32_t>(std::countl_zero(x - 1));
+}
+
+// floor(log2(x)) for x >= 1; returns 0 for x == 0 as a safe default.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  return 63 - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+// Smallest power of two >= x (x >= 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : (1ULL << ceil_log2(x));
+}
+
+}  // namespace kw
+
+#endif  // KW_UTIL_BIT_UTIL_H

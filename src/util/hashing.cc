@@ -1,0 +1,37 @@
+#include "util/hashing.h"
+
+#include "util/random.h"
+
+namespace kw {
+
+KWiseHash::KWiseHash(std::size_t independence, std::uint64_t seed) {
+  if (independence == 0) independence = 1;
+  coeffs_.resize(independence);
+  for (std::size_t i = 0; i < independence; ++i) {
+    // Rejection-free: field_reduce of a uniform 64-bit word is close enough
+    // to uniform over F_p (bias 2^-61) for every use in this library.
+    coeffs_[i] = field_reduce(derive_seed(seed, i));
+  }
+  // Leading coefficient nonzero keeps the polynomial's degree exact, which
+  // the k-wise independence argument requires.
+  if (coeffs_.size() > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t key) const noexcept {
+  const std::uint64_t x = field_reduce(key + 1);
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = field_add(field_mul(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+HashFamily::HashFamily(std::size_t count, std::size_t independence,
+                       std::uint64_t seed) {
+  hashes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hashes_.emplace_back(independence, derive_seed(seed, 0x9000 + i));
+  }
+}
+
+}  // namespace kw

@@ -1,0 +1,89 @@
+// k-wise independent hash families over F_{2^61-1}.
+//
+// The paper's sketches require limited independence only (Theorem 8 uses
+// O(1)-wise independence; the E_j subsamples need O(log n)-wise independence,
+// Section 3.2).  We implement the classical polynomial construction: a random
+// degree-(k-1) polynomial over F_p evaluated at the key is a k-wise
+// independent function into [0, p).  Helpers map the field output to ranges,
+// to [0,1) reals and to Bernoulli subsampling decisions at dyadic rates.
+#ifndef KW_UTIL_HASHING_H
+#define KW_UTIL_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/prime_field.h"
+
+namespace kw {
+
+// A k-wise independent hash function h : uint64 -> [0, 2^61-1).
+class KWiseHash {
+ public:
+  // Constructs a hash with `independence` coefficients (independence >= 1)
+  // drawn deterministically from `seed`.
+  KWiseHash(std::size_t independence, std::uint64_t seed);
+
+  // Default: pairwise independence.
+  explicit KWiseHash(std::uint64_t seed) : KWiseHash(2, seed) {}
+
+  KWiseHash() : KWiseHash(2, 0) {}
+
+  // Horner evaluation of the random polynomial at (key+1); the shift keeps
+  // key 0 from being a fixed point of a zero constant term.
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const noexcept;
+
+  // Hash into [0, range).  range must be nonzero and < 2^61-1.
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t key,
+                                     std::uint64_t range) const noexcept {
+    return (*this)(key) % range;
+  }
+
+  // Hash mapped to [0,1).
+  [[nodiscard]] double unit(std::uint64_t key) const noexcept {
+    return static_cast<double>((*this)(key)) /
+           static_cast<double>(kFieldPrime);
+  }
+
+  // True iff key survives subsampling at rate 2^{-level}.  Monotone in level
+  // for a fixed key is NOT guaranteed (levels use the same hash value, so in
+  // fact it IS monotone here: survive(level+1) implies survive(level)).
+  [[nodiscard]] bool subsample(std::uint64_t key,
+                               std::uint32_t level) const noexcept {
+    // Compare against p / 2^level; level 0 always passes.
+    const std::uint64_t threshold = kFieldPrime >> level;
+    return (*this)(key) < threshold || level == 0;
+  }
+
+  [[nodiscard]] std::size_t independence() const noexcept {
+    return coeffs_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // degree-(k-1) polynomial coefficients
+};
+
+// A family of independent KWiseHash functions indexed by an integer, all
+// derived from one master seed.  Convenience for "one hash per level".
+class HashFamily {
+ public:
+  HashFamily(std::size_t count, std::size_t independence, std::uint64_t seed);
+
+  [[nodiscard]] const KWiseHash& operator[](std::size_t i) const {
+    return hashes_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return hashes_.size(); }
+
+ private:
+  std::vector<KWiseHash> hashes_;
+};
+
+// Combines two 32-ish-bit values into a single hashable 64-bit key.
+[[nodiscard]] constexpr std::uint64_t pack_pair(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  return (a << 32) | (b & 0xffffffffULL);
+}
+
+}  // namespace kw
+
+#endif  // KW_UTIL_HASHING_H

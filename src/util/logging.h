@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr.  Benchmarks print their result tables to
+// stdout; diagnostics go through here so the two never interleave.
+#ifndef KW_UTIL_LOGGING_H
+#define KW_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace kw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped.  Defaults to kWarn so
+// tests and benches stay quiet unless something is wrong.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace kw
+
+#define KW_LOG(level) ::kw::detail::LogLine(::kw::LogLevel::level)
+
+#endif  // KW_UTIL_LOGGING_H

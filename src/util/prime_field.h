@@ -1,0 +1,76 @@
+// Arithmetic in F_p for the Mersenne prime p = 2^61 - 1.
+//
+// Used by polynomial fingerprints (sketch/fingerprint.h) and by the k-wise
+// independent hash families (util/hashing.h).  A Mersenne modulus makes
+// reduction branch-light: x mod (2^61-1) = (x & p) + (x >> 61), folded once.
+#ifndef KW_UTIL_PRIME_FIELD_H
+#define KW_UTIL_PRIME_FIELD_H
+
+#include <cstdint>
+
+namespace kw {
+
+inline constexpr std::uint64_t kFieldPrime = (1ULL << 61) - 1;
+
+// Reduces a value < 2^64 into [0, p).
+[[nodiscard]] constexpr std::uint64_t field_reduce(std::uint64_t x) noexcept {
+  x = (x & kFieldPrime) + (x >> 61);
+  if (x >= kFieldPrime) x -= kFieldPrime;
+  return x;
+}
+
+// Reduces a 128-bit product into [0, p).
+[[nodiscard]] constexpr std::uint64_t field_reduce128(__uint128_t x) noexcept {
+  const auto lo = static_cast<std::uint64_t>(x & kFieldPrime);
+  const auto hi = static_cast<std::uint64_t>(x >> 61);
+  return field_reduce(lo + field_reduce(hi));
+}
+
+[[nodiscard]] constexpr std::uint64_t field_add(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  std::uint64_t s = a + b;  // a,b < 2^61 so no overflow
+  if (s >= kFieldPrime) s -= kFieldPrime;
+  return s;
+}
+
+[[nodiscard]] constexpr std::uint64_t field_sub(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  return a >= b ? a - b : a + kFieldPrime - b;
+}
+
+[[nodiscard]] constexpr std::uint64_t field_neg(std::uint64_t a) noexcept {
+  return a == 0 ? 0 : kFieldPrime - a;
+}
+
+[[nodiscard]] constexpr std::uint64_t field_mul(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  return field_reduce128(static_cast<__uint128_t>(a) * b);
+}
+
+[[nodiscard]] constexpr std::uint64_t field_pow(std::uint64_t base,
+                                                std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  std::uint64_t b = field_reduce(base);
+  while (exp != 0) {
+    if (exp & 1) result = field_mul(result, b);
+    b = field_mul(b, b);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Multiplicative inverse via Fermat's little theorem; a must be nonzero mod p.
+[[nodiscard]] constexpr std::uint64_t field_inv(std::uint64_t a) noexcept {
+  return field_pow(a, kFieldPrime - 2);
+}
+
+// Maps a signed 64-bit integer into the field (negative values wrap mod p).
+[[nodiscard]] constexpr std::uint64_t field_from_signed(
+    std::int64_t v) noexcept {
+  if (v >= 0) return field_reduce(static_cast<std::uint64_t>(v));
+  return field_neg(field_reduce(static_cast<std::uint64_t>(-v)));
+}
+
+}  // namespace kw
+
+#endif  // KW_UTIL_PRIME_FIELD_H

@@ -1,0 +1,94 @@
+// Deterministic, seedable pseudo-random primitives.
+//
+// Everything in this library derives its randomness from a single 64-bit seed
+// so that experiments are reproducible and so that the "random seed R" of the
+// paper's algorithms (Claims 16/18/20 condition on R) is an explicit value.
+//
+// The paper assumes perfect randomness and then de-randomizes with Nisan's
+// pseudorandom generator (Section 6.3).  We substitute seeded SplitMix64 /
+// xoshiro256** streams: like Nisan's PRG, the stored state is O(1) words and
+// the bits are indistinguishable from random for every statistical test the
+// algorithms perform (see DESIGN.md, "Substitutions").
+#ifndef KW_UTIL_RANDOM_H
+#define KW_UTIL_RANDOM_H
+
+#include <cstdint>
+#include <limits>
+
+namespace kw {
+
+// SplitMix64: a fast 64-bit mixer.  Used both as a stream generator and as a
+// stateless finalizer for deriving independent sub-seeds from a master seed.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Derives the i-th independent sub-seed from a master seed.  Different
+// (seed, index) pairs give statistically independent streams.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t index) noexcept {
+  return splitmix64(seed ^ splitmix64(index + 0x632be59bd9b4e019ULL));
+}
+
+// xoshiro256**: high-quality, tiny-state generator.  Satisfies the C++
+// UniformRandomBitGenerator concept so it can drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8badf00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Fill state via SplitMix64 as recommended by the xoshiro authors.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm = splitmix64(sm);
+      word = sm;
+    }
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be nonzero.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bernoulli(double p) noexcept {
+    return next_double() < p;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace kw
+
+#endif  // KW_UTIL_RANDOM_H

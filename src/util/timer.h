@@ -1,0 +1,28 @@
+// Wall-clock timer for the benchmark harnesses.
+#ifndef KW_UTIL_TIMER_H
+#define KW_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace kw {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kw
+
+#endif  // KW_UTIL_TIMER_H

@@ -1,0 +1,79 @@
+// The config knobs exposed for ablation must actually change behaviour and
+// keep the guarantees when set to the paper-literal values.
+#include <gtest/gtest.h>
+
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace kw {
+namespace {
+
+TEST(AblationKnobs, PaperLiteralOctaveLadderStillMeetsStretch) {
+  // The octave ladder misses more neighbor recoveries but both endpoints
+  // cover each edge, so the stretch bound still holds on moderate inputs.
+  const Graph g = erdos_renyi_gnm(96, 600, 3);
+  const DynamicStream stream = DynamicStream::from_graph(g, 5);
+  TwoPassConfig config;
+  config.k = 2;
+  config.seed = 7;
+  config.y_half_octave = false;
+  TwoPassSpanner spanner(g.n(), config);
+  const TwoPassResult result = spanner.run(stream);
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, 4.0 + 1e-9);
+}
+
+TEST(AblationKnobs, LadderChangesLevelCount) {
+  // Half-octave doubles the number of Y_j tables; visible via nominal size.
+  const Graph g = erdos_renyi_gnm(64, 300, 11);
+  const DynamicStream stream = DynamicStream::from_graph(g, 13);
+  TwoPassConfig fine;
+  fine.k = 2;
+  fine.seed = 17;
+  TwoPassConfig coarse = fine;
+  coarse.y_half_octave = false;
+  TwoPassSpanner a(64, fine);
+  TwoPassSpanner b(64, coarse);
+  const TwoPassResult ra = a.run(stream);
+  const TwoPassResult rb = b.run(stream);
+  EXPECT_GT(ra.nominal_bytes, rb.nominal_bytes);
+}
+
+TEST(AblationKnobs, PayloadGeometryPropagates) {
+  const Graph g = erdos_renyi_gnm(64, 300, 19);
+  const DynamicStream stream = DynamicStream::from_graph(g, 23);
+  TwoPassConfig small;
+  small.k = 2;
+  small.seed = 29;
+  small.table_payload_budget = 1;
+  small.table_payload_rows = 1;
+  TwoPassConfig large = small;
+  large.table_payload_budget = 8;
+  large.table_payload_rows = 3;
+  TwoPassSpanner a(64, small);
+  TwoPassSpanner b(64, large);
+  const TwoPassResult ra = a.run(stream);
+  const TwoPassResult rb = b.run(stream);
+  EXPECT_LT(ra.nominal_bytes, rb.nominal_bytes);
+}
+
+TEST(AblationKnobs, MinimalPayloadDegradesGracefully) {
+  // 1x1 payload loses recoveries but must never produce a *wrong* edge.
+  const Graph g = erdos_renyi_gnm(96, 700, 31);
+  const DynamicStream stream = DynamicStream::from_graph(g, 37);
+  TwoPassConfig config;
+  config.k = 2;
+  config.seed = 41;
+  config.table_payload_budget = 1;
+  config.table_payload_rows = 1;
+  TwoPassSpanner spanner(g.n(), config);
+  const TwoPassResult result = spanner.run(stream);
+  for (const auto& e : result.spanner.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v)) << "fabricated edge";
+  }
+}
+
+}  // namespace
+}  // namespace kw

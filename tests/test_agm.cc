@@ -1,0 +1,176 @@
+#include "agm/neighborhood_sketch.h"
+#include "agm/spanning_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] AgmConfig make_config(std::uint64_t seed) {
+  AgmConfig c;
+  c.rounds = 12;
+  c.sampler_instances = 4;
+  c.seed = seed;
+  return c;
+}
+
+[[nodiscard]] AgmGraphSketch sketch_graph(const Graph& g,
+                                          std::uint64_t seed) {
+  AgmGraphSketch sketch(g.n(), make_config(seed));
+  for (const auto& e : g.edges()) sketch.update(e.u, e.v, 1);
+  return sketch;
+}
+
+TEST(AgmSketch, SummedMemberSketchesCancelInternalEdges) {
+  // Component {0,1,2} fully internal + one boundary edge (2,3): the summed
+  // sketch must see exactly the boundary edge.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const AgmGraphSketch sketch = sketch_graph(g, 1);
+  L0Sampler acc = sketch.zero_sampler(0);
+  for (const Vertex v : {0u, 1u, 2u}) acc.merge(sketch.sampler(v, 0), 1);
+  const auto rec = acc.decode();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->coord, pair_id(2, 3, 5));
+}
+
+TEST(AgmSketch, WholeGraphSumIsZero) {
+  const Graph g = erdos_renyi_gnm(40, 120, 3);
+  const AgmGraphSketch sketch = sketch_graph(g, 2);
+  for (std::size_t round = 0; round < 3; ++round) {
+    L0Sampler acc = sketch.zero_sampler(round);
+    for (Vertex v = 0; v < g.n(); ++v) acc.merge(sketch.sampler(v, round), 1);
+    EXPECT_TRUE(acc.is_zero()) << "interior edges must cancel";
+  }
+}
+
+TEST(SpanningForest, ConnectedGraphFullTree) {
+  const Graph g = erdos_renyi_gnm(60, 240, 5);
+  ASSERT_EQ(component_count(g), 1u);
+  const AgmGraphSketch sketch = sketch_graph(g, 3);
+  const ForestResult forest = agm_spanning_forest(sketch);
+  EXPECT_TRUE(forest.complete);
+  EXPECT_EQ(forest.edges.size(), g.n() - 1u);
+  // Every forest edge must be a real edge of g.
+  for (const auto& e : forest.edges) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  EXPECT_TRUE(same_partition(g, Graph::from_edges(g.n(), forest.edges)));
+}
+
+TEST(SpanningForest, MultipleComponentsMatched) {
+  Graph g(30);
+  // Three disjoint paths.
+  for (Vertex base : {0u, 10u, 20u}) {
+    for (Vertex i = 0; i + 1 < 10; ++i) {
+      g.add_edge(base + i, base + i + 1);
+    }
+  }
+  const AgmGraphSketch sketch = sketch_graph(g, 4);
+  const ForestResult forest = agm_spanning_forest(sketch);
+  EXPECT_TRUE(forest.complete);
+  EXPECT_EQ(forest.edges.size(), 27u);  // 3 components of 10 vertices
+  EXPECT_TRUE(same_partition(g, Graph::from_edges(g.n(), forest.edges)));
+}
+
+TEST(SpanningForest, DeletionsChangeConnectivity) {
+  // Build a cycle, then delete one edge through the sketch: still connected.
+  // Delete a second edge: two components.
+  const Graph g = cycle_graph(20);
+  AgmGraphSketch sketch(20, make_config(5));
+  for (const auto& e : g.edges()) sketch.update(e.u, e.v, 1);
+  sketch.update(0, 1, -1);
+  {
+    AgmGraphSketch copy = sketch;
+    const ForestResult forest = agm_spanning_forest(copy);
+    EXPECT_TRUE(forest.complete);
+    EXPECT_EQ(forest.edges.size(), 19u);
+  }
+  sketch.update(10, 11, -1);
+  const ForestResult forest = agm_spanning_forest(sketch);
+  EXPECT_TRUE(forest.complete);
+  EXPECT_EQ(forest.edges.size(), 18u);
+}
+
+TEST(SpanningForest, SupernodePartitionRespected) {
+  // Star of 3-cliques: collapse each clique; forest connects the cliques.
+  Graph g(12);
+  for (Vertex base = 0; base < 12; base += 3) {
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base, base + 2);
+  }
+  g.add_edge(2, 3);
+  g.add_edge(5, 6);
+  g.add_edge(8, 9);
+  const AgmGraphSketch sketch = sketch_graph(g, 6);
+  std::vector<std::uint32_t> partition(12);
+  for (Vertex v = 0; v < 12; ++v) partition[v] = v / 3;
+  const ForestResult forest = agm_spanning_forest(sketch, partition);
+  EXPECT_TRUE(forest.complete);
+  ASSERT_EQ(forest.edges.size(), 3u);  // 4 supernodes -> 3 edges
+  for (const auto& e : forest.edges) {
+    EXPECT_NE(e.u / 3, e.v / 3) << "forest edge must cross supernodes";
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(SpanningForest, SubtractEdgesViaLinearity) {
+  // Path 0-1-2-3; subtracting the middle edge after the fact must split it.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  AgmGraphSketch sketch(4, make_config(7));
+  for (const auto& e : g.edges()) sketch.update(e.u, e.v, 1);
+  sketch.subtract_edge(1, 2, 1);
+  const ForestResult forest = agm_spanning_forest(sketch);
+  EXPECT_TRUE(forest.complete);
+  EXPECT_EQ(forest.edges.size(), 2u);
+}
+
+TEST(SpanningForest, MergeOfDistributedSketches) {
+  // Two servers each see half the stream; merged sketch answers for the
+  // union (the distributed setting of Section 1).
+  const Graph g = erdos_renyi_gnm(50, 150, 8);
+  const DynamicStream stream = DynamicStream::from_graph(g, 9);
+  const auto parts = stream.split(2);
+  AgmGraphSketch s0(50, make_config(10));
+  AgmGraphSketch s1(50, make_config(10));  // same seed: mergeable
+  parts[0].replay([&s0](const EdgeUpdate& u) { s0.update(u.u, u.v, u.delta); });
+  parts[1].replay([&s1](const EdgeUpdate& u) { s1.update(u.u, u.v, u.delta); });
+  s0.merge(s1, 1);
+  const ForestResult forest = agm_spanning_forest(s0);
+  EXPECT_TRUE(forest.complete);
+  EXPECT_TRUE(same_partition(g, Graph::from_edges(g.n(), forest.edges)));
+}
+
+TEST(AgmSketch, MultiplicityAndChurn) {
+  const Graph g = erdos_renyi_gnm(40, 100, 11);
+  const DynamicStream stream = DynamicStream::with_churn(g, 120, 12);
+  AgmGraphSketch sketch(40, make_config(13));
+  stream.replay(
+      [&sketch](const EdgeUpdate& u) { sketch.update(u.u, u.v, u.delta); });
+  const ForestResult forest = agm_spanning_forest(sketch);
+  EXPECT_TRUE(forest.complete);
+  for (const auto& e : forest.edges) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v)) << "phantom churn edge leaked";
+  }
+  EXPECT_TRUE(same_partition(g, Graph::from_edges(g.n(), forest.edges)));
+}
+
+TEST(AgmSketch, IncompatibleMergeThrows) {
+  AgmGraphSketch a(10, make_config(1));
+  AgmGraphSketch b(10, make_config(2));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

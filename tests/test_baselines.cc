@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/aingworth_additive.h"
+#include "baseline/baswana_sen.h"
+#include "baseline/greedy_spanner.h"
+#include "baseline/ss_sparsifier.h"
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "graph/spectral_compare.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] bool subgraph_of(const Graph& h, const Graph& g) {
+  for (const auto& e : h.edges()) {
+    if (!g.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+// ---- Greedy spanner ----------------------------------------------------
+
+class GreedyK : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GreedyK, StretchAndSizeBounds) {
+  const unsigned k = GetParam();
+  const Graph g = erdos_renyi_gnm(120, 1200, 3);
+  const Graph h = greedy_spanner(g, k);
+  EXPECT_TRUE(subgraph_of(h, g));
+  const auto report = multiplicative_stretch(g, h, /*weighted=*/false);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, 2.0 * k - 1.0 + 1e-9);
+  // Size O(n^{1+1/k}): generous constant.
+  const double bound =
+      4.0 * std::pow(120.0, 1.0 + 1.0 / static_cast<double>(k));
+  EXPECT_LE(static_cast<double>(h.m()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GreedyK, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Greedy, K1KeepsEverythingUnweighted) {
+  const Graph g = erdos_renyi_gnm(30, 100, 1);
+  const Graph h = greedy_spanner(g, 1);
+  EXPECT_EQ(h.m(), g.m());  // stretch-1 spanner of a simple graph is itself
+}
+
+TEST(Greedy, WeightedStretchRespected) {
+  const Graph g =
+      with_random_weights(erdos_renyi_gnm(60, 400, 5), 1.0, 10.0, 7);
+  const Graph h = greedy_spanner(g, 2);
+  const auto report = multiplicative_stretch(g, h, /*weighted=*/true);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, 3.0 + 1e-9);
+}
+
+// ---- Baswana-Sen ---------------------------------------------------------
+
+class BaswanaSenK : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BaswanaSenK, StretchBoundHolds) {
+  const unsigned k = GetParam();
+  const Graph g = erdos_renyi_gnm(150, 1500, 9);
+  const Graph h = baswana_sen_spanner(g, k, 11);
+  EXPECT_TRUE(subgraph_of(h, g));
+  const auto report = multiplicative_stretch(g, h, /*weighted=*/false);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, 2.0 * k - 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BaswanaSenK, ::testing::Values(2u, 3u, 4u));
+
+TEST(BaswanaSen, SizeShrinksWithK) {
+  const Graph g = erdos_renyi_gnm(200, 4000, 2);
+  const Graph h2 = baswana_sen_spanner(g, 2, 5);
+  const Graph h4 = baswana_sen_spanner(g, 4, 5);
+  EXPECT_LT(h2.m(), g.m());
+  EXPECT_LT(h4.m(), static_cast<std::size_t>(1.2 * h2.m()) + 50);
+}
+
+TEST(BaswanaSen, K1ReturnsInput) {
+  const Graph g = path_graph(10);
+  EXPECT_EQ(baswana_sen_spanner(g, 1, 1).m(), g.m());
+}
+
+// ---- Spielman-Srivastava --------------------------------------------------
+
+TEST(SsSparsifier, QualityOnCompleteGraph) {
+  // K_64 leverage scores are 2/n; with these knobs p_e ~ 0.25 so the
+  // sparsifier genuinely drops edges while staying spectrally close.
+  const Graph g = complete_graph(64);
+  SsOptions options;
+  options.epsilon = 0.5;
+  options.oversample = 0.5;
+  options.dense_resistances = true;
+  const Graph h = ss_sparsify(g, options, 13);
+  EXPECT_LT(h.m(), g.m() / 2);
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  EXPECT_TRUE(env.comparable);
+  EXPECT_LT(env.epsilon(), 0.9);
+}
+
+TEST(SsSparsifier, PreservesTotalWeightInExpectation) {
+  const Graph g = erdos_renyi_gnm(60, 600, 17);
+  SsOptions options;
+  options.epsilon = 0.4;
+  options.oversample = 1.0;
+  const Graph h = ss_sparsify(g, options, 19);
+  EXPECT_NEAR(h.total_weight(), g.total_weight(), 0.35 * g.total_weight());
+}
+
+TEST(SsSparsifier, KeepsBridges) {
+  // A bridge has leverage w*R = 1 -> sampled with probability 1, original
+  // weight preserved.
+  const Graph g = barbell_graph(8, 3);
+  SsOptions options;
+  options.epsilon = 0.5;
+  options.oversample = 1.0;
+  options.dense_resistances = true;
+  const Graph h = ss_sparsify(g, options, 23);
+  // The path edges of the barbell are bridges.
+  EXPECT_TRUE(h.has_edge(0, 16));  // first path vertex off clique 1
+}
+
+// ---- Aingworth-style +2 additive spanner ----------------------------------
+
+TEST(AingworthAdditive, DistortionAtMostTwo) {
+  const Graph g = erdos_renyi_gnm(100, 1400, 29);
+  const Graph h = aingworth_additive_spanner(g, 31);
+  EXPECT_TRUE(subgraph_of(h, g));
+  const auto report = additive_surplus(g, h);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_surplus, 2u);
+}
+
+TEST(AingworthAdditive, SubquadraticOnDenseGraph) {
+  const Graph g = erdos_renyi_gnm(144, 5000, 37);
+  const Graph h = aingworth_additive_spanner(g, 41);
+  EXPECT_LT(h.m(), g.m());
+}
+
+TEST(AingworthAdditive, SparseGraphKeptIntact) {
+  const Graph g = path_graph(50);
+  const Graph h = aingworth_additive_spanner(g, 43);
+  const auto report = additive_surplus(g, h);
+  EXPECT_EQ(report.max_surplus, 0u);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,159 @@
+#include "core/cluster_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(Hierarchy, LevelZeroIsEverything) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(100, 3, 1);
+  EXPECT_EQ(h.level_members[0].size(), 100u);
+  for (Vertex v = 0; v < 100; ++v) EXPECT_TRUE(h.contains(0, v));
+}
+
+TEST(Hierarchy, SamplingRatesDecay) {
+  const Vertex n = 4096;
+  const unsigned k = 4;
+  const ClusterHierarchy h = ClusterHierarchy::sample(n, k, 7);
+  for (unsigned i = 0; i < k; ++i) {
+    const double expected =
+        std::pow(static_cast<double>(n),
+                 1.0 - static_cast<double>(i) / static_cast<double>(k));
+    EXPECT_NEAR(static_cast<double>(h.level_members[i].size()), expected,
+                0.5 * expected + 20.0)
+        << "level " << i;
+  }
+}
+
+TEST(Hierarchy, DeterministicPerSeed) {
+  const ClusterHierarchy a = ClusterHierarchy::sample(200, 3, 5);
+  const ClusterHierarchy b = ClusterHierarchy::sample(200, 3, 5);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.level_members[i], b.level_members[i]);
+  }
+}
+
+// A connector that links every copy to the lexicographically first C_{i+1}
+// member (if any): produces a well-formed forest for structural tests.
+[[nodiscard]] ClusterForest build_toy_forest(const ClusterHierarchy& h) {
+  ClusterForest forest(h);
+  forest.build([&h](Vertex /*u*/, unsigned level,
+                    const std::vector<Vertex>& /*members*/)
+                   -> std::optional<Connector> {
+    if (h.level_members[level + 1].empty()) return std::nullopt;
+    Connector c;
+    c.parent = h.level_members[level + 1].front();
+    c.witness = {0, c.parent, 1.0};
+    return c;
+  });
+  return forest;
+}
+
+TEST(ClusterForest, EveryVertexHasTerminalParent) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(120, 3, 11);
+  const ClusterForest forest = build_toy_forest(h);
+  for (Vertex v = 0; v < 120; ++v) {
+    const CopyRef t = forest.terminal_parent_of(v);
+    EXPECT_TRUE(t.valid());
+    EXPECT_TRUE(forest.is_terminal(t.level, t.v));
+  }
+}
+
+TEST(ClusterForest, TerminalMembersCoverAllVertices) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(150, 3, 13);
+  const ClusterForest forest = build_toy_forest(h);
+  std::set<Vertex> covered;
+  for (const CopyRef t : forest.terminals()) {
+    for (const Vertex v : forest.terminal_members(t)) covered.insert(v);
+  }
+  EXPECT_EQ(covered.size(), 150u);
+}
+
+TEST(ClusterForest, TerminalParentMembershipConsistent) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(100, 4, 17);
+  const ClusterForest forest = build_toy_forest(h);
+  for (Vertex v = 0; v < 100; ++v) {
+    const CopyRef t = forest.terminal_parent_of(v);
+    const auto members = forest.terminal_members(t);
+    EXPECT_TRUE(std::binary_search(members.begin(), members.end(), v))
+        << "vertex must belong to its terminal parent's tree";
+  }
+}
+
+TEST(ClusterForest, TopLevelAlwaysTerminal) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(80, 3, 19);
+  const ClusterForest forest = build_toy_forest(h);
+  for (const Vertex v : h.level_members[2]) {
+    EXPECT_TRUE(forest.is_terminal(2, v));
+  }
+}
+
+TEST(ClusterForest, NoParentMeansTerminal) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(60, 2, 23);
+  ClusterForest forest(h);
+  // Connector that always declines: everything terminal at level 0.
+  forest.build([](Vertex, unsigned, const std::vector<Vertex>&) {
+    return std::nullopt;
+  });
+  for (Vertex v = 0; v < 60; ++v) {
+    EXPECT_TRUE(forest.is_terminal(0, v));
+    const CopyRef t = forest.terminal_parent_of(v);
+    EXPECT_EQ(t.v, v);
+    EXPECT_EQ(t.level, 0u);
+  }
+  const auto per_level = forest.terminals_per_level();
+  EXPECT_EQ(per_level[0], 60u);
+}
+
+TEST(ClusterForest, WitnessEdgesTrackParents) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(90, 3, 29);
+  const ClusterForest forest = build_toy_forest(h);
+  std::size_t parented = 0;
+  for (unsigned i = 0; i + 1 < h.k; ++i) {
+    for (const Vertex v : h.level_members[i]) {
+      if (forest.parent(i, v) != kInvalidVertex) ++parented;
+    }
+  }
+  EXPECT_EQ(forest.witness_edges().size(), parented);
+}
+
+TEST(ClusterForest, MembersAggregateUpward) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(70, 2, 31);
+  const ClusterForest forest = build_toy_forest(h);
+  if (!h.level_members[1].empty()) {
+    // The single designated level-1 parent absorbs every level-0 copy.
+    const Vertex root = h.level_members[1].front();
+    const auto members = forest.terminal_members({root, 1});
+    EXPECT_EQ(members.size(), 70u);
+  }
+}
+
+TEST(ClusterForest, RejectsBadParent) {
+  const ClusterHierarchy h = ClusterHierarchy::sample(50, 2, 37);
+  ClusterForest forest(h);
+  // Find a vertex NOT in C_1 to use as an (illegal) parent.
+  Vertex bad = kInvalidVertex;
+  for (Vertex v = 0; v < 50; ++v) {
+    if (!h.contains(1, v)) {
+      bad = v;
+      break;
+    }
+  }
+  ASSERT_NE(bad, kInvalidVertex);
+  EXPECT_THROW(
+      forest.build([bad](Vertex, unsigned, const std::vector<Vertex>&) {
+        Connector c;
+        c.parent = bad;
+        c.witness = {0, bad, 1.0};
+        return std::optional<Connector>(c);
+      }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace kw

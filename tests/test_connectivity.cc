@@ -1,0 +1,70 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+}
+
+TEST(Components, LabelsPartition) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[3]);
+  EXPECT_EQ(component_count(g), 3u);
+}
+
+TEST(SpanningForest, SizeAndAcyclicity) {
+  const Graph g = erdos_renyi_gnm(100, 300, 5);
+  const auto forest = spanning_forest_offline(g);
+  const std::size_t comps = component_count(g);
+  EXPECT_EQ(forest.size(), 100u - comps);
+  // The forest has the same connectivity as g.
+  const Graph f = Graph::from_edges(100, forest);
+  EXPECT_TRUE(same_partition(g, f));
+}
+
+TEST(SamePartition, DetectsDifference) {
+  Graph a(4);
+  a.add_edge(0, 1);
+  Graph b(4);
+  b.add_edge(2, 3);
+  EXPECT_FALSE(same_partition(a, b));
+  Graph c(4);
+  c.add_edge(1, 0);
+  EXPECT_TRUE(same_partition(a, c));
+}
+
+TEST(SamePartition, RefinementIsNotEquality) {
+  // b refines a (splits {0,1,2} into {0,1} and {2}).
+  Graph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  Graph b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(same_partition(a, b));
+}
+
+}  // namespace
+}  // namespace kw

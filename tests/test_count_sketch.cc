@@ -1,0 +1,116 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] CountSketchConfig make_config(std::size_t width,
+                                            std::uint64_t seed) {
+  CountSketchConfig c;
+  c.max_coord = 1 << 20;
+  c.width = width;
+  c.rows = 5;
+  c.seed = seed;
+  return c;
+}
+
+TEST(CountSketch, ZeroInitially) {
+  const CountSketch sketch(make_config(64, 1));
+  EXPECT_TRUE(sketch.is_zero());
+  EXPECT_DOUBLE_EQ(sketch.estimate(42), 0.0);
+}
+
+TEST(CountSketch, SparseVectorExact) {
+  // With far fewer items than width, rows rarely collide: estimates exact.
+  CountSketch sketch(make_config(256, 2));
+  std::map<std::uint64_t, std::int64_t> truth{{5, 10}, {900, -3}, {77777, 6}};
+  for (const auto& [c, v] : truth) sketch.update(c, v);
+  for (const auto& [c, v] : truth) {
+    EXPECT_DOUBLE_EQ(sketch.estimate(c), static_cast<double>(v));
+  }
+  EXPECT_DOUBLE_EQ(sketch.estimate(123456), 0.0);
+}
+
+TEST(CountSketch, DeletionsCancel) {
+  CountSketch sketch(make_config(64, 3));
+  sketch.update(10, 7);
+  sketch.update(10, -7);
+  EXPECT_TRUE(sketch.is_zero());
+}
+
+TEST(CountSketch, HeavyHitterRecovery) {
+  CountSketch sketch(make_config(256, 4));
+  Rng rng(5);
+  // Background noise: 2000 small items.
+  for (int i = 0; i < 2000; ++i) sketch.update(rng.next_below(1 << 20), 1);
+  // Three heavies.
+  sketch.update(111, 500);
+  sketch.update(222, -400);
+  sketch.update(333, 450);
+  std::vector<std::uint64_t> candidates;
+  for (std::uint64_t c = 0; c < 1000; ++c) candidates.push_back(c);
+  const auto heavy = sketch.heavy_hitters(candidates, 200.0);
+  std::map<std::uint64_t, double> found;
+  for (const auto& h : heavy) found[h.coord] = h.estimate;
+  ASSERT_TRUE(found.contains(111));
+  ASSERT_TRUE(found.contains(222));
+  ASSERT_TRUE(found.contains(333));
+  EXPECT_NEAR(found[111], 500.0, 60.0);
+  EXPECT_NEAR(found[222], -400.0, 60.0);
+}
+
+TEST(CountSketch, ErrorScalesWithWidth) {
+  // Estimate error ~ ||x||_2 / sqrt(W): quadrupling W should roughly halve
+  // the average absolute error on untouched coordinates.
+  auto mean_error = [](std::size_t width) {
+    CountSketch sketch(make_config(width, 7));
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) sketch.update(rng.next_below(1 << 20), 1);
+    double total = 0.0;
+    for (std::uint64_t probe = 0; probe < 200; ++probe) {
+      total += std::abs(sketch.estimate((1 << 19) + probe * 3));
+    }
+    return total / 200.0;
+  };
+  const double wide = mean_error(1024);
+  const double narrow = mean_error(64);
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(CountSketch, LinearityHolds) {
+  const auto config = make_config(128, 11);
+  CountSketch combined(config);
+  CountSketch a(config);
+  CountSketch b(config);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t c = rng.next_below(1 << 20);
+    const std::int64_t d = rng.next_bernoulli(0.5) ? 2 : -1;
+    combined.update(c, d);
+    (i % 2 == 0 ? a : b).update(c, d);
+  }
+  combined.merge(a, -1);
+  combined.merge(b, -1);
+  EXPECT_TRUE(combined.is_zero());
+}
+
+TEST(CountSketch, IncompatibleMergeThrows) {
+  CountSketch a(make_config(64, 1));
+  CountSketch b(make_config(64, 2));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CountSketch, RejectsBadGeometry) {
+  CountSketchConfig c;
+  c.width = 0;
+  EXPECT_THROW(CountSketch sketch(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,135 @@
+// Cross-checks between independently implemented components: when two
+// different code paths compute the same quantity, they must agree.  These
+// catch bugs that single-module tests cannot (shared misconceptions stay,
+// but independent implementations rarely share bugs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/baswana_sen.h"
+#include "core/multipass_spanner.h"
+#include "graph/connectivity.h"
+#include "graph/effective_resistance.h"
+#include "graph/eigen.h"
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+#include "graph/min_cut.h"
+#include "graph/shortest_paths.h"
+#include "graph/spectral_compare.h"
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+TEST(CrossCheck, PairIdFuzzLargeUniverse) {
+  Rng rng(1);
+  for (const std::uint64_t n : {100ULL, 4097ULL, 1000003ULL}) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto u = static_cast<Vertex>(rng.next_below(n));
+      auto v = static_cast<Vertex>(rng.next_below(n));
+      if (u == v) continue;
+      const std::uint64_t id = pair_id(u, v, n);
+      ASSERT_LT(id, num_pairs(n));
+      const auto [a, b] = pair_from_id(id, n);
+      ASSERT_EQ(a, std::min(u, v));
+      ASSERT_EQ(b, std::max(u, v));
+    }
+  }
+}
+
+TEST(CrossCheck, EffectiveResistanceViaEigenTrace) {
+  // Sum of w_e R_e (Foster) must equal n - #components computed by the
+  // completely independent union-find path.
+  const Graph g = with_random_weights(erdos_renyi_gnm(28, 90, 3), 0.5, 2, 5);
+  const auto r = all_edge_resistances_dense(g);
+  double foster = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    foster += g.edges()[i].weight * r[i];
+  }
+  const double expected =
+      static_cast<double>(g.n()) - static_cast<double>(component_count(g));
+  EXPECT_NEAR(foster, expected, 1e-6);
+}
+
+TEST(CrossCheck, MinCutAgreesWithSpectralGap) {
+  // Cheeger-flavored sanity: lambda_2(L)/2 <= min cut for unweighted
+  // graphs with min degree >= 1 (weak form of the easy Cheeger direction:
+  // lambda_2 <= conductance-like quantities scaled by volume; here we use
+  // the standard lambda_2 <= n/(n-1) * mincut ... use the safe bound
+  // lambda_2 <= 2 * mincut which holds since the cut indicator gives
+  // Rayleigh quotient <= cut * n / (|S| |V-S|) <= 2 * cut for |S| = n/2
+  // balanced; use the exact Rayleigh bound instead).
+  const Graph g = erdos_renyi_gnm(24, 90, 7);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  ASSERT_TRUE(cut.connected);
+  const EigenDecomposition eig = symmetric_eigen(laplacian_dense(g));
+  const double lambda2 = eig.values[1];
+  // Rayleigh quotient of the (centered) cut indicator upper-bounds lambda2:
+  std::vector<double> x(g.n());
+  double shore = 0.0;
+  for (Vertex v = 0; v < g.n(); ++v) shore += cut.side[v] ? 1.0 : 0.0;
+  const double nn = static_cast<double>(g.n());
+  for (Vertex v = 0; v < g.n(); ++v) {
+    x[v] = (cut.side[v] ? 1.0 : 0.0) - shore / nn;
+  }
+  double norm = 0.0;
+  for (const double xi : x) norm += xi * xi;
+  const double rayleigh = laplacian_quadratic_form(g, x) / norm;
+  EXPECT_LE(lambda2, rayleigh + 1e-9);
+  EXPECT_NEAR(laplacian_quadratic_form(g, x), cut.weight, 1e-9);
+}
+
+TEST(CrossCheck, StreamingAndOfflineBaswanaSenAgreeOnGuarantee) {
+  // Two unrelated implementations of (2k-1)-spanners: both must satisfy
+  // the bound; sizes should land within a small factor of each other.
+  const Graph g = erdos_renyi_gnm(120, 1400, 11);
+  const Graph offline = baswana_sen_spanner(g, 2, 13);
+  const DynamicStream stream = DynamicStream::from_graph(g, 17);
+  MultipassConfig config;
+  config.k = 2;
+  config.seed = 19;
+  const MultipassResult streaming = multipass_baswana_sen(stream, config);
+  const auto off_report = multiplicative_stretch(g, offline, false);
+  const auto str_report =
+      multiplicative_stretch(g, streaming.spanner, false);
+  EXPECT_LE(off_report.max_stretch, 3.0 + 1e-9);
+  EXPECT_LE(str_report.max_stretch, 3.0 + 1e-9);
+  EXPECT_LT(static_cast<double>(streaming.spanner.m()),
+            3.0 * static_cast<double>(offline.m()) + 100.0);
+  EXPECT_LT(static_cast<double>(offline.m()),
+            3.0 * static_cast<double>(streaming.spanner.m()) + 100.0);
+}
+
+TEST(CrossCheck, EnvelopeMatchesCutsOnIndicators) {
+  // The spectral envelope bounds every cut's relative error (binary x is a
+  // special case of the quadratic form).
+  const Graph g = erdos_renyi_gnm(24, 100, 23);
+  Graph h(g.n());
+  Rng rng(29);
+  for (const auto& e : g.edges()) {
+    if (rng.next_bernoulli(0.6)) h.add_edge(e.u, e.v, 1.0 / 0.6);
+  }
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  const CutReport cuts = compare_cuts(g, h, 100, 31);
+  EXPECT_LE(cuts.max_relative_error, env.epsilon() + 1e-6);
+}
+
+TEST(CrossCheck, BfsMatchesDijkstraOnUnitWeights) {
+  const Graph g = make_family("ba", 200, 800, 37);
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<Vertex>(rng.next_below(g.n()));
+    const auto hops = bfs_distances(g, s);
+    const auto dist = dijkstra_distances(g, s);
+    for (Vertex v = 0; v < g.n(); ++v) {
+      if (hops[v] == kUnreachableHops) {
+        EXPECT_EQ(dist[v], kUnreachableDist);
+      } else {
+        EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(hops[v]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,82 @@
+#include "core/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/two_pass_spanner.h"
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(DistanceOracle, ExactOnOwnGraph) {
+  const Graph g = path_graph(10);
+  DistanceOracle oracle(g, 1.0);
+  EXPECT_DOUBLE_EQ(oracle.distance(0, 9), 9.0);
+  EXPECT_DOUBLE_EQ(oracle.distance(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.distance(9, 0), 9.0);  // symmetric
+}
+
+TEST(DistanceOracle, DisconnectedIsInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  DistanceOracle oracle(g, 1.0);
+  EXPECT_TRUE(std::isinf(oracle.distance(0, 3)));
+  EXPECT_FALSE(oracle.within(0, 3, 100.0));
+}
+
+TEST(DistanceOracle, CachesSources) {
+  const Graph g = erdos_renyi_gnm(50, 200, 3);
+  DistanceOracle oracle(g, 1.0);
+  EXPECT_EQ(oracle.cached_sources(), 0u);
+  (void)oracle.distance(1, 2);
+  (void)oracle.distance(1, 3);
+  (void)oracle.distance(2, 1);  // shares the min-endpoint cache entry
+  EXPECT_EQ(oracle.cached_sources(), 1u);
+  (void)oracle.distance(5, 9);
+  EXPECT_EQ(oracle.cached_sources(), 2u);
+}
+
+TEST(DistanceOracle, WithinThreshold) {
+  const Graph g = cycle_graph(12);
+  DistanceOracle oracle(g, 1.0);
+  EXPECT_TRUE(oracle.within(0, 6, 6.0));
+  EXPECT_FALSE(oracle.within(0, 6, 5.0));
+}
+
+TEST(DistanceOracle, WeightedMode) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 0.5);
+  DistanceOracle oracle(g, 1.0, /*weighted=*/true);
+  EXPECT_DOUBLE_EQ(oracle.distance(0, 2), 3.0);
+}
+
+TEST(DistanceOracle, SpannerOracleSatisfiesStretchContract) {
+  // Build from the Theorem 1 spanner: d <= oracle <= 2^k * d for all pairs
+  // reachable in G (the [KP12] oracle requirement from Section 6).
+  const Graph g = erdos_renyi_gnm(90, 600, 7);
+  const DynamicStream stream = DynamicStream::from_graph(g, 11);
+  TwoPassConfig config;
+  config.k = 2;
+  config.seed = 13;
+  TwoPassSpanner builder(g.n(), config);
+  const TwoPassResult result = builder.run(stream);
+  DistanceOracle oracle(result.spanner, std::pow(2.0, config.k));
+  EXPECT_DOUBLE_EQ(oracle.stretch(), 4.0);
+
+  const auto true_hops = all_pairs_hops(g);
+  for (Vertex u = 0; u < g.n(); u += 7) {
+    for (Vertex v = u + 1; v < g.n(); v += 5) {
+      if (true_hops[u][v] == kUnreachableHops) continue;
+      const double est = oracle.distance(u, v);
+      const auto truth = static_cast<double>(true_hops[u][v]);
+      EXPECT_GE(est, truth);
+      EXPECT_LE(est, oracle.stretch() * truth);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kw

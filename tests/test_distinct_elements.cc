@@ -1,0 +1,119 @@
+#include "sketch/distinct_elements.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] DistinctElementsConfig make_config(std::uint64_t max_coord,
+                                                 double eps,
+                                                 std::uint64_t seed) {
+  DistinctElementsConfig c;
+  c.max_coord = max_coord;
+  c.epsilon = eps;
+  c.repetitions = 7;
+  c.seed = seed;
+  return c;
+}
+
+TEST(DistinctElements, EmptyIsZero) {
+  const DistinctElementsSketch sketch(make_config(1 << 20, 0.3, 1));
+  EXPECT_DOUBLE_EQ(sketch.estimate(), 0.0);
+}
+
+TEST(DistinctElements, SmallCountsNearExact) {
+  DistinctElementsSketch sketch(make_config(1 << 20, 0.25, 2));
+  for (std::uint64_t c = 0; c < 10; ++c) sketch.update(c * 37, 1);
+  EXPECT_NEAR(sketch.estimate(), 10.0, 4.0);
+}
+
+TEST(DistinctElements, LargeCountWithinTolerance) {
+  DistinctElementsSketch sketch(make_config(1 << 24, 0.25, 3));
+  Rng rng(4);
+  std::size_t inserted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sketch.update(rng.next_below(1 << 24), 1);
+    ++inserted;  // collisions negligible at this density
+  }
+  const double est = sketch.estimate();
+  EXPECT_NEAR(est, static_cast<double>(inserted), 0.35 * inserted);
+}
+
+TEST(DistinctElements, MultiplicityDoesNotInflate) {
+  DistinctElementsSketch sketch(make_config(1 << 16, 0.25, 5));
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    for (int rep = 0; rep < 5; ++rep) sketch.update(c, 1);
+  }
+  EXPECT_NEAR(sketch.estimate(), 100.0, 40.0);
+}
+
+TEST(DistinctElements, DeletionsReduceCount) {
+  DistinctElementsSketch sketch(make_config(1 << 16, 0.25, 6));
+  for (std::uint64_t c = 0; c < 2000; ++c) sketch.update(c, 1);
+  for (std::uint64_t c = 0; c < 1900; ++c) sketch.update(c, -1);
+  EXPECT_NEAR(sketch.estimate(), 100.0, 50.0);
+}
+
+TEST(DistinctElements, FullCancellationIsZero) {
+  DistinctElementsSketch sketch(make_config(1024, 0.3, 7));
+  for (std::uint64_t c = 0; c < 500; ++c) sketch.update(c, 3);
+  for (std::uint64_t c = 0; c < 500; ++c) sketch.update(c, -3);
+  EXPECT_DOUBLE_EQ(sketch.estimate(), 0.0);
+}
+
+TEST(DistinctElements, MergeAddsDisjointSupports) {
+  const auto config = make_config(1 << 20, 0.25, 8);
+  DistinctElementsSketch a(config);
+  DistinctElementsSketch b(config);
+  for (std::uint64_t c = 0; c < 3000; ++c) a.update(2 * c, 1);
+  for (std::uint64_t c = 0; c < 3000; ++c) b.update(2 * c + 1, 1);
+  a.merge(b, 1);
+  EXPECT_NEAR(a.estimate(), 6000.0, 0.35 * 6000.0);
+}
+
+TEST(DistinctElements, MergeSubtractRemoves) {
+  const auto config = make_config(1 << 20, 0.25, 9);
+  DistinctElementsSketch a(config);
+  DistinctElementsSketch b(config);
+  for (std::uint64_t c = 0; c < 4000; ++c) a.update(c, 1);
+  for (std::uint64_t c = 0; c < 4000; ++c) {
+    if (c % 2 == 0) b.update(c, 1);
+  }
+  a.merge(b, -1);
+  EXPECT_NEAR(a.estimate(), 2000.0, 0.35 * 2000.0);
+}
+
+TEST(DistinctElements, RejectsBadEpsilon) {
+  EXPECT_THROW(DistinctElementsSketch(make_config(10, 0.0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(DistinctElementsSketch(make_config(10, 1.5, 1)),
+               std::invalid_argument);
+}
+
+// Accuracy sweep across scales: relative error stays bounded.
+class DistinctScale : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistinctScale, RelativeErrorBounded) {
+  const std::size_t count = GetParam();
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    DistinctElementsSketch sketch(make_config(1 << 26, 0.25, 100 + seed));
+    for (std::size_t c = 0; c < count; ++c) {
+      sketch.update(static_cast<std::uint64_t>(c) * 1001, 1);
+    }
+    const double est = sketch.estimate();
+    worst = std::max(worst,
+                     std::abs(est - static_cast<double>(count)) / count);
+  }
+  EXPECT_LT(worst, 0.45) << "relative error too large at count " << count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DistinctScale,
+                         ::testing::Values(32, 128, 512, 2048, 8192, 32768));
+
+}  // namespace
+}  // namespace kw

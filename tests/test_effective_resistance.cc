@@ -1,0 +1,85 @@
+#include "graph/effective_resistance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(EffectiveResistance, SeriesPath) {
+  // Unit resistors in series: R(0, k) = k.
+  const Graph g = path_graph(6);
+  EXPECT_NEAR(effective_resistance(g, 0, 5), 5.0, 1e-6);
+  EXPECT_NEAR(effective_resistance(g, 1, 3), 2.0, 1e-6);
+}
+
+TEST(EffectiveResistance, ParallelEdgesViaWeights) {
+  // Conductance 2 between the endpoints = resistance 1/2.
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 0.5, 1e-9);
+}
+
+TEST(EffectiveResistance, CompleteGraphFormula) {
+  // K_n: R(u,v) = 2/n for any pair.
+  const Graph g = complete_graph(10);
+  EXPECT_NEAR(effective_resistance(g, 2, 7), 0.2, 1e-7);
+}
+
+TEST(EffectiveResistance, CycleFormula) {
+  // Cycle C_n: R between vertices k apart = k(n-k)/n.
+  const Graph g = cycle_graph(8);
+  EXPECT_NEAR(effective_resistance(g, 0, 4), 4.0 * 4.0 / 8.0, 1e-7);
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 1.0 * 7.0 / 8.0, 1e-7);
+}
+
+TEST(EffectiveResistance, DisconnectedIsInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(std::isinf(effective_resistance(g, 0, 2)));
+}
+
+TEST(EffectiveResistance, SamePointIsZero) {
+  const Graph g = path_graph(3);
+  EXPECT_DOUBLE_EQ(effective_resistance(g, 1, 1), 0.0);
+}
+
+TEST(EffectiveResistance, CgMatchesDenseBackend) {
+  const Graph g =
+      with_random_weights(erdos_renyi_gnm(40, 150, 6), 0.5, 2.0, 11);
+  const auto cg = all_edge_resistances(g);
+  const auto dense = all_edge_resistances_dense(g);
+  ASSERT_EQ(cg.size(), dense.size());
+  for (std::size_t i = 0; i < cg.size(); ++i) {
+    EXPECT_NEAR(cg[i], dense[i], 1e-5);
+  }
+}
+
+TEST(EffectiveResistance, FosterSumRule) {
+  // Foster's theorem: sum over edges of w_e * R_e = n - #components.
+  const Graph g = erdos_renyi_gnm(30, 90, 13);
+  const auto r = all_edge_resistances(g);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    sum += g.edges()[i].weight * r[i];
+  }
+  EXPECT_NEAR(sum, 29.0, 1e-4);  // connected whp at this density
+}
+
+TEST(EffectiveResistance, EdgeResistanceBounds) {
+  // 0 < w_e * R_e <= 1 for every edge (leverage scores).
+  const Graph g = with_random_weights(erdos_renyi_gnm(25, 80, 1), 1.0, 3.0, 2);
+  const auto r = all_edge_resistances(g);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double leverage = g.edges()[i].weight * r[i];
+    EXPECT_GT(leverage, 0.0);
+    EXPECT_LE(leverage, 1.0 + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace kw

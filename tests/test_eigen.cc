@@ -1,0 +1,101 @@
+#include "graph/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const EigenDecomposition e = symmetric_eigen(a);
+  ASSERT_TRUE(e.converged);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-10);
+}
+
+TEST(Eigen, TwoByTwoKnown) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 2;
+  const EigenDecomposition e = symmetric_eigen(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  Rng rng(2);
+  const std::size_t n = 12;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.next_double() - 0.5;
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  const EigenDecomposition e = symmetric_eigen(a);
+  ASSERT_TRUE(e.converged);
+  // A = V diag(lambda) V^T.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        acc += e.vectors.at(i, t) * e.values[t] * e.vectors.at(j, t);
+      }
+      EXPECT_NEAR(acc, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, EigenvectorsOrthonormal) {
+  const Graph g = erdos_renyi_gnm(20, 60, 3);
+  const EigenDecomposition e = symmetric_eigen(laplacian_dense(g));
+  const std::size_t n = g.n();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += e.vectors.at(i, a) * e.vectors.at(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, LaplacianPropertiesHold) {
+  const Graph g = erdos_renyi_gnm(24, 80, 7);
+  const EigenDecomposition e = symmetric_eigen(laplacian_dense(g));
+  ASSERT_TRUE(e.converged);
+  // PSD: all eigenvalues >= 0 (up to tolerance); smallest is 0 (constant
+  // vector), and multiplicity of 0 equals #components (here 1 whp).
+  EXPECT_NEAR(e.values.front(), 0.0, 1e-8);
+  for (const double lambda : e.values) EXPECT_GT(lambda, -1e-8);
+  EXPECT_GT(e.values[1], 1e-6);  // connected -> positive Fiedler value
+  // Trace = sum of degrees.
+  double trace = 0.0;
+  for (const double lambda : e.values) trace += lambda;
+  EXPECT_NEAR(trace, 2.0 * static_cast<double>(g.m()), 1e-6);
+}
+
+TEST(Eigen, CompleteGraphSpectrum) {
+  // K_n Laplacian: eigenvalue 0 once and n with multiplicity n-1.
+  const Graph g = complete_graph(8);
+  const EigenDecomposition e = symmetric_eigen(laplacian_dense(g));
+  EXPECT_NEAR(e.values[0], 0.0, 1e-9);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(e.values[i], 8.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,124 @@
+#include "sketch/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace kw {
+namespace {
+
+TEST(FingerprintBasis, NonDegenerate) {
+  const FingerprintBasis basis(42);
+  EXPECT_GE(basis.r1(), 2u);
+  EXPECT_GE(basis.r2(), 2u);
+  EXPECT_NE(basis.r1(), basis.r2());
+}
+
+TEST(OneSparseCell, ZeroInitially) {
+  const OneSparseCell cell;
+  EXPECT_TRUE(cell.is_zero());
+  EXPECT_EQ(classify_cell(cell, 100, FingerprintBasis(1), nullptr),
+            CellState::kZero);
+}
+
+TEST(OneSparseCell, SingleItemRecovered) {
+  const FingerprintBasis basis(7);
+  OneSparseCell cell;
+  cell.add(42, 3, basis);
+  Recovered rec;
+  ASSERT_EQ(classify_cell(cell, 100, basis, &rec), CellState::kOneSparse);
+  EXPECT_EQ(rec.coord, 42u);
+  EXPECT_EQ(rec.value, 3);
+}
+
+TEST(OneSparseCell, InsertDeleteCancels) {
+  const FingerprintBasis basis(9);
+  OneSparseCell cell;
+  cell.add(17, 1, basis);
+  cell.add(17, -1, basis);
+  EXPECT_TRUE(cell.is_zero());
+}
+
+TEST(OneSparseCell, AccumulatedMultiplicity) {
+  const FingerprintBasis basis(3);
+  OneSparseCell cell;
+  for (int i = 0; i < 5; ++i) cell.add(8, 1, basis);
+  cell.add(8, -2, basis);
+  Recovered rec;
+  ASSERT_EQ(classify_cell(cell, 64, basis, &rec), CellState::kOneSparse);
+  EXPECT_EQ(rec.coord, 8u);
+  EXPECT_EQ(rec.value, 3);
+}
+
+TEST(OneSparseCell, TwoItemsRejected) {
+  const FingerprintBasis basis(5);
+  OneSparseCell cell;
+  cell.add(10, 1, basis);
+  cell.add(20, 1, basis);
+  EXPECT_EQ(classify_cell(cell, 100, basis, nullptr),
+            CellState::kManyOrUnknown);
+}
+
+TEST(OneSparseCell, ManyItemsWithCancellingMeanRejected) {
+  // coords 10 and 30 with equal values: the mean coord (20) divides evenly;
+  // only the fingerprint distinguishes this from a true singleton at 20.
+  const FingerprintBasis basis(11);
+  OneSparseCell cell;
+  cell.add(10, 1, basis);
+  cell.add(30, 1, basis);
+  EXPECT_EQ(classify_cell(cell, 100, basis, nullptr),
+            CellState::kManyOrUnknown);
+}
+
+TEST(OneSparseCell, AdversarialMasqueradeCaught) {
+  // Try many multi-item combinations whose (count, coord_sum) mimic a
+  // singleton; the fingerprints must reject all of them.
+  const FingerprintBasis basis(13);
+  int false_accepts = 0;
+  for (std::uint64_t a = 0; a < 40; ++a) {
+    for (std::uint64_t b = a + 2; b < 40; b += 2) {
+      OneSparseCell cell;
+      cell.add(a, 1, basis);
+      cell.add(b, 1, basis);
+      Recovered rec;
+      if (classify_cell(cell, 100, basis, &rec) == CellState::kOneSparse) {
+        ++false_accepts;
+      }
+    }
+  }
+  EXPECT_EQ(false_accepts, 0);
+}
+
+TEST(OneSparseCell, MergeWithSigns) {
+  const FingerprintBasis basis(17);
+  OneSparseCell a;
+  a.add(5, 2, basis);
+  OneSparseCell b;
+  b.add(5, 2, basis);
+  a.merge(b, -1);
+  EXPECT_TRUE(a.is_zero());
+  a.merge(b, 1);
+  Recovered rec;
+  ASSERT_EQ(classify_cell(a, 10, basis, &rec), CellState::kOneSparse);
+  EXPECT_EQ(rec.value, 2);
+}
+
+TEST(OneSparseCell, OutOfRangeCoordRejected) {
+  const FingerprintBasis basis(19);
+  OneSparseCell cell;
+  cell.add(50, 1, basis);
+  // max_coord = 50 excludes coordinate 50.
+  EXPECT_EQ(classify_cell(cell, 50, basis, nullptr),
+            CellState::kManyOrUnknown);
+}
+
+TEST(OneSparseCell, NegativeValueSingleton) {
+  const FingerprintBasis basis(23);
+  OneSparseCell cell;
+  cell.add(7, -4, basis);
+  Recovered rec;
+  ASSERT_EQ(classify_cell(cell, 100, basis, &rec), CellState::kOneSparse);
+  EXPECT_EQ(rec.coord, 7u);
+  EXPECT_EQ(rec.value, -4);
+}
+
+}  // namespace
+}  // namespace kw

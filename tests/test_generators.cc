@@ -1,0 +1,161 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "graph/connectivity.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] bool is_simple(const Graph& g) {
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const auto& e : g.edges()) {
+    if (e.u == e.v) return false;
+    const auto key = std::minmax(e.u, e.v);
+    if (!seen.insert({key.first, key.second}).second) return false;
+  }
+  return true;
+}
+
+TEST(Generators, GnpDensityMatches) {
+  const Graph g = erdos_renyi_gnp(200, 0.1, 7);
+  const double expected = 0.1 * static_cast<double>(num_pairs(200));
+  EXPECT_NEAR(static_cast<double>(g.m()), expected, 0.2 * expected);
+  EXPECT_TRUE(is_simple(g));
+}
+
+TEST(Generators, GnpEdgeCasesEmptyAndFull) {
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, 1).m(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(20, 1.0, 1).m(), num_pairs(20));
+}
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  const Graph a = erdos_renyi_gnp(100, 0.05, 9);
+  const Graph b = erdos_renyi_gnp(100, 0.05, 9);
+  ASSERT_EQ(a.m(), b.m());
+  for (std::size_t i = 0; i < a.m(); ++i) {
+    EXPECT_EQ(a.edges()[i].u, b.edges()[i].u);
+    EXPECT_EQ(a.edges()[i].v, b.edges()[i].v);
+  }
+}
+
+TEST(Generators, GnmExactCount) {
+  const Graph g = erdos_renyi_gnm(100, 500, 3);
+  EXPECT_EQ(g.m(), 500u);
+  EXPECT_TRUE(is_simple(g));
+}
+
+TEST(Generators, GnmRejectsTooMany) {
+  EXPECT_THROW(erdos_renyi_gnm(5, 11, 1), std::invalid_argument);
+}
+
+TEST(Generators, PathAndCycle) {
+  const Graph p = path_graph(10);
+  EXPECT_EQ(p.m(), 9u);
+  EXPECT_EQ(component_count(p), 1u);
+  const Graph c = cycle_graph(10);
+  EXPECT_EQ(c.m(), 10u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 2u);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = grid_graph(4, 5);
+  EXPECT_EQ(g.n(), 20u);
+  EXPECT_EQ(g.m(), 4u * 4 + 3 * 5);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(component_count(g), 1u);
+}
+
+TEST(Generators, CompleteAndStar) {
+  EXPECT_EQ(complete_graph(8).m(), num_pairs(8));
+  const Graph s = star_graph(9);
+  EXPECT_EQ(s.m(), 8u);
+  EXPECT_EQ(s.degree(0), 8u);
+}
+
+TEST(Generators, HypercubeRegular) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.n(), 16u);
+  for (Vertex v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(component_count(g), 1u);
+}
+
+TEST(Generators, BarbellConnected) {
+  const Graph g = barbell_graph(10, 5);
+  EXPECT_EQ(component_count(g), 1u);
+  EXPECT_EQ(g.n(), 24u);
+  // Two K_10s plus the path edges.
+  EXPECT_EQ(g.m(), 2 * num_pairs(10) + 5);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = random_regular_graph(100, 6, 11);
+  EXPECT_TRUE(is_simple(g));
+  std::size_t total_degree = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    EXPECT_LE(g.degree(v), 6u);
+    total_degree += g.degree(v);
+  }
+  // Configuration model with rejection loses only a few stubs.
+  EXPECT_GE(total_degree, 100u * 6 - 20);
+  EXPECT_EQ(component_count(g), 1u);  // whp for d=6
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(random_regular_graph(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const Graph g = barabasi_albert_graph(300, 3, 5);
+  EXPECT_TRUE(is_simple(g));
+  EXPECT_EQ(component_count(g), 1u);
+  // m = seed clique + 3 per additional vertex.
+  EXPECT_EQ(g.m(), num_pairs(4) + (300 - 4) * 3u);
+  // Preferential attachment should produce a hub with degree >> 3.
+  std::size_t max_degree = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  EXPECT_GT(max_degree, 15u);
+}
+
+TEST(Generators, RandomWeightsInRange) {
+  const Graph g = with_random_weights(path_graph(50), 2.0, 8.0, 3);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 8.0);
+  }
+}
+
+TEST(Generators, GeometricWeightsOnLadder) {
+  const Graph g = with_geometric_weights(path_graph(200), 1.0, 64.0, 3);
+  for (const auto& e : g.edges()) {
+    double w = e.weight;
+    while (w > 1.5) w /= 2.0;
+    EXPECT_NEAR(w, 1.0, 1e-9);
+  }
+}
+
+class FamilyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyTest, ProducesUsableGraph) {
+  const Graph g = make_family(GetParam(), 64, 200, 13);
+  EXPECT_GE(g.n(), 16u);
+  EXPECT_GT(g.m(), 0u);
+  EXPECT_TRUE(is_simple(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyTest,
+                         ::testing::Values("er", "ba", "grid", "hypercube",
+                                           "regular", "path", "cycle",
+                                           "barbell"));
+
+TEST(Generators, UnknownFamilyThrows) {
+  EXPECT_THROW(make_family("nope", 10, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,88 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace kw {
+namespace {
+
+TEST(PairId, RoundTripSmall) {
+  const std::uint64_t n = 10;
+  std::set<std::uint64_t> seen;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const std::uint64_t id = pair_id(u, v, n);
+      EXPECT_LT(id, num_pairs(n));
+      EXPECT_TRUE(seen.insert(id).second) << "pair ids must be distinct";
+      const auto [a, b] = pair_from_id(id, n);
+      EXPECT_EQ(a, u);
+      EXPECT_EQ(b, v);
+    }
+  }
+  EXPECT_EQ(seen.size(), num_pairs(n));
+}
+
+TEST(PairId, SymmetricInArguments) {
+  EXPECT_EQ(pair_id(3, 7, 100), pair_id(7, 3, 100));
+}
+
+TEST(PairId, RoundTripLargeN) {
+  const std::uint64_t n = 100000;
+  const std::uint64_t ids[] = {0, 1, 12345, num_pairs(n) / 2,
+                               num_pairs(n) - 1};
+  for (const std::uint64_t id : ids) {
+    const auto [a, b] = pair_from_id(id, n);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, n);
+    EXPECT_EQ(pair_id(a, b, n), id);
+  }
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(Graph, NeighborsCarryEdgeIndex) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto nbs = g.neighbors(0);
+  ASSERT_EQ(nbs.size(), 2u);
+  EXPECT_EQ(g.edges()[nbs[0].edge_index].u, 0u);
+  EXPECT_EQ(g.edges()[nbs[1].edge_index].v, 2u);
+}
+
+TEST(Graph, FromEdgesReconstructs) {
+  Graph g(5);
+  g.add_edge(0, 4, 2.0);
+  g.add_edge(1, 3);
+  const Graph h = Graph::from_edges(5, g.edges());
+  EXPECT_EQ(h.m(), 2u);
+  EXPECT_TRUE(h.has_edge(0, 4));
+  EXPECT_TRUE(h.has_edge(1, 3));
+}
+
+}  // namespace
+}  // namespace kw

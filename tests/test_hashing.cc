@@ -1,0 +1,120 @@
+#include "util/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kw {
+namespace {
+
+TEST(KWiseHash, DeterministicPerSeed) {
+  const KWiseHash h1(4, 42);
+  const KWiseHash h2(4, 42);
+  const KWiseHash h3(4, 43);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h1(x), h2(x));
+    if (h1(x) == h3(x)) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(KWiseHash, OutputBelowPrime) {
+  const KWiseHash h(8, 7);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h(x), kFieldPrime);
+  }
+}
+
+TEST(KWiseHash, BucketsRoughlyUniform) {
+  const KWiseHash h(2, 99);
+  constexpr std::uint64_t kRange = 16;
+  std::vector<int> counts(kRange, 0);
+  constexpr int kSamples = 64000;
+  for (std::uint64_t x = 0; x < kSamples; ++x) {
+    ++counts[h.bucket(x, kRange)];
+  }
+  const double expected = static_cast<double>(kSamples) / kRange;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(KWiseHash, PairwiseCollisionRate) {
+  // For pairwise-independent hashing into [0, R), collision probability of a
+  // fixed pair is ~1/R; measure over many pairs.
+  const KWiseHash h(2, 3);
+  constexpr std::uint64_t kRange = 128;
+  int collisions = 0;
+  constexpr int kPairs = 40000;
+  for (int i = 0; i < kPairs; ++i) {
+    const std::uint64_t a = 2 * i;
+    const std::uint64_t b = 2 * i + 1;
+    if (h.bucket(a, kRange) == h.bucket(b, kRange)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / kPairs;
+  EXPECT_NEAR(rate, 1.0 / kRange, 3.0 / kRange);
+}
+
+TEST(KWiseHash, UnitInRange) {
+  const KWiseHash h(4, 5);
+  double sum = 0.0;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    const double u = h.unit(x);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(KWiseHash, SubsampleIsNested) {
+  const KWiseHash h(8, 17);
+  for (std::uint64_t x = 0; x < 2000; ++x) {
+    for (std::uint32_t level = 1; level < 20; ++level) {
+      if (h.subsample(x, level)) {
+        EXPECT_TRUE(h.subsample(x, level - 1))
+            << "survival must be monotone in level";
+      }
+    }
+  }
+}
+
+TEST(KWiseHash, SubsampleRateHalves) {
+  const KWiseHash h(8, 23);
+  constexpr int kKeys = 100000;
+  for (std::uint32_t level : {1u, 2u, 4u}) {
+    int survivors = 0;
+    for (std::uint64_t x = 0; x < kKeys; ++x) {
+      if (h.subsample(x, level)) ++survivors;
+    }
+    const double expect = std::pow(0.5, level);
+    EXPECT_NEAR(static_cast<double>(survivors) / kKeys, expect, 0.25 * expect);
+  }
+}
+
+TEST(KWiseHash, LevelZeroAlwaysSurvives) {
+  const KWiseHash h(2, 31);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_TRUE(h.subsample(x, 0));
+  }
+}
+
+TEST(HashFamily, MembersAreIndependentlySeeded) {
+  const HashFamily family(8, 4, 77);
+  EXPECT_EQ(family.size(), 8u);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 50; ++x) {
+    if (family[0](x) == family[1](x)) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(PackPair, Injective) {
+  EXPECT_NE(pack_pair(1, 2), pack_pair(2, 1));
+  EXPECT_EQ(pack_pair(3, 4), pack_pair(3, 4));
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,59 @@
+#include "lowerbound/ind_game.h"
+
+#include <gtest/gtest.h>
+
+namespace kw {
+namespace {
+
+TEST(IndGame, ExactAlgorithmWinsAlways) {
+  IndGameSetup setup;
+  setup.block_size = 12;
+  setup.num_blocks = 6;
+  setup.seed = 1;
+  const IndGameOutcome outcome = play_ind_game_exact(setup, 40);
+  EXPECT_EQ(outcome.trials, 40u);
+  EXPECT_EQ(outcome.correct, 40u);
+  EXPECT_GT(outcome.state_bytes, 0u);
+}
+
+TEST(IndGame, HighSpaceAdditiveSketchWinsOften) {
+  IndGameSetup setup;
+  setup.block_size = 12;
+  setup.num_blocks = 5;
+  setup.seed = 3;
+  AdditiveConfig config;
+  config.d = 24.0;  // space well above the n*d lower-bound scale
+  const IndGameOutcome outcome = play_ind_game_additive(setup, config, 30);
+  EXPECT_GE(outcome.success_rate(), 0.8);
+}
+
+TEST(IndGame, LowSpaceDegradesTowardGuessing) {
+  IndGameSetup setup;
+  setup.block_size = 24;
+  setup.num_blocks = 6;
+  setup.seed = 5;
+  AdditiveConfig starved;
+  starved.d = 1.0;
+  starved.threshold_factor = 0.15;  // degree cutoff far below block degree
+  starved.budget_slack = 1.0;
+  const IndGameOutcome low = play_ind_game_additive(setup, starved, 40);
+  AdditiveConfig ample;
+  ample.d = 48.0;
+  const IndGameOutcome high = play_ind_game_additive(setup, ample, 40);
+  EXPECT_LT(low.state_bytes, high.state_bytes);
+  EXPECT_GE(high.success_rate(), low.success_rate() - 0.1)
+      << "more state should not hurt";
+  EXPECT_LE(low.success_rate(), 0.85)
+      << "starved algorithm should not reliably answer INDEX";
+}
+
+TEST(IndGame, SuccessRateArithmetic) {
+  IndGameOutcome o;
+  EXPECT_DOUBLE_EQ(o.success_rate(), 0.0);
+  o.trials = 4;
+  o.correct = 3;
+  EXPECT_DOUBLE_EQ(o.success_rate(), 0.75);
+}
+
+}  // namespace
+}  // namespace kw

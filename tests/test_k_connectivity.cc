@@ -1,0 +1,124 @@
+#include "agm/k_connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/min_cut.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] AgmConfig make_config(std::uint64_t seed) {
+  AgmConfig c;
+  c.rounds = 12;
+  c.sampler_instances = 4;
+  c.seed = seed;
+  return c;
+}
+
+TEST(KConnectivity, ForestsAreEdgeDisjointSubgraphs) {
+  const Graph g = erdos_renyi_gnm(60, 400, 3);
+  const DynamicStream stream = DynamicStream::from_graph(g, 4);
+  const KConnectivityResult result =
+      KConnectivitySketch::from_stream(stream, 3, make_config(5));
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.forests.size(), 3u);
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (const auto& forest : result.forests) {
+    for (const auto& e : forest) {
+      EXPECT_TRUE(g.has_edge(e.u, e.v));
+      EXPECT_TRUE(
+          seen.insert({std::min(e.u, e.v), std::max(e.u, e.v)}).second)
+          << "forests must be edge-disjoint";
+    }
+  }
+}
+
+TEST(KConnectivity, FirstForestSpans) {
+  const Graph g = erdos_renyi_gnm(50, 300, 7);
+  const DynamicStream stream = DynamicStream::from_graph(g, 8);
+  const KConnectivityResult result =
+      KConnectivitySketch::from_stream(stream, 2, make_config(9));
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(same_partition(
+      g, Graph::from_edges(g.n(), result.forests[0])));
+}
+
+TEST(KConnectivity, CertificatePreservesSmallCuts) {
+  // Nagamochi-Ibaraki property: min(lambda(G), k) <= lambda(cert) <=
+  // lambda(G).  (The union of k forests may be even better connected than
+  // k; only the lower bound is guaranteed.)
+  const Graph g = hypercube_graph(4);  // lambda = 4
+  const DynamicStream stream = DynamicStream::from_graph(g, 11);
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    const KConnectivityResult result =
+        KConnectivitySketch::from_stream(stream, k, make_config(13 + k));
+    ASSERT_TRUE(result.complete) << "k=" << k;
+    const std::size_t lambda = edge_connectivity(result.certificate);
+    EXPECT_GE(lambda, k) << "certificate lost a small cut at k=" << k;
+    EXPECT_LE(lambda, 4u);
+  }
+}
+
+TEST(KConnectivity, DetectsLowConnectivity) {
+  // Barbell has a bridge: even a k=3 certificate must show lambda = 1.
+  const Graph g = barbell_graph(8, 2);
+  const DynamicStream stream = DynamicStream::from_graph(g, 17);
+  const KConnectivityResult result =
+      KConnectivitySketch::from_stream(stream, 3, make_config(19));
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(edge_connectivity(result.certificate), 1u);
+}
+
+TEST(KConnectivity, CertificateSizeBounded) {
+  // <= k (n - 1) edges by construction.
+  const Graph g = erdos_renyi_gnm(80, 1200, 23);
+  const DynamicStream stream = DynamicStream::from_graph(g, 29);
+  const KConnectivityResult result =
+      KConnectivitySketch::from_stream(stream, 4, make_config(31));
+  EXPECT_LE(result.certificate.m(), 4u * (g.n() - 1));
+  EXPECT_LT(result.certificate.m(), g.m());
+}
+
+TEST(KConnectivity, DeletionsHandled) {
+  const Graph g = cycle_graph(24);
+  const DynamicStream stream = DynamicStream::with_churn(g, 100, 37);
+  const KConnectivityResult result =
+      KConnectivitySketch::from_stream(stream, 2, make_config(41));
+  ASSERT_TRUE(result.complete);
+  for (const auto& forest : result.forests) {
+    for (const auto& e : forest) {
+      EXPECT_TRUE(g.has_edge(e.u, e.v)) << "phantom edge leaked";
+    }
+  }
+  EXPECT_EQ(edge_connectivity(result.certificate), 2u);
+}
+
+TEST(KConnectivity, DistributedMerge) {
+  const Graph g = erdos_renyi_gnm(40, 240, 43);
+  const DynamicStream stream = DynamicStream::from_graph(g, 47);
+  const auto parts = stream.split(3);
+  KConnectivitySketch a(g.n(), 2, make_config(53));
+  KConnectivitySketch b(g.n(), 2, make_config(53));
+  KConnectivitySketch c(g.n(), 2, make_config(53));
+  parts[0].replay([&a](const EdgeUpdate& u) { a.update(u.u, u.v, u.delta); });
+  parts[1].replay([&b](const EdgeUpdate& u) { b.update(u.u, u.v, u.delta); });
+  parts[2].replay([&c](const EdgeUpdate& u) { c.update(u.u, u.v, u.delta); });
+  a.merge(b, 1);
+  a.merge(c, 1);
+  const KConnectivityResult result = std::move(a).extract();
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(same_partition(
+      g, Graph::from_edges(g.n(), result.forests[0])));
+}
+
+TEST(KConnectivity, RejectsZeroK) {
+  EXPECT_THROW(KConnectivitySketch(10, 0, make_config(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,135 @@
+#include "sketch/l0_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] L0SamplerConfig make_config(std::uint64_t max_coord,
+                                          std::uint64_t seed) {
+  L0SamplerConfig c;
+  c.max_coord = max_coord;
+  c.instances = 4;
+  c.seed = seed;
+  return c;
+}
+
+TEST(L0Sampler, ZeroVectorYieldsNothing) {
+  const L0Sampler sampler(make_config(1000, 1));
+  EXPECT_FALSE(sampler.decode().has_value());
+  EXPECT_TRUE(sampler.is_zero());
+}
+
+TEST(L0Sampler, SingletonAlwaysFound) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    L0Sampler sampler(make_config(1 << 20, seed));
+    sampler.update(777, 5);
+    const auto rec = sampler.decode();
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->coord, 777u);
+    EXPECT_EQ(rec->value, 5);
+  }
+}
+
+TEST(L0Sampler, ReturnsTrueNonzeroCoordinate) {
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    L0Sampler sampler(make_config(1 << 20, 100 + seed));
+    std::set<std::uint64_t> support;
+    Rng rng(seed);
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t c = rng.next_below(1 << 20);
+      support.insert(c);
+      sampler.update(c, 1);
+    }
+    const auto rec = sampler.decode();
+    if (!rec.has_value()) {
+      ++failures;
+      continue;
+    }
+    EXPECT_TRUE(support.contains(rec->coord))
+        << "sampled coordinate must be in the support";
+  }
+  EXPECT_LE(failures, 3) << "decode failure rate too high";
+}
+
+TEST(L0Sampler, DeletionsRespected) {
+  L0Sampler sampler(make_config(10000, 3));
+  // Insert a crowd, delete all but one.
+  for (std::uint64_t c = 0; c < 300; ++c) sampler.update(c, 1);
+  for (std::uint64_t c = 0; c < 300; ++c) {
+    if (c != 123) sampler.update(c, -1);
+  }
+  const auto rec = sampler.decode();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->coord, 123u);
+  EXPECT_EQ(rec->value, 1);
+}
+
+TEST(L0Sampler, FullyCancelledIsZero) {
+  L0Sampler sampler(make_config(500, 9));
+  for (std::uint64_t c = 0; c < 100; ++c) sampler.update(c, 2);
+  for (std::uint64_t c = 0; c < 100; ++c) sampler.update(c, -2);
+  EXPECT_TRUE(sampler.is_zero());
+  EXPECT_FALSE(sampler.decode().has_value());
+}
+
+TEST(L0Sampler, MergeActsLikeUnion) {
+  const auto config = make_config(4096, 21);
+  L0Sampler a(config);
+  L0Sampler b(config);
+  a.update(11, 1);
+  b.update(22, 1);
+  a.merge(b, 1);
+  const auto rec = a.decode();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->coord == 11 || rec->coord == 22);
+}
+
+TEST(L0Sampler, MergeSubtractCancelsSharedPart) {
+  const auto config = make_config(4096, 23);
+  L0Sampler a(config);
+  L0Sampler b(config);
+  a.update(11, 1);
+  a.update(33, 1);
+  b.update(11, 1);
+  a.merge(b, -1);  // leaves only 33
+  const auto rec = a.decode();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->coord, 33u);
+}
+
+TEST(L0Sampler, SupportCoverage) {
+  // Over many independent sampler seeds, a small support should be covered
+  // nearly fully -- evidence the sampler is not biased toward a fixed
+  // coordinate.
+  std::set<std::uint64_t> support{10, 20, 30, 40, 50, 60, 70, 80};
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 160; ++seed) {
+    L0Sampler sampler(make_config(1000, 5000 + seed));
+    for (const auto c : support) sampler.update(c, 1);
+    const auto rec = sampler.decode();
+    if (rec.has_value()) seen.insert(rec->coord);
+  }
+  EXPECT_GE(seen.size(), 6u) << "sampler should reach most of the support";
+  for (const auto c : seen) EXPECT_TRUE(support.contains(c));
+}
+
+TEST(L0Sampler, IncompatibleMergeThrows) {
+  L0Sampler a(make_config(100, 1));
+  L0Sampler b(make_config(100, 2));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(L0Sampler, OutOfRangeThrows) {
+  L0Sampler a(make_config(10, 1));
+  EXPECT_THROW(a.update(10, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,90 @@
+#include "graph/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+TEST(Laplacian, QuadraticFormMatchesDense) {
+  const Graph g = with_random_weights(erdos_renyi_gnm(30, 80, 2), 0.5, 3.0, 7);
+  const DenseMatrix l = laplacian_dense(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(g.n());
+    for (auto& xi : x) xi = rng.next_double() - 0.5;
+    const auto lx = l.multiply(x);
+    double dense_form = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) dense_form += x[i] * lx[i];
+    EXPECT_NEAR(laplacian_quadratic_form(g, x), dense_form, 1e-9);
+  }
+}
+
+TEST(Laplacian, MultiplyMatchesDense) {
+  const Graph g = erdos_renyi_gnm(25, 60, 4);
+  const DenseMatrix l = laplacian_dense(g);
+  Rng rng(5);
+  std::vector<double> x(g.n());
+  for (auto& xi : x) xi = rng.next_double();
+  const auto sparse = laplacian_multiply(g, x);
+  const auto dense = l.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(sparse[i], dense[i], 1e-9);
+  }
+}
+
+TEST(Laplacian, RowsSumToZero) {
+  const Graph g = with_random_weights(erdos_renyi_gnm(20, 50, 8), 1.0, 4.0, 9);
+  const DenseMatrix l = laplacian_dense(g);
+  for (std::size_t r = 0; r < l.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < l.cols(); ++c) sum += l.at(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+  }
+}
+
+TEST(Laplacian, ConstantVectorInKernel) {
+  const Graph g = erdos_renyi_gnm(30, 100, 1);
+  const std::vector<double> ones(g.n(), 1.0);
+  EXPECT_NEAR(laplacian_quadratic_form(g, ones), 0.0, 1e-12);
+  const auto y = laplacian_multiply(g, ones);
+  for (const double yi : y) EXPECT_NEAR(yi, 0.0, 1e-12);
+}
+
+TEST(CutWeight, MatchesIndicatorQuadraticForm) {
+  const Graph g = with_random_weights(erdos_renyi_gnm(24, 70, 3), 1.0, 2.0, 4);
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> side(g.n());
+    std::vector<double> x(g.n());
+    for (Vertex v = 0; v < g.n(); ++v) {
+      side[v] = rng.next_bernoulli(0.5);
+      x[v] = side[v] ? 1.0 : 0.0;
+    }
+    EXPECT_NEAR(cut_weight(g, side), laplacian_quadratic_form(g, x), 1e-9);
+  }
+}
+
+TEST(DenseMatrix, TransposeAndMultiply) {
+  DenseMatrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  const DenseMatrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+  const DenseMatrix aat = a.multiply(at);
+  EXPECT_DOUBLE_EQ(aat.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(aat.at(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(aat.at(1, 1), 77.0);
+}
+
+}  // namespace
+}  // namespace kw

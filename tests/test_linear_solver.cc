@@ -1,0 +1,77 @@
+#include "graph/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+TEST(Cg, SolvesPathSystem) {
+  const Graph g = path_graph(10);
+  std::vector<double> b(10, 0.0);
+  b[0] = 1.0;
+  b[9] = -1.0;
+  const CgResult result = solve_laplacian(g, b);
+  EXPECT_TRUE(result.converged);
+  // Potential drop along a unit-resistance path of length 9 is 9.
+  EXPECT_NEAR(result.x[0] - result.x[9], 9.0, 1e-6);
+}
+
+TEST(Cg, ResidualIsSmall) {
+  const Graph g = with_random_weights(erdos_renyi_gnm(60, 200, 3), 0.5, 2.0, 8);
+  Rng rng(4);
+  std::vector<double> b(g.n());
+  double mean = 0.0;
+  for (auto& bi : b) {
+    bi = rng.next_double() - 0.5;
+    mean += bi;
+  }
+  mean /= static_cast<double>(b.size());
+  for (auto& bi : b) bi -= mean;  // project onto range(L)
+
+  const CgResult result = solve_laplacian(g, b);
+  ASSERT_TRUE(result.converged);
+  const auto lx = laplacian_multiply(g, result.x);
+  double err = 0.0;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    err += (lx[i] - b[i]) * (lx[i] - b[i]);
+    norm += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(err), 1e-6 * std::sqrt(norm));
+}
+
+TEST(Cg, SolutionHasMeanZero) {
+  const Graph g = erdos_renyi_gnm(40, 120, 5);
+  std::vector<double> b(g.n(), 0.0);
+  b[3] = 1.0;
+  b[17] = -1.0;
+  const CgResult result = solve_laplacian(g, b);
+  double mean = 0.0;
+  for (const double xi : result.x) mean += xi;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(Cg, ZeroRhsReturnsZero) {
+  const Graph g = path_graph(5);
+  const std::vector<double> b(5, 0.0);
+  const CgResult result = solve_laplacian(g, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  for (const double xi : result.x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(Cg, EmptyGraphIsFine) {
+  const Graph g(0);
+  const CgResult result = solve_laplacian(g, {});
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace
+}  // namespace kw

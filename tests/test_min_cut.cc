@@ -1,0 +1,83 @@
+#include "graph/min_cut.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/laplacian.h"
+
+namespace kw {
+namespace {
+
+TEST(MinCut, PathHasCutOne) {
+  const Graph g = path_graph(8);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  EXPECT_TRUE(cut.connected);
+  EXPECT_DOUBLE_EQ(cut.weight, 1.0);
+  EXPECT_EQ(edge_connectivity(g), 1u);
+}
+
+TEST(MinCut, CycleHasCutTwo) {
+  EXPECT_EQ(edge_connectivity(cycle_graph(10)), 2u);
+}
+
+TEST(MinCut, CompleteGraph) {
+  // K_n has edge connectivity n-1.
+  EXPECT_EQ(edge_connectivity(complete_graph(8)), 7u);
+}
+
+TEST(MinCut, HypercubeIsDimConnected) {
+  EXPECT_EQ(edge_connectivity(hypercube_graph(4)), 4u);
+}
+
+TEST(MinCut, BarbellCutIsBridge) {
+  const Graph g = barbell_graph(10, 3);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  EXPECT_DOUBLE_EQ(cut.weight, 1.0);
+  // Shore must be one of the clique sides (+ possibly path vertices).
+  const double cw = cut_weight(g, cut.side);
+  EXPECT_DOUBLE_EQ(cw, cut.weight);
+}
+
+TEST(MinCut, WeightedCut) {
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(3, 0, 0.7);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  EXPECT_NEAR(cut.weight, 1.2, 1e-9);  // the two light edges together
+}
+
+TEST(MinCut, DisconnectedIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  EXPECT_FALSE(cut.connected);
+  EXPECT_EQ(edge_connectivity(g), 0u);
+}
+
+TEST(MinCut, CutSideIsConsistentWithWeight) {
+  const Graph g = erdos_renyi_gnm(30, 120, 5);
+  const MinCutResult cut = stoer_wagner_min_cut(g);
+  ASSERT_TRUE(cut.connected);
+  EXPECT_NEAR(cut_weight(g, cut.side), cut.weight, 1e-9);
+  // No cut can be smaller than the reported one among singleton cuts.
+  for (Vertex v = 0; v < g.n(); ++v) {
+    std::vector<bool> singleton(g.n(), false);
+    singleton[v] = true;
+    EXPECT_GE(cut_weight(g, singleton) + 1e-9, cut.weight);
+  }
+}
+
+TEST(MinCut, MinDegreeUpperBounds) {
+  const Graph g = erdos_renyi_gnm(40, 200, 9);
+  std::size_t min_degree = g.n();
+  for (Vertex v = 0; v < g.n(); ++v) {
+    min_degree = std::min(min_degree, g.degree(v));
+  }
+  EXPECT_LE(edge_connectivity(g), min_degree);
+}
+
+}  // namespace
+}  // namespace kw

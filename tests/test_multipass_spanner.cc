@@ -1,0 +1,96 @@
+#include "core/multipass_spanner.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] MultipassConfig make_config(unsigned k, std::uint64_t seed) {
+  MultipassConfig c;
+  c.k = k;
+  c.seed = seed;
+  return c;
+}
+
+[[nodiscard]] bool subgraph_of(const Graph& h, const Graph& g) {
+  for (const auto& e : h.edges()) {
+    if (!g.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+TEST(Multipass, UsesExactlyKPasses) {
+  const Graph g = erdos_renyi_gnm(80, 400, 1);
+  for (const unsigned k : {2u, 3u, 4u}) {
+    const DynamicStream stream = DynamicStream::from_graph(g, 2);
+    const MultipassResult result =
+        multipass_baswana_sen(stream, make_config(k, 3 + k));
+    EXPECT_EQ(result.passes_used, k);
+    EXPECT_EQ(stream.passes_used(), k);
+  }
+}
+
+class MultipassSweep : public ::testing::TestWithParam<
+                           std::tuple<std::string, unsigned>> {};
+
+TEST_P(MultipassSweep, StretchBound2kMinus1) {
+  const auto [family, k] = GetParam();
+  const Graph g = make_family(family, 100, 600, 7);
+  const DynamicStream stream = DynamicStream::from_graph(g, 11);
+  const MultipassResult result =
+      multipass_baswana_sen(stream, make_config(k, 13));
+  EXPECT_TRUE(subgraph_of(result.spanner, g));
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  EXPECT_TRUE(report.connected_ok) << family << " k=" << k;
+  EXPECT_LE(report.max_stretch, 2.0 * k - 1.0 + 1e-9)
+      << family << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndK, MultipassSweep,
+    ::testing::Combine(::testing::Values("er", "ba", "regular"),
+                       ::testing::Values(2u, 3u)));
+
+TEST(Multipass, DeletionsDoNotLeak) {
+  const Graph g = erdos_renyi_gnm(80, 500, 17);
+  const DynamicStream stream = DynamicStream::with_churn(g, 400, 19);
+  const MultipassResult result =
+      multipass_baswana_sen(stream, make_config(2, 23));
+  EXPECT_TRUE(subgraph_of(result.spanner, g));
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, 3.0 + 1e-9);
+}
+
+TEST(Multipass, CompressesDenseGraphs) {
+  const Graph g = erdos_renyi_gnm(128, 4000, 29);
+  const DynamicStream stream = DynamicStream::from_graph(g, 31);
+  const MultipassResult result =
+      multipass_baswana_sen(stream, make_config(2, 37));
+  EXPECT_LT(result.spanner.m(), g.m());
+}
+
+TEST(Multipass, K1KeepsNeighborhoods) {
+  // k=1: a single final phase where every singleton cluster takes one edge
+  // per neighboring cluster = the whole simple graph (stretch 1).
+  const Graph g = erdos_renyi_gnm(40, 150, 41);
+  const DynamicStream stream = DynamicStream::from_graph(g, 43);
+  const MultipassResult result =
+      multipass_baswana_sen(stream, make_config(1, 47));
+  EXPECT_EQ(result.spanner.m(), g.m());
+}
+
+TEST(Multipass, EmptyStream) {
+  const DynamicStream stream(16);
+  const MultipassResult result =
+      multipass_baswana_sen(stream, make_config(2, 53));
+  EXPECT_EQ(result.spanner.m(), 0u);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,125 @@
+#include "core/offline_kw_spanner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] bool subgraph_of(const Graph& h, const Graph& g) {
+  for (const auto& e : h.edges()) {
+    if (!g.has_edge(e.u, e.v)) return false;
+  }
+  return true;
+}
+
+// Lemma 13 sweep: stretch <= 2^k across graph families and k.
+class OfflineSweep : public ::testing::TestWithParam<
+                         std::tuple<std::string, unsigned, std::uint64_t>> {};
+
+TEST_P(OfflineSweep, StretchBoundHolds) {
+  const auto [family, k, seed] = GetParam();
+  const Graph g = make_family(family, 128, 600, seed);
+  const OfflineKwResult result = offline_kw_spanner(g, k, seed + 100);
+  EXPECT_TRUE(subgraph_of(result.spanner, g));
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_LE(report.max_stretch, std::pow(2.0, k) + 1e-9)
+      << family << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndK, OfflineSweep,
+    ::testing::Combine(::testing::Values("er", "ba", "grid", "regular"),
+                       ::testing::Values(2u, 3u),
+                       ::testing::Values(1u, 2u)));
+
+TEST(OfflineKw, SizeBoundLemma12) {
+  // |E'| = O(k n^{1+1/k} log n); use a generous constant and several seeds.
+  const Vertex n = 256;
+  const Graph g = erdos_renyi_gnm(n, 8000, 5);
+  for (const unsigned k : {2u, 3u}) {
+    const OfflineKwResult result = offline_kw_spanner(g, k, 7);
+    const double bound = 4.0 * k *
+                         std::pow(static_cast<double>(n),
+                                  1.0 + 1.0 / static_cast<double>(k)) *
+                         std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(result.spanner.m()), bound) << "k=" << k;
+  }
+}
+
+TEST(OfflineKw, Claim11TerminalNeighborhoodsBounded) {
+  // For terminal copies at level i, |N(T_u)| <= C log n * n^{(i+1)/k} whp.
+  const Vertex n = 256;
+  const unsigned k = 2;
+  const Graph g = erdos_renyi_gnm(n, 4000, 9);
+  const OfflineKwResult result = offline_kw_spanner(g, k, 11);
+  const double logn = std::log2(static_cast<double>(n));
+  for (const CopyRef t : result.forest.terminals()) {
+    const auto members = result.forest.terminal_members(t);
+    const std::unordered_set<Vertex> member_set(members.begin(),
+                                                members.end());
+    std::unordered_set<Vertex> neighborhood;
+    for (const Vertex w : members) {
+      for (const auto& nb : g.neighbors(w)) {
+        if (!member_set.contains(nb.to)) neighborhood.insert(nb.to);
+      }
+    }
+    const double bound =
+        8.0 * logn *
+        std::pow(static_cast<double>(n),
+                 static_cast<double>(t.level + 1) / static_cast<double>(k));
+    EXPECT_LE(static_cast<double>(neighborhood.size()), bound)
+        << "terminal at level " << t.level;
+  }
+}
+
+TEST(OfflineKw, ClusterDiameterInduction) {
+  // Lemma 13's induction: diameter of phi(T_u) <= 2^{j+1} - 2 for u in C_j.
+  // We check it on the witness-edge subgraph.
+  const Graph g = erdos_renyi_gnm(128, 2000, 13);
+  const unsigned k = 3;
+  const OfflineKwResult result = offline_kw_spanner(g, k, 17);
+  const Graph phi = Graph::from_edges(g.n(), result.forest.witness_edges());
+  for (const CopyRef t : result.forest.terminals()) {
+    const auto members = result.forest.terminal_members(t);
+    if (members.size() < 2) continue;
+    const std::uint32_t diameter = induced_diameter(phi, members);
+    ASSERT_NE(diameter, kUnreachableHops)
+        << "witness edges must connect each terminal tree";
+    EXPECT_LE(diameter, (1u << (t.level + 1)) - 2);
+  }
+}
+
+TEST(OfflineKw, DisconnectedGraphHandled) {
+  Graph g(60);
+  for (Vertex i = 0; i + 1 < 30; ++i) g.add_edge(i, i + 1);
+  for (Vertex i = 30; i + 1 < 60; ++i) g.add_edge(i, i + 1);
+  const OfflineKwResult result = offline_kw_spanner(g, 2, 3);
+  const auto report = multiplicative_stretch(g, result.spanner, false);
+  EXPECT_TRUE(report.connected_ok);  // within components
+  EXPECT_LE(report.max_stretch, 4.0);
+}
+
+TEST(OfflineKw, K1IsNeighborhoodPreserving) {
+  // k=1: every copy terminal at level 0, spanner keeps one edge per
+  // (vertex, outside-neighbor) pair = the whole simple graph.
+  const Graph g = erdos_renyi_gnm(40, 200, 21);
+  const OfflineKwResult result = offline_kw_spanner(g, 1, 23);
+  EXPECT_EQ(result.spanner.m(), g.m());
+}
+
+TEST(OfflineKw, EmptyGraph) {
+  const Graph g(16);
+  const OfflineKwResult result = offline_kw_spanner(g, 2, 1);
+  EXPECT_EQ(result.spanner.m(), 0u);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,95 @@
+#include "util/prime_field.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+TEST(PrimeField, ReduceIdentityBelowP) {
+  EXPECT_EQ(field_reduce(0), 0u);
+  EXPECT_EQ(field_reduce(1), 1u);
+  EXPECT_EQ(field_reduce(kFieldPrime - 1), kFieldPrime - 1);
+  EXPECT_EQ(field_reduce(kFieldPrime), 0u);
+  EXPECT_EQ(field_reduce(kFieldPrime + 5), 5u);
+}
+
+TEST(PrimeField, AddSubInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = field_reduce(rng());
+    const std::uint64_t b = field_reduce(rng());
+    EXPECT_EQ(field_sub(field_add(a, b), b), a);
+    EXPECT_EQ(field_add(field_sub(a, b), b), a);
+  }
+}
+
+TEST(PrimeField, NegIsAdditiveInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = field_reduce(rng());
+    EXPECT_EQ(field_add(a, field_neg(a)), 0u);
+  }
+}
+
+TEST(PrimeField, MulMatchesRepeatedAdd) {
+  const std::uint64_t a = 0x123456789abcULL;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 37; ++i) sum = field_add(sum, a);
+  EXPECT_EQ(field_mul(a, 37), sum);
+}
+
+TEST(PrimeField, MulCommutesAndAssociates) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = field_reduce(rng());
+    const std::uint64_t b = field_reduce(rng());
+    const std::uint64_t c = field_reduce(rng());
+    EXPECT_EQ(field_mul(a, b), field_mul(b, a));
+    EXPECT_EQ(field_mul(field_mul(a, b), c), field_mul(a, field_mul(b, c)));
+  }
+}
+
+TEST(PrimeField, PowMatchesRepeatedMul) {
+  const std::uint64_t base = 12345;
+  std::uint64_t prod = 1;
+  for (int i = 0; i < 20; ++i) prod = field_mul(prod, base);
+  EXPECT_EQ(field_pow(base, 20), prod);
+  EXPECT_EQ(field_pow(base, 0), 1u);
+  EXPECT_EQ(field_pow(base, 1), base);
+}
+
+TEST(PrimeField, FermatLittleTheorem) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t a = field_reduce(rng());
+    if (a == 0) a = 1;
+    EXPECT_EQ(field_pow(a, kFieldPrime - 1), 1u);
+  }
+}
+
+TEST(PrimeField, InverseIsMultiplicativeInverse) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t a = field_reduce(rng());
+    if (a == 0) a = 7;
+    EXPECT_EQ(field_mul(a, field_inv(a)), 1u);
+  }
+}
+
+TEST(PrimeField, FromSignedRoundTrip) {
+  EXPECT_EQ(field_from_signed(0), 0u);
+  EXPECT_EQ(field_from_signed(5), 5u);
+  EXPECT_EQ(field_from_signed(-5), kFieldPrime - 5);
+  EXPECT_EQ(field_add(field_from_signed(-5), field_from_signed(5)), 0u);
+}
+
+TEST(PrimeField, Reduce128LargeProducts) {
+  const std::uint64_t a = kFieldPrime - 1;
+  // (p-1)^2 mod p = 1.
+  EXPECT_EQ(field_mul(a, a), 1u);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,112 @@
+#include "graph/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path_graph(6);
+  const auto d = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DisconnectedIsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachableHops);
+  EXPECT_EQ(d[3], kUnreachableHops);
+}
+
+TEST(Dijkstra, WeightedShortcuts) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 1.0);
+  const auto d = dijkstra_distances(g, 0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);  // through 1, not the direct weight-5 edge
+  EXPECT_DOUBLE_EQ(d[3], 3.0);
+}
+
+TEST(Dijkstra, MatchesBfsOnUnweighted) {
+  const Graph g = erdos_renyi_gnm(80, 200, 4);
+  const auto hops = bfs_distances(g, 0);
+  const auto dist = dijkstra_distances(g, 0);
+  for (Vertex v = 0; v < g.n(); ++v) {
+    if (hops[v] == kUnreachableHops) {
+      EXPECT_EQ(dist[v], kUnreachableDist);
+    } else {
+      EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(hops[v]));
+    }
+  }
+}
+
+TEST(AllPairs, SymmetricMatrix) {
+  const Graph g = erdos_renyi_gnm(40, 100, 9);
+  const auto d = all_pairs_hops(g);
+  for (Vertex u = 0; u < g.n(); ++u) {
+    EXPECT_EQ(d[u][u], 0u);
+    for (Vertex v = 0; v < g.n(); ++v) EXPECT_EQ(d[u][v], d[v][u]);
+  }
+}
+
+TEST(Stretch, IdenticalGraphHasStretchOne) {
+  const Graph g = erdos_renyi_gnm(50, 120, 2);
+  const auto report = multiplicative_stretch(g, g, /*weighted=*/false);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+  EXPECT_TRUE(report.connected_ok);
+  EXPECT_EQ(report.pairs_evaluated, g.m());
+}
+
+TEST(Stretch, RemovedEdgeDetected) {
+  // Cycle minus one edge: the removed edge's endpoints are n-1 apart.
+  const Graph g = cycle_graph(10);
+  Graph h(10);
+  for (std::size_t i = 0; i + 1 < g.edges().size(); ++i) {
+    h.add_edge(g.edges()[i].u, g.edges()[i].v);
+  }
+  const auto report = multiplicative_stretch(g, h, false);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 9.0);
+}
+
+TEST(Stretch, DisconnectionFlagged) {
+  const Graph g = path_graph(5);
+  Graph h(5);  // empty
+  const auto report = multiplicative_stretch(g, h, false);
+  EXPECT_FALSE(report.connected_ok);
+}
+
+TEST(Additive, IdenticalGraphZeroSurplus) {
+  const Graph g = erdos_renyi_gnm(40, 90, 8);
+  const auto report = additive_surplus(g, g);
+  EXPECT_EQ(report.max_surplus, 0u);
+  EXPECT_TRUE(report.connected_ok);
+}
+
+TEST(Additive, ChordRemovalGivesSurplus) {
+  // Cycle: remove one edge -> distance n-1 instead of 1, surplus n-2.
+  const Graph g = cycle_graph(12);
+  Graph h(12);
+  for (std::size_t i = 0; i + 1 < g.edges().size(); ++i) {
+    h.add_edge(g.edges()[i].u, g.edges()[i].v);
+  }
+  const auto report = additive_surplus(g, h);
+  EXPECT_EQ(report.max_surplus, 10u);
+}
+
+TEST(InducedDiameter, PathSubset) {
+  const Graph g = path_graph(10);
+  EXPECT_EQ(induced_diameter(g, {2, 3, 4}), 2u);
+  // Non-contiguous subset is disconnected in the induced subgraph.
+  EXPECT_EQ(induced_diameter(g, {0, 5}), kUnreachableHops);
+  EXPECT_EQ(induced_diameter(g, {7}), 0u);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,88 @@
+#include "graph/spectral_compare.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/ss_sparsifier.h"
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(SpectralEnvelope, IdenticalGraphsAreExactlyOne) {
+  const Graph g = erdos_renyi_gnm(24, 80, 3);
+  const SpectralEnvelope env = spectral_envelope(g, g);
+  EXPECT_NEAR(env.min_eigenvalue, 1.0, 1e-7);
+  EXPECT_NEAR(env.max_eigenvalue, 1.0, 1e-7);
+  EXPECT_NEAR(env.epsilon(), 0.0, 1e-7);
+  EXPECT_TRUE(env.comparable);
+}
+
+TEST(SpectralEnvelope, ScaledGraphShiftsEnvelope) {
+  const Graph g = erdos_renyi_gnm(20, 60, 5);
+  Graph h(g.n());
+  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 2.0 * e.weight);
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  EXPECT_NEAR(env.min_eigenvalue, 2.0, 1e-7);
+  EXPECT_NEAR(env.max_eigenvalue, 2.0, 1e-7);
+}
+
+TEST(SpectralEnvelope, SubgraphIsDominated) {
+  const Graph g = erdos_renyi_gnm(20, 70, 9);
+  Graph h(g.n());
+  for (std::size_t i = 0; i < g.m(); i += 2) {
+    h.add_edge(g.edges()[i].u, g.edges()[i].v, g.edges()[i].weight);
+  }
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  EXPECT_LE(env.max_eigenvalue, 1.0 + 1e-7);  // H <= G edgewise
+  EXPECT_GE(env.min_eigenvalue, -1e-9);
+}
+
+TEST(SpectralEnvelope, SparsifierIsClose) {
+  const Graph g = complete_graph(64);
+  SsOptions options;
+  options.epsilon = 0.5;
+  options.oversample = 0.6;
+  options.dense_resistances = true;
+  const Graph h = ss_sparsify(g, options, 17);
+  EXPECT_LT(h.m(), g.m());
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  EXPECT_TRUE(env.comparable);
+  EXPECT_LT(env.epsilon(), 0.9);  // generous; exact bound checked in bench
+}
+
+TEST(CompareCuts, IdenticalGraphsZeroError) {
+  const Graph g = erdos_renyi_gnm(30, 100, 2);
+  const CutReport report = compare_cuts(g, g, 20, 1);
+  EXPECT_DOUBLE_EQ(report.max_relative_error, 0.0);
+  EXPECT_GT(report.cuts_evaluated, 0u);
+}
+
+TEST(CompareCuts, DetectsScaledWeights) {
+  const Graph g = erdos_renyi_gnm(30, 100, 2);
+  Graph h(g.n());
+  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, 1.5);
+  const CutReport report = compare_cuts(g, h, 20, 1);
+  EXPECT_NEAR(report.max_relative_error, 0.5, 1e-9);
+}
+
+TEST(QuadraticFormError, BoundedByEnvelope) {
+  const Graph g = erdos_renyi_gnm(24, 90, 21);
+  SsOptions options;
+  options.epsilon = 0.5;
+  options.oversample = 0.5;
+  options.dense_resistances = true;
+  const Graph h = ss_sparsify(g, options, 3);
+  const double sampled = max_quadratic_form_error(g, h, 50, 5);
+  const SpectralEnvelope env = spectral_envelope(g, h);
+  EXPECT_LE(sampled, env.epsilon() + 1e-6);
+}
+
+TEST(SpectralEnvelope, MismatchedSizesThrow) {
+  const Graph a = path_graph(5);
+  const Graph b = path_graph(6);
+  EXPECT_THROW((void)spectral_envelope(a, b), std::invalid_argument);
+  EXPECT_THROW((void)compare_cuts(a, b, 5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

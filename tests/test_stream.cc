@@ -1,0 +1,95 @@
+#include "stream/dynamic_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(Stream, FromGraphMaterializesBack) {
+  const Graph g = erdos_renyi_gnm(50, 150, 3);
+  const DynamicStream stream = DynamicStream::from_graph(g, 7);
+  EXPECT_EQ(stream.size(), g.m());
+  const Graph back = stream.materialize();
+  EXPECT_EQ(back.m(), g.m());
+  for (const auto& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+}
+
+TEST(Stream, PassCounting) {
+  const DynamicStream stream = DynamicStream::from_graph(path_graph(4), 1);
+  EXPECT_EQ(stream.passes_used(), 0u);
+  stream.replay([](const EdgeUpdate&) {});
+  stream.replay([](const EdgeUpdate&) {});
+  EXPECT_EQ(stream.passes_used(), 2u);
+  stream.reset_pass_count();
+  EXPECT_EQ(stream.passes_used(), 0u);
+}
+
+TEST(Stream, ChurnDeletesResolveToFinalGraph) {
+  const Graph g = erdos_renyi_gnm(40, 100, 9);
+  const DynamicStream stream = DynamicStream::with_churn(g, 80, 5);
+  EXPECT_GT(stream.size(), g.m());  // phantom insert+delete pairs present
+  std::size_t deletions = 0;
+  for (const auto& upd : stream.updates()) {
+    if (upd.delta < 0) ++deletions;
+  }
+  EXPECT_GT(deletions, 0u);
+  const Graph back = stream.materialize();
+  EXPECT_EQ(back.m(), g.m());
+  for (const auto& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+}
+
+TEST(Stream, ChurnDeletionsComeAfterInsertions) {
+  const Graph g = path_graph(30);
+  const DynamicStream stream = DynamicStream::with_churn(g, 50, 2);
+  std::map<std::pair<Vertex, Vertex>, int> net;
+  for (const auto& upd : stream.updates()) {
+    auto& count = net[{std::min(upd.u, upd.v), std::max(upd.u, upd.v)}];
+    count += upd.delta;
+    ASSERT_GE(count, 0) << "multiplicity must never go negative";
+  }
+}
+
+TEST(Stream, MultiplicityWithDeleteBackYieldsSimpleGraph) {
+  const Graph g = erdos_renyi_gnm(30, 60, 4);
+  const DynamicStream stream =
+      DynamicStream::with_multiplicity(g, 4, /*delete_back=*/true, 8);
+  const Graph back = stream.materialize();
+  EXPECT_EQ(back.m(), g.m());
+}
+
+TEST(Stream, MultiplicityWithoutDeleteKeepsMultiplicities) {
+  const Graph g = path_graph(10);
+  const DynamicStream stream =
+      DynamicStream::with_multiplicity(g, 3, /*delete_back=*/false, 8);
+  EXPECT_GE(stream.size(), g.m());
+  // materialize() collapses multiplicity to presence.
+  const Graph back = stream.materialize();
+  EXPECT_EQ(back.m(), g.m());
+}
+
+TEST(Stream, SplitPreservesUnion) {
+  const Graph g = erdos_renyi_gnm(40, 120, 6);
+  const DynamicStream stream = DynamicStream::from_graph(g, 3);
+  const auto parts = stream.split(4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, stream.size());
+  // Round-robin keeps sizes balanced.
+  for (const auto& p : parts) {
+    EXPECT_NEAR(static_cast<double>(p.size()), stream.size() / 4.0, 1.0);
+  }
+}
+
+TEST(Stream, NegativeMultiplicityDetected) {
+  DynamicStream stream(3);
+  stream.push({0, 1, -1, 1.0});
+  EXPECT_THROW((void)stream.materialize(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace kw

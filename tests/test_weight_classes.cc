@@ -1,0 +1,63 @@
+#include "stream/weight_classes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace kw {
+namespace {
+
+TEST(WeightClasses, ClassCountForPowerOfTwoLadder) {
+  const WeightClassPartition p(1.0, 16.0, 1.0);  // base 2
+  EXPECT_EQ(p.num_classes(), 5u);  // 1,2,4,8,16
+  EXPECT_EQ(p.class_of(1.0), 0u);
+  EXPECT_EQ(p.class_of(2.5), 1u);
+  EXPECT_EQ(p.class_of(16.0), 4u);
+}
+
+TEST(WeightClasses, RepresentativeIsLowerEdge) {
+  const WeightClassPartition p(1.0, 64.0, 1.0);
+  for (std::size_t c = 0; c < p.num_classes(); ++c) {
+    EXPECT_NEAR(p.representative(c), std::pow(2.0, c), 1e-9);
+  }
+}
+
+TEST(WeightClasses, ClampsOutOfRange) {
+  const WeightClassPartition p(1.0, 8.0, 1.0);
+  EXPECT_EQ(p.class_of(0.1), 0u);
+  EXPECT_EQ(p.class_of(100.0), p.num_classes() - 1);
+}
+
+TEST(WeightClasses, FineEpsilonMakesMoreClasses) {
+  const WeightClassPartition coarse(1.0, 100.0, 1.0);
+  const WeightClassPartition fine(1.0, 100.0, 0.1);
+  EXPECT_GT(fine.num_classes(), coarse.num_classes());
+}
+
+TEST(WeightClasses, SplitStreamPartitionsUpdates) {
+  const Graph g =
+      with_geometric_weights(erdos_renyi_gnm(30, 80, 2), 1.0, 32.0, 5);
+  const DynamicStream stream = DynamicStream::from_graph(g, 4);
+  const WeightClassPartition p(1.0, 32.0, 1.0);
+  const auto parts = p.split_stream(stream);
+  ASSERT_EQ(parts.size(), p.num_classes());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    total += parts[c].size();
+    for (const auto& upd : parts[c].updates()) {
+      EXPECT_EQ(p.class_of(upd.weight), c);
+    }
+  }
+  EXPECT_EQ(total, stream.size());
+}
+
+TEST(WeightClasses, RejectsBadArguments) {
+  EXPECT_THROW(WeightClassPartition(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightClassPartition(2.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeightClassPartition(1.0, 2.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,68 @@
+#include "core/kp12_sparsifier.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/spectral_compare.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] Kp12Config small_config(std::uint64_t seed) {
+  Kp12Config c;
+  c.k = 2;
+  c.epsilon = 0.5;
+  c.seed = seed;
+  c.j_copies = 4;
+  c.z_samples = 8;
+  c.spanner.pass1_budget = 4;
+  return c;
+}
+
+TEST(WeightedKp12, OutputsRealEdgePairsWithPositiveWeights) {
+  const Graph g =
+      with_geometric_weights(erdos_renyi_gnm(40, 220, 3), 1.0, 8.0, 5);
+  const DynamicStream stream = DynamicStream::from_graph(g, 7);
+  const WeightedKp12Result result =
+      weighted_kp12_sparsify(stream, small_config(11), 1.0, 8.0, 1.0);
+  EXPECT_GT(result.sparsifier.m(), 0u);
+  for (const auto& e : result.sparsifier.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(WeightedKp12, ClassCountMatchesPartition) {
+  const Graph g =
+      with_geometric_weights(erdos_renyi_gnm(32, 150, 13), 1.0, 16.0, 17);
+  const DynamicStream stream = DynamicStream::from_graph(g, 19);
+  const WeightedKp12Result result =
+      weighted_kp12_sparsify(stream, small_config(23), 1.0, 16.0, 1.0);
+  EXPECT_EQ(result.per_class.size(), 5u);  // classes 1,2,4,8,16
+}
+
+TEST(WeightedKp12, QuadraticFormInConstantFactorRange) {
+  const Graph g =
+      with_geometric_weights(erdos_renyi_gnm(36, 220, 29), 1.0, 4.0, 31);
+  const DynamicStream stream = DynamicStream::from_graph(g, 37);
+  const WeightedKp12Result result =
+      weighted_kp12_sparsify(stream, small_config(41), 1.0, 4.0, 1.0);
+  ASSERT_EQ(component_count(result.sparsifier), component_count(g));
+  const SpectralEnvelope env = spectral_envelope(g, result.sparsifier);
+  EXPECT_TRUE(env.comparable);
+  EXPECT_GT(env.min_eigenvalue, 0.0);
+  EXPECT_LT(env.max_eigenvalue, 20.0);
+}
+
+TEST(WeightedKp12, UniformWeightsReduceToSingleClass) {
+  const Graph g = erdos_renyi_gnm(32, 150, 43);
+  const DynamicStream stream = DynamicStream::from_graph(g, 47);
+  const WeightedKp12Result result =
+      weighted_kp12_sparsify(stream, small_config(53), 1.0, 1.0, 1.0);
+  EXPECT_EQ(result.per_class.size(), 1u);
+  EXPECT_GT(result.sparsifier.m(), 0u);
+}
+
+}  // namespace
+}  // namespace kw
