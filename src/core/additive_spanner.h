@@ -1,19 +1,19 @@
-// Theorem 3 / Theorem 19: a single-pass O(n/d)-additive spanner in ~O(nd)
-// space (Algorithm 3 of the paper).
-//
-// One pass maintains, per vertex u: SKETCH_{~O(d)}(N(u)) (full neighborhood,
-// decodable for low-degree vertices), an L0 sampler of N(u) cap C over
-// nested Z^r subsamples (recovers a center neighbor for high-degree
-// vertices), a distinct-elements degree estimate, and the AGM sketches of
-// Theorem 10.
-//
-// Post-processing: E_low = edges of low-degree vertices (decoded exactly);
-// every high-degree vertex attaches to a center in C (rate ~1/d), forming
-// star clusters F; the AGM sketches -- with E_low subtracted via linearity
-// -- yield a spanning forest F' of the cluster contraction of G - E_low.
-// Output E_low cup F cup F'.  Distortion O(n/d): a shortest path visits each
-// of the O(n/d) clusters at most once and every detour costs O(1) per
-// cluster plus O(n/d) across the contracted forest.
+/// Theorem 3 / Theorem 19: a single-pass O(n/d)-additive spanner in ~O(nd)
+/// space (Algorithm 3 of the paper).
+///
+/// One pass maintains, per vertex u: SKETCH_{~O(d)}(N(u)) (full neighborhood,
+/// decodable for low-degree vertices), an L0 sampler of N(u) cap C over
+/// nested Z^r subsamples (recovers a center neighbor for high-degree
+/// vertices), a distinct-elements degree estimate, and the AGM sketches of
+/// Theorem 10.
+///
+/// Post-processing: E_low = edges of low-degree vertices (decoded exactly);
+/// every high-degree vertex attaches to a center in C (rate ~1/d), forming
+/// star clusters F; the AGM sketches -- with E_low subtracted via linearity
+/// -- yield a spanning forest F' of the cluster contraction of G - E_low.
+/// Output E_low cup F cup F'.  Distortion O(n/d): a shortest path visits each
+/// of the O(n/d) clusters at most once and every detour costs O(1) per
+/// cluster plus O(n/d) across the contracted forest.
 #ifndef KW_CORE_ADDITIVE_SPANNER_H
 #define KW_CORE_ADDITIVE_SPANNER_H
 

@@ -1,18 +1,22 @@
-// The cluster hierarchy and forest of Section 3.1.
-//
-// C_i (i = 0..k-1) samples each vertex independently with probability
-// n^{-i/k}; C_0 = V.  The forest F lives on vertex *copies* (v, i) for
-// v in C_i (paper footnote 2: the same vertex can appear at several levels),
-// each copy having at most one parent copy (w, i+1).  Every forest edge
-// carries a witness edge phi((u,w)) = (a,w) in E with a in T_u.  A copy with
-// no parent is terminal; every vertex's level-0 copy chain ends at its
-// "terminal parent", and the (deduplicated) vertex sets of terminal subtrees
-// cover V.
-//
-// The construction is callback-driven so the offline algorithm (adjacency
-// scans) and the streaming algorithm (sketch decoding) share all structural
-// code -- they differ only in how "find an edge from T_u to C_{i+1}" is
-// answered.
+/// The cluster hierarchy and forest of Section 3.1 of Kapralov-Woodruff,
+/// "Spanners and sparsifiers in dynamic streams" (PODC 2014).  The forest has
+/// at most kn copies and O(n^{1+1/k}) witness edges overall (Lemma 12), and is
+/// the shared skeleton of both the offline (OfflineKwSpanner) and the two-pass
+/// streaming (TwoPassSpanner) constructions.
+///
+/// C_i (i = 0..k-1) samples each vertex independently with probability
+/// n^{-i/k}; C_0 = V.  The forest F lives on vertex *copies* (v, i) for
+/// v in C_i (paper footnote 2: the same vertex can appear at several levels),
+/// each copy having at most one parent copy (w, i+1).  Every forest edge
+/// carries a witness edge phi((u,w)) = (a,w) in E with a in T_u.  A copy with
+/// no parent is terminal; every vertex's level-0 copy chain ends at its
+/// "terminal parent", and the (deduplicated) vertex sets of terminal subtrees
+/// cover V.
+///
+/// The construction is callback-driven so the offline algorithm (adjacency
+/// scans) and the streaming algorithm (sketch decoding) share all structural
+/// code -- they differ only in how "find an edge from T_u to C_{i+1}" is
+/// answered.
 #ifndef KW_CORE_CLUSTER_FOREST_H
 #define KW_CORE_CLUSTER_FOREST_H
 

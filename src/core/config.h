@@ -1,10 +1,10 @@
-// Tunable constants for the paper's algorithms.
-//
-// The analysis hides "sufficiently large constant C" factors (Claim 11,
-// Theorem 8's O(log n) budgets, ...).  Real runs need concrete values; every
-// such constant is a named knob here, with defaults calibrated on the
-// experiment suite so decode-failure probability is small at laptop scale
-// (n <= 4096).  EXPERIMENTS.md records the values used per experiment.
+/// Tunable constants for the paper's algorithms.
+///
+/// The analysis hides "sufficiently large constant C" factors (Claim 11,
+/// Theorem 8's O(log n) budgets, ...).  Real runs need concrete values; every
+/// such constant is a named knob here, with defaults calibrated on the
+/// experiment suite so decode-failure probability is small at laptop scale
+/// (n <= 4096).  EXPERIMENTS.md records the values used per experiment.
 #ifndef KW_CORE_CONFIG_H
 #define KW_CORE_CONFIG_H
 

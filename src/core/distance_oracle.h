@@ -1,10 +1,12 @@
-// Approximate distance oracle over a spanner (the [KP12] interface).
-//
-// Section 6 uses the 2-pass spanner as a distance oracle: given (u,v),
-// return an estimate d with d(u,v) <= d_hat <= lambda * d(u,v), lambda =
-// 2^k.  This wrapper owns the spanner graph and answers queries with
-// cached single-source BFS / Dijkstra, which is how the ESTIMATE procedure
-// (Algorithm 4) consumes it and how downstream users would too.
+/// Approximate distance oracle over a spanner (the [KP12] interface).  Space
+/// is that of the stored spanner, O(k n^{1+1/k}) edges for Theorem 1 spanners;
+/// no further stream passes are needed once the spanner is built.
+///
+/// Section 6 uses the 2-pass spanner as a distance oracle: given (u,v),
+/// return an estimate d with d(u,v) <= d_hat <= lambda * d(u,v), lambda =
+/// 2^k.  This wrapper owns the spanner graph and answers queries with
+/// cached single-source BFS / Dijkstra, which is how the ESTIMATE procedure
+/// (Algorithm 4) consumes it and how downstream users would too.
 #ifndef KW_CORE_DISTANCE_ORACLE_H
 #define KW_CORE_DISTANCE_ORACLE_H
 

@@ -1,22 +1,22 @@
-// Corollary 2: eps-spectral sparsifiers in two passes and n^{1+o(1)}/eps^4
-// space, via the [KP12] reduction from sparsification to spanners
-// (Section 6, Algorithms 4-6).
-//
-// Pipeline:
-//   ESTIMATE   (Alg 4): J x T two-pass spanner distance oracles on nested
-//                       subsampled edge sets E^j_t; the robust connectivity
-//                       estimate q(e) = 2^-t* where t* is the smallest rate
-//                       at which a (1-delta) majority of copies report
-//                       d(u,v) > lambda^2.
-//   SAMPLE     (Alg 5): H = log n^2 sampling levels; the augmented spanner
-//                       of each E_j outputs all edges its execution path
-//                       decodes; an edge e counts iff q(e) = 2^-j, with
-//                       weight 2^j.
-//   SPARSIFY   (Alg 6): average Z independent SAMPLE invocations.
-//
-// Every spanner instance runs during the same two physical passes over the
-// stream (instances see update-level filtered substreams derived from
-// per-instance hashes -- the Section 6.3 pseudorandomness substitution).
+/// Corollary 2: eps-spectral sparsifiers in two passes and n^{1+o(1)}/eps^4
+/// space, via the [KP12] reduction from sparsification to spanners
+/// (Section 6, Algorithms 4-6).
+///
+/// Pipeline:
+///   ESTIMATE   (Alg 4): J x T two-pass spanner distance oracles on nested
+///                       subsampled edge sets E^j_t; the robust connectivity
+///                       estimate q(e) = 2^-t* where t* is the smallest rate
+///                       at which a (1-delta) majority of copies report
+///                       d(u,v) > lambda^2.
+///   SAMPLE     (Alg 5): H = log n^2 sampling levels; the augmented spanner
+///                       of each E_j outputs all edges its execution path
+///                       decodes; an edge e counts iff q(e) = 2^-j, with
+///                       weight 2^j.
+///   SPARSIFY   (Alg 6): average Z independent SAMPLE invocations.
+///
+/// Every spanner instance runs during the same two physical passes over the
+/// stream (instances see update-level filtered substreams derived from
+/// per-instance hashes -- the Section 6.3 pseudorandomness substitution).
 #ifndef KW_CORE_KP12_SPARSIFIER_H
 #define KW_CORE_KP12_SPARSIFIER_H
 

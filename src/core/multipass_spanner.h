@@ -1,18 +1,18 @@
-// The competing tradeoff point the paper cites ([AGM12b]): a (2k-1)-spanner
-// in O(k) passes over the dynamic stream, i.e. a sketch-based implementation
-// of Baswana-Sen clustering, one clustering phase per pass.
-//
-// Phase i (one pass): cluster centers surviving at rate n^{-1/k} are known
-// before the pass; every vertex maintains (a) an L0 sampler over its edges
-// into surviving clusters (to re-home) and (b) a linear key->edge table
-// keyed by neighboring cluster id (to take one edge per neighboring cluster
-// if re-homing fails -- the per-vertex table is decodable because a vertex
-// with many neighboring clusters has a sampled one whp, the same argument
-// as Claim 11).  The final pass joins every remaining cluster pair.
-//
-// Stretch 2k-1 with O(k n^{1+1/k} log n) edges in k passes -- the paper's
-// Theorem 1 gets stretch 2^k in TWO passes at the same space; this class
-// exists so experiment E9 can show both streaming points side by side.
+/// The competing tradeoff point the paper cites ([AGM12b]): a (2k-1)-spanner
+/// in O(k) passes over the dynamic stream, i.e. a sketch-based implementation
+/// of Baswana-Sen clustering, one clustering phase per pass.
+///
+/// Phase i (one pass): cluster centers surviving at rate n^{-1/k} are known
+/// before the pass; every vertex maintains (a) an L0 sampler over its edges
+/// into surviving clusters (to re-home) and (b) a linear key->edge table
+/// keyed by neighboring cluster id (to take one edge per neighboring cluster
+/// if re-homing fails -- the per-vertex table is decodable because a vertex
+/// with many neighboring clusters has a sampled one whp, the same argument
+/// as Claim 11).  The final pass joins every remaining cluster pair.
+///
+/// Stretch 2k-1 with O(k n^{1+1/k} log n) edges in k passes -- the paper's
+/// Theorem 1 gets stretch 2^k in TWO passes at the same space; this class
+/// exists so experiment E9 can show both streaming points side by side.
 #ifndef KW_CORE_MULTIPASS_SPANNER_H
 #define KW_CORE_MULTIPASS_SPANNER_H
 

@@ -1,10 +1,12 @@
-// Offline reference implementation of the Section 3.1 "basic algorithm".
-//
-// Identical structure to the streaming version (same hierarchy sampling,
-// same forest semantics), but connectors and neighborhood recovery read the
-// graph directly.  Serves as ground truth: the streaming implementation must
-// produce a spanner with the same guarantees (Lemma 12 size, Lemma 13
-// stretch), and experiment E2 validates Claim 11 on this version.
+/// Offline reference implementation of the Section 3.1 "basic algorithm":
+/// a 2^k-spanner with O(k n^{1+1/k}) edges built from random-access adjacency
+/// scans (no stream passes, no sketches).
+///
+/// Identical structure to the streaming version (same hierarchy sampling,
+/// same forest semantics), but connectors and neighborhood recovery read the
+/// graph directly.  Serves as ground truth: the streaming implementation must
+/// produce a spanner with the same guarantees (Lemma 12 size, Lemma 13
+/// stretch), and experiment E2 validates Claim 11 on this version.
 #ifndef KW_CORE_OFFLINE_KW_SPANNER_H
 #define KW_CORE_OFFLINE_KW_SPANNER_H
 

@@ -1,28 +1,28 @@
-// Theorem 1: a 2^k-spanner in two passes and ~O(n^{1+1/k}) bits
-// (Algorithms 1 and 2 of the paper).
-//
-// Pass 1 maintains, for every vertex u, level r in [1, k-1] and sampling
-// level j, the sketch S^r_j(u) = SKETCH_B(({u} x C_r) cap E cap E_j).  After
-// the pass, the cluster forest is built bottom-up: the connector for T_u at
-// level i sums members' S^{i+1}_j sketches (linearity!) and decodes from the
-// sparsest level downward until a nonempty support appears -- that support
-// is an edge from T_u into C_{i+1}, and its witness.
-//
-// Pass 2 maintains, for every *terminal* copy u and level j, the linear hash
-// table H^u_j keyed by outside vertices v with an embedded neighborhood
-// sketch of N(v) cap T_u cap Y_j as value.  After the pass, each outside
-// neighbor v of each terminal tree contributes one recovered edge (w, v),
-// w in T_u.  The spanner is phi(F) plus those edges (Lemma 12 size bound,
-// Lemma 13 stretch bound).
-//
-// The class exposes the incremental pass interface (pass1_update /
-// finish_pass1 / pass2_update / finish) because the KP12 sparsifier runs
-// many instances in parallel over the *same* two stream passes; run() is the
-// single-instance convenience that also enforces the two-pass contract.
-//
-// `augmented` mode additionally reports every edge decoded on the execution
-// path (Claims 16, 18, 20) -- the property the sparsifier's sampling lemma
-// needs.
+/// Theorem 1: a 2^k-spanner in two passes and ~O(n^{1+1/k}) bits
+/// (Algorithms 1 and 2 of the paper).
+///
+/// Pass 1 maintains, for every vertex u, level r in [1, k-1] and sampling
+/// level j, the sketch S^r_j(u) = SKETCH_B(({u} x C_r) cap E cap E_j).  After
+/// the pass, the cluster forest is built bottom-up: the connector for T_u at
+/// level i sums members' S^{i+1}_j sketches (linearity!) and decodes from the
+/// sparsest level downward until a nonempty support appears -- that support
+/// is an edge from T_u into C_{i+1}, and its witness.
+///
+/// Pass 2 maintains, for every *terminal* copy u and level j, the linear hash
+/// table H^u_j keyed by outside vertices v with an embedded neighborhood
+/// sketch of N(v) cap T_u cap Y_j as value.  After the pass, each outside
+/// neighbor v of each terminal tree contributes one recovered edge (w, v),
+/// w in T_u.  The spanner is phi(F) plus those edges (Lemma 12 size bound,
+/// Lemma 13 stretch bound).
+///
+/// The class exposes the incremental pass interface (pass1_update /
+/// finish_pass1 / pass2_update / finish) because the KP12 sparsifier runs
+/// many instances in parallel over the *same* two stream passes; run() is the
+/// single-instance convenience that also enforces the two-pass contract.
+///
+/// `augmented` mode additionally reports every edge decoded on the execution
+/// path (Claims 16, 18, 20) -- the property the sparsifier's sampling lemma
+/// needs.
 #ifndef KW_CORE_TWO_PASS_SPANNER_H
 #define KW_CORE_TWO_PASS_SPANNER_H
 

@@ -1,13 +1,15 @@
-// CountSketch [CCF02] -- the alternative the paper names for Theorem 8
-// ("we could also use other sketches, such as CountSketch instead of
-// Theorem 8, improving upon the logarithmic factors in the space, though
-// the reconstruction time will be larger").
-//
-// R rows of W counters; coordinate i goes to bucket h_r(i) with sign
-// s_r(i) in {-1,+1}.  The median over rows of s_r(i) * C[r][h_r(i)]
-// estimates x_i with error ||x_tail||_2 / sqrt(W).  Linear, mergeable,
-// handles deletions.  Includes the heavy-hitters decode the paper alludes
-// to (enumerate a candidate set, keep verified-large coordinates).
+/// CountSketch [CCF02]: a one-pass linear sketch of R*W words with per-
+/// coordinate error ||x_tail||_2 / sqrt(W) -- the alternative the paper names
+/// for Theorem 8
+/// ("we could also use other sketches, such as CountSketch instead of
+/// Theorem 8, improving upon the logarithmic factors in the space, though
+/// the reconstruction time will be larger").
+///
+/// R rows of W counters; coordinate i goes to bucket h_r(i) with sign
+/// s_r(i) in {-1,+1}.  The median over rows of s_r(i) * C[r][h_r(i)]
+/// estimates x_i with error ||x_tail||_2 / sqrt(W).  Linear, mergeable,
+/// handles deletions.  Includes the heavy-hitters decode the paper alludes
+/// to (enumerate a candidate set, keep verified-large coordinates).
 #ifndef KW_SKETCH_COUNT_SKETCH_H
 #define KW_SKETCH_COUNT_SKETCH_H
 

@@ -1,11 +1,12 @@
-// Linear distinct-elements ((1 +- eps) L0) estimation, Theorem 9 [KNW10].
-//
-// Per level j, K fingerprint cells over the coordinates surviving rate-2^-j
-// subsampling; a cell is empty iff its fingerprint is zero (whp).  The
-// occupancy of the first level in the linear-counting sweet spot yields the
-// estimate; the median over `repetitions` independent copies drives the
-// failure probability down as log(1/delta), mirroring the theorem.  The
-// paper uses this sketch as the decodability guard for SKETCH_B (Section 2).
+/// Linear distinct-elements ((1 +- eps) L0) estimation, Theorem 9 [KNW10]:
+/// one pass, O(eps^-2 log n log(1/delta)) words, mergeable, deletion-proof.
+///
+/// Per level j, K fingerprint cells over the coordinates surviving rate-2^-j
+/// subsampling; a cell is empty iff its fingerprint is zero (whp).  The
+/// occupancy of the first level in the linear-counting sweet spot yields the
+/// estimate; the median over `repetitions` independent copies drives the
+/// failure probability down as log(1/delta), mirroring the theorem.  The
+/// paper uses this sketch as the decodability guard for SKETCH_B (Section 2).
 #ifndef KW_SKETCH_DISTINCT_ELEMENTS_H
 #define KW_SKETCH_DISTINCT_ELEMENTS_H
 

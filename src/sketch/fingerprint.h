@@ -1,11 +1,13 @@
-// Polynomial identity fingerprints over F_{2^61-1}.
-//
-// A vector x is fingerprinted as F(x) = sum_i x_i * r^(i+1) mod p for a
-// random evaluation point r.  F is linear in x, so it composes with every
-// other linear sketch here; by Schwartz-Zippel two distinct vectors collide
-// with probability <= max_coord/p per evaluation point.  Sketches carry two
-// independent points to push collision probability below 2^-38 even for
-// coordinate spaces of size n^2.
+/// Polynomial identity fingerprints over F_{2^61-1}: O(1)-word linear
+/// summaries used as the zero-test inside every sketch cell in this repo
+/// (sparse recovery, L0 sampling, distinct elements).
+///
+/// A vector x is fingerprinted as F(x) = sum_i x_i * r^(i+1) mod p for a
+/// random evaluation point r.  F is linear in x, so it composes with every
+/// other linear sketch here; by Schwartz-Zippel two distinct vectors collide
+/// with probability <= max_coord/p per evaluation point.  Sketches carry two
+/// independent points to push collision probability below 2^-38 even for
+/// coordinate spaces of size n^2.
 #ifndef KW_SKETCH_FINGERPRINT_H
 #define KW_SKETCH_FINGERPRINT_H
 

@@ -1,15 +1,17 @@
-// L0-sampling from a linear sketch.
-//
-// Samples a (near-)uniform nonzero coordinate of a dynamic vector: the
-// standard level construction.  Level j keeps a one-sparse detector over the
-// coordinates surviving rate-2^-j subsampling (nested, driven by one k-wise
-// hash); when the vector has L0 nonzeros, the level near log2(L0) is
-// one-sparse with constant probability, and the detector then returns its
-// (coordinate, value) exactly.  `instances` independent copies boost the
-// success probability.
-//
-// This is the sketch the paper cites for [AGM12a]-style neighborhood
-// sampling and the replacement it mentions for the Y_j sets in Section 3.2.
+/// L0-sampling from a linear sketch ([JST11]/[AGM12a]-style).  Each instance
+/// uses O(log^2 n) words over a length-n dynamic vector, is mergeable, and
+/// supports arbitrary insertions/deletions in one pass.
+///
+/// Samples a (near-)uniform nonzero coordinate of a dynamic vector: the
+/// standard level construction.  Level j keeps a one-sparse detector over the
+/// coordinates surviving rate-2^-j subsampling (nested, driven by one k-wise
+/// hash); when the vector has L0 nonzeros, the level near log2(L0) is
+/// one-sparse with constant probability, and the detector then returns its
+/// (coordinate, value) exactly.  `instances` independent copies boost the
+/// success probability.
+///
+/// This is the sketch the paper cites for [AGM12a]-style neighborhood
+/// sampling and the replacement it mentions for the Y_j sets in Section 3.2.
 #ifndef KW_SKETCH_L0_SAMPLER_H
 #define KW_SKETCH_L0_SAMPLER_H
 

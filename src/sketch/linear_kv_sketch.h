@@ -1,20 +1,22 @@
-// The linear hash table of Section 3.2 (the H^u_j structures).
-//
-// A linear sketch of a key -> payload-sketch map: each update carries a key,
-// a signed key-count delta, and a payload contribution ("add SKETCH(delta*a)
-// to the b-th entry of H^u_j" in Algorithm 2).  Implementation: `tables`
-// independent hash tables of cells; a cell holds a one-sparse detector over
-// *keys* plus an embedded SKETCH_B state over payload coordinates.
-// Decoding peels cells whose key detector verifies as one-sparse: that
-// certifies every update in the cell shares one key, so the cell's embedded
-// payload sketch is that key's complete payload; the recovered pair is then
-// subtracted from the other tables.
-//
-// Everything is component-wise additive (field arithmetic for fingerprints),
-// so sketches with equal (capacity, geometry, seed) merge exactly --
-// linearity.  Storage is hash-map-backed: memory is proportional to touched
-// cells while nominal_bytes() reports the dense size a streaming device
-// would allocate.
+/// The linear hash table of Section 3.2 (the H^u_j structures): a one-pass,
+/// mergeable sketch of a key -> payload-sketch map using O(capacity * B log n)
+/// words, decodable when at most ~capacity distinct keys are live (Claim 11).
+///
+/// A linear sketch of a key -> payload-sketch map: each update carries a key,
+/// a signed key-count delta, and a payload contribution ("add SKETCH(delta*a)
+/// to the b-th entry of H^u_j" in Algorithm 2).  Implementation: `tables`
+/// independent hash tables of cells; a cell holds a one-sparse detector over
+/// *keys* plus an embedded SKETCH_B state over payload coordinates.
+/// Decoding peels cells whose key detector verifies as one-sparse: that
+/// certifies every update in the cell shares one key, so the cell's embedded
+/// payload sketch is that key's complete payload; the recovered pair is then
+/// subtracted from the other tables.
+///
+/// Everything is component-wise additive (field arithmetic for fingerprints),
+/// so sketches with equal (capacity, geometry, seed) merge exactly --
+/// linearity.  Storage is hash-map-backed: memory is proportional to touched
+/// cells while nominal_bytes() reports the dense size a streaming device
+/// would allocate.
 #ifndef KW_SKETCH_LINEAR_KV_SKETCH_H
 #define KW_SKETCH_LINEAR_KV_SKETCH_H
 

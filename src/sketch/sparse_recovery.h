@@ -1,19 +1,21 @@
-// Exact B-sparse recovery (the paper's SKETCH_B / DECODE pair, Theorem 8).
-//
-// Construction: R independent rows, each hashing coordinates into 2B
-// one-sparse cells (util k-wise hashing).  DECODE is IBLT-style peeling:
-// repeatedly find a verified one-sparse cell, record its (coord, value) and
-// subtract it everywhere.  Success iff the residual is identically zero, so
-// overload (||x||_0 > B) is *detected*, matching the paper's "we always know
-// if a SKETCH_B(x) can be decoded" convention (Section 2).
-//
-// The sketch is linear: update() applies (coord, +-delta), merge() adds or
-// subtracts whole sketches that share (budget, rows, seed).
-//
-// The geometry/randomness is separable from the state: update_state() /
-// decode_state() operate on caller-owned cell arrays with this sketch's
-// hashes and fingerprint basis.  That is how the linear hash tables of
-// Section 3.2 embed a SKETCH_B as the *value* of each table cell.
+/// Exact B-sparse recovery (the paper's SKETCH_B / DECODE pair, Theorem 8):
+/// O(B log n)-word linear sketches of a dynamic vector from which any B-sparse
+/// vector is recovered exactly, with overload detected rather than mis-decoded.
+///
+/// Construction: R independent rows, each hashing coordinates into 2B
+/// one-sparse cells (util k-wise hashing).  DECODE is IBLT-style peeling:
+/// repeatedly find a verified one-sparse cell, record its (coord, value) and
+/// subtract it everywhere.  Success iff the residual is identically zero, so
+/// overload (||x||_0 > B) is *detected*, matching the paper's "we always know
+/// if a SKETCH_B(x) can be decoded" convention (Section 2).
+///
+/// The sketch is linear: update() applies (coord, +-delta), merge() adds or
+/// subtracts whole sketches that share (budget, rows, seed).
+///
+/// The geometry/randomness is separable from the state: update_state() /
+/// decode_state() operate on caller-owned cell arrays with this sketch's
+/// hashes and fingerprint basis.  That is how the linear hash tables of
+/// Section 3.2 embed a SKETCH_B as the *value* of each table cell.
 #ifndef KW_SKETCH_SPARSE_RECOVERY_H
 #define KW_SKETCH_SPARSE_RECOVERY_H
 
