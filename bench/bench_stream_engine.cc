@@ -1,0 +1,110 @@
+// StreamEngine ingestion throughput: per-update feeding vs batched feeding
+// vs sharded (threaded) ingestion on churn workloads of two lengths.
+//
+// The processor under load is the AGM spanning-forest sketch (Theorem 10):
+// a pure linear stage whose per-update cost dominates.  Sharding pays a
+// fixed per-pass cost -- constructing one empty sketch clone per shard and
+// folding the clones back -- so there is a crossover: short streams lose,
+// long streams win.  Both regimes are shown; every sharded row doubles as a
+// correctness check (merged clones must decode the identical forest).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "agm/spanning_forest.h"
+#include "bench/table.h"
+#include "engine/stream_engine.h"
+#include "graph/generators.h"
+#include "stream/dynamic_stream.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kw;
+using namespace kw::bench;
+
+[[nodiscard]] std::vector<std::tuple<Vertex, Vertex>> forest_edges(
+    ForestResult result) {
+  std::vector<std::tuple<Vertex, Vertex>> edges;
+  for (const auto& e : result.edges) {
+    edges.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+struct Mode {
+  std::string name;
+  std::size_t batch_size;
+  std::size_t shards;
+};
+
+bool run(Table& table, Vertex n, std::size_t churn_per_vertex,
+         const std::string& regime) {
+  const Graph g = erdos_renyi_gnm(n, 8ULL * n, /*seed=*/7);
+  const DynamicStream stream = DynamicStream::with_churn(
+      g, churn_per_vertex * static_cast<std::size_t>(n), /*seed=*/11);
+  AgmConfig config;
+  config.seed = 13;
+
+  const std::vector<Mode> modes = {
+      {"per-update", 1, 1},
+      {"batched (4096)", 4096, 1},
+      {"4-shard batched", 4096, 4},
+  };
+
+  std::vector<std::tuple<Vertex, Vertex>> reference;
+  double baseline_ms = 0.0;
+  bool all_ok = true;
+  for (const Mode& mode : modes) {
+    SpanningForestProcessor processor(g.n(), config);
+    StreamEngine engine(StreamEngineOptions{mode.batch_size, mode.shards});
+    engine.attach(processor);
+    Timer timer;
+    const EngineRunStats stats = engine.run(stream);
+    const double ms = timer.millis();
+    const auto edges = forest_edges(processor.take_result());
+    if (reference.empty()) {
+      reference = edges;
+      baseline_ms = ms;
+    }
+    const bool identical = edges == reference;
+    all_ok = all_ok && identical && stats.updates_per_pass == stream.size();
+    table.add_row({regime, mode.name, fmt_int(n), fmt_int(stream.size()),
+                   fmt(ms, 1),
+                   fmt_int(static_cast<std::size_t>(
+                       static_cast<double>(stream.size()) / (ms / 1e3))),
+                   fmt(baseline_ms / ms, 2), identical ? "yes" : "NO",
+                   verdict(identical)});
+  }
+  return all_ok;
+}
+
+}  // namespace
+
+int main() {
+  banner("StreamEngine ingestion throughput (per-update vs batched vs "
+         "sharded)",
+         "Claim: sharded ingestion via clone_empty()/merge() is exact by "
+         "sketch linearity; it pays a fixed per-pass clone+fold cost, so "
+         "throughput wins appear once the stream is long enough to "
+         "amortize it.");
+  Table table({"regime", "mode", "n", "updates", "ingest ms", "updates/sec",
+               "vs per-update", "forest identical", "verdict"});
+  bool ok = true;
+  ok &= run(table, 512, /*churn_per_vertex=*/2, "short stream");
+  ok &= run(table, 512, /*churn_per_vertex=*/32, "long stream");
+  table.print();
+  std::printf(
+      "\nNotes: churn workloads (phantom insert+delete pairs); 'forest "
+      "identical' asserts the merged per-shard clones decode the same "
+      "spanning forest as sequential ingestion.  The short-stream regime "
+      "shows the fixed clone+fold overhead, the long-stream regime its "
+      "amortization; wall-clock wins over per-update ingestion additionally "
+      "require multiple hardware threads (this machine reports %u).\n",
+      std::thread::hardware_concurrency());
+  return ok ? 0 : 1;
+}

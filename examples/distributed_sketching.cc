@@ -5,10 +5,20 @@
 // shared randomness (the agreed-upon sketching matrix S); the coordinator
 // sums the sketches and extracts a spanning forest of the global graph --
 // communicating sketches, never edges.
+//
+// Both forms are shown:
+//   1. the explicit protocol (split the stream, per-server sketches, manual
+//      coordinator merge), and
+//   2. the same computation as one StreamEngine run with sharded ingestion
+//      -- the engine creates one empty clone per shard (clone_empty()),
+//      feeds each shard a portion of the stream on its own thread, and
+//      folds the clones back (merge()), which is the in-process version of
+//      the server/coordinator protocol.
 #include <cstdio>
 #include <vector>
 
 #include "agm/spanning_forest.h"
+#include "engine/stream_engine.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "stream/dynamic_stream.h"
@@ -28,6 +38,7 @@ int main() {
   AgmConfig config;
   config.seed = 33;
 
+  // ---- 1. The explicit protocol -----------------------------------------
   std::vector<AgmGraphSketch> local;
   local.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) {
@@ -56,6 +67,22 @@ int main() {
               forest.edges.size(), forest.rounds_used);
   std::printf("connectivity matches the global graph: %s\n",
               ok ? "YES" : "NO");
+
+  // ---- 2. The same computation, one sharded StreamEngine run -------------
+  const StreamEngineOptions options{/*batch_size=*/4096, /*shards=*/servers};
+  SpanningForestProcessor processor(n, config);
+  StreamEngine engine(options);
+  engine.attach(processor);
+  const EngineRunStats stats = engine.run(stream);
+  const ForestResult sharded = processor.take_result();
+  const bool sharded_ok =
+      sharded.complete && same_partition(g, Graph::from_edges(n, sharded.edges));
+  std::printf("engine: %zu shards x %zu-update batches, %zu pass(es), "
+              "forest of %zu edges\n",
+              stats.shards, options.batch_size, stats.passes,
+              sharded.edges.size());
+  std::printf("sharded ingestion matches the protocol: %s\n",
+              sharded_ok ? "YES" : "NO");
   std::printf("components: %zu\n", component_count(g));
-  return ok ? 0 : 1;
+  return ok && sharded_ok ? 0 : 1;
 }

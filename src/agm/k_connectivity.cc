@@ -4,13 +4,14 @@
 #include <utility>
 
 #include "agm/spanning_forest.h"
+#include "engine/stream_engine.h"
 #include "util/random.h"
 
 namespace kw {
 
 KConnectivitySketch::KConnectivitySketch(Vertex n, std::size_t k,
                                          const AgmConfig& config)
-    : n_(n) {
+    : n_(n), config_(config) {
   if (k == 0) throw std::invalid_argument("k must be >= 1");
   layers_.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -60,13 +61,54 @@ std::size_t KConnectivitySketch::nominal_bytes() const noexcept {
   return total;
 }
 
+void KConnectivitySketch::absorb(std::span<const EdgeUpdate> batch) {
+  if (finished_) {
+    throw std::logic_error("KConnectivitySketch: absorb() after finish()");
+  }
+  for (const EdgeUpdate& u : batch) {
+    if (u.u == u.v) continue;
+    update(u.u, u.v, u.delta);
+  }
+}
+
+void KConnectivitySketch::advance_pass() {
+  throw std::logic_error(
+      "KConnectivitySketch: single-pass, advance_pass() is never legal");
+}
+
+void KConnectivitySketch::finish() {
+  if (finished_) {
+    throw std::logic_error("KConnectivitySketch: finish() called twice");
+  }
+  finished_ = true;
+  result_ = std::move(*this).extract();
+}
+
+std::unique_ptr<StreamProcessor> KConnectivitySketch::clone_empty() const {
+  if (finished_) return nullptr;
+  return std::make_unique<KConnectivitySketch>(n_, layers_.size(), config_);
+}
+
+void KConnectivitySketch::merge(StreamProcessor&& other) {
+  merge(merge_cast<KConnectivitySketch>(other), 1);
+}
+
+KConnectivityResult KConnectivitySketch::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "KConnectivitySketch: result unavailable (finish() not reached or "
+        "result already taken)");
+  }
+  KConnectivityResult out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
 KConnectivityResult KConnectivitySketch::from_stream(
     const DynamicStream& stream, std::size_t k, const AgmConfig& config) {
   KConnectivitySketch sketch(stream.n(), k, config);
-  stream.replay([&sketch](const EdgeUpdate& u) {
-    sketch.update(u.u, u.v, u.delta);
-  });
-  return std::move(sketch).extract();
+  StreamEngine::run_single(sketch, stream);
+  return sketch.take_result();
 }
 
 }  // namespace kw

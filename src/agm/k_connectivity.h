@@ -12,9 +12,12 @@
 #define KW_AGM_K_CONNECTIVITY_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "agm/neighborhood_sketch.h"
+#include "engine/stream_processor.h"
 #include "graph/graph.h"
 #include "stream/dynamic_stream.h"
 
@@ -26,11 +29,27 @@ struct KConnectivityResult {
   bool complete = true;                    // every forest extraction clean
 };
 
-// Streaming front-end: k sketch sets updated together in one pass.
-class KConnectivitySketch {
+// Streaming front-end: k sketch sets updated together in one pass, driven
+// either per-update or as an engine StreamProcessor.
+class KConnectivitySketch final : public StreamProcessor {
  public:
   KConnectivitySketch(Vertex n, std::size_t k, const AgmConfig& config);
 
+  // --- StreamProcessor (engine-driven, single pass) ---
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate> batch) override;
+  void advance_pass() override;  // single-pass: always throws
+  void finish() override;        // peels the certificate out of the sketches
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
+  void merge(StreamProcessor&& other) override;
+
+  // Valid once after finish().
+  [[nodiscard]] KConnectivityResult take_result();
+
+  // --- per-update interface ---
   void update(Vertex u, Vertex v, std::int64_t delta);
 
   // this += sign * other (distributed merge); same (n, k, seed) required.
@@ -41,13 +60,16 @@ class KConnectivitySketch {
 
   [[nodiscard]] std::size_t nominal_bytes() const noexcept;
 
-  // Convenience: one pass over a stream.
+  // Convenience: exactly one pass-counted replay via StreamEngine.
   [[nodiscard]] static KConnectivityResult from_stream(
       const DynamicStream& stream, std::size_t k, const AgmConfig& config);
 
  private:
   Vertex n_;
+  AgmConfig config_;
+  bool finished_ = false;
   std::vector<AgmGraphSketch> layers_;
+  std::optional<KConnectivityResult> result_;
 };
 
 }  // namespace kw

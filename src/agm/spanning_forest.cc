@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/connectivity.h"
 
@@ -77,6 +78,63 @@ ForestResult agm_spanning_forest(const AgmGraphSketch& sketch) {
   std::vector<std::uint32_t> identity(sketch.n());
   std::iota(identity.begin(), identity.end(), 0u);
   return agm_spanning_forest(sketch, identity);
+}
+
+// ---- SpanningForestProcessor ----------------------------------------------
+
+SpanningForestProcessor::SpanningForestProcessor(Vertex n,
+                                                 const AgmConfig& config)
+    : config_(config), sketch_(n, config) {}
+
+SpanningForestProcessor::SpanningForestProcessor(
+    Vertex n, const AgmConfig& config, std::vector<std::uint32_t> partition)
+    : config_(config), sketch_(n, config), partition_(std::move(partition)) {}
+
+void SpanningForestProcessor::absorb(std::span<const EdgeUpdate> batch) {
+  if (finished_) {
+    throw std::logic_error("SpanningForestProcessor: absorb() after finish()");
+  }
+  for (const EdgeUpdate& u : batch) {
+    if (u.u == u.v) continue;
+    sketch_.update(u.u, u.v, u.delta);
+  }
+}
+
+void SpanningForestProcessor::advance_pass() {
+  throw std::logic_error(
+      "SpanningForestProcessor: single-pass, advance_pass() is never legal");
+}
+
+void SpanningForestProcessor::finish() {
+  if (finished_) {
+    throw std::logic_error("SpanningForestProcessor: finish() called twice");
+  }
+  finished_ = true;
+  result_ = partition_.empty() ? agm_spanning_forest(sketch_)
+                               : agm_spanning_forest(sketch_, partition_);
+}
+
+std::unique_ptr<StreamProcessor> SpanningForestProcessor::clone_empty() const {
+  if (finished_) return nullptr;
+  // Fresh sketch with the shared randomness (seeded config); the partition
+  // only matters at finish(), which runs on the merged primary.
+  return std::make_unique<SpanningForestProcessor>(sketch_.n(), config_);
+}
+
+void SpanningForestProcessor::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<SpanningForestProcessor>(other);
+  sketch_.merge(o.sketch_, 1);
+}
+
+ForestResult SpanningForestProcessor::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "SpanningForestProcessor: result unavailable (finish() not reached "
+        "or result already taken)");
+  }
+  ForestResult out = std::move(*result_);
+  result_.reset();
+  return out;
 }
 
 }  // namespace kw

@@ -10,9 +10,12 @@
 #define KW_AGM_SPANNING_FOREST_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "agm/neighborhood_sketch.h"
+#include "engine/stream_processor.h"
 #include "graph/graph.h"
 
 namespace kw {
@@ -31,6 +34,43 @@ struct ForestResult {
 
 // Convenience: identity partition.
 [[nodiscard]] ForestResult agm_spanning_forest(const AgmGraphSketch& sketch);
+
+// Push-based front-end (Theorem 10 as a StreamProcessor): one pass
+// maintaining the AGM sketches, Boruvka-over-sketches at finish().
+// clone_empty()/merge() shard ingestion by the linearity of the sketches
+// (the distributed setting of Section 1, in-process).
+class SpanningForestProcessor final : public StreamProcessor {
+ public:
+  SpanningForestProcessor(Vertex n, const AgmConfig& config);
+  // Supernode start partition, as in agm_spanning_forest.
+  SpanningForestProcessor(Vertex n, const AgmConfig& config,
+                          std::vector<std::uint32_t> partition);
+
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return sketch_.n(); }
+  void absorb(std::span<const EdgeUpdate> batch) override;
+  void advance_pass() override;  // single-pass: always throws
+  void finish() override;
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
+  void merge(StreamProcessor&& other) override;
+
+  // Valid once after finish().
+  [[nodiscard]] ForestResult take_result();
+
+  // The underlying sketch (e.g. for nominal_bytes accounting).
+  [[nodiscard]] const AgmGraphSketch& sketch() const noexcept {
+    return sketch_;
+  }
+
+ private:
+  AgmConfig config_;
+  AgmGraphSketch sketch_;
+  std::vector<std::uint32_t> partition_;  // empty = identity
+  bool finished_ = false;
+  std::optional<ForestResult> result_;
+};
 
 }  // namespace kw
 

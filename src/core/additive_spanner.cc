@@ -5,8 +5,10 @@
 #include <map>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "agm/spanning_forest.h"
+#include "engine/stream_engine.h"
 #include "util/random.h"
 
 namespace kw {
@@ -101,7 +103,49 @@ void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
   agm_.update(a, b, update.delta);
 }
 
-AdditiveResult AdditiveSpannerSketch::finish() {
+void AdditiveSpannerSketch::absorb(std::span<const EdgeUpdate> batch) {
+  for (const EdgeUpdate& u : batch) update(u);
+}
+
+void AdditiveSpannerSketch::advance_pass() {
+  throw std::logic_error(
+      "AdditiveSpannerSketch: single-pass, advance_pass() is never legal");
+}
+
+std::unique_ptr<StreamProcessor> AdditiveSpannerSketch::clone_empty() const {
+  if (finished_) return nullptr;
+  // The constructor is deterministic in (n, config): centers, thresholds
+  // and every sketch's randomness coincide with ours, state is zero.
+  return std::make_unique<AdditiveSpannerSketch>(n_, config_);
+}
+
+void AdditiveSpannerSketch::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<AdditiveSpannerSketch>(other);
+  if (o.n_ != n_ || o.config_.seed != config_.seed || o.finished_ ||
+      finished_) {
+    throw std::invalid_argument(
+        "AdditiveSpannerSketch::merge: incompatible instance (n/seed/phase)");
+  }
+  for (Vertex v = 0; v < n_; ++v) {
+    neighborhood_[v].merge(o.neighborhood_[v], 1);
+    center_sampler_[v].merge(o.center_sampler_[v], 1);
+    degree_[v].merge(o.degree_[v], 1);
+  }
+  agm_.merge(o.agm_, 1);
+}
+
+AdditiveResult AdditiveSpannerSketch::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "AdditiveSpannerSketch: result unavailable (finish() not reached or "
+        "result already taken)");
+  }
+  AdditiveResult out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
+void AdditiveSpannerSketch::finish() {
   if (finished_) throw std::logic_error("sketch already finished");
   finished_ = true;
   AdditiveResult result;
@@ -177,13 +221,13 @@ AdditiveResult AdditiveSpannerSketch::finish() {
                             center_sampler_[v].nominal_bytes() +
                             degree_[v].nominal_bytes();
   }
-  return result;
+  result_ = std::move(result);
 }
 
 AdditiveResult AdditiveSpannerSketch::run(const DynamicStream& stream) {
   if (stream.n() != n_) throw std::invalid_argument("stream size mismatch");
-  stream.replay([this](const EdgeUpdate& u) { update(u); });
-  return finish();
+  StreamEngine::run_single(*this, stream);
+  return take_result();
 }
 
 }  // namespace kw

@@ -18,10 +18,13 @@
 #define KW_CORE_ADDITIVE_SPANNER_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "agm/neighborhood_sketch.h"
 #include "core/config.h"
+#include "engine/stream_processor.h"
 #include "graph/graph.h"
 #include "sketch/distinct_elements.h"
 #include "sketch/l0_sampler.h"
@@ -51,20 +54,30 @@ struct AdditiveResult {
   std::size_t nominal_bytes = 0;
 };
 
-class AdditiveSpannerSketch {
+class AdditiveSpannerSketch final : public StreamProcessor {
  public:
   AdditiveSpannerSketch(Vertex n, const AdditiveConfig& config);
 
-  // Single-pass stream interface.
+  // --- StreamProcessor (engine-driven, single pass) ---
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate> batch) override;
+  void advance_pass() override;  // single-pass: always throws
+  void finish() override;        // post-processing; read via take_result()
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
+  void merge(StreamProcessor&& other) override;
+
+  // Valid once after finish().
+  [[nodiscard]] AdditiveResult take_result();
+
+  // Per-update interface.
   void update(const EdgeUpdate& update);
 
-  // Post-processing; consumes the sketch state.
-  [[nodiscard]] AdditiveResult finish();
-
-  // Convenience: exactly one replay.
+  // Convenience: exactly one pass-counted replay via StreamEngine.
   [[nodiscard]] AdditiveResult run(const DynamicStream& stream);
 
-  [[nodiscard]] Vertex n() const noexcept { return n_; }
   [[nodiscard]] bool is_center(Vertex v) const { return in_centers_[v] != 0; }
   [[nodiscard]] double degree_threshold() const noexcept { return threshold_; }
 
@@ -79,6 +92,7 @@ class AdditiveSpannerSketch {
   std::vector<DistinctElementsSketch> degree_;       // hat d_u
   AgmGraphSketch agm_;
   bool finished_ = false;
+  std::optional<AdditiveResult> result_;  // set by finish()
 };
 
 }  // namespace kw

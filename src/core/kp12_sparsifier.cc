@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "core/two_pass_spanner.h"
+#include "engine/processors.h"
+#include "engine/stream_engine.h"
 #include "graph/shortest_paths.h"
 #include "stream/weight_classes.h"
 #include "util/bit_util.h"
-#include "util/hashing.h"
 #include "util/random.h"
 
 namespace kw {
@@ -53,104 +55,184 @@ class SpannerOracle {
 }  // namespace
 
 Kp12Sparsifier::Kp12Sparsifier(Vertex n, const Kp12Config& config)
-    : n_(n), config_(config) {}
+    : n_(n), config_(config) {
+  t_levels_ = config_.t_levels > 0 ? config_.t_levels
+                                   : ceil_log2(std::max<Vertex>(n_, 2)) + 1;
+  h_levels_ = 2 * ceil_log2(std::max<Vertex>(n_, 2)) + 1;
+  estimate_hashes_.reserve(config_.j_copies);
+  for (std::size_t j = 0; j < config_.j_copies; ++j) {
+    estimate_hashes_.emplace_back(8, derive_seed(config_.seed, 0x3000 + j));
+  }
+  sample_hashes_.reserve(config_.z_samples);
+  for (std::size_t s = 0; s < config_.z_samples; ++s) {
+    sample_hashes_.emplace_back(8, derive_seed(config_.seed, 0x5000 + s));
+  }
+}
 
-Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
-  const std::size_t t_levels =
-      config_.t_levels > 0 ? config_.t_levels
-                           : ceil_log2(std::max<Vertex>(n_, 2)) + 1;
-  const std::size_t j_copies = config_.j_copies;
-  const std::size_t h_levels = 2 * ceil_log2(std::max<Vertex>(n_, 2)) + 1;
-  const std::size_t z_samples = config_.z_samples;
+void Kp12Sparsifier::ensure_instances() {
+  if (initialized_) return;
+  initialized_ = true;
+  // ESTIMATE oracles O[j][t] on E^j_t (nested in t at rate 2^{-(t-1)}).
+  oracles_.resize(config_.j_copies);
+  for (std::size_t j = 0; j < config_.j_copies; ++j) {
+    oracles_[j].reserve(t_levels_);
+    for (std::size_t t = 0; t < t_levels_; ++t) {
+      TwoPassConfig sc = config_.spanner;
+      sc.augmented = false;
+      sc.seed = derive_seed(config_.seed, 0x4000 + j * 256 + t);
+      oracles_[j].emplace_back(n_, sc);
+    }
+  }
+  // SAMPLE instances A[s][j] on E_{s,j} (nested in j, independent in s),
+  // augmented per Claims 16/18/20.
+  samplers_.resize(config_.z_samples);
+  for (std::size_t s = 0; s < config_.z_samples; ++s) {
+    samplers_[s].reserve(h_levels_);
+    for (std::size_t j = 0; j < h_levels_; ++j) {
+      TwoPassConfig sc = config_.spanner;
+      sc.augmented = true;
+      sc.seed = derive_seed(config_.seed, 0x6000 + s * 256 + j);
+      samplers_[s].emplace_back(n_, sc);
+    }
+  }
+  // If the first update only arrives in pass 2 (possible behind a demux
+  // over a non-replay source), the instances must catch up to the phase.
+  if (phase_ == Phase::kPass2) {
+    for (auto& row : oracles_) {
+      for (auto& o : row) o.finish_pass1();
+    }
+    for (auto& row : samplers_) {
+      for (auto& a : row) a.finish_pass1();
+    }
+  }
+}
+
+Kp12Sparsifier::Kp12Sparsifier(const Kp12Sparsifier& other, EmptyCloneTag)
+    : n_(other.n_),
+      config_(other.config_),
+      phase_(other.phase_),
+      initialized_(other.initialized_),
+      t_levels_(other.t_levels_),
+      h_levels_(other.h_levels_),
+      estimate_hashes_(other.estimate_hashes_),
+      sample_hashes_(other.sample_hashes_) {
+  oracles_.resize(other.oracles_.size());
+  for (std::size_t j = 0; j < other.oracles_.size(); ++j) {
+    oracles_[j].reserve(other.oracles_[j].size());
+    for (const auto& o : other.oracles_[j]) {
+      oracles_[j].push_back(o.clone_empty_instance());
+    }
+  }
+  samplers_.resize(other.samplers_.size());
+  for (std::size_t s = 0; s < other.samplers_.size(); ++s) {
+    samplers_[s].reserve(other.samplers_[s].size());
+    for (const auto& a : other.samplers_[s]) {
+      samplers_[s].push_back(a.clone_empty_instance());
+    }
+  }
+}
+
+void Kp12Sparsifier::apply(const EdgeUpdate& upd) {
+  const std::uint64_t pair = pair_id(upd.u, upd.v, n_);
+  const bool pass1 = phase_ == Phase::kPass1;
+  for (std::size_t j = 0; j < config_.j_copies; ++j) {
+    const std::size_t lvl =
+        survive_level(estimate_hashes_[j], pair, t_levels_ - 1);
+    for (std::size_t t = 0; t <= lvl; ++t) {
+      if (pass1) {
+        oracles_[j][t].pass1_update(upd);
+      } else {
+        oracles_[j][t].pass2_update(upd);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < config_.z_samples; ++s) {
+    const std::size_t lvl =
+        survive_level(sample_hashes_[s], pair, h_levels_ - 1);
+    for (std::size_t j = 0; j <= lvl; ++j) {
+      if (pass1) {
+        samplers_[s][j].pass1_update(upd);
+      } else {
+        samplers_[s][j].pass2_update(upd);
+      }
+    }
+  }
+}
+
+void Kp12Sparsifier::absorb(std::span<const EdgeUpdate> batch) {
+  if (phase_ == Phase::kDone) {
+    throw std::logic_error("Kp12Sparsifier: absorb() after finish()");
+  }
+  if (batch.empty()) return;
+  ensure_instances();
+  for (const EdgeUpdate& u : batch) apply(u);
+}
+
+void Kp12Sparsifier::advance_pass() {
+  if (phase_ != Phase::kPass1) {
+    throw std::logic_error("Kp12Sparsifier: advance_pass() outside pass 1");
+  }
+  for (auto& row : oracles_) {
+    for (auto& o : row) o.finish_pass1();
+  }
+  for (auto& row : samplers_) {
+    for (auto& a : row) a.finish_pass1();
+  }
+  phase_ = Phase::kPass2;
+}
+
+std::unique_ptr<StreamProcessor> Kp12Sparsifier::clone_empty() const {
+  if (phase_ == Phase::kDone) return nullptr;
+  return std::unique_ptr<StreamProcessor>(
+      new Kp12Sparsifier(*this, EmptyCloneTag{}));
+}
+
+void Kp12Sparsifier::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<Kp12Sparsifier>(other);
+  if (o.n_ != n_ || o.config_.seed != config_.seed || o.phase_ != phase_) {
+    throw std::invalid_argument(
+        "Kp12Sparsifier::merge: incompatible instance (n/seed/phase)");
+  }
+  if (!o.initialized_) return;  // the shard saw no updates: nothing to fold
+  ensure_instances();
+  for (std::size_t j = 0; j < oracles_.size(); ++j) {
+    for (std::size_t t = 0; t < oracles_[j].size(); ++t) {
+      oracles_[j][t].merge(std::move(o.oracles_[j][t]));
+    }
+  }
+  for (std::size_t s = 0; s < samplers_.size(); ++s) {
+    for (std::size_t j = 0; j < samplers_[s].size(); ++j) {
+      samplers_[s][j].merge(std::move(o.samplers_[s][j]));
+    }
+  }
+}
+
+void Kp12Sparsifier::finish() {
+  if (phase_ != Phase::kPass2) {
+    throw std::logic_error("Kp12Sparsifier: finish() outside pass 2");
+  }
+  phase_ = Phase::kDone;
+
   const double lambda = std::pow(2.0, static_cast<double>(config_.spanner.k));
   const double cutoff = lambda * lambda;
 
   Kp12Result result;
   auto& diag = result.diagnostics;
-
-  // ---- Instance setup -------------------------------------------------
-  // ESTIMATE oracles O[j][t] on E^j_t (nested in t at rate 2^{-(t-1)}).
-  std::vector<KWiseHash> estimate_hashes;
-  std::vector<std::vector<TwoPassSpanner>> oracles(j_copies);
-  for (std::size_t j = 0; j < j_copies; ++j) {
-    estimate_hashes.emplace_back(8, derive_seed(config_.seed, 0x3000 + j));
-    oracles[j].reserve(t_levels);
-    for (std::size_t t = 0; t < t_levels; ++t) {
-      TwoPassConfig sc = config_.spanner;
-      sc.augmented = false;
-      sc.seed = derive_seed(config_.seed, 0x4000 + j * 256 + t);
-      oracles[j].emplace_back(n_, sc);
-    }
-  }
-  // SAMPLE instances A[s][j] on E_{s,j} (nested in j, independent in s),
-  // augmented per Claims 16/18/20.
-  std::vector<KWiseHash> sample_hashes;
-  std::vector<std::vector<TwoPassSpanner>> samplers(z_samples);
-  for (std::size_t s = 0; s < z_samples; ++s) {
-    sample_hashes.emplace_back(8, derive_seed(config_.seed, 0x5000 + s));
-    samplers[s].reserve(h_levels);
-    for (std::size_t j = 0; j < h_levels; ++j) {
-      TwoPassConfig sc = config_.spanner;
-      sc.augmented = true;
-      sc.seed = derive_seed(config_.seed, 0x6000 + s * 256 + j);
-      samplers[s].emplace_back(n_, sc);
-    }
-  }
-  diag.oracle_instances = j_copies * t_levels;
-  diag.sample_instances = z_samples * h_levels;
-
-  // ---- Pass 1 (all instances simultaneously) --------------------------
-  stream.replay([&](const EdgeUpdate& upd) {
-    const std::uint64_t pair = pair_id(upd.u, upd.v, n_);
-    for (std::size_t j = 0; j < j_copies; ++j) {
-      const std::size_t lvl =
-          survive_level(estimate_hashes[j], pair, t_levels - 1);
-      for (std::size_t t = 0; t <= lvl; ++t) {
-        oracles[j][t].pass1_update(upd);
-      }
-    }
-    for (std::size_t s = 0; s < z_samples; ++s) {
-      const std::size_t lvl =
-          survive_level(sample_hashes[s], pair, h_levels - 1);
-      for (std::size_t j = 0; j <= lvl; ++j) {
-        samplers[s][j].pass1_update(upd);
-      }
-    }
-  });
-  for (auto& row : oracles) {
-    for (auto& o : row) o.finish_pass1();
-  }
-  for (auto& row : samplers) {
-    for (auto& a : row) a.finish_pass1();
-  }
-
-  // ---- Pass 2 ----------------------------------------------------------
-  stream.replay([&](const EdgeUpdate& upd) {
-    const std::uint64_t pair = pair_id(upd.u, upd.v, n_);
-    for (std::size_t j = 0; j < j_copies; ++j) {
-      const std::size_t lvl =
-          survive_level(estimate_hashes[j], pair, t_levels - 1);
-      for (std::size_t t = 0; t <= lvl; ++t) {
-        oracles[j][t].pass2_update(upd);
-      }
-    }
-    for (std::size_t s = 0; s < z_samples; ++s) {
-      const std::size_t lvl =
-          survive_level(sample_hashes[s], pair, h_levels - 1);
-      for (std::size_t j = 0; j <= lvl; ++j) {
-        samplers[s][j].pass2_update(upd);
-      }
-    }
-  });
+  // Never-updated instances were never built (ensure_instances): report
+  // zero instances and an empty sparsifier, as the legacy empty-class path
+  // did.
+  diag.oracle_instances = initialized_ ? config_.j_copies * t_levels_ : 0;
+  diag.sample_instances = initialized_ ? config_.z_samples * h_levels_ : 0;
 
   // ---- Finish all instances -------------------------------------------
   std::vector<std::vector<SpannerOracle>> oracle_graphs;
-  oracle_graphs.reserve(j_copies);
-  for (auto& row : oracles) {
+  oracle_graphs.reserve(config_.j_copies);
+  for (auto& row : oracles_) {
     std::vector<SpannerOracle> out;
     out.reserve(row.size());
     for (auto& o : row) {
-      TwoPassResult r = o.finish();
+      o.finish();
+      TwoPassResult r = o.take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
       out.emplace_back(std::move(r.spanner));
@@ -159,11 +241,13 @@ Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
   }
 
   // sample_outputs[s][j]: spanner edges + augmented (execution-path) edges.
-  std::vector<std::vector<std::vector<Edge>>> sample_outputs(z_samples);
-  for (std::size_t s = 0; s < z_samples; ++s) {
-    sample_outputs[s].reserve(h_levels);
-    for (std::size_t j = 0; j < h_levels; ++j) {
-      TwoPassResult r = samplers[s][j].finish();
+  std::vector<std::vector<std::vector<Edge>>> sample_outputs(
+      samplers_.size());
+  for (std::size_t s = 0; s < samplers_.size(); ++s) {
+    sample_outputs[s].reserve(h_levels_);
+    for (std::size_t j = 0; j < h_levels_; ++j) {
+      samplers_[s][j].finish();
+      TwoPassResult r = samplers_[s][j].take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
       // Augmented edges already include everything decoded; union in the
@@ -193,14 +277,15 @@ Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
     const auto it = q_exponent.find(pair);
     if (it != q_exponent.end()) return it->second;
     ++diag.q_queries;
-    std::size_t t_star = t_levels;  // sentinel: "never disconnects"
-    for (std::size_t t = 0; t < t_levels; ++t) {
+    std::size_t t_star = t_levels_;  // sentinel: "never disconnects"
+    for (std::size_t t = 0; t < t_levels_; ++t) {
       std::size_t votes = 0;
-      for (std::size_t j = 0; j < j_copies; ++j) {
+      for (std::size_t j = 0; j < config_.j_copies; ++j) {
         if (oracle_graphs[j][t].distance(u, v) > cutoff) ++votes;
       }
       if (static_cast<double>(votes) >=
-          config_.xi_threshold_fraction * static_cast<double>(j_copies)) {
+          config_.xi_threshold_fraction *
+              static_cast<double>(config_.j_copies)) {
         t_star = t;
         break;
       }
@@ -213,14 +298,14 @@ Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
   // Edge e contributes weight 2^{j} / Z each time invocation s outputs it at
   // exactly level j = t*(e).
   std::map<std::pair<Vertex, Vertex>, double> weight;
-  for (std::size_t s = 0; s < z_samples; ++s) {
-    for (std::size_t j = 0; j < h_levels; ++j) {
+  for (std::size_t s = 0; s < sample_outputs.size(); ++s) {
+    for (std::size_t j = 0; j < h_levels_; ++j) {
       for (const auto& e : sample_outputs[s][j]) {
         const std::size_t t_star = q_of(e.u, e.v);
         if (t_star != j) continue;  // Alg 5 line 7: weight 0
         weight[{std::min(e.u, e.v), std::max(e.u, e.v)}] +=
             std::pow(2.0, static_cast<double>(j)) /
-            static_cast<double>(z_samples);
+            static_cast<double>(config_.z_samples);
       }
     }
   }
@@ -232,7 +317,23 @@ Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
     ++diag.edges_weighted;
   }
   result.sparsifier = std::move(sparsifier);
-  return result;
+  result_ = std::move(result);
+}
+
+Kp12Result Kp12Sparsifier::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "Kp12Sparsifier: result unavailable (finish() not reached or result "
+        "already taken)");
+  }
+  Kp12Result out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
+Kp12Result Kp12Sparsifier::run(const DynamicStream& stream) {
+  StreamEngine::run_single(*this, stream);
+  return take_result();
 }
 
 WeightedKp12Result weighted_kp12_sparsify(const DynamicStream& stream,
@@ -240,21 +341,30 @@ WeightedKp12Result weighted_kp12_sparsify(const DynamicStream& stream,
                                           double wmin, double wmax,
                                           double class_eps) {
   const WeightClassPartition partition(wmin, wmax, class_eps);
-  // The per-class substreams correspond to one update-local filter on the
-  // same two physical passes; the simulator materialises them up front.
-  const auto class_streams = partition.split_stream(stream);
+  // One sparsifier per weight class, all riding the same two physical
+  // passes behind a single update-classifying demux (no materialized
+  // substreams; empty classes never instantiate their sketches).
+  std::vector<std::unique_ptr<Kp12Sparsifier>> instances;
+  instances.reserve(partition.num_classes());
+  for (std::size_t cls = 0; cls < partition.num_classes(); ++cls) {
+    Kp12Config cc = config;
+    cc.seed = derive_seed(config.seed, 0x8800 + cls);
+    instances.push_back(std::make_unique<Kp12Sparsifier>(stream.n(), cc));
+  }
+  std::vector<StreamProcessor*> lanes;
+  lanes.reserve(instances.size());
+  for (auto& instance : instances) lanes.push_back(instance.get());
+  DemuxProcessor demux(std::move(lanes), [&partition](const EdgeUpdate& upd) {
+    return partition.class_of(upd.weight);
+  });
+  StreamEngine engine;
+  engine.attach(demux);
+  (void)engine.run(stream);
 
   WeightedKp12Result out;
   std::map<std::pair<Vertex, Vertex>, double> weights;
-  for (std::size_t cls = 0; cls < class_streams.size(); ++cls) {
-    if (class_streams[cls].size() == 0) {
-      out.per_class.emplace_back();
-      continue;
-    }
-    Kp12Config cc = config;
-    cc.seed = derive_seed(config.seed, 0x8800 + cls);
-    Kp12Sparsifier sparsifier(stream.n(), cc);
-    Kp12Result r = sparsifier.run(class_streams[cls]);
+  for (std::size_t cls = 0; cls < instances.size(); ++cls) {
+    Kp12Result r = instances[cls]->take_result();
     const double scale = partition.representative(cls) * (1.0 + class_eps);
     for (const auto& e : r.sparsifier.edges()) {
       weights[{std::min(e.u, e.v), std::max(e.u, e.v)}] += e.weight * scale;

@@ -17,15 +17,27 @@
 /// Every spanner instance runs during the same two physical passes over the
 /// stream (instances see update-level filtered substreams derived from
 /// per-instance hashes -- the Section 6.3 pseudorandomness substitution).
+///
+/// The class is a push-based StreamProcessor: the J*T + Z*H TwoPassSpanner
+/// instances are built in the constructor, absorb() fans each update out to
+/// the instances whose subsampled edge sets contain it, advance_pass()
+/// closes pass 1 everywhere, and finish() runs the ESTIMATE queries and the
+/// SAMPLE/SPARSIFY aggregation.  clone_empty()/merge() shard ingestion by
+/// the linearity of the underlying spanner sketches.
 #ifndef KW_CORE_KP12_SPARSIFIER_H
 #define KW_CORE_KP12_SPARSIFIER_H
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/config.h"
+#include "core/two_pass_spanner.h"
+#include "engine/stream_processor.h"
 #include "graph/graph.h"
 #include "stream/dynamic_stream.h"
+#include "util/hashing.h"
 
 namespace kw {
 
@@ -43,18 +55,51 @@ struct Kp12Result {
   std::size_t nominal_bytes = 0;
 };
 
-class Kp12Sparsifier {
+class Kp12Sparsifier final : public StreamProcessor {
  public:
   Kp12Sparsifier(Vertex n, const Kp12Config& config);
 
-  // Runs the full pipeline with exactly two replays of the stream.
-  // The input graph is treated as unweighted (Corollary 2's weighted case
-  // is weighted_kp12_sparsify below).
+  // --- StreamProcessor (engine-driven, two passes) ---
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 2;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate> batch) override;
+  void advance_pass() override;
+  void finish() override;  // ESTIMATE queries + SAMPLE/SPARSIFY aggregation
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
+  void merge(StreamProcessor&& other) override;
+
+  // Valid once after finish().
+  [[nodiscard]] Kp12Result take_result();
+
+  // Convenience: the full pipeline with exactly two pass-counted replays
+  // via StreamEngine.  The input graph is treated as unweighted
+  // (Corollary 2's weighted case is weighted_kp12_sparsify below).
   [[nodiscard]] Kp12Result run(const DynamicStream& stream);
 
  private:
+  enum class Phase { kPass1, kPass2, kDone };
+  struct EmptyCloneTag {};
+
+  Kp12Sparsifier(const Kp12Sparsifier& other, EmptyCloneTag);
+  void apply(const EdgeUpdate& upd);
+  // The J*T + Z*H spanner instances are built on the first absorbed update:
+  // a sparsifier that never sees an update (e.g. an empty weight class in
+  // weighted_kp12_sparsify) costs nothing beyond this object.
+  void ensure_instances();
+
   Vertex n_;
   Kp12Config config_;
+  Phase phase_ = Phase::kPass1;
+  bool initialized_ = false;  // instances built (first update seen)
+  std::size_t t_levels_ = 0;  // ESTIMATE nested subsampling depth
+  std::size_t h_levels_ = 0;  // SAMPLE levels (log n^2)
+  std::vector<KWiseHash> estimate_hashes_;              // one per j copy
+  std::vector<KWiseHash> sample_hashes_;                // one per z sample
+  std::vector<std::vector<TwoPassSpanner>> oracles_;    // [j][t] on E^j_t
+  std::vector<std::vector<TwoPassSpanner>> samplers_;   // [s][j] on E_{s,j}
+  std::optional<Kp12Result> result_;  // set by finish()
 };
 
 // Corollary 2, weighted case: round weights to powers of (1 + class_eps),

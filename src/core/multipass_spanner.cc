@@ -1,13 +1,10 @@
 #include "core/multipass_spanner.h"
 
 #include <cmath>
-#include <map>
 #include <stdexcept>
 #include <unordered_set>
-#include <vector>
 
-#include "sketch/l0_sampler.h"
-#include "sketch/linear_kv_sketch.h"
+#include "engine/stream_engine.h"
 #include "util/hashing.h"
 #include "util/random.h"
 
@@ -43,111 +40,202 @@ constexpr Vertex kUnclustered = kInvalidVertex;
 
 }  // namespace
 
-MultipassResult multipass_baswana_sen(const DynamicStream& stream,
-                                      const MultipassConfig& config) {
-  const Vertex n = stream.n();
+MultipassSpanner::MultipassSpanner(Vertex n, const MultipassConfig& config)
+    : n_(n), config_(config) {
   if (config.k == 0) throw std::invalid_argument("k must be >= 1");
-  MultipassResult result;
-  std::map<std::pair<Vertex, Vertex>, double> edges;
-  auto add_pair = [&edges, n](std::uint64_t pair_coord) {
-    const auto [a, b] = pair_from_id(pair_coord, n);
-    edges.try_emplace({a, b}, 1.0);
-  };
+  cluster_of_.resize(n_);
+  for (Vertex v = 0; v < n_; ++v) cluster_of_[v] = v;
+  survive_rate_ = std::pow(static_cast<double>(n_), -1.0 / config_.k);
+  begin_phase();
+}
 
-  // cluster_of[v]: center of v's current cluster; kUnclustered once v has
-  // left the clustering (its edges are already covered).
-  std::vector<Vertex> cluster_of(n);
-  for (Vertex v = 0; v < n; ++v) cluster_of[v] = v;
-  const double survive_rate =
-      std::pow(static_cast<double>(n), -1.0 / config.k);
+MultipassSpanner::MultipassSpanner(const MultipassSpanner& other,
+                                   EmptyCloneTag)
+    : n_(other.n_),
+      config_(other.config_),
+      phase_(other.phase_),
+      survive_rate_(other.survive_rate_),
+      cluster_of_(other.cluster_of_),
+      survives_(other.survives_) {
+  // Clustering decisions (cluster_of_, survives_) are fixed before each
+  // pass; only the linear per-vertex sketches accumulate during it, and
+  // they are seed-determined by (config, phase), so fresh ones are the
+  // zero state with matching randomness.  edges_ / result counters live on
+  // the primary alone -- clones never re-home.
+  make_phase_sketches();
+}
 
-  for (unsigned phase = 1; phase <= config.k; ++phase) {
-    const bool final_phase = phase == config.k;
-    // Surviving centers, decided before the pass (shared randomness).
-    std::vector<char> survives(n, 0);
-    if (!final_phase) {
-      const KWiseHash survive_hash(8,
-                                   derive_seed(config.seed, 0xbd00 + phase));
-      for (Vertex c = 0; c < n; ++c) {
-        survives[c] = survive_hash.unit(c) < survive_rate ? 1 : 0;
-      }
+void MultipassSpanner::make_phase_sketches() {
+  to_sampled_.clear();
+  per_cluster_.clear();
+  to_sampled_.reserve(n_);
+  per_cluster_.reserve(n_);
+  for (Vertex v = 0; v < n_; ++v) {
+    (void)v;
+    to_sampled_.emplace_back(sampler_config(n_, config_, phase_));
+    per_cluster_.emplace_back(table_config(n_, config_, phase_));
+  }
+}
+
+void MultipassSpanner::begin_phase() {
+  const bool final_phase = phase_ == config_.k;
+  // Surviving centers, decided before the pass (shared randomness).
+  survives_.assign(n_, 0);
+  if (!final_phase) {
+    const KWiseHash survive_hash(8,
+                                 derive_seed(config_.seed, 0xbd00 + phase_));
+    for (Vertex c = 0; c < n_; ++c) {
+      survives_[c] = survive_hash.unit(c) < survive_rate_ ? 1 : 0;
     }
+  }
+  make_phase_sketches();
+}
 
-    // Per-vertex sketches for this pass.
-    std::vector<L0Sampler> to_sampled;
-    std::vector<LinearKeyValueSketch> per_cluster;
-    to_sampled.reserve(n);
-    per_cluster.reserve(n);
-    for (Vertex v = 0; v < n; ++v) {
-      to_sampled.emplace_back(sampler_config(n, config, phase));
-      per_cluster.emplace_back(table_config(n, config, phase));
+void MultipassSpanner::absorb(std::span<const EdgeUpdate> batch) {
+  if (finished_) {
+    throw std::logic_error("MultipassSpanner: absorb() after finish()");
+  }
+  const bool final_phase = phase_ == config_.k;
+  for (const EdgeUpdate& upd : batch) {
+    if (upd.u == upd.v) continue;
+    const std::uint64_t coord = pair_id(upd.u, upd.v, n_);
+    // Each endpoint files the edge under the *other* endpoint's current
+    // cluster (known before the pass).
+    for (int side = 0; side < 2; ++side) {
+      const Vertex v = side == 0 ? upd.u : upd.v;
+      const Vertex u = side == 0 ? upd.v : upd.u;
+      const Vertex cu = cluster_of_[u];
+      if (cu == kUnclustered) continue;   // u already settled
+      if (cu == cluster_of_[v]) continue;  // intra-cluster edge
+      if (!final_phase && survives_[cu] != 0) {
+        to_sampled_[v].update(coord, upd.delta);
+      }
+      per_cluster_[v].update(cu, upd.delta, coord, upd.delta);
     }
+  }
+}
 
-    // The pass: each endpoint files the edge under the *other* endpoint's
-    // current cluster (known before the pass).
-    stream.replay([&](const EdgeUpdate& upd) {
-      const std::uint64_t coord = pair_id(upd.u, upd.v, n);
-      for (int side = 0; side < 2; ++side) {
-        const Vertex v = side == 0 ? upd.u : upd.v;
-        const Vertex u = side == 0 ? upd.v : upd.u;
-        const Vertex cu = cluster_of[u];
-        if (cu == kUnclustered) continue;  // u already settled
-        if (cu == cluster_of[v]) continue;  // intra-cluster edge
-        if (!final_phase && survives[cu] != 0) {
-          to_sampled[v].update(coord, upd.delta);
-        }
-        per_cluster[v].update(cu, upd.delta, coord, upd.delta);
-      }
-    });
-    ++result.passes_used;
-    for (Vertex v = 0; v < n; ++v) {
-      result.nominal_bytes +=
-          to_sampled[v].nominal_bytes() + per_cluster[v].nominal_bytes();
-    }
+void MultipassSpanner::add_pair(std::uint64_t pair_coord) {
+  const auto [a, b] = pair_from_id(pair_coord, n_);
+  edges_.try_emplace({a, b}, 1.0);
+}
 
-    // Post-pass re-homing.
-    std::vector<Vertex> next_cluster = cluster_of;
-    for (Vertex v = 0; v < n; ++v) {
-      const Vertex cv = cluster_of[v];
-      if (cv == kUnclustered) continue;
-      if (!final_phase && survives[cv] != 0) continue;  // cluster survives
-      // Try to join a sampled neighboring cluster through one edge.
-      if (!final_phase) {
-        const auto rec = to_sampled[v].decode();
-        if (rec.has_value()) {
-          add_pair(rec->coord);
-          const auto [a, b] = pair_from_id(rec->coord, n);
-          const Vertex other = a == v ? b : a;
-          next_cluster[v] = cluster_of[other];
-          continue;
-        }
-      }
-      // No sampled neighbor (or final phase): one edge per neighboring
-      // cluster, then leave the clustering.
-      const auto decoded = per_cluster[v].decode();
-      if (decoded.has_value()) {
-        for (const auto& entry : *decoded) {
-          const auto support = per_cluster[v].decode_payload(entry);
-          if (support.has_value() && !support->empty()) {
-            add_pair(support->front().coord);
-          } else {
-            ++result.unrecovered;
-          }
-        }
-      } else {
-        ++result.unrecovered;
-      }
-      next_cluster[v] = kUnclustered;
-    }
-    cluster_of = next_cluster;
+void MultipassSpanner::rehome() {
+  const bool final_phase = phase_ == config_.k;
+  ++passes_done_;
+  for (Vertex v = 0; v < n_; ++v) {
+    nominal_bytes_ +=
+        to_sampled_[v].nominal_bytes() + per_cluster_[v].nominal_bytes();
   }
 
-  Graph spanner(n);
-  for (const auto& [key, w] : edges) {
+  std::vector<Vertex> next_cluster = cluster_of_;
+  for (Vertex v = 0; v < n_; ++v) {
+    const Vertex cv = cluster_of_[v];
+    if (cv == kUnclustered) continue;
+    if (!final_phase && survives_[cv] != 0) continue;  // cluster survives
+    // Try to join a sampled neighboring cluster through one edge.
+    if (!final_phase) {
+      const auto rec = to_sampled_[v].decode();
+      if (rec.has_value()) {
+        add_pair(rec->coord);
+        const auto [a, b] = pair_from_id(rec->coord, n_);
+        const Vertex other = a == v ? b : a;
+        next_cluster[v] = cluster_of_[other];
+        continue;
+      }
+    }
+    // No sampled neighbor (or final phase): one edge per neighboring
+    // cluster, then leave the clustering.
+    const auto decoded = per_cluster_[v].decode();
+    if (decoded.has_value()) {
+      for (const auto& entry : *decoded) {
+        const auto support = per_cluster_[v].decode_payload(entry);
+        if (support.has_value() && !support->empty()) {
+          add_pair(support->front().coord);
+        } else {
+          ++unrecovered_;
+        }
+      }
+    } else {
+      ++unrecovered_;
+    }
+    next_cluster[v] = kUnclustered;
+  }
+  cluster_of_ = std::move(next_cluster);
+}
+
+void MultipassSpanner::advance_pass() {
+  if (finished_ || phase_ >= config_.k) {
+    throw std::logic_error(
+        "MultipassSpanner: advance_pass() beyond the declared k passes");
+  }
+  rehome();
+  ++phase_;
+  begin_phase();
+}
+
+void MultipassSpanner::finish() {
+  if (finished_) {
+    throw std::logic_error("MultipassSpanner: finish() called twice");
+  }
+  if (phase_ != config_.k) {
+    throw std::logic_error(
+        "MultipassSpanner: finish() before the final clustering phase");
+  }
+  rehome();
+  finished_ = true;
+
+  MultipassResult result;
+  Graph spanner(n_);
+  for (const auto& [key, w] : edges_) {
     spanner.add_edge(key.first, key.second, w);
   }
   result.spanner = std::move(spanner);
-  return result;
+  result.passes_used = passes_done_;
+  result.nominal_bytes = nominal_bytes_;
+  result.unrecovered = unrecovered_;
+  result_ = std::move(result);
+}
+
+std::unique_ptr<StreamProcessor> MultipassSpanner::clone_empty() const {
+  if (finished_) return nullptr;
+  return std::unique_ptr<StreamProcessor>(
+      new MultipassSpanner(*this, EmptyCloneTag{}));
+}
+
+void MultipassSpanner::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<MultipassSpanner>(other);
+  if (o.n_ != n_ || o.config_.seed != config_.seed || o.phase_ != phase_ ||
+      o.finished_ || finished_) {
+    throw std::invalid_argument(
+        "MultipassSpanner::merge: incompatible instance (n/seed/phase)");
+  }
+  for (Vertex v = 0; v < n_; ++v) {
+    to_sampled_[v].merge(o.to_sampled_[v], 1);
+    per_cluster_[v].merge(o.per_cluster_[v], 1);
+  }
+}
+
+MultipassResult MultipassSpanner::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "MultipassSpanner: result unavailable (finish() not reached or "
+        "result already taken)");
+  }
+  MultipassResult out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
+MultipassResult MultipassSpanner::run(const DynamicStream& stream) {
+  StreamEngine::run_single(*this, stream);
+  return take_result();
+}
+
+MultipassResult multipass_baswana_sen(const DynamicStream& stream,
+                                      const MultipassConfig& config) {
+  MultipassSpanner spanner(stream.n(), config);
+  return spanner.run(stream);
 }
 
 }  // namespace kw

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "engine/processors.h"
+#include "engine/stream_engine.h"
 #include "stream/weight_classes.h"
 #include "util/bit_util.h"
 #include "util/random.h"
@@ -32,6 +35,86 @@ TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
     y_thresholds_[j] = static_cast<std::uint64_t>(
         static_cast<double>(kFieldPrime) *
         std::pow(2.0, -step * static_cast<double>(j)));
+  }
+}
+
+TwoPassSpanner::TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag)
+    : n_(other.n_),
+      config_(other.config_),
+      phase_(other.phase_),
+      hierarchy_(other.hierarchy_),
+      edge_levels_(other.edge_levels_),
+      vertex_levels_(other.vertex_levels_),
+      edge_level_hash_(other.edge_level_hash_),
+      y_hash_(other.y_hash_),
+      y_thresholds_(other.y_thresholds_),
+      forest_(other.forest_),
+      terminals_(other.terminals_),
+      terminal_of_vertex_(other.terminal_of_vertex_),
+      terminal_member_sets_(other.terminal_member_sets_) {
+  // Pass-1 sketches materialize lazily, so nothing to zero there; pass-2
+  // clones need the (empty) H^u_j tables with the primary's geometry.
+  if (phase_ == Phase::kPass2) {
+    tables_.reserve(terminals_.size());
+    for (std::size_t t = 0; t < terminals_.size(); ++t) {
+      std::vector<LinearKeyValueSketch> per_level;
+      per_level.reserve(vertex_levels_);
+      for (std::size_t j = 0; j < vertex_levels_; ++j) {
+        per_level.emplace_back(table_config(terminals_[t].level, t, j));
+      }
+      tables_.push_back(std::move(per_level));
+    }
+  }
+}
+
+void TwoPassSpanner::absorb(std::span<const EdgeUpdate> batch) {
+  switch (phase_) {
+    case Phase::kPass1:
+      for (const EdgeUpdate& u : batch) pass1_update(u);
+      break;
+    case Phase::kPass2:
+      for (const EdgeUpdate& u : batch) pass2_update(u);
+      break;
+    default:
+      throw std::logic_error("TwoPassSpanner: absorb() after finish()");
+  }
+}
+
+std::unique_ptr<StreamProcessor> TwoPassSpanner::clone_empty() const {
+  if (phase_ != Phase::kPass1 && phase_ != Phase::kPass2) return nullptr;
+  return std::unique_ptr<StreamProcessor>(
+      new TwoPassSpanner(*this, EmptyCloneTag{}));
+}
+
+void TwoPassSpanner::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<TwoPassSpanner>(other);
+  if (o.n_ != n_ || o.config_.seed != config_.seed || o.phase_ != phase_) {
+    throw std::invalid_argument(
+        "TwoPassSpanner::merge: incompatible instance (n/seed/phase)");
+  }
+  switch (phase_) {
+    case Phase::kPass1:
+      for (auto& [key, sketch] : o.pass1_sketches_) {
+        auto it = pass1_sketches_.find(key);
+        if (it == pass1_sketches_.end()) {
+          pass1_sketches_.emplace(key, std::move(sketch));
+        } else {
+          it->second.merge(sketch, 1);
+        }
+      }
+      // Shards each count their own first touch of a key, so summing the
+      // counters would double-count; the merged map is the ground truth.
+      diagnostics_.pass1_sketches_touched = pass1_sketches_.size();
+      break;
+    case Phase::kPass2:
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        for (std::size_t j = 0; j < tables_[t].size(); ++j) {
+          tables_[t][j].merge(o.tables_[t][j], 1);
+        }
+      }
+      break;
+    default:
+      throw std::logic_error("TwoPassSpanner::merge: already finished");
   }
 }
 
@@ -237,7 +320,7 @@ void TwoPassSpanner::pass2_update(const EdgeUpdate& update) {
   }
 }
 
-TwoPassResult TwoPassSpanner::finish() {
+void TwoPassSpanner::finish() {
   if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
   phase_ = Phase::kDone;
 
@@ -309,7 +392,18 @@ TwoPassResult TwoPassSpanner::finish() {
       result.touched_bytes += table.touched_bytes();
     }
   }
-  return result;
+  result_ = std::move(result);
+}
+
+TwoPassResult TwoPassSpanner::take_result() {
+  if (!result_.has_value()) {
+    throw std::logic_error(
+        "TwoPassSpanner: result unavailable (finish() not reached or result "
+        "already taken)");
+  }
+  TwoPassResult out = std::move(*result_);
+  result_.reset();
+  return out;
 }
 
 const ClusterForest& TwoPassSpanner::forest() const {
@@ -321,10 +415,8 @@ const ClusterForest& TwoPassSpanner::forest() const {
 
 TwoPassResult TwoPassSpanner::run(const DynamicStream& stream) {
   if (stream.n() != n_) throw std::invalid_argument("stream size mismatch");
-  stream.replay([this](const EdgeUpdate& u) { pass1_update(u); });
-  finish_pass1();
-  stream.replay([this](const EdgeUpdate& u) { pass2_update(u); });
-  return finish();
+  StreamEngine::run_single(*this, stream);
+  return take_result();
 }
 
 WeightedSpannerResult weighted_two_pass_spanner(const DynamicStream& stream,
@@ -332,8 +424,8 @@ WeightedSpannerResult weighted_two_pass_spanner(const DynamicStream& stream,
                                                 double wmin, double wmax,
                                                 double class_eps) {
   const WeightClassPartition partition(wmin, wmax, class_eps);
-  // One spanner instance per weight class, all driven by the same two
-  // physical passes (the per-class filtering is done update-by-update).
+  // One spanner instance per weight class, all riding the same two physical
+  // passes: a demux classifies each update once and routes it to its class.
   std::vector<TwoPassSpanner> instances;
   instances.reserve(partition.num_classes());
   for (std::size_t c = 0; c < partition.num_classes(); ++c) {
@@ -341,18 +433,20 @@ WeightedSpannerResult weighted_two_pass_spanner(const DynamicStream& stream,
     cc.seed = derive_seed(config.seed, 0x77000 + c);
     instances.emplace_back(stream.n(), cc);
   }
-  stream.replay([&](const EdgeUpdate& upd) {
-    instances[partition.class_of(upd.weight)].pass1_update(upd);
+  std::vector<StreamProcessor*> lanes;
+  lanes.reserve(instances.size());
+  for (auto& instance : instances) lanes.push_back(&instance);
+  DemuxProcessor demux(std::move(lanes), [&partition](const EdgeUpdate& upd) {
+    return partition.class_of(upd.weight);
   });
-  for (auto& inst : instances) inst.finish_pass1();
-  stream.replay([&](const EdgeUpdate& upd) {
-    instances[partition.class_of(upd.weight)].pass2_update(upd);
-  });
+  StreamEngine engine;
+  engine.attach(demux);
+  (void)engine.run(stream);
 
   WeightedSpannerResult out;
   std::map<std::pair<Vertex, Vertex>, double> edges;
   for (std::size_t c = 0; c < instances.size(); ++c) {
-    TwoPassResult r = instances[c].finish();
+    TwoPassResult r = instances[c].take_result();
     // Upper representative keeps d_H >= d_G (H's weights dominate true
     // weights), costing a (1+eps) factor in the stretch bound.
     const double w = partition.representative(c) * (1.0 + class_eps);

@@ -15,10 +15,14 @@
 /// w in T_u.  The spanner is phi(F) plus those edges (Lemma 12 size bound,
 /// Lemma 13 stretch bound).
 ///
-/// The class exposes the incremental pass interface (pass1_update /
-/// finish_pass1 / pass2_update / finish) because the KP12 sparsifier runs
-/// many instances in parallel over the *same* two stream passes; run() is the
-/// single-instance convenience that also enforces the two-pass contract.
+/// The class implements the push-based StreamProcessor contract (two
+/// passes; absorb / advance_pass / finish driven by kw::StreamEngine) and
+/// additionally exposes the per-update methods (pass1_update / pass2_update /
+/// finish_pass1) because the KP12 sparsifier feeds many instances
+/// update-level filtered substreams of the *same* two physical passes.
+/// run() is the single-instance convenience, routed through
+/// StreamEngine::run_single so the two-pass contract is enforced in one
+/// place.  clone_empty()/merge() shard either pass by sketch linearity.
 ///
 /// `augmented` mode additionally reports every edge decoded on the execution
 /// path (Claims 16, 18, 20) -- the property the sparsifier's sampling lemma
@@ -28,6 +32,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -35,6 +40,7 @@
 
 #include "core/cluster_forest.h"
 #include "core/config.h"
+#include "engine/stream_processor.h"
 #include "graph/graph.h"
 #include "sketch/linear_kv_sketch.h"
 #include "sketch/sparse_recovery.h"
@@ -66,26 +72,47 @@ struct TwoPassResult {
   std::size_t touched_bytes = 0;  // memory actually held by this simulator
 };
 
-class TwoPassSpanner {
+class TwoPassSpanner final : public StreamProcessor {
  public:
   TwoPassSpanner(Vertex n, const TwoPassConfig& config);
 
-  // --- incremental interface (for running many instances per pass) ---
+  // --- StreamProcessor (engine-driven) ---
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 2;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate> batch) override;
+  void advance_pass() override { finish_pass1(); }
+  void finish() override;  // computes the result; read via take_result()
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
+  void merge(StreamProcessor&& other) override;
+
+  // Value-typed clone_empty() for containers of instances (KP12 holds its
+  // J*T + Z*H spanners by value).
+  [[nodiscard]] TwoPassSpanner clone_empty_instance() const {
+    return TwoPassSpanner(*this, EmptyCloneTag{});
+  }
+
+  // Valid once after finish().
+  [[nodiscard]] TwoPassResult take_result();
+
+  // --- per-update interface (filtered fan-in, e.g. KP12 substreams) ---
   void pass1_update(const EdgeUpdate& update);
   void finish_pass1();  // builds the cluster forest, prepares pass 2
   void pass2_update(const EdgeUpdate& update);
-  [[nodiscard]] TwoPassResult finish();
 
   // Valid after finish_pass1().
   [[nodiscard]] const ClusterForest& forest() const;
 
-  // --- convenience: exactly two replays of the stream ---
+  // --- convenience: exactly two pass-counted replays via StreamEngine ---
   [[nodiscard]] TwoPassResult run(const DynamicStream& stream);
-
-  [[nodiscard]] Vertex n() const noexcept { return n_; }
 
  private:
   enum class Phase { kPass1, kBetween, kPass2, kDone };
+  struct EmptyCloneTag {};
+
+  // clone_empty(): same config/randomness/control state, zero sketch state.
+  TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag);
 
   [[nodiscard]] std::uint64_t sketch_key(Vertex v, unsigned r,
                                          std::size_t j) const;
@@ -128,6 +155,7 @@ class TwoPassSpanner {
   TwoPassDiagnostics diagnostics_;
   std::size_t pass1_touched_bytes_ = 0;  // recorded before pass-1 teardown
   std::map<std::pair<Vertex, Vertex>, double> augmented_;  // dedup
+  std::optional<TwoPassResult> result_;  // set by finish()
 };
 
 // Remark 14: weighted graphs via geometric weight classes.  Splits the

@@ -1,0 +1,184 @@
+#include "engine/processors.h"
+
+#include <stdexcept>
+
+#include "baseline/aingworth_additive.h"
+#include "baseline/baswana_sen.h"
+#include "baseline/greedy_spanner.h"
+
+namespace kw {
+
+// ---- MaterializeProcessor -------------------------------------------------
+
+void MaterializeProcessor::absorb(std::span<const EdgeUpdate> batch) {
+  if (finished_) {
+    throw std::logic_error("MaterializeProcessor: absorb() after finish()");
+  }
+  for (const EdgeUpdate& u : batch) {
+    if (u.u == u.v) continue;
+    const auto key = std::minmax(u.u, u.v);
+    auto& entry = net_[{key.first, key.second}];
+    entry.first += u.delta;
+    entry.second = u.weight;
+  }
+}
+
+void MaterializeProcessor::advance_pass() {
+  throw std::logic_error(
+      "MaterializeProcessor: single-pass, advance_pass() is never legal");
+}
+
+void MaterializeProcessor::finish() {
+  if (finished_) {
+    throw std::logic_error("MaterializeProcessor: finish() called twice");
+  }
+  finished_ = true;
+  Graph g(n_);
+  for (const auto& [pair, entry] : net_) {
+    if (entry.first < 0) {
+      throw std::logic_error(
+          "MaterializeProcessor: stream yields negative edge multiplicity");
+    }
+    if (entry.first > 0) g.add_edge(pair.first, pair.second, entry.second);
+  }
+  net_.clear();
+  graph_ = std::move(g);
+}
+
+std::unique_ptr<StreamProcessor> MaterializeProcessor::clone_empty() const {
+  if (finished_) return nullptr;
+  return std::make_unique<MaterializeProcessor>(n_);
+}
+
+void MaterializeProcessor::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<MaterializeProcessor>(other);
+  if (o.n_ != n_) {
+    throw std::invalid_argument("MaterializeProcessor::merge: n mismatch");
+  }
+  for (const auto& [pair, entry] : o.net_) {
+    auto& mine = net_[pair];
+    mine.first += entry.first;
+    mine.second = entry.second;
+  }
+}
+
+const Graph& MaterializeProcessor::graph() const {
+  if (!finished_) {
+    throw std::logic_error(
+        "MaterializeProcessor: graph() unavailable before finish()");
+  }
+  return graph_;
+}
+
+// ---- OfflineBaselineProcessor ---------------------------------------------
+
+void OfflineBaselineProcessor::finish() {
+  MaterializeProcessor::finish();
+  result_ = algorithm_(graph());
+  ran_ = true;
+}
+
+std::unique_ptr<StreamProcessor> OfflineBaselineProcessor::clone_empty()
+    const {
+  if (ran_) return nullptr;
+  // Shards only accumulate multiplicities; the offline algorithm runs once,
+  // on the merged primary.
+  return std::make_unique<MaterializeProcessor>(n());
+}
+
+const Graph& OfflineBaselineProcessor::result() const {
+  if (!ran_) {
+    throw std::logic_error(
+        "OfflineBaselineProcessor: result() unavailable before finish()");
+  }
+  return result_;
+}
+
+std::unique_ptr<OfflineBaselineProcessor> greedy_spanner_processor(
+    Vertex n, unsigned k) {
+  return std::make_unique<OfflineBaselineProcessor>(
+      n, [k](const Graph& g) { return greedy_spanner(g, k); });
+}
+
+std::unique_ptr<OfflineBaselineProcessor> baswana_sen_processor(
+    Vertex n, unsigned k, std::uint64_t seed) {
+  return std::make_unique<OfflineBaselineProcessor>(
+      n, [k, seed](const Graph& g) { return baswana_sen_spanner(g, k, seed); });
+}
+
+std::unique_ptr<OfflineBaselineProcessor> aingworth_additive_processor(
+    Vertex n, std::uint64_t seed) {
+  return std::make_unique<OfflineBaselineProcessor>(
+      n, [seed](const Graph& g) { return aingworth_additive_spanner(g, seed); });
+}
+
+// ---- DemuxProcessor -------------------------------------------------------
+
+DemuxProcessor::DemuxProcessor(std::vector<StreamProcessor*> lanes,
+                               Selector selector)
+    : lanes_(std::move(lanes)),
+      selector_(std::move(selector)),
+      buffers_(lanes_.size()) {
+  if (lanes_.empty()) {
+    throw std::invalid_argument("DemuxProcessor: needs at least one lane");
+  }
+  for (const StreamProcessor* lane : lanes_) {
+    if (lane->n() != lanes_.front()->n() ||
+        lane->passes_required() != lanes_.front()->passes_required()) {
+      throw std::invalid_argument(
+          "DemuxProcessor: lanes must share n and passes_required");
+    }
+  }
+}
+
+DemuxProcessor::DemuxProcessor(
+    std::vector<std::unique_ptr<StreamProcessor>> owned, Selector selector)
+    : owned_(std::move(owned)),
+      selector_(std::move(selector)),
+      buffers_(owned_.size()) {
+  lanes_.reserve(owned_.size());
+  for (auto& lane : owned_) lanes_.push_back(lane.get());
+}
+
+void DemuxProcessor::absorb(std::span<const EdgeUpdate> batch) {
+  for (auto& buffer : buffers_) buffer.clear();
+  for (const EdgeUpdate& u : batch) {
+    const std::size_t lane = selector_(u);
+    if (lane < buffers_.size()) buffers_[lane].push_back(u);
+  }
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    if (!buffers_[lane].empty()) lanes_[lane]->absorb(buffers_[lane]);
+  }
+}
+
+void DemuxProcessor::advance_pass() {
+  for (StreamProcessor* lane : lanes_) lane->advance_pass();
+}
+
+void DemuxProcessor::finish() {
+  for (StreamProcessor* lane : lanes_) lane->finish();
+}
+
+std::unique_ptr<StreamProcessor> DemuxProcessor::clone_empty() const {
+  std::vector<std::unique_ptr<StreamProcessor>> clones;
+  clones.reserve(lanes_.size());
+  for (const StreamProcessor* lane : lanes_) {
+    std::unique_ptr<StreamProcessor> clone = lane->clone_empty();
+    if (clone == nullptr) return nullptr;
+    clones.push_back(std::move(clone));
+  }
+  return std::unique_ptr<StreamProcessor>(
+      new DemuxProcessor(std::move(clones), selector_));
+}
+
+void DemuxProcessor::merge(StreamProcessor&& other) {
+  auto& o = merge_cast<DemuxProcessor>(other);
+  if (o.lanes_.size() != lanes_.size()) {
+    throw std::invalid_argument("DemuxProcessor::merge: lane count mismatch");
+  }
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    lanes_[lane]->merge(std::move(*o.lanes_[lane]));
+  }
+}
+
+}  // namespace kw

@@ -1,0 +1,204 @@
+#include "engine/stream_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <typeinfo>
+#include <utility>
+
+namespace kw {
+
+StreamEngine::StreamEngine(StreamEngineOptions options)
+    : options_(options) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("StreamEngine: batch_size must be >= 1");
+  }
+  if (options_.shards == 0) {
+    throw std::invalid_argument("StreamEngine: shards must be >= 1");
+  }
+}
+
+StreamEngine& StreamEngine::attach(StreamProcessor& processor) {
+  processors_.push_back(&processor);
+  return *this;
+}
+
+EngineRunStats StreamEngine::run(StreamSource& source) {
+  if (processors_.empty()) {
+    throw std::logic_error("StreamEngine: no processors attached");
+  }
+  std::size_t total_passes = 0;
+  for (const StreamProcessor* p : processors_) {
+    if (p->passes_required() == 0) {
+      throw std::logic_error(
+          "StreamEngine: processor declares passes_required() == 0; every "
+          "algorithm consumes at least one pass");
+    }
+    if (p->n() != source.n()) {
+      throw std::logic_error(
+          "StreamEngine: processor built for n=" + std::to_string(p->n()) +
+          " but the source streams over n=" + std::to_string(source.n()));
+    }
+    total_passes = std::max(total_passes, p->passes_required());
+  }
+
+  EngineRunStats stats;
+  stats.shards = options_.shards;
+  for (std::size_t pass = 0; pass < total_passes; ++pass) {
+    std::vector<StreamProcessor*> active;
+    for (StreamProcessor* p : processors_) {
+      if (pass < p->passes_required()) active.push_back(p);
+    }
+    source.begin_pass();
+    if (options_.shards > 1) {
+      run_pass_sharded(source, active, stats);
+    } else {
+      run_pass_sequential(source, active, stats);
+    }
+    ++stats.passes;
+    for (StreamProcessor* p : active) {
+      if (pass + 1 == p->passes_required()) {
+        p->finish();
+      } else {
+        p->advance_pass();
+      }
+    }
+  }
+  return stats;
+}
+
+EngineRunStats StreamEngine::run(const DynamicStream& stream) {
+  ReplaySource source(stream);
+  const std::size_t passes_before = stream.passes_used();
+  EngineRunStats stats = run(source);
+  const std::size_t charged = stream.passes_used() - passes_before;
+  if (charged != stats.passes) {
+    // Someone replayed the stream out-of-band mid-run (e.g. a processor
+    // holding a stream reference) -- exactly the bespoke-pass-plumbing bug
+    // class this engine retires.
+    throw std::logic_error(
+        "StreamEngine: pass-contract violation -- engine made " +
+        std::to_string(stats.passes) + " physical passes but the stream was "
+        "charged " + std::to_string(charged) +
+        " (a processor replayed the stream outside the engine)");
+  }
+  return stats;
+}
+
+void StreamEngine::run_single(StreamProcessor& processor,
+                              const DynamicStream& stream,
+                              std::size_t batch_size) {
+  StreamEngine engine(StreamEngineOptions{batch_size, /*shards=*/1});
+  engine.attach(processor);
+  (void)engine.run(stream);
+}
+
+namespace {
+
+// One batch from the source, preferring the zero-copy view path and
+// falling back to copying into `buffer`.  Empty result = pass exhausted.
+[[nodiscard]] std::span<const EdgeUpdate> pull_batch(
+    StreamSource& source, std::vector<EdgeUpdate>& buffer) {
+  if (const auto view = source.next_view(buffer.size())) return *view;
+  const std::size_t got = source.next_batch(buffer);
+  return {buffer.data(), got};
+}
+
+}  // namespace
+
+void StreamEngine::run_pass_sequential(
+    StreamSource& source, const std::vector<StreamProcessor*>& active,
+    EngineRunStats& stats) {
+  std::vector<EdgeUpdate> buffer(options_.batch_size);
+  const bool first_pass = stats.passes == 0;
+  for (;;) {
+    const std::span<const EdgeUpdate> batch = pull_batch(source, buffer);
+    if (batch.empty()) break;
+    for (StreamProcessor* p : active) p->absorb(batch);
+    ++stats.batches;
+    if (first_pass) stats.updates_per_pass += batch.size();
+  }
+}
+
+void StreamEngine::run_pass_sharded(
+    StreamSource& source, const std::vector<StreamProcessor*>& active,
+    EngineRunStats& stats) {
+  const std::size_t shards = options_.shards;
+  // Shard 0 ingests into the primary processors; shards 1..k-1 into empty
+  // clones taken at this pass boundary, merged back below.
+  std::vector<std::vector<std::unique_ptr<StreamProcessor>>> clones(
+      shards - 1);
+  for (std::size_t s = 0; s + 1 < shards; ++s) {
+    clones[s].reserve(active.size());
+    for (const StreamProcessor* p : active) {
+      std::unique_ptr<StreamProcessor> clone = p->clone_empty();
+      if (clone == nullptr) {
+        throw std::logic_error(
+            std::string("StreamEngine: sharded ingestion requested but "
+                        "processor ") +
+            typeid(*p).name() +
+            " is not mergeable in its current pass (clone_empty() returned "
+            "nullptr)");
+      }
+      clones[s].push_back(std::move(clone));
+    }
+  }
+
+  std::mutex source_mutex;
+  std::atomic<std::size_t> batches{0};
+  std::atomic<std::size_t> updates{0};
+  std::vector<std::exception_ptr> errors(shards);
+  auto ingest = [&](std::size_t shard) {
+    std::vector<StreamProcessor*> sinks;
+    if (shard == 0) {
+      sinks = active;
+    } else {
+      sinks.reserve(active.size());
+      for (auto& c : clones[shard - 1]) sinks.push_back(c.get());
+    }
+    std::vector<EdgeUpdate> buffer(options_.batch_size);
+    try {
+      for (;;) {
+        std::span<const EdgeUpdate> batch;
+        {
+          // Views returned under the lock stay valid for the whole pass
+          // (StreamSource contract), so absorb() runs unlocked.
+          const std::lock_guard<std::mutex> lock(source_mutex);
+          batch = pull_batch(source, buffer);
+        }
+        if (batch.empty()) break;
+        for (StreamProcessor* p : sinks) p->absorb(batch);
+        batches.fetch_add(1, std::memory_order_relaxed);
+        updates.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    } catch (...) {
+      errors[shard] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) threads.emplace_back(ingest, s);
+  ingest(0);
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Deterministic fold: shard order.  Linear state makes the result
+  // independent of which updates each shard happened to grab.
+  for (std::size_t s = 0; s + 1 < shards; ++s) {
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      active[i]->merge(std::move(*clones[s][i]));
+    }
+  }
+
+  stats.batches += batches.load();
+  if (stats.passes == 0) stats.updates_per_pass = updates.load();
+}
+
+}  // namespace kw

@@ -1,0 +1,74 @@
+/// The push-based driver: owns pass accounting, feeds configurable-size
+/// batches from a StreamSource, fans one physical pass out to every attached
+/// StreamProcessor (e.g. a spanner, a KP12 sparsifier, and an AGM forest all
+/// riding the same two passes), and optionally shards ingestion across
+/// threads via per-shard clone_empty() copies merged back by sketch
+/// linearity (Section 1's distributed setting, in-process).
+///
+/// Pass semantics: the engine makes max_i passes_required(i) physical
+/// passes.  During pass p only processors with passes_required() > p receive
+/// batches; at the end of pass p each of those either advances
+/// (advance_pass) or, if p was its last pass, finishes (finish()).  This is
+/// the single place the "exactly N passes" contract of each theorem is
+/// enforced -- the per-algorithm run() conveniences all route through
+/// run_single().
+#ifndef KW_ENGINE_STREAM_ENGINE_H
+#define KW_ENGINE_STREAM_ENGINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/stream_processor.h"
+#include "engine/stream_source.h"
+
+namespace kw {
+
+struct StreamEngineOptions {
+  std::size_t batch_size = 4096;  // updates per absorb() call
+  std::size_t shards = 1;         // >1: threaded ingestion via clone/merge
+};
+
+struct EngineRunStats {
+  std::size_t passes = 0;            // physical passes made
+  std::size_t updates_per_pass = 0;  // updates fed during the first pass
+  std::size_t batches = 0;           // total absorb batches (all passes)
+  std::size_t shards = 1;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineOptions options = {});
+
+  // Registers a processor (non-owning; must outlive run()).
+  StreamEngine& attach(StreamProcessor& processor);
+
+  // Drives all attached processors to completion.  Throws std::logic_error
+  // with a descriptive message on any pass-contract violation (no
+  // processors, vertex-set mismatch, unshardable processor under shards>1).
+  EngineRunStats run(StreamSource& source);
+
+  // Convenience over a materialized stream; additionally cross-checks the
+  // stream's own pass counter against the engine's accounting.
+  EngineRunStats run(const DynamicStream& stream);
+
+  // THE single implementation behind every algorithm's run(stream)
+  // convenience: exactly processor.passes_required() pass-counted replays.
+  static void run_single(StreamProcessor& processor,
+                         const DynamicStream& stream,
+                         std::size_t batch_size = 4096);
+
+ private:
+  void run_pass_sequential(StreamSource& source,
+                           const std::vector<StreamProcessor*>& active,
+                           EngineRunStats& stats);
+  void run_pass_sharded(StreamSource& source,
+                        const std::vector<StreamProcessor*>& active,
+                        EngineRunStats& stats);
+
+  StreamEngineOptions options_;
+  std::vector<StreamProcessor*> processors_;
+};
+
+}  // namespace kw
+
+#endif  // KW_ENGINE_STREAM_ENGINE_H

@@ -1,0 +1,91 @@
+/// The push-based processor contract every sketch algorithm implements.
+///
+/// Historically each algorithm pulled from a fully materialized
+/// DynamicStream via replay() plus ad-hoc per-class pass methods; nothing
+/// could ingest from an unbuffered source, batch updates, or shard ingestion
+/// across threads.  Because every sketch in the paper is a *linear* function
+/// of the update vector (Section 2), all of them fit one uniform push
+/// interface: a driver feeds batches of updates, announces pass boundaries,
+/// and -- for the linear stages -- may split a pass across per-shard clones
+/// that are folded back together by sketch addition.
+///
+/// Lifecycle, driven by kw::StreamEngine (engine/stream_engine.h):
+///
+///   absorb(batch)* -> [advance_pass -> absorb(batch)*]^(P-1) -> finish()
+///
+/// where P = passes_required().  After finish() the concrete type's result
+/// accessor (take_result() by convention) yields the algorithm's output.
+/// Processors must throw std::logic_error on out-of-phase calls so contract
+/// violations surface immediately instead of as silent decode garbage.
+#ifndef KW_ENGINE_STREAM_PROCESSOR_H
+#define KW_ENGINE_STREAM_PROCESSOR_H
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+#include "graph/graph.h"
+#include "stream/update.h"
+
+namespace kw {
+
+class StreamProcessor {
+ public:
+  virtual ~StreamProcessor() = default;
+
+  // Number of physical passes over the stream this processor consumes.
+  [[nodiscard]] virtual std::size_t passes_required() const noexcept = 0;
+
+  // Vertex-set size the processor was built for (drivers check it against
+  // the source before feeding updates).
+  [[nodiscard]] virtual Vertex n() const noexcept = 0;
+
+  // Feed a batch of updates belonging to the current pass.  Batches within
+  // one pass arrive in stream order under sequential ingestion; under
+  // sharded ingestion each clone sees an arbitrary subsequence (legal for
+  // linear stages only).
+  virtual void absorb(std::span<const EdgeUpdate> batch) = 0;
+
+  // Pass boundary: called once between consecutive passes (never after the
+  // final pass).  Single-pass processors may throw.
+  virtual void advance_pass() = 0;
+
+  // End of the final pass: run post-processing and make the result
+  // available.  Called exactly once.
+  virtual void finish() = 0;
+
+  // ---- linear-stage support (sharded / distributed ingestion) ----------
+
+  // A clone with identical configuration, randomness, and control state at
+  // the current pass boundary, but all linear sketch state zero.  Returns
+  // nullptr if the processor cannot shard its current pass; the engine
+  // reports that as an error when asked for sharded ingestion.
+  [[nodiscard]] virtual std::unique_ptr<StreamProcessor> clone_empty() const {
+    return nullptr;
+  }
+
+  // Fold another processor's linear state into this one (this += other).
+  // Only called with clones produced by this->clone_empty() that absorbed a
+  // disjoint share of the same pass; exact by sketch linearity.
+  virtual void merge(StreamProcessor&& other) {
+    (void)other;
+    throw std::logic_error(
+        "StreamProcessor::merge: this processor is not mergeable");
+  }
+
+ protected:
+  // Downcast helper for merge() implementations.
+  template <class Derived>
+  [[nodiscard]] static Derived& merge_cast(StreamProcessor& other) {
+    auto* derived = dynamic_cast<Derived*>(&other);
+    if (derived == nullptr) {
+      throw std::invalid_argument(
+          "StreamProcessor::merge: incompatible processor type");
+    }
+    return *derived;
+  }
+};
+
+}  // namespace kw
+
+#endif  // KW_ENGINE_STREAM_PROCESSOR_H

@@ -1,0 +1,125 @@
+/// Where the updates come from.  A StreamSource hands the engine batches of
+/// EdgeUpdates and can rewind for another physical pass; it never exposes
+/// random access, so processors cannot cheat the pass budget.
+///
+/// Two implementations ship here:
+///  - ReplaySource: wraps a materialized DynamicStream (the classic
+///    simulator path) and charges each begin_pass() to the stream's pass
+///    counter, keeping the theorem-budget accounting the tests assert on.
+///  - GeneratorSource: synthesizes the updates on the fly from a
+///    deterministic generator and never materializes the stream -- the
+///    unbuffered-ingestion path (a socket, a log tailer, a workload
+///    generator) the engine exists to serve.
+#ifndef KW_ENGINE_STREAM_SOURCE_H
+#define KW_ENGINE_STREAM_SOURCE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "stream/dynamic_stream.h"
+#include "stream/update.h"
+
+namespace kw {
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  [[nodiscard]] virtual Vertex n() const noexcept = 0;
+
+  // Rewind to the start of the stream for a (new) physical pass.  Multi-pass
+  // algorithms require the exact same update sequence every pass.
+  virtual void begin_pass() = 0;
+
+  // Fill `out` with up to out.size() updates in stream order; returns how
+  // many were produced.  0 means the pass is exhausted.
+  [[nodiscard]] virtual std::size_t next_batch(std::span<EdgeUpdate> out) = 0;
+
+  // Optional zero-copy path: a view of up to max_len updates that stays
+  // valid until the end of the pass.  std::nullopt means the source cannot
+  // serve views (drivers fall back to next_batch); an empty span means the
+  // pass is exhausted.
+  [[nodiscard]] virtual std::optional<std::span<const EdgeUpdate>> next_view(
+      std::size_t max_len) {
+    (void)max_len;
+    return std::nullopt;
+  }
+};
+
+// A pass-counted view over a materialized DynamicStream.
+class ReplaySource final : public StreamSource {
+ public:
+  explicit ReplaySource(const DynamicStream& stream) : stream_(&stream) {}
+
+  [[nodiscard]] Vertex n() const noexcept override { return stream_->n(); }
+
+  void begin_pass() override {
+    stream_->note_pass();
+    cursor_ = 0;
+  }
+
+  [[nodiscard]] std::size_t next_batch(std::span<EdgeUpdate> out) override {
+    const auto& updates = stream_->updates();
+    std::size_t produced = 0;
+    while (produced < out.size() && cursor_ < updates.size()) {
+      out[produced++] = updates[cursor_++];
+    }
+    return produced;
+  }
+
+  // The backing vector is immutable during a run, so batches are served as
+  // views into it -- no per-pass copy of the stream.
+  [[nodiscard]] std::optional<std::span<const EdgeUpdate>> next_view(
+      std::size_t max_len) override {
+    const auto& updates = stream_->updates();
+    const std::size_t len = std::min(max_len, updates.size() - cursor_);
+    const std::span<const EdgeUpdate> view(updates.data() + cursor_, len);
+    cursor_ += len;
+    return view;
+  }
+
+ private:
+  const DynamicStream* stream_;
+  std::size_t cursor_ = 0;
+};
+
+// Generates updates on demand; the stream is never held in memory.
+//
+// `make_pass` is invoked at every begin_pass() and must return a generator
+// that yields the identical update sequence each time (seed the generator's
+// randomness inside the factory) -- multi-pass algorithms see the stream
+// more than once.
+class GeneratorSource final : public StreamSource {
+ public:
+  using PassFn = std::function<std::optional<EdgeUpdate>()>;
+  using Factory = std::function<PassFn()>;
+
+  GeneratorSource(Vertex n, Factory make_pass)
+      : n_(n), make_pass_(std::move(make_pass)) {}
+
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+
+  void begin_pass() override { next_ = make_pass_(); }
+
+  [[nodiscard]] std::size_t next_batch(std::span<EdgeUpdate> out) override {
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+      std::optional<EdgeUpdate> u = next_();
+      if (!u.has_value()) break;
+      out[produced++] = *u;
+    }
+    return produced;
+  }
+
+ private:
+  Vertex n_;
+  Factory make_pass_;
+  PassFn next_;
+};
+
+}  // namespace kw
+
+#endif  // KW_ENGINE_STREAM_SOURCE_H

@@ -85,7 +85,8 @@ IndGameOutcome play_ind_game_additive(const IndGameSetup& setup,
       sketch.update({e.u, e.v, +1, 1.0});
     }
     // ...and reads the spanner off the algorithm's state.
-    AdditiveResult result = sketch.finish();
+    sketch.finish();
+    AdditiveResult result = sketch.take_result();
     outcome.state_bytes = result.nominal_bytes;
     const bool answer = result.spanner.has_edge(inst.query_u, inst.query_v);
     if (answer == inst.truth) ++outcome.correct;

@@ -29,6 +29,7 @@ Graph DynamicStream::materialize() const {
 
 DynamicStream DynamicStream::from_graph(const Graph& g, std::uint64_t seed) {
   DynamicStream stream(g.n());
+  stream.reserve(g.m());
   for (const auto& e : g.edges()) stream.push({e.u, e.v, +1, e.weight});
   Rng rng(seed);
   auto& ops = stream.updates_;
@@ -71,6 +72,7 @@ DynamicStream DynamicStream::with_churn(const Graph& g,
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.key < b.key; });
   DynamicStream stream(g.n());
+  stream.reserve(events.size());
   for (const auto& ev : events) stream.push(ev.update);
   return stream;
 }
@@ -85,6 +87,7 @@ DynamicStream DynamicStream::with_multiplicity(const Graph& g,
     EdgeUpdate update;
   };
   std::vector<Event> events;
+  events.reserve(g.m() * (1 + static_cast<std::size_t>(max_multiplicity)));
   for (const auto& e : g.edges()) {
     const std::uint32_t mult =
         1 + static_cast<std::uint32_t>(rng.next_below(max_multiplicity));
@@ -105,12 +108,14 @@ DynamicStream DynamicStream::with_multiplicity(const Graph& g,
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) { return a.key < b.key; });
   DynamicStream stream(g.n());
+  stream.reserve(events.size());
   for (const auto& ev : events) stream.push(ev.update);
   return stream;
 }
 
 std::vector<DynamicStream> DynamicStream::split(std::size_t parts) const {
   std::vector<DynamicStream> result(parts, DynamicStream(n_));
+  for (auto& part : result) part.reserve(updates_.size() / parts + 1);
   for (std::size_t i = 0; i < updates_.size(); ++i) {
     result[i % parts].push(updates_[i]);
   }

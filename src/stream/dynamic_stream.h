@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -23,6 +24,13 @@ class DynamicStream {
 
   void push(const EdgeUpdate& update) { updates_.push_back(update); }
 
+  // Bulk append; one reallocation check instead of one per update.
+  void push(std::span<const EdgeUpdate> batch) {
+    updates_.insert(updates_.end(), batch.begin(), batch.end());
+  }
+
+  void reserve(std::size_t capacity) { updates_.reserve(capacity); }
+
   [[nodiscard]] const std::vector<EdgeUpdate>& updates() const noexcept {
     return updates_;
   }
@@ -31,9 +39,14 @@ class DynamicStream {
 
   // One sequential pass over the stream.
   void replay(const std::function<void(const EdgeUpdate&)>& fn) const {
-    ++passes_used_;
+    note_pass();
     for (const auto& u : updates_) fn(u);
   }
+
+  // Charges one pass without iterating -- for push-based drivers
+  // (engine::ReplaySource) that batch the updates out themselves but must
+  // keep the theorem-budget pass accounting intact.
+  void note_pass() const noexcept { ++passes_used_; }
 
   [[nodiscard]] std::size_t passes_used() const noexcept {
     return passes_used_;
