@@ -1,0 +1,287 @@
+// Sketch-bank hot-path throughput: the edge-ingest numbers the flat
+// SketchBank refactor is accountable for.
+//
+// Four measurements, each a self-checking end-to-end ingest:
+//   spanning_forest_ingest   AGM spanning forest via StreamEngine, batched
+//   k_connectivity_ingest    k independent AGM layers, batched
+//   bank_ingest_batched      raw SketchBank ingest_pairs (no engine)
+//   bank_update_scalar       the same updates through per-vertex
+//                            bank-of-one samplers (the pre-refactor object
+//                            layout, modern arithmetic) for context
+//
+// Emits BENCH_sketch_hotpath.json (schema below); the committed baseline at
+// the repo root seeds the perf trajectory and tools/compare_bench.py warns
+// on >10% regressions against it.  `--quick` shrinks the workload for CI;
+// `--out PATH` overrides the output path.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "agm/k_connectivity.h"
+#include "agm/spanning_forest.h"
+#include "bench/table.h"
+#include "engine/stream_engine.h"
+#include "graph/generators.h"
+#include "sketch/l0_sampler.h"
+#include "sketch/sketch_bank.h"
+#include "stream/dynamic_stream.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kw;
+using namespace kw::bench;
+
+struct Result {
+  std::string name;
+  std::size_t updates = 0;
+  double ms = 0.0;
+  bool ok = true;
+
+  [[nodiscard]] double per_sec() const {
+    return static_cast<double>(updates) / (ms / 1e3);
+  }
+};
+
+// Best-of-N wall clock: each measurement re-runs its full ingest kReps times
+// and reports the fastest, which screens out scheduler noise on shared
+// machines (the numbers feed a regression-compare, so stability matters
+// more than capturing average-case jitter).
+constexpr int kReps = 5;
+
+[[nodiscard]] std::vector<std::tuple<Vertex, Vertex>> forest_edges(
+    ForestResult result) {
+  std::vector<std::tuple<Vertex, Vertex>> edges;
+  for (const auto& e : result.edges) {
+    edges.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// Spanning-forest ingest through the engine (batched), with the sharded
+// clone/merge path cross-checked against sequential for identity.
+[[nodiscard]] Result spanning_forest_ingest(Vertex n, std::size_t churn) {
+  const Graph g = erdos_renyi_gnm(n, 8ULL * n, /*seed=*/7);
+  const DynamicStream stream = DynamicStream::with_churn(
+      g, churn * static_cast<std::size_t>(n), /*seed=*/11);
+  AgmConfig config;
+  config.seed = 13;
+
+  Result r;
+  r.name = "spanning_forest_ingest";
+  r.updates = stream.size();
+  r.ms = std::numeric_limits<double>::infinity();
+
+  std::vector<std::tuple<Vertex, Vertex>> reference;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SpanningForestProcessor sequential(n, config);
+    StreamEngine engine(StreamEngineOptions{4096, /*shards=*/1});
+    engine.attach(sequential);
+    Timer timer;
+    (void)engine.run(stream);
+    r.ms = std::min(r.ms, timer.millis());
+    reference = forest_edges(sequential.take_result());
+  }
+
+  SpanningForestProcessor sharded(n, config);
+  StreamEngine sharded_engine(StreamEngineOptions{4096, /*shards=*/4});
+  sharded_engine.attach(sharded);
+  (void)sharded_engine.run(stream);
+  r.ok = forest_edges(sharded.take_result()) == reference;
+  return r;
+}
+
+[[nodiscard]] Result k_connectivity_ingest(Vertex n, std::size_t k,
+                                           std::size_t churn) {
+  const Graph g = erdos_renyi_gnm(n, 6ULL * n, /*seed=*/17);
+  const DynamicStream stream = DynamicStream::with_churn(
+      g, churn * static_cast<std::size_t>(n), /*seed=*/19);
+  AgmConfig config;
+  config.seed = 23;
+
+  Result r;
+  r.name = "k_connectivity_ingest";
+  r.updates = stream.size();
+  r.ms = std::numeric_limits<double>::infinity();
+
+  for (int rep = 0; rep < kReps; ++rep) {
+    KConnectivitySketch sketch(n, k, config);
+    StreamEngine engine(StreamEngineOptions{4096, /*shards=*/1});
+    engine.attach(sketch);
+    Timer timer;
+    (void)engine.run(stream);
+    r.ms = std::min(r.ms, timer.millis());
+    const auto result = sketch.take_result();
+    r.ok = result.complete && result.forests.size() == k;
+  }
+  return r;
+}
+
+// Raw bank throughput on synthetic pair updates, against the same updates
+// through per-vertex bank-of-one samplers (the pre-refactor one-object-per-
+// vertex layout: per-call hashing, no term sharing between endpoints).
+[[nodiscard]] std::vector<BankPairUpdate> synthetic_pairs(Vertex n,
+                                                          std::size_t count) {
+  Rng rng(29);
+  std::vector<BankPairUpdate> updates;
+  updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BankPairUpdate u;
+    u.lo = static_cast<std::uint32_t>(rng.next_below(n));
+    u.hi = static_cast<std::uint32_t>(
+        (u.lo + 1 + rng.next_below(n - 1)) % n);
+    if (u.lo > u.hi) std::swap(u.lo, u.hi);
+    u.coord = pair_id(u.lo, u.hi, n);
+    u.delta = 1;
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+[[nodiscard]] SketchBankConfig synthetic_config(Vertex n) {
+  SketchBankConfig c;
+  c.max_coord = num_pairs(n);
+  c.instances = 4;
+  c.seed = 31;
+  return c;
+}
+
+[[nodiscard]] Result bank_ingest_batched(Vertex n, std::size_t count,
+                                         std::vector<OneSparseCell>* out) {
+  const auto updates = synthetic_pairs(n, count);
+  Result r;
+  r.name = "bank_ingest_batched";
+  r.updates = count;
+  r.ms = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kBatch = 4096;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SketchBank bank(n, synthetic_config(n));
+    Timer timer;
+    for (std::size_t i = 0; i < updates.size(); i += kBatch) {
+      const std::size_t len = std::min(kBatch, updates.size() - i);
+      bank.ingest_pairs({updates.data() + i, len});
+    }
+    r.ms = std::min(r.ms, timer.millis());
+    out->clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto stripe = bank.stripe(v);
+      out->insert(out->end(), stripe.begin(), stripe.end());
+    }
+  }
+  return r;
+}
+
+[[nodiscard]] Result bank_update_scalar(Vertex n, std::size_t count,
+                                        const std::vector<OneSparseCell>& ref) {
+  const auto updates = synthetic_pairs(n, count);
+  L0SamplerConfig sc;
+  sc.max_coord = num_pairs(n);
+  sc.instances = 4;
+  sc.seed = 31;
+  Result r;
+  r.name = "bank_update_scalar";
+  r.updates = count;
+  r.ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<L0Sampler> samplers(n, L0Sampler(sc));
+    Timer timer;
+    for (const auto& u : updates) {
+      samplers[u.lo].update(u.coord, u.delta);
+      samplers[u.hi].update(u.coord, -u.delta);
+    }
+    r.ms = std::min(r.ms, timer.millis());
+    // Identity: per-vertex samplers and the flat bank share seed semantics,
+    // so their cells must agree exactly.
+    r.ok = true;
+    std::size_t offset = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto stripe = samplers[v].bank().stripe(0);
+      for (const auto& cell : stripe) {
+        const auto& expect = ref[offset++];
+        r.ok = r.ok && cell.count == expect.count &&
+               cell.coord_sum == expect.coord_sum && cell.fp1 == expect.fp1 &&
+               cell.fp2 == expect.fp2;
+      }
+    }
+  }
+  return r;
+}
+
+void write_json(const std::vector<Result>& results, const std::string& path,
+                bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sketch_hotpath\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n  \"results\": [\n",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"updates\": %zu, \"ms\": %.3f, "
+                 "\"updates_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), r.updates, r.ms, r.per_sec(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_sketch_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  banner("Sketch-bank hot path: edge-ingest throughput",
+         "Claim: contiguous per-vertex L0 banks with shared hashing, "
+         "precomputed fingerprint terms, and threshold level placement beat "
+         "the one-sampler-object-per-vertex layout by a wide margin; all "
+         "fast paths are exact (cells identical, sharded==sequential).");
+
+  // Quick mode trims CI cost but keeps each timed region ~100ms: much
+  // shorter and scheduler noise dominates the regression compare.
+  const Vertex n = quick ? 256 : 512;
+  const std::size_t churn = quick ? 24 : 32;
+  const std::size_t raw_updates = quick ? 400'000 : 1'000'000;
+
+  std::vector<Result> results;
+  results.push_back(spanning_forest_ingest(n, churn));
+  results.push_back(k_connectivity_ingest(n / 2, /*k=*/3, churn));
+  std::vector<OneSparseCell> bank_cells;
+  results.push_back(bank_ingest_batched(n, raw_updates, &bank_cells));
+  results.push_back(bank_update_scalar(n, raw_updates, bank_cells));
+
+  Table table({"measurement", "updates", "ingest ms", "updates/sec",
+               "self-check", "verdict"});
+  bool all_ok = true;
+  for (const Result& r : results) {
+    all_ok = all_ok && r.ok;
+    table.add_row({r.name, fmt_int(r.updates), fmt(r.ms, 1),
+                   fmt_int(static_cast<std::size_t>(r.per_sec())),
+                   r.ok ? "yes" : "NO", verdict(r.ok)});
+  }
+  table.print();
+  std::printf(
+      "\nNotes: spanning_forest/k_connectivity are engine-driven batched "
+      "ingests (the ROADMAP throughput metric); bank_ingest_batched vs "
+      "bank_update_scalar isolates the flat-bank layout win at equal "
+      "arithmetic (scalar path = per-vertex bank-of-one samplers, exact "
+      "same cells required).\n");
+
+  write_json(results, out, quick);
+  return all_ok ? 0 : 1;
+}

@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench/table.h"
 #include "sketch/sparse_recovery.h"
+#include "util/hashing.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -79,6 +81,40 @@ void bm_update(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_update)->Arg(8)->Arg(64);
+
+// Hashing in isolation: per-call Horner vs the batched eval_many kernel the
+// SketchBank ingest path uses.  Same polynomial, bit-identical outputs; the
+// batched form wins by hiding the 128-bit multiply latency across four
+// interleaved chains.
+void bm_hash_eval(benchmark::State& state) {
+  const KWiseHash hash(8, 17);
+  Rng rng(23);
+  std::vector<std::uint64_t> keys(4096);
+  for (auto& k : keys) k = rng.next_below(1ULL << 40);
+  std::vector<std::uint64_t> out(keys.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = hash(keys[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(bm_hash_eval);
+
+void bm_hash_eval_many(benchmark::State& state) {
+  const KWiseHash hash(8, 17);
+  Rng rng(23);
+  std::vector<std::uint64_t> keys(4096);
+  for (auto& k : keys) k = rng.next_below(1ULL << 40);
+  std::vector<std::uint64_t> out(keys.size());
+  for (auto _ : state) {
+    hash.eval_many(keys, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(bm_hash_eval_many);
 
 void bm_merge(benchmark::State& state) {
   SparseRecoveryConfig config;

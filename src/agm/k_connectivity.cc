@@ -65,10 +65,10 @@ void KConnectivitySketch::absorb(std::span<const EdgeUpdate> batch) {
   if (finished_) {
     throw std::logic_error("KConnectivitySketch: absorb() after finish()");
   }
-  for (const EdgeUpdate& u : batch) {
-    if (u.u == u.v) continue;
-    update(u.u, u.v, u.delta);
-  }
+  // Staging (self-loop filter, pair ids) depends only on (n, batch): do it
+  // once and feed every layer the canonicalized updates.
+  AgmGraphSketch::stage(n_, batch, staging_);
+  for (auto& layer : layers_) layer.ingest_staged(staging_);
 }
 
 void KConnectivitySketch::advance_pass() {

@@ -69,6 +69,7 @@ class KConnectivitySketch final : public StreamProcessor {
   AgmConfig config_;
   bool finished_ = false;
   std::vector<AgmGraphSketch> layers_;
+  std::vector<BankPairUpdate> staging_;  // absorb() batch, staged once
   std::optional<KConnectivityResult> result_;
 };
 

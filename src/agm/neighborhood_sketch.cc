@@ -8,13 +8,14 @@ namespace kw {
 
 namespace {
 
-[[nodiscard]] L0SamplerConfig round_config(Vertex n, const AgmConfig& config,
-                                           std::size_t round) {
-  L0SamplerConfig c;
+[[nodiscard]] SketchBankConfig round_config(Vertex n, const AgmConfig& config,
+                                            std::size_t round) {
+  SketchBankConfig c;
   c.max_coord = num_pairs(n);
   c.instances = config.sampler_instances;
   // Same seed for every vertex within a round => summable; different seed
-  // across rounds => independent retries.
+  // across rounds => independent retries.  (Seed constants unchanged from
+  // the per-vertex L0Sampler era, so decodes are bit-identical.)
   c.seed = derive_seed(config.seed, 0xa6000 + round);
   return c;
 }
@@ -24,11 +25,9 @@ namespace {
 AgmGraphSketch::AgmGraphSketch(Vertex n, const AgmConfig& config)
     : n_(n), config_(config) {
   if (n < 2) throw std::invalid_argument("AGM sketch needs n >= 2");
-  samplers_.reserve(static_cast<std::size_t>(n) * config.rounds);
-  for (Vertex v = 0; v < n; ++v) {
-    for (std::size_t r = 0; r < config.rounds; ++r) {
-      samplers_.emplace_back(round_config(n, config, r));
-    }
+  rounds_.reserve(config.rounds);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    rounds_.emplace_back(n, round_config(n, config, r));
   }
 }
 
@@ -39,10 +38,39 @@ void AgmGraphSketch::update(Vertex u, Vertex v, std::int64_t delta) {
   const std::uint64_t coord = pair_id(u, v, n_);
   const Vertex lo = u < v ? u : v;
   const Vertex hi = u < v ? v : u;
-  for (std::size_t r = 0; r < config_.rounds; ++r) {
-    samplers_[lo * config_.rounds + r].update(coord, delta);
-    samplers_[hi * config_.rounds + r].update(coord, -delta);
+  for (auto& bank : rounds_) {
+    bank.update_pair(lo, hi, coord, delta);
   }
+}
+
+void AgmGraphSketch::stage(Vertex n, std::span<const EdgeUpdate> batch,
+                           std::vector<BankPairUpdate>& out) {
+  out.clear();
+  out.reserve(batch.size());
+  for (const EdgeUpdate& u : batch) {
+    if (u.u == u.v) continue;
+    if (u.u >= n || u.v >= n) {
+      throw std::out_of_range("AGM update endpoints invalid");
+    }
+    BankPairUpdate b;
+    b.lo = u.u < u.v ? u.u : u.v;
+    b.hi = u.u < u.v ? u.v : u.u;
+    b.coord = pair_id(u.u, u.v, n);
+    b.delta = u.delta;
+    out.push_back(b);
+  }
+}
+
+void AgmGraphSketch::ingest_staged(std::span<const BankPairUpdate> staged) {
+  if (staged.empty()) return;
+  for (auto& bank : rounds_) {
+    bank.ingest_pairs(staged);
+  }
+}
+
+void AgmGraphSketch::absorb(std::span<const EdgeUpdate> batch) {
+  stage(n_, batch, staging_);
+  ingest_staged(staging_);
 }
 
 void AgmGraphSketch::subtract_edge(Vertex u, Vertex v,
@@ -55,18 +83,14 @@ void AgmGraphSketch::merge(const AgmGraphSketch& other, std::int64_t sign) {
       other.config_.seed != config_.seed) {
     throw std::invalid_argument("merging incompatible AGM sketches");
   }
-  for (std::size_t i = 0; i < samplers_.size(); ++i) {
-    samplers_[i].merge(other.samplers_[i], sign);
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    rounds_[r].merge(other.rounds_[r], sign);
   }
-}
-
-L0Sampler AgmGraphSketch::zero_sampler(std::size_t round) const {
-  return L0Sampler(round_config(n_, config_, round));
 }
 
 std::size_t AgmGraphSketch::nominal_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& s : samplers_) total += s.nominal_bytes();
+  for (const auto& bank : rounds_) total += bank.nominal_bytes();
   return total;
 }
 

@@ -8,23 +8,27 @@
 // additive-spanner construction ("an AGM sketch for H can be obtained from
 // an AGM sketch for G by adding sketches of vertex neighborhoods").
 //
-// Each vertex keeps one L0 sampler per Boruvka round (fresh randomness per
-// round keeps rounds independent); samplers of the same round share seeds
-// across vertices so they can be summed.
+// Storage: one flat SketchBank per Boruvka round (fresh randomness per round
+// keeps rounds independent; within a round all vertices share the seed so
+// their sketches can be summed).  Each round's n per-vertex L0 sketches are
+// one contiguous cell array, and edge updates go through the bank's
+// signed-pair fast path -- see sketch/sketch_bank.h for the layout.
 #ifndef KW_AGM_NEIGHBORHOOD_SKETCH_H
 #define KW_AGM_NEIGHBORHOOD_SKETCH_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
-#include "sketch/l0_sampler.h"
+#include "sketch/sketch_bank.h"
+#include "stream/update.h"
 
 namespace kw {
 
 struct AgmConfig {
   std::size_t rounds = 12;            // Boruvka rounds supported
-  std::size_t sampler_instances = 4;  // repetitions inside each L0 sampler
+  std::size_t sampler_instances = 4;  // repetitions inside each L0 sketch
   std::uint64_t seed = 1;
 };
 
@@ -38,6 +42,22 @@ class AgmGraphSketch {
   // Stream-facing: apply a signed edge update.
   void update(Vertex u, Vertex v, std::int64_t delta);
 
+  // Batched ingest of a whole absorb() batch (self-loops skipped): pair ids
+  // are computed once per edge and every round's bank takes the batch
+  // through its vectorizable ingest_pairs path.
+  void absorb(std::span<const EdgeUpdate> batch);
+
+  // Staging: canonicalizes a batch (self-loop filter, range checks, pair
+  // ids) into bank pair updates for vertex set size n.  Staging depends
+  // only on (n, batch), so callers holding several same-n sketches (e.g.
+  // the k-connectivity layers) stage once and feed each sketch via
+  // ingest_staged().
+  static void stage(Vertex n, std::span<const EdgeUpdate> batch,
+                    std::vector<BankPairUpdate>& out);
+
+  // Ingests updates previously produced by stage() with the same n.
+  void ingest_staged(std::span<const BankPairUpdate> staged);
+
   // Subtract an explicit edge multiset (e.g. E_low in Algorithm 3); uses
   // linearity, so this may happen after the stream ends.
   void subtract_edge(Vertex u, Vertex v, std::int64_t multiplicity);
@@ -45,22 +65,20 @@ class AgmGraphSketch {
   // this += sign * other (distributed merge).
   void merge(const AgmGraphSketch& other, std::int64_t sign = 1);
 
-  // Sampler of `vertex` for a given round (summed by the forest builder).
-  [[nodiscard]] const L0Sampler& sampler(Vertex vertex,
-                                         std::size_t round) const {
-    return samplers_[vertex * config_.rounds + round];
+  // The flat per-vertex sketch bank of a round: consumers sum member
+  // stripes with accumulate() and decode via decode_cells() (the forest
+  // builder), or decode a single vertex directly.
+  [[nodiscard]] const SketchBank& round_bank(std::size_t round) const {
+    return rounds_[round];
   }
-
-  // Fresh zero sampler compatible with a round's randomness (accumulator
-  // for supernode sums).
-  [[nodiscard]] L0Sampler zero_sampler(std::size_t round) const;
 
   [[nodiscard]] std::size_t nominal_bytes() const noexcept;
 
  private:
   Vertex n_;
   AgmConfig config_;
-  std::vector<L0Sampler> samplers_;  // n * rounds, row-major by vertex
+  std::vector<SketchBank> rounds_;         // one bank per round
+  std::vector<BankPairUpdate> staging_;    // absorb() batch staging
 };
 
 }  // namespace kw

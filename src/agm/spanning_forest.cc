@@ -1,5 +1,6 @@
 #include "agm/spanning_forest.h"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -34,24 +35,26 @@ ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
 
   ForestResult result;
   for (std::size_t round = 0; round < sketch.rounds(); ++round) {
+    const SketchBank& bank = sketch.round_bank(round);
     // Group vertices by current component.
     std::vector<std::vector<Vertex>> members(n);
     for (Vertex v = 0; v < n; ++v) {
       members[uf.find(v)].push_back(v);
     }
-    // One summed sketch and one decoded outgoing edge per component.
+    // One summed stripe and one decoded outgoing edge per component.
+    std::vector<OneSparseCell> acc(bank.cells_per_vertex());
     std::vector<Edge> merges;
     bool decode_failure = false;
     for (Vertex root = 0; root < n; ++root) {
       if (uf.find(root) != root || members[root].empty()) continue;
-      L0Sampler acc = sketch.zero_sampler(round);
+      std::fill(acc.begin(), acc.end(), OneSparseCell{});
       for (const Vertex v : members[root]) {
-        acc.merge(sketch.sampler(v, round), 1);
+        bank.accumulate(acc, v, 1);
       }
-      const auto rec = acc.decode();
+      const auto rec = bank.decode_cells(acc);
       if (!rec.has_value()) {
         // Zero sketch = isolated component (fine); nonzero = decode failure.
-        if (!acc.is_zero()) decode_failure = true;
+        if (!SketchBank::cells_zero(acc)) decode_failure = true;
         continue;
       }
       const auto [u, v] = pair_from_id(rec->coord, n);
@@ -94,10 +97,7 @@ void SpanningForestProcessor::absorb(std::span<const EdgeUpdate> batch) {
   if (finished_) {
     throw std::logic_error("SpanningForestProcessor: absorb() after finish()");
   }
-  for (const EdgeUpdate& u : batch) {
-    if (u.u == u.v) continue;
-    sketch_.update(u.u, u.v, u.delta);
-  }
+  sketch_.absorb(batch);
 }
 
 void SpanningForestProcessor::advance_pass() {

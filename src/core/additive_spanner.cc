@@ -32,9 +32,9 @@ namespace {
   return c;
 }
 
-[[nodiscard]] L0SamplerConfig center_config(Vertex n,
-                                            const AdditiveConfig& config) {
-  L0SamplerConfig c;
+[[nodiscard]] SketchBankConfig center_config(Vertex n,
+                                             const AdditiveConfig& config) {
+  SketchBankConfig c;
   c.max_coord = n;
   c.instances = 4;
   c.seed = derive_seed(config.seed, 0xad2);
@@ -67,6 +67,7 @@ AdditiveSpannerSketch::AdditiveSpannerSketch(Vertex n,
       config_(config),
       threshold_(degree_threshold_for(n, config)),
       in_centers_(n, 0),
+      center_bank_(n, center_config(n, config)),
       agm_(n, agm_config(config)) {
   if (n < 2) throw std::invalid_argument("additive spanner needs n >= 2");
   if (config.d < 1.0) throw std::invalid_argument("d must be >= 1");
@@ -77,34 +78,42 @@ AdditiveSpannerSketch::AdditiveSpannerSketch(Vertex n,
   for (Vertex v = 0; v < n; ++v) {
     in_centers_[v] = center_hash.unit(v) < rate ? 1 : 0;
   }
-  neighborhood_.reserve(n);
-  center_sampler_.reserve(n);
-  degree_.reserve(n);
-  for (Vertex v = 0; v < n; ++v) {
-    (void)v;
-    neighborhood_.emplace_back(neighborhood_config(n, config));
-    center_sampler_.emplace_back(center_config(n, config));
-    degree_.emplace_back(degree_config(n, config));
-  }
+  // Copies of one prototype: every vertex shares the same seeded geometry,
+  // and copying shares the fingerprint pow tables instead of rebuilding
+  // them n times.
+  neighborhood_.assign(n, SparseRecoverySketch(neighborhood_config(n, config)));
+  degree_.assign(n, DistinctElementsSketch(degree_config(n, config)));
 }
 
-void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
-  if (finished_) throw std::logic_error("sketch already finished");
+void AdditiveSpannerSketch::apply_local(const EdgeUpdate& update) {
   const Vertex a = update.u;
   const Vertex b = update.v;
-  if (a == b) return;
+  if (a >= n_ || b >= n_) {
+    throw std::out_of_range("additive spanner update endpoints invalid");
+  }
   neighborhood_[a].update(b, update.delta);
   neighborhood_[b].update(a, update.delta);
   degree_[a].update(b, update.delta);
   degree_[b].update(a, update.delta);
-  // A^r(u) sketches N(u) cap C (cap Z^r handled inside the L0 sampler).
-  if (in_centers_[b]) center_sampler_[a].update(b, update.delta);
-  if (in_centers_[a]) center_sampler_[b].update(a, update.delta);
-  agm_.update(a, b, update.delta);
+  // A^r(u) sketches N(u) cap C (cap Z^r handled inside the bank's levels).
+  if (in_centers_[b]) center_bank_.update(a, b, update.delta);
+  if (in_centers_[a]) center_bank_.update(b, a, update.delta);
+}
+
+void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
+  if (finished_) throw std::logic_error("sketch already finished");
+  if (update.u == update.v) return;
+  apply_local(update);
+  agm_.update(update.u, update.v, update.delta);
 }
 
 void AdditiveSpannerSketch::absorb(std::span<const EdgeUpdate> batch) {
-  for (const EdgeUpdate& u : batch) update(u);
+  if (finished_) throw std::logic_error("sketch already finished");
+  for (const EdgeUpdate& u : batch) {
+    if (u.u == u.v) continue;
+    apply_local(u);
+  }
+  agm_.absorb(batch);
 }
 
 void AdditiveSpannerSketch::advance_pass() {
@@ -128,9 +137,9 @@ void AdditiveSpannerSketch::merge(StreamProcessor&& other) {
   }
   for (Vertex v = 0; v < n_; ++v) {
     neighborhood_[v].merge(o.neighborhood_[v], 1);
-    center_sampler_[v].merge(o.center_sampler_[v], 1);
     degree_[v].merge(o.degree_[v], 1);
   }
+  center_bank_.merge(o.center_bank_, 1);
   agm_.merge(o.agm_, 1);
 }
 
@@ -184,7 +193,7 @@ void AdditiveSpannerSketch::finish() {
   for (Vertex u = 0; u < n_; ++u) {
     if (low[u]) continue;
     if (in_centers_[u]) continue;  // u is itself a cluster center
-    const auto rec = center_sampler_[u].decode();
+    const auto rec = center_bank_.decode(u);
     if (!rec.has_value()) {
       ++diag.unattached_high_degree;  // stays a singleton supernode
       continue;
@@ -215,11 +224,10 @@ void AdditiveSpannerSketch::finish() {
   }
   result.spanner = std::move(spanner);
 
-  result.nominal_bytes = agm_.nominal_bytes();
+  result.nominal_bytes = agm_.nominal_bytes() + center_bank_.nominal_bytes();
   for (Vertex v = 0; v < n_; ++v) {
-    result.nominal_bytes += neighborhood_[v].nominal_bytes() +
-                            center_sampler_[v].nominal_bytes() +
-                            degree_[v].nominal_bytes();
+    result.nominal_bytes +=
+        neighborhood_[v].nominal_bytes() + degree_[v].nominal_bytes();
   }
   result_ = std::move(result);
 }

@@ -27,7 +27,7 @@
 #include "engine/stream_processor.h"
 #include "graph/graph.h"
 #include "sketch/distinct_elements.h"
-#include "sketch/l0_sampler.h"
+#include "sketch/sketch_bank.h"
 #include "sketch/sparse_recovery.h"
 #include "stream/dynamic_stream.h"
 #include "util/hashing.h"
@@ -87,8 +87,12 @@ class AdditiveSpannerSketch final : public StreamProcessor {
   double threshold_;
   std::vector<char> in_centers_;
 
+  // Applies one update's per-vertex sketch contributions (everything except
+  // the AGM part, which absorb() feeds in one batched call).
+  void apply_local(const EdgeUpdate& update);
+
   std::vector<SparseRecoverySketch> neighborhood_;   // S(u)
-  std::vector<L0Sampler> center_sampler_;            // A^r(u), all r nested
+  SketchBank center_bank_;                           // A^r(u), all r nested
   std::vector<DistinctElementsSketch> degree_;       // hat d_u
   AgmGraphSketch agm_;
   bool finished_ = false;

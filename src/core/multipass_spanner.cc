@@ -14,10 +14,10 @@ namespace {
 
 constexpr Vertex kUnclustered = kInvalidVertex;
 
-[[nodiscard]] L0SamplerConfig sampler_config(Vertex n,
-                                             const MultipassConfig& config,
-                                             unsigned phase) {
-  L0SamplerConfig c;
+[[nodiscard]] SketchBankConfig sampler_config(Vertex n,
+                                              const MultipassConfig& config,
+                                              unsigned phase) {
+  SketchBankConfig c;
   c.max_coord = num_pairs(n);
   c.instances = config.sampler_instances;
   c.seed = derive_seed(config.seed, 0xbb00 + phase);
@@ -66,15 +66,11 @@ MultipassSpanner::MultipassSpanner(const MultipassSpanner& other,
 }
 
 void MultipassSpanner::make_phase_sketches() {
-  to_sampled_.clear();
-  per_cluster_.clear();
-  to_sampled_.reserve(n_);
-  per_cluster_.reserve(n_);
-  for (Vertex v = 0; v < n_; ++v) {
-    (void)v;
-    to_sampled_.emplace_back(sampler_config(n_, config_, phase_));
-    per_cluster_.emplace_back(table_config(n_, config_, phase_));
-  }
+  to_sampled_ = SketchBank(n_, sampler_config(n_, config_, phase_));
+  // Copies of one prototype share the fingerprint pow tables (all vertices
+  // use the same phase seed).
+  per_cluster_.assign(n_,
+                      LinearKeyValueSketch(table_config(n_, config_, phase_)));
 }
 
 void MultipassSpanner::begin_phase() {
@@ -108,7 +104,7 @@ void MultipassSpanner::absorb(std::span<const EdgeUpdate> batch) {
       if (cu == kUnclustered) continue;   // u already settled
       if (cu == cluster_of_[v]) continue;  // intra-cluster edge
       if (!final_phase && survives_[cu] != 0) {
-        to_sampled_[v].update(coord, upd.delta);
+        to_sampled_.update(v, coord, upd.delta);
       }
       per_cluster_[v].update(cu, upd.delta, coord, upd.delta);
     }
@@ -123,9 +119,9 @@ void MultipassSpanner::add_pair(std::uint64_t pair_coord) {
 void MultipassSpanner::rehome() {
   const bool final_phase = phase_ == config_.k;
   ++passes_done_;
+  nominal_bytes_ += to_sampled_.nominal_bytes();
   for (Vertex v = 0; v < n_; ++v) {
-    nominal_bytes_ +=
-        to_sampled_[v].nominal_bytes() + per_cluster_[v].nominal_bytes();
+    nominal_bytes_ += per_cluster_[v].nominal_bytes();
   }
 
   std::vector<Vertex> next_cluster = cluster_of_;
@@ -135,7 +131,7 @@ void MultipassSpanner::rehome() {
     if (!final_phase && survives_[cv] != 0) continue;  // cluster survives
     // Try to join a sampled neighboring cluster through one edge.
     if (!final_phase) {
-      const auto rec = to_sampled_[v].decode();
+      const auto rec = to_sampled_.decode(v);
       if (rec.has_value()) {
         add_pair(rec->coord);
         const auto [a, b] = pair_from_id(rec->coord, n_);
@@ -210,8 +206,8 @@ void MultipassSpanner::merge(StreamProcessor&& other) {
     throw std::invalid_argument(
         "MultipassSpanner::merge: incompatible instance (n/seed/phase)");
   }
+  to_sampled_.merge(o.to_sampled_, 1);
   for (Vertex v = 0; v < n_; ++v) {
-    to_sampled_[v].merge(o.to_sampled_[v], 1);
     per_cluster_[v].merge(o.per_cluster_[v], 1);
   }
 }

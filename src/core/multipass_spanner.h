@@ -32,8 +32,8 @@
 #include "core/config.h"
 #include "engine/stream_processor.h"
 #include "graph/graph.h"
-#include "sketch/l0_sampler.h"
 #include "sketch/linear_kv_sketch.h"
+#include "sketch/sketch_bank.h"
 #include "stream/dynamic_stream.h"
 
 namespace kw {
@@ -91,7 +91,7 @@ class MultipassSpanner final : public StreamProcessor {
   // cluster_of_[v]: center of v's cluster; kInvalidVertex once v settled.
   std::vector<Vertex> cluster_of_;
   std::vector<char> survives_;  // this phase's surviving centers
-  std::vector<L0Sampler> to_sampled_;
+  SketchBank to_sampled_;       // per-vertex L0 over edges into survivors
   std::vector<LinearKeyValueSketch> per_cluster_;
   std::size_t nominal_bytes_ = 0;
   std::size_t unrecovered_ = 0;

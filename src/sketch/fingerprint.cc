@@ -1,14 +1,24 @@
 #include "sketch/fingerprint.h"
 
+#include <cstddef>
+
 #include "util/random.h"
 
 namespace kw {
 
 FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
-  r1_ = field_reduce(derive_seed(seed, 0xf1));
-  r2_ = field_reduce(derive_seed(seed, 0xf2));
-  if (r1_ == 0) r1_ = 3;
-  if (r2_ == 0) r2_ = 5;
+  std::uint64_t r1 = field_reduce(derive_seed(seed, 0xf1));
+  std::uint64_t r2 = field_reduce(derive_seed(seed, 0xf2));
+  if (r1 == 0) r1 = 3;
+  if (r2 == 0) r2 = 5;
+  auto tables = std::make_shared<Tables>();
+  tables->sq1[0] = r1;
+  tables->sq2[0] = r2;
+  for (std::size_t i = 1; i < kPowBits; ++i) {
+    tables->sq1[i] = field_mul(tables->sq1[i - 1], tables->sq1[i - 1]);
+    tables->sq2[i] = field_mul(tables->sq2[i - 1], tables->sq2[i - 1]);
+  }
+  tables_ = std::move(tables);
 }
 
 CellState classify_cell(const OneSparseCell& cell, std::uint64_t max_coord,

@@ -11,7 +11,9 @@
 #ifndef KW_SKETCH_FINGERPRINT_H
 #define KW_SKETCH_FINGERPRINT_H
 
+#include <bit>
 #include <cstdint>
+#include <memory>
 
 #include "util/prime_field.h"
 
@@ -19,27 +21,68 @@ namespace kw {
 
 // A pair of evaluation points derived from a seed.  Shared by all cells of a
 // sketch so cell contents can be compared and subtracted.
+//
+// The evaluation-point powers r^(2^i) are precomputed at construction, so a
+// fingerprint term costs popcount(coord+1) field multiplies instead of a full
+// square-and-multiply ladder -- this sits on the per-update hot path of every
+// cell add in the library.  Values are bit-identical to field_pow.  Tables
+// cover kPowBits exponent bits (every coordinate space in the library is
+// < 2^42) with a square-and-multiply fallback for larger exponents, and live
+// behind a shared_ptr so COPIES of a basis share one table: per-vertex
+// sketch arrays built by copying a prototype (the emplacement pattern in
+// additive_spanner/multipass_spanner) cost 16 bytes per copy, not ~700.
 class FingerprintBasis {
  public:
+  static constexpr std::size_t kPowBits = 44;
+
   explicit FingerprintBasis(std::uint64_t seed);
   FingerprintBasis() : FingerprintBasis(0) {}
 
   // Contribution of (coordinate, signed delta) to each fingerprint.
   [[nodiscard]] std::uint64_t term1(std::uint64_t coord,
                                     std::int64_t delta) const noexcept {
-    return field_mul(field_from_signed(delta), field_pow(r1_, coord + 1));
+    return field_mul(field_from_signed(delta), pow_r1(coord + 1));
   }
   [[nodiscard]] std::uint64_t term2(std::uint64_t coord,
                                     std::int64_t delta) const noexcept {
-    return field_mul(field_from_signed(delta), field_pow(r2_, coord + 1));
+    return field_mul(field_from_signed(delta), pow_r2(coord + 1));
   }
 
-  [[nodiscard]] std::uint64_t r1() const noexcept { return r1_; }
-  [[nodiscard]] std::uint64_t r2() const noexcept { return r2_; }
+  // r1^exp / r2^exp from the precomputed square tables.
+  [[nodiscard]] std::uint64_t pow_r1(std::uint64_t exp) const noexcept {
+    return pow_from(tables_->sq1, exp);
+  }
+  [[nodiscard]] std::uint64_t pow_r2(std::uint64_t exp) const noexcept {
+    return pow_from(tables_->sq2, exp);
+  }
+
+  [[nodiscard]] std::uint64_t r1() const noexcept { return tables_->sq1[0]; }
+  [[nodiscard]] std::uint64_t r2() const noexcept { return tables_->sq2[0]; }
 
  private:
-  std::uint64_t r1_;
-  std::uint64_t r2_;
+  struct Tables {
+    std::uint64_t sq1[kPowBits];  // sq1[i] = r1^(2^i)
+    std::uint64_t sq2[kPowBits];  // sq2[i] = r2^(2^i)
+  };
+
+  [[nodiscard]] static std::uint64_t pow_from(
+      const std::uint64_t (&sq)[kPowBits], std::uint64_t exp) noexcept {
+    std::uint64_t result = 1;
+    std::uint64_t lo = exp & ((std::uint64_t{1} << kPowBits) - 1);
+    while (lo != 0) {
+      result = field_mul(result, sq[std::countr_zero(lo)]);
+      lo &= lo - 1;  // clear lowest set bit
+    }
+    const std::uint64_t hi = exp >> kPowBits;
+    if (hi != 0) {
+      // Off every coordinate space in the library; exact via
+      // r^(hi * 2^kPowBits) = (r^(2^(kPowBits-1)))^(2*hi).
+      result = field_mul(result, field_pow(sq[kPowBits - 1], 2 * hi));
+    }
+    return result;
+  }
+
+  std::shared_ptr<const Tables> tables_;  // shared by copies of this basis
 };
 
 // Linear one-sparse detector: the classic (count, coordinate-weighted sum,

@@ -1,72 +1,20 @@
 #include "sketch/l0_sampler.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "util/bit_util.h"
-#include "util/random.h"
-
 namespace kw {
 
+namespace {
+
+[[nodiscard]] SketchBankConfig bank_config(const L0SamplerConfig& config) {
+  SketchBankConfig c;
+  c.max_coord = config.max_coord;
+  c.instances = config.instances;
+  c.seed = config.seed;
+  return c;
+}
+
+}  // namespace
+
 L0Sampler::L0Sampler(const L0SamplerConfig& config)
-    : config_(config),
-      levels_(ceil_log2(std::max<std::uint64_t>(config.max_coord, 2)) + 2),
-      basis_(derive_seed(config.seed, 0x10b)),
-      level_hashes_(config.instances, /*independence=*/8,
-                    derive_seed(config.seed, 0x10a)) {
-  if (config.instances == 0) {
-    throw std::invalid_argument("instances must be positive");
-  }
-  cells_.resize(config.instances * levels_);
-}
-
-void L0Sampler::update(std::uint64_t coord, std::int64_t delta) {
-  if (coord >= config_.max_coord) {
-    throw std::out_of_range("l0 sampler coordinate out of range");
-  }
-  if (delta == 0) return;
-  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
-    const std::uint64_t h = level_hashes_[inst](coord);
-    // Nested levels: coord survives level j iff h < p * 2^-j.
-    for (std::size_t j = 0; j < levels_; ++j) {
-      if (j > 0 && h >= (kFieldPrime >> j)) break;
-      cells_[inst * levels_ + j].add(coord, delta, basis_);
-    }
-  }
-}
-
-void L0Sampler::merge(const L0Sampler& other, std::int64_t sign) {
-  if (other.cells_.size() != cells_.size() ||
-      other.config_.seed != config_.seed ||
-      other.config_.max_coord != config_.max_coord) {
-    throw std::invalid_argument("merging incompatible l0 samplers");
-  }
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].merge(other.cells_[i], sign);
-  }
-}
-
-std::optional<Recovered> L0Sampler::decode() const {
-  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
-    // Deepest (sparsest) level first: most likely to be one-sparse.
-    for (std::size_t j = levels_; j-- > 0;) {
-      Recovered rec;
-      if (classify_cell(cells_[inst * levels_ + j], config_.max_coord, basis_,
-                        &rec) == CellState::kOneSparse) {
-        return rec;
-      }
-    }
-  }
-  return std::nullopt;
-}
-
-bool L0Sampler::is_zero() const noexcept {
-  return std::all_of(cells_.begin(), cells_.end(),
-                     [](const OneSparseCell& c) { return c.is_zero(); });
-}
-
-std::size_t L0Sampler::nominal_bytes() const noexcept {
-  return cells_.size() * sizeof(OneSparseCell) + sizeof(L0SamplerConfig);
-}
+    : config_(config), bank_(1, bank_config(config)) {}
 
 }  // namespace kw

@@ -12,15 +12,19 @@
 ///
 /// This is the sketch the paper cites for [AGM12a]-style neighborhood
 /// sampling and the replacement it mentions for the Y_j sets in Section 3.2.
+///
+/// Since the flat-bank refactor this class is a thin wrapper around a
+/// one-vertex SketchBank (sketch/sketch_bank.h), which owns the hot update
+/// path; algorithms that keep one sampler per vertex should hold a shared
+/// n-vertex bank instead.  Cells and decodes are identical either way.
 #ifndef KW_SKETCH_L0_SAMPLER_H
 #define KW_SKETCH_L0_SAMPLER_H
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "sketch/fingerprint.h"
-#include "util/hashing.h"
+#include "sketch/sketch_bank.h"
 
 namespace kw {
 
@@ -34,31 +38,38 @@ class L0Sampler {
  public:
   explicit L0Sampler(const L0SamplerConfig& config);
 
-  void update(std::uint64_t coord, std::int64_t delta);
+  void update(std::uint64_t coord, std::int64_t delta) {
+    bank_.update(0, coord, delta);
+  }
 
   // this += sign * other; other must share the configuration.
-  void merge(const L0Sampler& other, std::int64_t sign = 1);
+  void merge(const L0Sampler& other, std::int64_t sign = 1) {
+    bank_.merge(other.bank_, sign);
+  }
 
   // A nonzero coordinate with its value, or nullopt if every instance
   // failed (e.g. the vector is zero).
-  [[nodiscard]] std::optional<Recovered> decode() const;
+  [[nodiscard]] std::optional<Recovered> decode() const {
+    return bank_.decode(0);
+  }
 
-  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool is_zero() const noexcept { return bank_.is_zero(); }
 
-  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept {
+    return bank_.cells_per_vertex() * sizeof(OneSparseCell) +
+           sizeof(L0SamplerConfig);
+  }
 
   [[nodiscard]] const L0SamplerConfig& config() const noexcept {
     return config_;
   }
 
- private:
-  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+  // The backing one-vertex bank (cell-level access for tests/benches).
+  [[nodiscard]] const SketchBank& bank() const noexcept { return bank_; }
 
+ private:
   L0SamplerConfig config_;
-  std::size_t levels_;
-  FingerprintBasis basis_;
-  HashFamily level_hashes_;           // one per instance
-  std::vector<OneSparseCell> cells_;  // instances * levels
+  SketchBank bank_;  // one vertex
 };
 
 }  // namespace kw

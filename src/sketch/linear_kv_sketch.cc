@@ -61,6 +61,13 @@ void LinearKeyValueSketch::update(std::uint64_t key, std::int64_t key_delta,
     throw std::out_of_range("kv sketch key out of range");
   }
   if (key_delta == 0 && payload_delta == 0) return;
+  if (cells_.empty()) {
+    // First live insert: a decodable sketch touches at most ~tables *
+    // capacity cells, so reserving here keeps the insert path rehash-free
+    // while untouched sketches (the common case for per-vertex arrays)
+    // allocate nothing.
+    cells_.reserve(config_.tables * config_.capacity);
+  }
   for (std::size_t t = 0; t < config_.tables; ++t) {
     const std::uint64_t s = slot(t, key);
     auto it = cells_.find(s);
@@ -101,49 +108,109 @@ bool LinearKeyValueSketch::is_zero() const noexcept {
 }
 
 std::optional<std::vector<KvEntry>> LinearKeyValueSketch::decode() const {
-  std::unordered_map<std::uint64_t, Cell> work = cells_;
+  // Peeling WITHOUT copying the stored cell map: `peeled` is a sparse
+  // overlay of everything subtracted so far (at most tables * recovered-keys
+  // cells), and each stored cell's effective state is materialized lazily as
+  // stored - peeled.  The old implementation deep-copied every touched cell
+  // (payload vectors included) before the first peel.
+  std::unordered_map<std::uint64_t, Cell> peeled;
+  peeled.reserve(cells_.size());  // <= one overlay cell per touched cell
   std::vector<KvEntry> found;
+
+  const auto cell_at = [](const std::unordered_map<std::uint64_t, Cell>& m,
+                          std::uint64_t slot_id) -> const Cell* {
+    const auto it = m.find(slot_id);
+    return it == m.end() ? nullptr : &it->second;
+  };
+
+  // Effective key detector at `slot_id`: stored (absent = zero) minus
+  // peeled.  One 4-word cell, no payload copy -- classification during the
+  // scan never needs the payload.
+  const auto effective_key = [&](std::uint64_t slot_id) -> OneSparseCell {
+    OneSparseCell key;
+    if (const Cell* stored = cell_at(cells_, slot_id)) key = stored->key_part;
+    if (const Cell* sub = cell_at(peeled, slot_id)) {
+      key.merge(sub->key_part, -1);
+    }
+    return key;
+  };
+
+  // Candidate slots: every stored cell, plus overlay-only slots (a stored
+  // cell can vanish to zero mid-stream and be erased while a later peel
+  // still subtracts there).  fn returning false stops the sweep early.
+  const auto for_each_candidate = [&](const auto& fn) {
+    for (const auto& [slot_id, cell] : cells_) {
+      (void)cell;
+      if (!fn(slot_id)) return false;
+    }
+    for (const auto& [slot_id, cell] : peeled) {
+      (void)cell;
+      if (cells_.find(slot_id) == cells_.end() && !fn(slot_id)) return false;
+    }
+    return true;
+  };
 
   // Peeling: find a cell whose key detector verifies one-sparse, record
   // (key, count, payload), subtract from all tables, repeat.
   while (true) {
     std::optional<KvEntry> next;
-    for (const auto& [slot_id, cell] : work) {
-      if (cell.is_zero()) continue;
+    for_each_candidate([&](std::uint64_t slot_id) {
+      const OneSparseCell key = effective_key(slot_id);
       Recovered rec;
-      if (cell.key_part.count != 0 &&
-          classify_cell(cell.key_part, config_.max_key, key_basis_, &rec) ==
+      if (key.count != 0 &&
+          classify_cell(key, config_.max_key, key_basis_, &rec) ==
               CellState::kOneSparse) {
         KvEntry entry;
         entry.key = rec.coord;
         entry.key_count = rec.value;
-        entry.payload = cell.payload;
+        // Materialize the effective payload only for the recovered entry
+        // (it is the output, so this copy is unavoidable).
+        if (const Cell* stored = cell_at(cells_, slot_id)) {
+          entry.payload = stored->payload;
+        } else {
+          entry.payload = make_cell().payload;
+        }
+        if (const Cell* sub = cell_at(peeled, slot_id)) {
+          for (std::size_t i = 0; i < entry.payload.size(); ++i) {
+            entry.payload[i].merge(sub->payload[i], -1);
+          }
+        }
         next = std::move(entry);
-        break;
+        return false;  // stop scanning, peel it
       }
-      (void)slot_id;
-    }
+      return true;
+    });
     if (!next.has_value()) break;
 
-    // Subtract the recovered entry from every table position of its key.
+    // Record the subtraction at every table position of the key.
     for (std::size_t t = 0; t < config_.tables; ++t) {
       const std::uint64_t s = slot(t, next->key);
-      auto it = work.find(s);
-      if (it == work.end()) it = work.emplace(s, make_cell()).first;
-      OneSparseCell key_delta;
-      key_delta.add(next->key, next->key_count, key_basis_);
-      it->second.key_part.merge(key_delta, -1);
+      auto it = peeled.find(s);
+      if (it == peeled.end()) it = peeled.emplace(s, make_cell()).first;
+      it->second.key_part.add(next->key, next->key_count, key_basis_);
       for (std::size_t i = 0; i < it->second.payload.size(); ++i) {
-        it->second.payload[i].merge(next->payload[i], -1);
+        it->second.payload[i].merge(next->payload[i], 1);
       }
-      if (it->second.is_zero()) work.erase(it);
     }
     found.push_back(std::move(*next));
   }
 
-  const bool clean =
-      std::all_of(work.begin(), work.end(),
-                  [](const auto& kv) { return kv.second.is_zero(); });
+  // Residual check: every candidate's effective state (key AND payload)
+  // must be zero, else the table was overloaded.
+  const auto effectively_zero = [&](std::uint64_t slot_id) {
+    if (!effective_key(slot_id).is_zero()) return false;
+    const Cell* stored = cell_at(cells_, slot_id);
+    const Cell* sub = cell_at(peeled, slot_id);
+    const std::size_t payload_cells = payload_geometry_.cell_count();
+    for (std::size_t i = 0; i < payload_cells; ++i) {
+      OneSparseCell c;
+      if (stored != nullptr) c = stored->payload[i];
+      if (sub != nullptr) c.merge(sub->payload[i], -1);
+      if (!c.is_zero()) return false;
+    }
+    return true;
+  };
+  const bool clean = for_each_candidate(effectively_zero);
   if (!clean) return std::nullopt;
 
   std::sort(found.begin(), found.end(),

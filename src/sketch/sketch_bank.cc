@@ -1,0 +1,167 @@
+#include "sketch/sketch_bank.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace kw {
+
+SketchBank::SketchBank(std::size_t vertices, const SketchBankConfig& config)
+    : config_(config),
+      vertices_(vertices),
+      levels_(ceil_log2(std::max<std::uint64_t>(config.max_coord, 2)) + 2),
+      // Same derive_seed constants as the historical L0Sampler constructor:
+      // a bank seeded like a sampler produces bit-identical cells, so every
+      // seeded decode in the test suite is unchanged.
+      basis_(derive_seed(config.seed, 0x10b)),
+      level_hashes_(config.instances, /*independence=*/8,
+                    derive_seed(config.seed, 0x10a)) {
+  if (config.instances == 0) {
+    throw std::invalid_argument("instances must be positive");
+  }
+  cells_.resize(vertices * cells_per_vertex());
+}
+
+void SketchBank::update(std::size_t vertex, std::uint64_t coord,
+                        std::int64_t delta) {
+  if (vertex >= vertices_) {
+    throw std::out_of_range("sketch bank vertex out of range");
+  }
+  if (coord >= config_.max_coord) {
+    throw std::out_of_range("sketch bank coordinate out of range");
+  }
+  if (delta == 0) return;
+  const std::uint64_t t1 = basis_.term1(coord, delta);
+  const std::uint64_t t2 = basis_.term2(coord, delta);
+  const std::uint64_t wsum = static_cast<std::uint64_t>(delta) * coord;
+  OneSparseCell* stripe = cells_.data() + vertex * cells_per_vertex();
+  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
+    const std::uint64_t h = level_hashes_[inst](coord);
+    add_run(stripe + inst * levels_, clamp_level(h), delta, wsum, t1, t2);
+  }
+}
+
+void SketchBank::update_pair(std::size_t lo, std::size_t hi,
+                             std::uint64_t coord, std::int64_t delta) {
+  if (lo >= vertices_ || hi >= vertices_ || lo == hi) {
+    throw std::out_of_range("sketch bank pair endpoints invalid");
+  }
+  if (coord >= config_.max_coord) {
+    throw std::out_of_range("sketch bank coordinate out of range");
+  }
+  if (delta == 0) return;
+  const std::uint64_t t1 = basis_.term1(coord, delta);
+  const std::uint64_t t2 = basis_.term2(coord, delta);
+  const std::uint64_t nt1 = field_neg(t1);
+  const std::uint64_t nt2 = field_neg(t2);
+  const std::uint64_t wsum = static_cast<std::uint64_t>(delta) * coord;
+  const std::uint64_t nwsum = static_cast<std::uint64_t>(-delta) * coord;
+  OneSparseCell* lo_stripe = cells_.data() + lo * cells_per_vertex();
+  OneSparseCell* hi_stripe = cells_.data() + hi * cells_per_vertex();
+  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
+    const std::uint64_t h = level_hashes_[inst](coord);
+    const std::size_t deepest = clamp_level(h);
+    add_run(lo_stripe + inst * levels_, deepest, delta, wsum, t1, t2);
+    add_run(hi_stripe + inst * levels_, deepest, -delta, nwsum, nt1, nt2);
+  }
+}
+
+void SketchBank::ingest_pairs(std::span<const BankPairUpdate> batch) {
+  scratch_coords_.clear();
+  scratch_terms_.clear();
+  scratch_coords_.reserve(batch.size());
+  scratch_terms_.reserve(batch.size());
+  for (const BankPairUpdate& u : batch) {
+    if (u.delta == 0) continue;
+    if (u.lo >= vertices_ || u.hi >= vertices_ || u.lo == u.hi) {
+      throw std::out_of_range("sketch bank pair endpoints invalid");
+    }
+    if (u.coord >= config_.max_coord) {
+      throw std::out_of_range("sketch bank coordinate out of range");
+    }
+    scratch_coords_.push_back(u.coord);
+    // Everything that depends only on (coord, delta) -- fingerprint terms,
+    // their negations, the weighted coordinate sums -- is computed once per
+    // update here and reused by every instance and both endpoints.
+    PairTerms t;
+    t.t1 = basis_.term1(u.coord, u.delta);
+    t.t2 = basis_.term2(u.coord, u.delta);
+    t.nt1 = field_neg(t.t1);
+    t.nt2 = field_neg(t.t2);
+    t.wsum = static_cast<std::uint64_t>(u.delta) * u.coord;
+    t.nwsum = static_cast<std::uint64_t>(-u.delta) * u.coord;
+    scratch_terms_.push_back(t);
+  }
+  if (scratch_coords_.empty()) return;
+  scratch_hash_.resize(scratch_coords_.size());
+
+  const std::size_t cpv = cells_per_vertex();
+  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
+    level_hashes_[inst].eval_many(scratch_coords_, scratch_hash_);
+    std::size_t slot = 0;
+    for (const BankPairUpdate& u : batch) {
+      if (u.delta == 0) continue;
+      const PairTerms& t = scratch_terms_[slot];
+      const std::size_t deepest = clamp_level(scratch_hash_[slot]);
+      ++slot;
+      add_run(cells_.data() + u.lo * cpv + inst * levels_, deepest, u.delta,
+              t.wsum, t.t1, t.t2);
+      add_run(cells_.data() + u.hi * cpv + inst * levels_, deepest, -u.delta,
+              t.nwsum, t.nt1, t.nt2);
+    }
+  }
+}
+
+void SketchBank::merge(const SketchBank& other, std::int64_t sign) {
+  if (other.vertices_ != vertices_ || other.cells_.size() != cells_.size() ||
+      other.config_.seed != config_.seed ||
+      other.config_.max_coord != config_.max_coord) {
+    throw std::invalid_argument("merging incompatible sketch banks");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i], sign);
+  }
+}
+
+void SketchBank::accumulate(std::span<OneSparseCell> acc, std::size_t vertex,
+                            std::int64_t sign) const {
+  if (vertex >= vertices_ || acc.size() != cells_per_vertex()) {
+    throw std::invalid_argument("sketch bank accumulate mismatch");
+  }
+  const OneSparseCell* stripe = cells_.data() + vertex * cells_per_vertex();
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i].merge(stripe[i], sign);
+  }
+}
+
+std::optional<Recovered> SketchBank::decode_cells(
+    std::span<const OneSparseCell> cells) const {
+  for (std::size_t inst = 0; inst < config_.instances; ++inst) {
+    // Deepest (sparsest) level first: most likely to be one-sparse.
+    for (std::size_t j = levels_; j-- > 0;) {
+      Recovered rec;
+      if (classify_cell(cells[inst * levels_ + j], config_.max_coord, basis_,
+                        &rec) == CellState::kOneSparse) {
+        return rec;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool SketchBank::cells_zero(std::span<const OneSparseCell> cells) noexcept {
+  return std::all_of(cells.begin(), cells.end(),
+                     [](const OneSparseCell& c) { return c.is_zero(); });
+}
+
+bool SketchBank::vertex_is_zero(std::size_t vertex) const noexcept {
+  return cells_zero(stripe(vertex));
+}
+
+bool SketchBank::is_zero() const noexcept {
+  return cells_zero({cells_.data(), cells_.size()});
+}
+
+}  // namespace kw

@@ -1,12 +1,18 @@
 #include "util/hashing.h"
 
+#include <stdexcept>
+
 #include "util/random.h"
 
 namespace kw {
 
 KWiseHash::KWiseHash(std::size_t independence, std::uint64_t seed) {
   if (independence == 0) independence = 1;
-  coeffs_.resize(independence);
+  if (independence > kMaxIndependence) {
+    throw std::invalid_argument(
+        "KWiseHash: independence exceeds kMaxIndependence (inline storage)");
+  }
+  size_ = independence;
   for (std::size_t i = 0; i < independence; ++i) {
     // Rejection-free: field_reduce of a uniform 64-bit word is close enough
     // to uniform over F_p (bias 2^-61) for every use in this library.
@@ -14,16 +20,39 @@ KWiseHash::KWiseHash(std::size_t independence, std::uint64_t seed) {
   }
   // Leading coefficient nonzero keeps the polynomial's degree exact, which
   // the k-wise independence argument requires.
-  if (coeffs_.size() > 1 && coeffs_.back() == 0) coeffs_.back() = 1;
+  if (size_ > 1 && coeffs_[size_ - 1] == 0) coeffs_[size_ - 1] = 1;
 }
 
-std::uint64_t KWiseHash::operator()(std::uint64_t key) const noexcept {
-  const std::uint64_t x = field_reduce(key + 1);
-  std::uint64_t acc = 0;
-  for (std::size_t i = coeffs_.size(); i-- > 0;) {
-    acc = field_add(field_mul(acc, x), coeffs_[i]);
+void KWiseHash::eval_many(std::span<const std::uint64_t> keys,
+                          std::span<std::uint64_t> out) const noexcept {
+  const std::size_t k = size_;
+  const std::uint64_t top = coeffs_[k - 1];
+  std::size_t i = 0;
+  // Four interleaved Horner chains: each step's 128-bit multiplies are
+  // independent across lanes, so the CPU overlaps them instead of stalling
+  // on one chain's multiply->reduce latency.
+  for (; i + 4 <= keys.size(); i += 4) {
+    const std::uint64_t x0 = field_reduce(keys[i + 0] + 1);
+    const std::uint64_t x1 = field_reduce(keys[i + 1] + 1);
+    const std::uint64_t x2 = field_reduce(keys[i + 2] + 1);
+    const std::uint64_t x3 = field_reduce(keys[i + 3] + 1);
+    std::uint64_t a0 = top;
+    std::uint64_t a1 = top;
+    std::uint64_t a2 = top;
+    std::uint64_t a3 = top;
+    for (std::size_t c = k - 1; c-- > 0;) {
+      const std::uint64_t coeff = coeffs_[c];
+      a0 = field_add(field_mul(a0, x0), coeff);
+      a1 = field_add(field_mul(a1, x1), coeff);
+      a2 = field_add(field_mul(a2, x2), coeff);
+      a3 = field_add(field_mul(a3, x3), coeff);
+    }
+    out[i + 0] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
   }
-  return acc;
+  for (; i < keys.size(); ++i) out[i] = (*this)(keys[i]);
 }
 
 HashFamily::HashFamily(std::size_t count, std::size_t independence,

@@ -36,9 +36,10 @@ TEST(AgmSketch, SummedMemberSketchesCancelInternalEdges) {
   g.add_edge(0, 2);
   g.add_edge(2, 3);
   const AgmGraphSketch sketch = sketch_graph(g, 1);
-  L0Sampler acc = sketch.zero_sampler(0);
-  for (const Vertex v : {0u, 1u, 2u}) acc.merge(sketch.sampler(v, 0), 1);
-  const auto rec = acc.decode();
+  const SketchBank& bank = sketch.round_bank(0);
+  std::vector<OneSparseCell> acc(bank.cells_per_vertex());
+  for (const Vertex v : {0u, 1u, 2u}) bank.accumulate(acc, v, 1);
+  const auto rec = bank.decode_cells(acc);
   ASSERT_TRUE(rec.has_value());
   EXPECT_EQ(rec->coord, pair_id(2, 3, 5));
 }
@@ -47,9 +48,10 @@ TEST(AgmSketch, WholeGraphSumIsZero) {
   const Graph g = erdos_renyi_gnm(40, 120, 3);
   const AgmGraphSketch sketch = sketch_graph(g, 2);
   for (std::size_t round = 0; round < 3; ++round) {
-    L0Sampler acc = sketch.zero_sampler(round);
-    for (Vertex v = 0; v < g.n(); ++v) acc.merge(sketch.sampler(v, round), 1);
-    EXPECT_TRUE(acc.is_zero()) << "interior edges must cancel";
+    const SketchBank& bank = sketch.round_bank(round);
+    std::vector<OneSparseCell> acc(bank.cells_per_vertex());
+    for (Vertex v = 0; v < g.n(); ++v) bank.accumulate(acc, v, 1);
+    EXPECT_TRUE(SketchBank::cells_zero(acc)) << "interior edges must cancel";
   }
 }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against a committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10] [--strict]
+
+Matches results by name and warns when `updates_per_sec` dropped by more than
+the threshold (default 10%).  Exit code is 0 unless --strict is given and a
+regression was found; CI runs non-strict because runner hardware varies, so
+the output is a visibility signal, not a gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {r["name"]: r for r in data.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drop that counts as a regression")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warning")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"MISSING  {name}: present in baseline, absent in current run")
+            regressions.append(name)
+            continue
+        b, c = base["updates_per_sec"], cur["updates_per_sec"]
+        ratio = c / b if b else float("inf")
+        tag = "ok"
+        if ratio < 1.0 - args.threshold:
+            tag = "REGRESSION"
+            regressions.append(name)
+        elif ratio > 1.0 + args.threshold:
+            tag = "improved"
+        print(f"{tag:>10}  {name}: {b:,.0f} -> {c:,.0f} updates/sec "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"       new  {name}: {current[name]['updates_per_sec']:,.0f} "
+              "updates/sec (no baseline)")
+
+    if regressions:
+        print(f"\nWARNING: {len(regressions)} measurement(s) regressed more "
+              f"than {args.threshold:.0%} vs {args.baseline}")
+        if args.strict:
+            return 1
+    else:
+        print("\nAll measurements within threshold of the baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
