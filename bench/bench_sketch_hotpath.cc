@@ -1,18 +1,26 @@
-// Sketch-bank hot-path throughput: the edge-ingest numbers the flat
-// SketchBank refactor is accountable for.
+// Sketch-bank hot-path throughput: the edge-ingest numbers the fused
+// BankGroup refactor is accountable for.
 //
-// Four measurements, each a self-checking end-to-end ingest:
-//   spanning_forest_ingest   AGM spanning forest via StreamEngine, batched
-//   k_connectivity_ingest    k independent AGM layers, batched
-//   bank_ingest_batched      raw SketchBank ingest_pairs (no engine)
-//   bank_update_scalar       the same updates through per-vertex
-//                            bank-of-one samplers (the pre-refactor object
-//                            layout, modern arithmetic) for context
+// Six measurements, each a self-checking end-to-end ingest:
+//   spanning_forest_ingest       AGM spanning forest via StreamEngine,
+//                                batched (churn stream: dedupe/cancellation
+//                                in full effect)
+//   k_connectivity_ingest        k AGM layers in ONE fused k*rounds group
+//   agm_rounds_fused             raw 12-round BankGroup ingest, distinct
+//                                pairs (layout/staging fusion isolated)
+//   agm_rounds_legacy_per_round  the same updates through 12 independent
+//                                per-round SketchBanks (the pre-fusion
+//                                layout; cells must match bit-for-bit)
+//   bank_ingest_batched          raw one-group ingest_pairs (no engine)
+//   bank_update_scalar           the same updates through per-vertex
+//                                bank-of-one samplers (the pre-refactor
+//                                object layout) for context
 //
 // Emits BENCH_sketch_hotpath.json (schema below); the committed baseline at
 // the repo root seeds the perf trajectory and tools/compare_bench.py warns
-// on >10% regressions against it.  `--quick` shrinks the workload for CI;
-// `--out PATH` overrides the output path.
+// on regressions against it (CI fails the job above its --fail-over bound).
+// `--quick` shrinks the workload for CI; `--out PATH` overrides the output
+// path.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +62,15 @@ struct Result {
 // more than capturing average-case jitter).
 constexpr int kReps = 5;
 
+// Engine batch size: the fused BankGroup path amortizes staging, hashing,
+// churn cancellation and the vertex-grouped scatter over the batch, so
+// bigger absorb() batches are strictly cheaper for these workloads; 64k
+// updates covers each bench stream in 1-3 batches, maximizing how many
+// insert+delete churn pairs cancel inside one staging pass (the library
+// default StreamEngineOptions::batch_size stays at a more conservative
+// 16k).
+constexpr std::size_t kEngineBatch = 65536;
+
 [[nodiscard]] std::vector<std::tuple<Vertex, Vertex>> forest_edges(
     ForestResult result) {
   std::vector<std::tuple<Vertex, Vertex>> edges;
@@ -81,7 +98,7 @@ constexpr int kReps = 5;
   std::vector<std::tuple<Vertex, Vertex>> reference;
   for (int rep = 0; rep < kReps; ++rep) {
     SpanningForestProcessor sequential(n, config);
-    StreamEngine engine(StreamEngineOptions{4096, /*shards=*/1});
+    StreamEngine engine(StreamEngineOptions{kEngineBatch, /*shards=*/1});
     engine.attach(sequential);
     Timer timer;
     (void)engine.run(stream);
@@ -90,7 +107,7 @@ constexpr int kReps = 5;
   }
 
   SpanningForestProcessor sharded(n, config);
-  StreamEngine sharded_engine(StreamEngineOptions{4096, /*shards=*/4});
+  StreamEngine sharded_engine(StreamEngineOptions{kEngineBatch, /*shards=*/4});
   sharded_engine.attach(sharded);
   (void)sharded_engine.run(stream);
   r.ok = forest_edges(sharded.take_result()) == reference;
@@ -112,7 +129,7 @@ constexpr int kReps = 5;
 
   for (int rep = 0; rep < kReps; ++rep) {
     KConnectivitySketch sketch(n, k, config);
-    StreamEngine engine(StreamEngineOptions{4096, /*shards=*/1});
+    StreamEngine engine(StreamEngineOptions{kEngineBatch, /*shards=*/1});
     engine.attach(sketch);
     Timer timer;
     (void)engine.run(stream);
@@ -152,6 +169,95 @@ constexpr int kReps = 5;
   return c;
 }
 
+// Fused multi-round ingest (ONE BankGroup holding all rounds) vs the
+// pre-fusion legacy layout (one independent SketchBank per round, each
+// re-staging and re-sweeping the batch) -- the 12-round shape of
+// AgmGraphSketch on synthetic all-distinct pairs, so the comparison
+// isolates staging/layout fusion rather than churn cancellation.  The
+// self-check requires bit-identical cells between the two layouts.
+[[nodiscard]] std::vector<std::uint64_t> agm_like_seeds(std::size_t rounds) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    seeds.push_back(derive_seed(37, 0xa6000 + r));
+  }
+  return seeds;
+}
+
+[[nodiscard]] Result agm_rounds_fused(Vertex n, std::size_t rounds,
+                                      std::size_t count,
+                                      std::vector<OneSparseCell>* out) {
+  const auto updates = synthetic_pairs(n, count);
+  BankGroupConfig c;
+  c.max_coord = num_pairs(n);
+  c.instances = 4;
+  c.seeds = agm_like_seeds(rounds);
+  Result r;
+  r.name = "agm_rounds_fused";
+  r.updates = count;
+  r.ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    BankGroup group(n, c);
+    Timer timer;
+    for (std::size_t i = 0; i < updates.size(); i += kEngineBatch) {
+      const std::size_t len = std::min(kEngineBatch, updates.size() - i);
+      group.ingest_pairs({updates.data() + i, len});
+    }
+    r.ms = std::min(r.ms, timer.millis());
+    out->clear();
+    for (std::size_t g = 0; g < rounds; ++g) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto stripe = group.stripe(g, v);
+        out->insert(out->end(), stripe.begin(), stripe.end());
+      }
+    }
+  }
+  return r;
+}
+
+[[nodiscard]] Result agm_rounds_legacy(Vertex n, std::size_t rounds,
+                                       std::size_t count,
+                                       const std::vector<OneSparseCell>& ref) {
+  const auto updates = synthetic_pairs(n, count);
+  const auto seeds = agm_like_seeds(rounds);
+  Result r;
+  r.name = "agm_rounds_legacy_per_round";
+  r.updates = count;
+  r.ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<SketchBank> banks;
+    for (std::size_t g = 0; g < rounds; ++g) {
+      SketchBankConfig c;
+      c.max_coord = num_pairs(n);
+      c.instances = 4;
+      c.seed = seeds[g];
+      banks.emplace_back(n, c);
+    }
+    Timer timer;
+    for (std::size_t i = 0; i < updates.size(); i += kEngineBatch) {
+      const std::size_t len = std::min(kEngineBatch, updates.size() - i);
+      for (auto& bank : banks) {
+        bank.ingest_pairs({updates.data() + i, len});
+      }
+    }
+    r.ms = std::min(r.ms, timer.millis());
+    // Identity: the fused group and the per-round banks share seeds, so
+    // every round's cells must agree exactly.
+    r.ok = true;
+    std::size_t offset = 0;
+    for (std::size_t g = 0; g < rounds; ++g) {
+      for (std::size_t v = 0; v < n; ++v) {
+        for (const auto& cell : banks[g].stripe(v)) {
+          const auto& expect = ref[offset++];
+          r.ok = r.ok && cell.count == expect.count &&
+                 cell.coord_sum == expect.coord_sum &&
+                 cell.fp1 == expect.fp1 && cell.fp2 == expect.fp2;
+        }
+      }
+    }
+  }
+  return r;
+}
+
 [[nodiscard]] Result bank_ingest_batched(Vertex n, std::size_t count,
                                          std::vector<OneSparseCell>* out) {
   const auto updates = synthetic_pairs(n, count);
@@ -159,7 +265,7 @@ constexpr int kReps = 5;
   r.name = "bank_ingest_batched";
   r.updates = count;
   r.ms = std::numeric_limits<double>::infinity();
-  constexpr std::size_t kBatch = 4096;
+  constexpr std::size_t kBatch = kEngineBatch;
   for (int rep = 0; rep < kReps; ++rep) {
     SketchBank bank(n, synthetic_config(n));
     Timer timer;
@@ -247,10 +353,11 @@ int main(int argc, char** argv) {
   }
 
   banner("Sketch-bank hot path: edge-ingest throughput",
-         "Claim: contiguous per-vertex L0 banks with shared hashing, "
-         "precomputed fingerprint terms, and threshold level placement beat "
-         "the one-sampler-object-per-vertex layout by a wide margin; all "
-         "fast paths are exact (cells identical, sharded==sequential).");
+         "Claim: fusing all Boruvka rounds (and k-connectivity layers) into "
+         "one BankGroup -- staging, churn cancellation, coordinate dedupe "
+         "and hashing paid once per batch, vertex-grouped scatter -- beats "
+         "the per-round bank layout by a wide margin; all fast paths are "
+         "exact (cells bit-identical, sharded==sequential).");
 
   // Quick mode trims CI cost but keeps each timed region ~100ms: much
   // shorter and scheduler noise dominates the regression compare.
@@ -261,6 +368,14 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   results.push_back(spanning_forest_ingest(n, churn));
   results.push_back(k_connectivity_ingest(n / 2, /*k=*/3, churn));
+  std::vector<OneSparseCell> fused_cells;
+  const std::size_t agm_updates = raw_updates / 4;
+  results.push_back(agm_rounds_fused(n, /*rounds=*/12, agm_updates,
+                                     &fused_cells));
+  results.push_back(agm_rounds_legacy(n, /*rounds=*/12, agm_updates,
+                                      fused_cells));
+  fused_cells.clear();
+  fused_cells.shrink_to_fit();
   std::vector<OneSparseCell> bank_cells;
   results.push_back(bank_ingest_batched(n, raw_updates, &bank_cells));
   results.push_back(bank_update_scalar(n, raw_updates, bank_cells));
@@ -277,10 +392,12 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "\nNotes: spanning_forest/k_connectivity are engine-driven batched "
-      "ingests (the ROADMAP throughput metric); bank_ingest_batched vs "
-      "bank_update_scalar isolates the flat-bank layout win at equal "
-      "arithmetic (scalar path = per-vertex bank-of-one samplers, exact "
-      "same cells required).\n");
+      "ingests over churn streams (the ROADMAP throughput metric; batch "
+      "coordinate dedupe + net-zero cancellation apply); agm_rounds_fused "
+      "vs agm_rounds_legacy_per_round isolates the multi-round fusion win "
+      "on all-distinct pairs (bit-identical cells required); "
+      "bank_ingest_batched vs bank_update_scalar isolates the flat-bank "
+      "layout win at equal arithmetic.\n");
 
   write_json(results, out, quick);
   return all_ok ? 0 : 1;

@@ -1,5 +1,6 @@
 #include "agm/k_connectivity.h"
 
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -9,42 +10,71 @@
 
 namespace kw {
 
-KConnectivitySketch::KConnectivitySketch(Vertex n, std::size_t k,
-                                         const AgmConfig& config)
-    : n_(n), config_(config) {
-  if (k == 0) throw std::invalid_argument("k must be >= 1");
-  layers_.reserve(k);
+namespace {
+
+// One flat seed list covering every layer's rounds: layer i uses the seed
+// chain the standalone AgmGraphSketch with seed derive_seed(seed, 0x6c0+i)
+// would, so cells are bit-identical to the k-independent-sketches layout.
+[[nodiscard]] BankGroupConfig group_config(Vertex n, std::size_t k,
+                                           const AgmConfig& config) {
+  BankGroupConfig c;
+  c.max_coord = num_pairs(n);
+  c.instances = config.sampler_instances;
+  c.seeds.reserve(k * config.rounds);
   for (std::size_t i = 0; i < k; ++i) {
     AgmConfig layer = config;
     layer.seed = derive_seed(config.seed, 0x6c0 + i);
-    layers_.emplace_back(n, layer);
+    const auto layer_seeds = agm_round_seeds(layer);
+    c.seeds.insert(c.seeds.end(), layer_seeds.begin(), layer_seeds.end());
   }
+  return c;
+}
+
+}  // namespace
+
+KConnectivitySketch::KConnectivitySketch(Vertex n, std::size_t k,
+                                         const AgmConfig& config)
+    : n_(n), k_(k), config_(config) {
+  if (k == 0) throw std::invalid_argument("k must be >= 1");
+  if (n < 2) throw std::invalid_argument("AGM sketch needs n >= 2");
+  group_ = BankGroup(n, group_config(n, k, config));
 }
 
 void KConnectivitySketch::update(Vertex u, Vertex v, std::int64_t delta) {
-  for (auto& layer : layers_) layer.update(u, v, delta);
+  if (u == v || u >= n_ || v >= n_) {
+    throw std::out_of_range("AGM update endpoints invalid");
+  }
+  const std::uint64_t coord = pair_id(u, v, n_);
+  const Vertex lo = u < v ? u : v;
+  const Vertex hi = u < v ? v : u;
+  group_.update_pair(0, group_.groups(), lo, hi, coord, delta);
 }
 
 void KConnectivitySketch::merge(const KConnectivitySketch& other,
                                 std::int64_t sign) {
-  if (other.layers_.size() != layers_.size() || other.n_ != n_) {
+  if (other.k_ != k_ || other.n_ != n_) {
     throw std::invalid_argument("merging incompatible k-connectivity sketches");
   }
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i].merge(other.layers_[i], sign);
-  }
+  group_.merge(other.group_, sign);
 }
 
 KConnectivityResult KConnectivitySketch::extract() && {
   KConnectivityResult result;
   result.certificate = Graph(n_);
+  std::vector<std::uint32_t> identity(n_);
+  std::iota(identity.begin(), identity.end(), 0u);
   std::vector<Edge> removed;  // all forest edges peeled so far
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t layer_first = i * config_.rounds;
     // Subtract previously peeled forests from this layer (linearity).
     for (const auto& e : removed) {
-      layers_[i].subtract_edge(e.u, e.v, 1);
+      const Vertex lo = e.u < e.v ? e.u : e.v;
+      const Vertex hi = e.u < e.v ? e.v : e.u;
+      group_.update_pair(layer_first, config_.rounds, lo, hi,
+                         pair_id(e.u, e.v, n_), -1);
     }
-    const ForestResult forest = agm_spanning_forest(layers_[i]);
+    const ForestResult forest =
+        agm_spanning_forest(group_, layer_first, config_.rounds, identity);
     result.complete = result.complete && forest.complete;
     for (const auto& e : forest.edges) {
       result.certificate.add_edge(e.u, e.v, e.weight);
@@ -56,9 +86,7 @@ KConnectivityResult KConnectivitySketch::extract() && {
 }
 
 std::size_t KConnectivitySketch::nominal_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const auto& layer : layers_) total += layer.nominal_bytes();
-  return total;
+  return group_.nominal_bytes();
 }
 
 void KConnectivitySketch::absorb(std::span<const EdgeUpdate> batch) {
@@ -66,9 +94,10 @@ void KConnectivitySketch::absorb(std::span<const EdgeUpdate> batch) {
     throw std::logic_error("KConnectivitySketch: absorb() after finish()");
   }
   // Staging (self-loop filter, pair ids) depends only on (n, batch): do it
-  // once and feed every layer the canonicalized updates.
+  // once into the reused buffer and drive ALL k*rounds banks with one
+  // fused ingest.
   AgmGraphSketch::stage(n_, batch, staging_);
-  for (auto& layer : layers_) layer.ingest_staged(staging_);
+  group_.ingest_pairs(staging_);
 }
 
 void KConnectivitySketch::advance_pass() {
@@ -86,7 +115,7 @@ void KConnectivitySketch::finish() {
 
 std::unique_ptr<StreamProcessor> KConnectivitySketch::clone_empty() const {
   if (finished_) return nullptr;
-  return std::make_unique<KConnectivitySketch>(n_, layers_.size(), config_);
+  return std::make_unique<KConnectivitySketch>(n_, k_, config_);
 }
 
 void KConnectivitySketch::merge(StreamProcessor&& other) {

@@ -8,6 +8,11 @@
 // F_1 u ... u F_k is a sparse certificate: it preserves every cut of G up
 // to size k, hence min(lambda(G), k) = lambda(certificate)
 // (Nagamochi-Ibaraki).  Space: k times one sketch.
+//
+// Storage: the k layers x rounds banks are ONE fused BankGroup (layer i's
+// round r at group i*rounds + r, seeds unchanged from the per-layer
+// AgmGraphSketch era), so an edge update is staged once for all k*rounds
+// banks instead of once per layer per round -- see sketch/bank_group.h.
 #ifndef KW_AGM_K_CONNECTIVITY_H
 #define KW_AGM_K_CONNECTIVITY_H
 
@@ -64,11 +69,18 @@ class KConnectivitySketch final : public StreamProcessor {
   [[nodiscard]] static KConnectivityResult from_stream(
       const DynamicStream& stream, std::size_t k, const AgmConfig& config);
 
+  // The fused k*rounds-group storage (layer-level slicing for tests).
+  [[nodiscard]] const BankGroup& bank_group() const noexcept {
+    return group_;
+  }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
  private:
   Vertex n_;
+  std::size_t k_ = 0;
   AgmConfig config_;
   bool finished_ = false;
-  std::vector<AgmGraphSketch> layers_;
+  BankGroup group_;  // layer i's round r at group i * rounds + r
   std::vector<BankPairUpdate> staging_;  // absorb() batch, staged once
   std::optional<KConnectivityResult> result_;
 };

@@ -6,29 +6,33 @@
 
 namespace kw {
 
+std::vector<std::uint64_t> agm_round_seeds(const AgmConfig& config) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(config.rounds);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    // Same seed for every vertex within a round => summable; different seed
+    // across rounds => independent retries.  (Seed constants unchanged from
+    // the per-round SketchBank era, so cells are bit-identical.)
+    seeds.push_back(derive_seed(config.seed, 0xa6000 + r));
+  }
+  return seeds;
+}
+
 namespace {
 
-[[nodiscard]] SketchBankConfig round_config(Vertex n, const AgmConfig& config,
-                                            std::size_t round) {
-  SketchBankConfig c;
+[[nodiscard]] BankGroupConfig group_config(Vertex n, const AgmConfig& config) {
+  BankGroupConfig c;
   c.max_coord = num_pairs(n);
   c.instances = config.sampler_instances;
-  // Same seed for every vertex within a round => summable; different seed
-  // across rounds => independent retries.  (Seed constants unchanged from
-  // the per-vertex L0Sampler era, so decodes are bit-identical.)
-  c.seed = derive_seed(config.seed, 0xa6000 + round);
+  c.seeds = agm_round_seeds(config);
   return c;
 }
 
 }  // namespace
 
 AgmGraphSketch::AgmGraphSketch(Vertex n, const AgmConfig& config)
-    : n_(n), config_(config) {
+    : n_(n), config_(config), group_(n, group_config(n, config)) {
   if (n < 2) throw std::invalid_argument("AGM sketch needs n >= 2");
-  rounds_.reserve(config.rounds);
-  for (std::size_t r = 0; r < config.rounds; ++r) {
-    rounds_.emplace_back(n, round_config(n, config, r));
-  }
 }
 
 void AgmGraphSketch::update(Vertex u, Vertex v, std::int64_t delta) {
@@ -38,20 +42,23 @@ void AgmGraphSketch::update(Vertex u, Vertex v, std::int64_t delta) {
   const std::uint64_t coord = pair_id(u, v, n_);
   const Vertex lo = u < v ? u : v;
   const Vertex hi = u < v ? v : u;
-  for (auto& bank : rounds_) {
-    bank.update_pair(lo, hi, coord, delta);
-  }
+  group_.update_pair(0, group_.groups(), lo, hi, coord, delta);
 }
 
 void AgmGraphSketch::stage(Vertex n, std::span<const EdgeUpdate> batch,
                            std::vector<BankPairUpdate>& out) {
+  // Whole-span validation before the first append keeps the documented
+  // all-or-nothing contract: a throw leaves `out` untouched, never holding
+  // a partial prefix a caller could accidentally ingest.
+  for (const EdgeUpdate& u : batch) {
+    if (u.u != u.v && (u.u >= n || u.v >= n)) {
+      throw std::out_of_range("AGM update endpoints invalid");
+    }
+  }
   out.clear();
   out.reserve(batch.size());
   for (const EdgeUpdate& u : batch) {
     if (u.u == u.v) continue;
-    if (u.u >= n || u.v >= n) {
-      throw std::out_of_range("AGM update endpoints invalid");
-    }
     BankPairUpdate b;
     b.lo = u.u < u.v ? u.u : u.v;
     b.hi = u.u < u.v ? u.v : u.u;
@@ -62,10 +69,7 @@ void AgmGraphSketch::stage(Vertex n, std::span<const EdgeUpdate> batch,
 }
 
 void AgmGraphSketch::ingest_staged(std::span<const BankPairUpdate> staged) {
-  if (staged.empty()) return;
-  for (auto& bank : rounds_) {
-    bank.ingest_pairs(staged);
-  }
+  group_.ingest_pairs(staged);
 }
 
 void AgmGraphSketch::absorb(std::span<const EdgeUpdate> batch) {
@@ -83,15 +87,7 @@ void AgmGraphSketch::merge(const AgmGraphSketch& other, std::int64_t sign) {
       other.config_.seed != config_.seed) {
     throw std::invalid_argument("merging incompatible AGM sketches");
   }
-  for (std::size_t r = 0; r < rounds_.size(); ++r) {
-    rounds_[r].merge(other.rounds_[r], sign);
-  }
-}
-
-std::size_t AgmGraphSketch::nominal_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const auto& bank : rounds_) total += bank.nominal_bytes();
-  return total;
+  group_.merge(other.group_, sign);
 }
 
 }  // namespace kw

@@ -8,11 +8,13 @@
 // additive-spanner construction ("an AGM sketch for H can be obtained from
 // an AGM sketch for G by adding sketches of vertex neighborhoods").
 //
-// Storage: one flat SketchBank per Boruvka round (fresh randomness per round
-// keeps rounds independent; within a round all vertices share the seed so
-// their sketches can be summed).  Each round's n per-vertex L0 sketches are
-// one contiguous cell array, and edge updates go through the bank's
-// signed-pair fast path -- see sketch/sketch_bank.h for the layout.
+// Storage: ONE fused BankGroup with one group per Boruvka round (fresh
+// randomness per round keeps rounds independent; within a round all
+// vertices share the seed so their sketches can be summed).  All rounds x
+// vertices x instances x levels cells live in one vertex-major allocation,
+// and a batched edge update stages its pair id, delta image and weighted
+// sums once for ALL rounds -- see sketch/bank_group.h for the layout and
+// the fused ingest path.
 #ifndef KW_AGM_NEIGHBORHOOD_SKETCH_H
 #define KW_AGM_NEIGHBORHOOD_SKETCH_H
 
@@ -21,7 +23,7 @@
 #include <vector>
 
 #include "graph/graph.h"
-#include "sketch/sketch_bank.h"
+#include "sketch/bank_group.h"
 #include "stream/update.h"
 
 namespace kw {
@@ -31,6 +33,11 @@ struct AgmConfig {
   std::size_t sampler_instances = 4;  // repetitions inside each L0 sketch
   std::uint64_t seed = 1;
 };
+
+// The per-round bank seed chain (also used by KConnectivitySketch to lay
+// its k layers' rounds into one flat BankGroup with identical randomness).
+[[nodiscard]] std::vector<std::uint64_t> agm_round_seeds(
+    const AgmConfig& config);
 
 class AgmGraphSketch {
  public:
@@ -43,15 +50,14 @@ class AgmGraphSketch {
   void update(Vertex u, Vertex v, std::int64_t delta);
 
   // Batched ingest of a whole absorb() batch (self-loops skipped): pair ids
-  // are computed once per edge and every round's bank takes the batch
-  // through its vectorizable ingest_pairs path.
+  // are computed once per edge and the fused BankGroup takes the batch
+  // through one staged sweep covering every round.
   void absorb(std::span<const EdgeUpdate> batch);
 
   // Staging: canonicalizes a batch (self-loop filter, range checks, pair
   // ids) into bank pair updates for vertex set size n.  Staging depends
-  // only on (n, batch), so callers holding several same-n sketches (e.g.
-  // the k-connectivity layers) stage once and feed each sketch via
-  // ingest_staged().
+  // only on (n, batch), so callers holding several same-n sketches stage
+  // once and feed each via ingest_staged().  Appends nothing on throw.
   static void stage(Vertex n, std::span<const EdgeUpdate> batch,
                     std::vector<BankPairUpdate>& out);
 
@@ -65,20 +71,27 @@ class AgmGraphSketch {
   // this += sign * other (distributed merge).
   void merge(const AgmGraphSketch& other, std::int64_t sign = 1);
 
-  // The flat per-vertex sketch bank of a round: consumers sum member
-  // stripes with accumulate() and decode via decode_cells() (the forest
-  // builder), or decode a single vertex directly.
-  [[nodiscard]] const SketchBank& round_bank(std::size_t round) const {
-    return rounds_[round];
+  // A round's per-vertex bank surface: consumers sum member stripes with
+  // accumulate() and decode via decode_cells() (the forest builder), or
+  // decode a single vertex directly.
+  [[nodiscard]] BankGroup::View round_bank(std::size_t round) const {
+    return group_.view(round);
   }
 
-  [[nodiscard]] std::size_t nominal_bytes() const noexcept;
+  // The fused multi-round storage itself.
+  [[nodiscard]] const BankGroup& bank_group() const noexcept {
+    return group_;
+  }
+
+  [[nodiscard]] std::size_t nominal_bytes() const noexcept {
+    return group_.nominal_bytes();
+  }
 
  private:
   Vertex n_;
   AgmConfig config_;
-  std::vector<SketchBank> rounds_;         // one bank per round
-  std::vector<BankPairUpdate> staging_;    // absorb() batch staging
+  BankGroup group_;                      // one group per round, fused
+  std::vector<BankPairUpdate> staging_;  // absorb() batch staging, reused
 };
 
 }  // namespace kw

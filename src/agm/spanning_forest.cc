@@ -9,11 +9,15 @@
 
 namespace kw {
 
-ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
+ForestResult agm_spanning_forest(const BankGroup& group,
+                                 std::size_t group_first, std::size_t rounds,
                                  const std::vector<std::uint32_t>& partition) {
-  const Vertex n = sketch.n();
+  const auto n = static_cast<Vertex>(group.vertices());
   if (partition.size() != n) {
     throw std::invalid_argument("partition size mismatch");
+  }
+  if (group_first + rounds > group.groups()) {
+    throw std::invalid_argument("forest round range exceeds bank group");
   }
   // Union-find over original vertices; supernodes pre-merged.  Note: edges
   // internal to a supernode cancel in the summed sketch only if the
@@ -34,31 +38,50 @@ ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
   }
 
   ForestResult result;
-  for (std::size_t round = 0; round < sketch.rounds(); ++round) {
-    const SketchBank& bank = sketch.round_bank(round);
-    // Group vertices by current component.
-    std::vector<std::vector<Vertex>> members(n);
+  // Decode-side scratch, reused across rounds (every round's bank shares
+  // one geometry): the summed stripe, the component-membership counting
+  // sort, and the per-round merge list.
+  std::vector<OneSparseCell> acc(group.cells_per_stripe());
+  std::vector<Vertex> root_of(n);
+  std::vector<Vertex> members(n);           // vertices grouped by component
+  std::vector<std::uint32_t> member_end(n);  // running cursor -> end fences
+  std::vector<Edge> merges;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const BankGroup::View bank = group.view(group_first + round);
+    // Group vertices by current component: one counting sort keyed by the
+    // component root, flat arrays instead of n vector<Vertex> rebuilds.
+    std::fill(member_end.begin(), member_end.end(), 0);
     for (Vertex v = 0; v < n; ++v) {
-      members[uf.find(v)].push_back(v);
+      root_of[v] = uf.find(v);
+      ++member_end[root_of[v]];
+    }
+    std::uint32_t running = 0;
+    for (Vertex root = 0; root < n; ++root) {
+      running += member_end[root];
+      member_end[root] = running - member_end[root];  // start cursor
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      members[member_end[root_of[v]]++] = v;  // leaves end fences behind
     }
     // One summed stripe and one decoded outgoing edge per component.
-    std::vector<OneSparseCell> acc(bank.cells_per_vertex());
-    std::vector<Edge> merges;
+    merges.clear();
     bool decode_failure = false;
     for (Vertex root = 0; root < n; ++root) {
-      if (uf.find(root) != root || members[root].empty()) continue;
+      const std::uint32_t begin = root == 0 ? 0 : member_end[root - 1];
+      const std::uint32_t end = member_end[root];
+      if (begin == end) continue;  // not a component root
       std::fill(acc.begin(), acc.end(), OneSparseCell{});
-      for (const Vertex v : members[root]) {
-        bank.accumulate(acc, v, 1);
+      for (std::uint32_t i = begin; i < end; ++i) {
+        bank.accumulate(acc, members[i], 1);
       }
       const auto rec = bank.decode_cells(acc);
       if (!rec.has_value()) {
         // Zero sketch = isolated component (fine); nonzero = decode failure.
-        if (!SketchBank::cells_zero(acc)) decode_failure = true;
+        if (!BankGroup::cells_zero(acc)) decode_failure = true;
         continue;
       }
       const auto [u, v] = pair_from_id(rec->coord, n);
-      if (uf.find(u) == uf.find(v)) continue;  // should not happen; defensive
+      if (root_of[u] == root_of[v]) continue;  // should not happen; defensive
       merges.push_back({u, v, 1.0});
     }
     if (merges.empty()) {
@@ -75,6 +98,12 @@ ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
   // so callers can retry with more rounds.
   result.complete = false;
   return result;
+}
+
+ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
+                                 const std::vector<std::uint32_t>& partition) {
+  return agm_spanning_forest(sketch.bank_group(), 0, sketch.rounds(),
+                             partition);
 }
 
 ForestResult agm_spanning_forest(const AgmGraphSketch& sketch) {

@@ -35,6 +35,14 @@ struct ForestResult {
 // Convenience: identity partition.
 [[nodiscard]] ForestResult agm_spanning_forest(const AgmGraphSketch& sketch);
 
+// Core implementation over a fused BankGroup slice: Boruvka over the
+// `rounds` groups starting at `group_first` (pair coordinates over the
+// group's vertex count).  KConnectivitySketch peels each layer's forest
+// from its slice of one shared group this way.
+[[nodiscard]] ForestResult agm_spanning_forest(
+    const BankGroup& group, std::size_t group_first, std::size_t rounds,
+    const std::vector<std::uint32_t>& partition);
+
 // Push-based front-end (Theorem 10 as a StreamProcessor): one pass
 // maintaining the AGM sketches, Boruvka-over-sketches at finish().
 // clone_empty()/merge() shard ingestion by the linearity of the sketches

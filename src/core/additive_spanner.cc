@@ -85,7 +85,7 @@ AdditiveSpannerSketch::AdditiveSpannerSketch(Vertex n,
   degree_.assign(n, DistinctElementsSketch(degree_config(n, config)));
 }
 
-void AdditiveSpannerSketch::apply_local(const EdgeUpdate& update) {
+void AdditiveSpannerSketch::apply_common(const EdgeUpdate& update) {
   const Vertex a = update.u;
   const Vertex b = update.v;
   if (a >= n_ || b >= n_) {
@@ -95,9 +95,13 @@ void AdditiveSpannerSketch::apply_local(const EdgeUpdate& update) {
   neighborhood_[b].update(a, update.delta);
   degree_[a].update(b, update.delta);
   degree_[b].update(a, update.delta);
+}
+
+void AdditiveSpannerSketch::apply_local(const EdgeUpdate& update) {
+  apply_common(update);
   // A^r(u) sketches N(u) cap C (cap Z^r handled inside the bank's levels).
-  if (in_centers_[b]) center_bank_.update(a, b, update.delta);
-  if (in_centers_[a]) center_bank_.update(b, a, update.delta);
+  if (in_centers_[update.v]) center_bank_.update(update.u, update.v, update.delta);
+  if (in_centers_[update.u]) center_bank_.update(update.v, update.u, update.delta);
 }
 
 void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
@@ -109,10 +113,18 @@ void AdditiveSpannerSketch::update(const EdgeUpdate& update) {
 
 void AdditiveSpannerSketch::absorb(std::span<const EdgeUpdate> batch) {
   if (finished_) throw std::logic_error("sketch already finished");
+  // Center-sampler updates ride the bank's fused batched path (gathered
+  // into a reused buffer); neighborhood/degree stay per-update (different
+  // sketch types), and the AGM part takes the batch in one fused call.
+  center_staging_.clear();
   for (const EdgeUpdate& u : batch) {
     if (u.u == u.v) continue;
-    apply_local(u);
+    apply_common(u);
+    // A^r(u) updates gathered for the bank's fused batched path.
+    if (in_centers_[u.v]) center_staging_.push_back({u.u, u.v, u.delta});
+    if (in_centers_[u.u]) center_staging_.push_back({u.v, u.u, u.delta});
   }
+  center_bank_.ingest_updates(center_staging_);
   agm_.absorb(batch);
 }
 

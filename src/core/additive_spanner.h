@@ -87,12 +87,16 @@ class AdditiveSpannerSketch final : public StreamProcessor {
   double threshold_;
   std::vector<char> in_centers_;
 
-  // Applies one update's per-vertex sketch contributions (everything except
-  // the AGM part, which absorb() feeds in one batched call).
+  // Validation plus the neighborhood/degree contributions shared by the
+  // per-update and batched paths.
+  void apply_common(const EdgeUpdate& update);
+  // apply_common plus the scalar center-sampler updates (everything except
+  // the AGM part; absorb() batches the center updates instead).
   void apply_local(const EdgeUpdate& update);
 
   std::vector<SparseRecoverySketch> neighborhood_;   // S(u)
   SketchBank center_bank_;                           // A^r(u), all r nested
+  std::vector<BankVertexUpdate> center_staging_;     // absorb() gather, reused
   std::vector<DistinctElementsSketch> degree_;       // hat d_u
   AgmGraphSketch agm_;
   bool finished_ = false;

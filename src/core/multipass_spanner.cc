@@ -92,6 +92,10 @@ void MultipassSpanner::absorb(std::span<const EdgeUpdate> batch) {
     throw std::logic_error("MultipassSpanner: absorb() after finish()");
   }
   const bool final_phase = phase_ == config_.k;
+  // Re-homing sampler updates are gathered into a reused staging buffer and
+  // fed through the bank's fused batched path (one hash sweep per instance,
+  // vertex-grouped scatter) instead of one scalar update per endpoint.
+  sampler_staging_.clear();
   for (const EdgeUpdate& upd : batch) {
     if (upd.u == upd.v) continue;
     const std::uint64_t coord = pair_id(upd.u, upd.v, n_);
@@ -104,11 +108,12 @@ void MultipassSpanner::absorb(std::span<const EdgeUpdate> batch) {
       if (cu == kUnclustered) continue;   // u already settled
       if (cu == cluster_of_[v]) continue;  // intra-cluster edge
       if (!final_phase && survives_[cu] != 0) {
-        to_sampled_.update(v, coord, upd.delta);
+        sampler_staging_.push_back({v, coord, upd.delta});
       }
       per_cluster_[v].update(cu, upd.delta, coord, upd.delta);
     }
   }
+  to_sampled_.ingest_updates(sampler_staging_);
 }
 
 void MultipassSpanner::add_pair(std::uint64_t pair_coord) {

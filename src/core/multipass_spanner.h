@@ -92,6 +92,7 @@ class MultipassSpanner final : public StreamProcessor {
   std::vector<Vertex> cluster_of_;
   std::vector<char> survives_;  // this phase's surviving centers
   SketchBank to_sampled_;       // per-vertex L0 over edges into survivors
+  std::vector<BankVertexUpdate> sampler_staging_;  // absorb() gather, reused
   std::vector<LinearKeyValueSketch> per_cluster_;
   std::size_t nominal_bytes_ = 0;
   std::size_t unrecovered_ = 0;

@@ -24,8 +24,13 @@
 namespace kw {
 
 struct StreamEngineOptions {
-  std::size_t batch_size = 4096;  // updates per absorb() call
-  std::size_t shards = 1;         // >1: threaded ingestion via clone/merge
+  // Updates per absorb() call.  Fused-sketch processors (BankGroup-backed)
+  // amortize staging, hashing, churn cancellation and the vertex-grouped
+  // scatter over the batch, so bigger is cheaper until the per-batch
+  // scratch falls out of L2; 16k updates (~1 MB of scratch) is a good
+  // default for every workload in this repo.
+  std::size_t batch_size = 16384;
+  std::size_t shards = 1;  // >1: threaded ingestion via clone/merge
 };
 
 struct EngineRunStats {
@@ -55,7 +60,7 @@ class StreamEngine {
   // convenience: exactly processor.passes_required() pass-counted replays.
   static void run_single(StreamProcessor& processor,
                          const DynamicStream& stream,
-                         std::size_t batch_size = 4096);
+                         std::size_t batch_size = 16384);
 
  private:
   void run_pass_sequential(StreamSource& source,

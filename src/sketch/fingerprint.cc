@@ -18,6 +18,31 @@ FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
     tables->sq1[i] = field_mul(tables->sq1[i - 1], tables->sq1[i - 1]);
     tables->sq2[i] = field_mul(tables->sq2[i - 1], tables->sq2[i - 1]);
   }
+  // Radix-16 tables for pow_pair: nib[i][d] = r^(d * 16^i), built by
+  // repeated multiplication with nib[i][1] = r^(2^(4i)) = sq[4i].
+  for (std::size_t i = 0; i < kPowNibbles; ++i) {
+    tables->nib1[i][0] = 1;
+    tables->nib2[i][0] = 1;
+    tables->nib1[i][1] = tables->sq1[4 * i];
+    tables->nib2[i][1] = tables->sq2[4 * i];
+    for (std::size_t d = 2; d < 16; ++d) {
+      tables->nib1[i][d] = field_mul(tables->nib1[i][d - 1], tables->nib1[i][1]);
+      tables->nib2[i][d] = field_mul(tables->nib2[i][d - 1], tables->nib2[i][1]);
+    }
+  }
+  // Radix-256 tables for pow_pair_bytes, same construction per byte digit.
+  for (std::size_t i = 0; i < kPowBytes; ++i) {
+    tables->byte1[i][0] = 1;
+    tables->byte2[i][0] = 1;
+    tables->byte1[i][1] = tables->sq1[8 * i];
+    tables->byte2[i][1] = tables->sq2[8 * i];
+    for (std::size_t d = 2; d < 256; ++d) {
+      tables->byte1[i][d] =
+          field_mul(tables->byte1[i][d - 1], tables->byte1[i][1]);
+      tables->byte2[i][d] =
+          field_mul(tables->byte2[i][d - 1], tables->byte2[i][1]);
+    }
+  }
   tables_ = std::move(tables);
 }
 

@@ -34,6 +34,8 @@ namespace kw {
 class FingerprintBasis {
  public:
   static constexpr std::size_t kPowBits = 44;
+  static constexpr std::size_t kPowNibbles = (kPowBits + 3) / 4;
+  static constexpr std::size_t kPowBytes = (kPowBits + 7) / 8;
 
   explicit FingerprintBasis(std::uint64_t seed);
   FingerprintBasis() : FingerprintBasis(0) {}
@@ -56,6 +58,57 @@ class FingerprintBasis {
     return pow_from(tables_->sq2, exp);
   }
 
+  // Both points' powers at once from the radix-16 tables: one multiply per
+  // nonzero exponent nibble instead of one per set bit, with the r1 and r2
+  // chains interleaved so their multiply latencies overlap.  Values are
+  // bit-identical to pow_r1/pow_r2 (field_mul is exact and associative).
+  // This is the staged-term fast path of BankGroup::ingest_pairs.
+  void pow_pair(std::uint64_t exp, std::uint64_t* out1,
+                std::uint64_t* out2) const noexcept {
+    if (exp >> kPowBits) {  // off every coordinate space in the library
+      *out1 = pow_r1(exp);
+      *out2 = pow_r2(exp);
+      return;
+    }
+    std::uint64_t r1 = 1;
+    std::uint64_t r2 = 1;
+    const auto& nib1 = tables_->nib1;
+    const auto& nib2 = tables_->nib2;
+    for (std::size_t i = 0; exp != 0; ++i, exp >>= 4) {
+      const std::size_t d = exp & 15;
+      if (d != 0) {
+        r1 = field_mul(r1, nib1[i][d]);
+        r2 = field_mul(r2, nib2[i][d]);
+      }
+    }
+    *out1 = r1;
+    *out2 = r2;
+  }
+
+  // pow_pair with a caller-fixed radix-256 digit count (exp < 256^bytes
+  // required, 1 <= bytes <= kPowBytes): the loop has no data-dependent
+  // branches -- zero digits multiply by the table's 1 entry, which
+  // field_mul maps exactly -- so a batch with one digit bound (e.g. all
+  // pair ids of one vertex set) runs branch-predictor-clean, one multiply
+  // per digit with the r1/r2 chains interleaved, and one basis's byte
+  // tables (24 KiB) fit L1 for the whole sweep.  Bit-identical to
+  // pow_r1/pow_r2 (field_mul is exact and associative).
+  void pow_pair_bytes(std::uint64_t exp, std::size_t bytes,
+                      std::uint64_t* out1, std::uint64_t* out2) const noexcept {
+    const auto& byte1 = tables_->byte1;
+    const auto& byte2 = tables_->byte2;
+    std::uint64_t r1 = byte1[0][exp & 255];
+    std::uint64_t r2 = byte2[0][exp & 255];
+    for (std::size_t i = 1; i < bytes; ++i) {
+      exp >>= 8;
+      const std::size_t d = exp & 255;
+      r1 = field_mul(r1, byte1[i][d]);
+      r2 = field_mul(r2, byte2[i][d]);
+    }
+    *out1 = r1;
+    *out2 = r2;
+  }
+
   [[nodiscard]] std::uint64_t r1() const noexcept { return tables_->sq1[0]; }
   [[nodiscard]] std::uint64_t r2() const noexcept { return tables_->sq2[0]; }
 
@@ -63,6 +116,10 @@ class FingerprintBasis {
   struct Tables {
     std::uint64_t sq1[kPowBits];  // sq1[i] = r1^(2^i)
     std::uint64_t sq2[kPowBits];  // sq2[i] = r2^(2^i)
+    std::uint64_t nib1[kPowNibbles][16];  // nib1[i][d] = r1^(d * 16^i)
+    std::uint64_t nib2[kPowNibbles][16];  // nib2[i][d] = r2^(d * 16^i)
+    std::uint64_t byte1[kPowBytes][256];  // byte1[i][d] = r1^(d * 256^i)
+    std::uint64_t byte2[kPowBytes][256];  // byte2[i][d] = r2^(d * 256^i)
   };
 
   [[nodiscard]] static std::uint64_t pow_from(

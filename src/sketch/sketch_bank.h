@@ -1,34 +1,19 @@
-/// Flat per-vertex L0 sketch bank -- the ingest hot path of every AGM-style
-/// algorithm in this repo.
+/// Flat per-vertex L0 sketch bank -- n independent L0Samplers (one per
+/// vertex) sharing one seed, hence one hash family and fingerprint basis:
+/// the sharing that makes per-vertex sketches summable across vertices,
+/// which Boruvka-over-sketches requires.
 ///
-/// Semantically this is n independent L0Samplers (sketch/l0_sampler.h), one
-/// per vertex, all sharing one seed (hence one hash family and fingerprint
-/// basis -- the sharing that makes per-vertex sketches summable across
-/// vertices, which Boruvka-over-sketches requires).  Physically ALL cells of
-/// all vertices x instances x levels live in ONE contiguous allocation,
-/// vertex-major:
+/// Since the fused multi-round refactor this class is a thin wrapper around
+/// a one-group BankGroup (sketch/bank_group.h), which owns the contiguous
+/// vertex-major cell layout and every ingest fast path (shared pair
+/// hashing, staged fingerprint terms, batched eval_many sweeps,
+/// vertex-grouped scatter).  Algorithms that keep one bank per Boruvka
+/// round or per k-connectivity layer should hold a multi-group BankGroup
+/// instead -- same cells, one staging pass for all rounds.
 ///
-///   cells_[((vertex * instances) + instance) * levels + level]
-///
-/// so one vertex's sketch is a contiguous "stripe" of instances*levels cells.
-///
-/// Why a bank instead of n sampler objects (the pre-bank layout):
-///  * update(v, coord, delta) computes the two fingerprint terms ONCE per
-///    update (they depend only on (coord, delta, basis)), evaluates each
-///    instance hash ONCE, and derives the deepest surviving level directly
-///    from the hash value (a bit_width computation) instead of a per-level
-///    loop-and-branch -- then writes a contiguous run of cells.
-///  * update_pair(lo, hi, coord, delta) is the AGM incidence-vector update
-///    (+delta at lo, -delta at hi): hashes are shared between the endpoints,
-///    halving the hashing work of an edge update.
-///  * ingest_pairs(batch) amortizes hashing further with the batched
-///    KWiseHash::eval_many Horner kernel, one call per instance per batch.
-///  * merge()/clone_empty() are flat loops over one array -- the shape the
-///    StreamEngine's sharded clone/fold path wants.
-///
-/// All fast paths produce cells bit-identical to the scalar L0Sampler
-/// algorithm (same derive_seed constants, same field arithmetic; the cell
-/// adds commute exactly), which tests/test_sketch_bank.cc pins down.
+/// All paths produce cells bit-identical to the scalar L0Sampler algorithm
+/// (same derive_seed constants, same field arithmetic; the cell adds
+/// commute exactly), which tests/test_sketch_bank.cc pins down.
 #ifndef KW_SKETCH_SKETCH_BANK_H
 #define KW_SKETCH_SKETCH_BANK_H
 
@@ -38,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "sketch/bank_group.h"
 #include "sketch/fingerprint.h"
 #include "util/hashing.h"
 
@@ -49,29 +35,23 @@ struct SketchBankConfig {
   std::uint64_t seed = 1;
 };
 
-// One signed AGM-style pair update: +delta into lo's sketch, -delta into
-// hi's, both at the same coordinate (the edge's pair id).
-struct BankPairUpdate {
-  std::uint32_t lo = 0;
-  std::uint32_t hi = 0;
-  std::uint64_t coord = 0;
-  std::int64_t delta = 0;
-};
-
 class SketchBank {
  public:
   // Empty bank (0 vertices); assignable from a real one.
   SketchBank() = default;
 
-  SketchBank(std::size_t vertices, const SketchBankConfig& config);
+  SketchBank(std::size_t vertices, const SketchBankConfig& config)
+      : config_(config), group_(vertices, group_config(config)) {}
 
-  [[nodiscard]] std::size_t vertices() const noexcept { return vertices_; }
+  [[nodiscard]] std::size_t vertices() const noexcept {
+    return group_.vertices();
+  }
   [[nodiscard]] std::size_t instances() const noexcept {
     return config_.instances;
   }
-  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t levels() const noexcept { return group_.levels(); }
   [[nodiscard]] std::size_t cells_per_vertex() const noexcept {
-    return config_.instances * levels_;
+    return group_.cells_per_stripe();
   }
   [[nodiscard]] const SketchBankConfig& config() const noexcept {
     return config_;
@@ -80,29 +60,40 @@ class SketchBank {
   // ---- ingest ---------------------------------------------------------
 
   // Applies (coord, delta) to `vertex`'s sketch.
-  void update(std::size_t vertex, std::uint64_t coord, std::int64_t delta);
+  void update(std::size_t vertex, std::uint64_t coord, std::int64_t delta) {
+    group_.update(0, vertex, coord, delta);
+  }
 
   // AGM incidence update: (coord, +delta) to lo, (coord, -delta) to hi.
   // One hash evaluation and one fingerprint-term computation serve both
   // endpoints.  lo and hi must differ.
   void update_pair(std::size_t lo, std::size_t hi, std::uint64_t coord,
-                   std::int64_t delta);
+                   std::int64_t delta) {
+    group_.update_pair(0, 1, lo, hi, coord, delta);
+  }
 
-  // Batched update_pair over a whole absorb() batch: hashes are evaluated
-  // with the vectorizable eval_many kernel, one sweep per instance.  Uses
-  // internal scratch buffers -- not safe for concurrent calls on one bank
-  // (each engine shard ingests into its own clone, so the sharded path is
-  // fine).  Zero-delta entries are skipped.
-  void ingest_pairs(std::span<const BankPairUpdate> batch);
+  // Batched update_pair over a whole absorb() batch (the BankGroup fused
+  // path: staged terms, eval_many hash sweep, vertex-grouped scatter).
+  // Uses internal scratch -- not safe for concurrent calls on one bank.
+  void ingest_pairs(std::span<const BankPairUpdate> batch) {
+    group_.ingest_pairs(batch);
+  }
+
+  // Batched single-vertex updates through the same fused path.
+  void ingest_updates(std::span<const BankVertexUpdate> batch) {
+    group_.ingest_updates(batch);
+  }
 
   // ---- linearity ------------------------------------------------------
 
   // this += sign * other; other must share (vertices, seed, geometry).
-  void merge(const SketchBank& other, std::int64_t sign = 1);
+  void merge(const SketchBank& other, std::int64_t sign = 1) {
+    group_.merge(other.group_, sign);
+  }
 
   // A zero bank with identical configuration and randomness.
   [[nodiscard]] SketchBank clone_empty() const {
-    return SketchBank(vertices_, config_);
+    return SketchBank(vertices(), config_);
   }
 
   // ---- decode ---------------------------------------------------------
@@ -110,79 +101,65 @@ class SketchBank {
   // A nonzero coordinate of `vertex`'s sketched vector with its value, or
   // nullopt if every instance failed (e.g. the vector is zero).
   [[nodiscard]] std::optional<Recovered> decode(std::size_t vertex) const {
-    return decode_cells(stripe(vertex));
+    return group_.decode(0, vertex);
   }
 
   // `vertex`'s contiguous run of instances*levels cells.
   [[nodiscard]] std::span<const OneSparseCell> stripe(
       std::size_t vertex) const {
-    return {cells_.data() + vertex * cells_per_vertex(), cells_per_vertex()};
+    return group_.stripe(0, vertex);
   }
 
   // acc += sign * stripe(vertex).  acc must hold cells_per_vertex() cells
   // written by this bank (or zero-initialized).  This is how a supernode's
   // member sketches are summed before decoding.
   void accumulate(std::span<OneSparseCell> acc, std::size_t vertex,
-                  std::int64_t sign = 1) const;
+                  std::int64_t sign = 1) const {
+    group_.accumulate(acc, 0, vertex, sign);
+  }
 
   // Decodes an external stripe (e.g. an accumulate() sum): deepest level
   // first per instance, exactly the L0Sampler decode order.
   [[nodiscard]] std::optional<Recovered> decode_cells(
-      std::span<const OneSparseCell> cells) const;
+      std::span<const OneSparseCell> cells) const {
+    return group_.decode_cells(0, cells);
+  }
 
-  [[nodiscard]] bool vertex_is_zero(std::size_t vertex) const noexcept;
-  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool vertex_is_zero(std::size_t vertex) const noexcept {
+    return group_.vertex_is_zero(0, vertex);
+  }
+  [[nodiscard]] bool is_zero() const noexcept { return group_.is_zero(); }
   [[nodiscard]] static bool cells_zero(
-      std::span<const OneSparseCell> cells) noexcept;
+      std::span<const OneSparseCell> cells) noexcept {
+    return BankGroup::cells_zero(cells);
+  }
 
   [[nodiscard]] std::size_t nominal_bytes() const noexcept {
-    return cells_.size() * sizeof(OneSparseCell) + sizeof(SketchBankConfig);
+    return vertices() * cells_per_vertex() * sizeof(OneSparseCell) +
+           sizeof(SketchBankConfig);
   }
 
   // Randomness accessors (golden tests reproduce the scalar reference path
   // from these).
   [[nodiscard]] const FingerprintBasis& basis() const noexcept {
-    return basis_;
+    return group_.basis(0);
   }
   [[nodiscard]] const KWiseHash& level_hash(std::size_t instance) const {
-    return level_hashes_[instance];
+    return group_.level_hash(0, instance);
   }
 
  private:
-  // Adds (delta, wsum, t1, t2) to cells [0, deepest] of one instance run.
-  static void add_run(OneSparseCell* run, std::size_t deepest,
-                      std::int64_t delta, std::uint64_t wsum, std::uint64_t t1,
-                      std::uint64_t t2) noexcept {
-    for (std::size_t j = 0; j <= deepest; ++j) {
-      run[j].count += delta;
-      run[j].coord_sum += wsum;
-      run[j].fp1 = field_add(run[j].fp1, t1);
-      run[j].fp2 = field_add(run[j].fp2, t2);
-    }
-  }
-
-  // Deepest level to write for hash value h: min(levels-1, deepest by hash).
-  [[nodiscard]] std::size_t clamp_level(std::uint64_t h) const noexcept {
-    const std::uint64_t deep = KWiseHash::deepest_level(h);
-    return deep < levels_ ? static_cast<std::size_t>(deep) : levels_ - 1;
+  [[nodiscard]] static BankGroupConfig group_config(
+      const SketchBankConfig& config) {
+    BankGroupConfig c;
+    c.max_coord = config.max_coord;
+    c.instances = config.instances;
+    c.seeds = {config.seed};
+    return c;
   }
 
   SketchBankConfig config_;
-  std::size_t vertices_ = 0;
-  std::size_t levels_ = 0;
-  FingerprintBasis basis_;
-  HashFamily level_hashes_{0, 1, 0};  // one per instance, shared by vertices
-  std::vector<OneSparseCell> cells_;  // vertices * instances * levels_
-  // ingest_pairs scratch: per-update constants precomputed once and reused
-  // across instances/endpoints, plus coords gathered for eval_many.
-  struct PairTerms {
-    std::uint64_t t1, t2;      // fingerprint terms for +delta
-    std::uint64_t nt1, nt2;    // negated terms (the hi endpoint)
-    std::uint64_t wsum, nwsum;  // delta*coord / -delta*coord (mod 2^64)
-  };
-  std::vector<std::uint64_t> scratch_coords_;
-  std::vector<std::uint64_t> scratch_hash_;
-  std::vector<PairTerms> scratch_terms_;
+  BankGroup group_;  // one group, seeded like the historical L0Sampler
 };
 
 }  // namespace kw

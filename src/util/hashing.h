@@ -103,10 +103,42 @@ class KWiseHash {
 
   [[nodiscard]] std::size_t independence() const noexcept { return size_; }
 
+  // The polynomial coefficients (constant term first).  A contiguous array
+  // of KWiseHash objects is therefore a flat coefficient matrix -- the
+  // shape eval_deepest_levels() streams.
+  [[nodiscard]] std::span<const std::uint64_t> coefficients() const noexcept {
+    return {coeffs_.data(), size_};
+  }
+
  private:
   std::array<std::uint64_t, kMaxIndependence> coeffs_{};  // inline, no heap
   std::size_t size_ = 0;  // active coefficient count (the independence k)
 };
+
+// Shared power table for eval_deepest_levels: out[s * degree + (j-1)] =
+// xs[s]^(j) over F_p for j = 1..degree, where xs[s] = field_reduce(key_s+1)
+// is the pre-reduced evaluation point.  The table depends only on the keys,
+// NOT on any hash's coefficients, so one build serves every hash function
+// evaluated over the batch (all 48 group x instance hashes of a 12-round
+// AGM sketch, for example).
+void build_eval_powers(std::span<const std::uint64_t> xs, std::size_t degree,
+                       std::uint64_t* out);
+
+// Fused level sweep for a block of hash functions sharing one key stream:
+// out[s * out_stride + h] = min(level_cap, deepest_level(hashes[h](key_s)))
+// for every key and every hash (out_stride in bytes allows landing levels
+// inside per-key record structs).  Evaluation uses the dot-product form
+// c_0 + sum_j c_j * x^j over the shared `powers` table (degree entries per
+// key, from build_eval_powers): the 128-bit products of one value are
+// independent (no Horner chain) and accumulate exactly in 128 bits, with
+// one canonical reduction per value -- bit-identical to per-call Horner
+// evaluation, which the sketch-bank golden tests pin.  All hashes must
+// share independence degree+1, and count must be <= out_stride.
+void eval_deepest_levels(const KWiseHash* hashes, std::size_t count,
+                         std::span<const std::uint64_t> powers,
+                         std::size_t degree, std::size_t keys,
+                         std::uint8_t level_cap, std::uint8_t* out,
+                         std::size_t out_stride);
 
 // A family of independent KWiseHash functions indexed by an integer, all
 // derived from one master seed.  Convenience for "one hash per level".

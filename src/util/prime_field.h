@@ -26,6 +26,17 @@ inline constexpr std::uint64_t kFieldPrime = (1ULL << 61) - 1;
   return field_reduce(lo + field_reduce(hi));
 }
 
+// Reduces any x < 2^125 (e.g. an exact sum of up to 2^64 canonical field
+// elements, or of 8 full 122-bit products) into [0, p): splitting at bits
+// 61 and 122 and folding once (2^61 == 1 mod p) leaves a value < 2^62,
+// which one field_reduce canonicalizes.
+[[nodiscard]] constexpr std::uint64_t field_reduce_wide(__uint128_t x) noexcept {
+  const auto lo = static_cast<std::uint64_t>(x) & kFieldPrime;
+  const auto mid = static_cast<std::uint64_t>(x >> 61) & kFieldPrime;
+  const auto hi = static_cast<std::uint64_t>(x >> 122);
+  return field_reduce(lo + mid + hi);
+}
+
 [[nodiscard]] constexpr std::uint64_t field_add(std::uint64_t a,
                                                 std::uint64_t b) noexcept {
   std::uint64_t s = a + b;  // a,b < 2^61 so no overflow

@@ -36,7 +36,7 @@ TEST(AgmSketch, SummedMemberSketchesCancelInternalEdges) {
   g.add_edge(0, 2);
   g.add_edge(2, 3);
   const AgmGraphSketch sketch = sketch_graph(g, 1);
-  const SketchBank& bank = sketch.round_bank(0);
+  const BankGroup::View bank = sketch.round_bank(0);
   std::vector<OneSparseCell> acc(bank.cells_per_vertex());
   for (const Vertex v : {0u, 1u, 2u}) bank.accumulate(acc, v, 1);
   const auto rec = bank.decode_cells(acc);
@@ -48,10 +48,10 @@ TEST(AgmSketch, WholeGraphSumIsZero) {
   const Graph g = erdos_renyi_gnm(40, 120, 3);
   const AgmGraphSketch sketch = sketch_graph(g, 2);
   for (std::size_t round = 0; round < 3; ++round) {
-    const SketchBank& bank = sketch.round_bank(round);
+    const BankGroup::View bank = sketch.round_bank(round);
     std::vector<OneSparseCell> acc(bank.cells_per_vertex());
     for (Vertex v = 0; v < g.n(); ++v) bank.accumulate(acc, v, 1);
-    EXPECT_TRUE(SketchBank::cells_zero(acc)) << "interior edges must cancel";
+    EXPECT_TRUE(BankGroup::cells_zero(acc)) << "interior edges must cancel";
   }
 }
 

@@ -10,6 +10,12 @@
 //     bank level (exact cell equality, not just equal decodes).
 //  3. Wrapper consistency: L0Sampler (bank-of-one) matches a multi-vertex
 //     bank fed the same per-vertex updates.
+//  4. BankGroup (the fused multi-round layout): cells bit-identical to an
+//     array of per-round SketchBanks with the same seeds across every
+//     ingest path (batched pairs incl. churn aggregation, batched vertex
+//     updates, scalar, sparse fallback), plus group-level merge
+//     associativity/commutativity, k-way shard identity, and churn
+//     cancellation.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -273,6 +279,243 @@ TEST(SketchBank, RangeChecks) {
   EXPECT_THROW(bank.update(2, 0, 1), std::out_of_range);
   EXPECT_THROW(bank.update(0, kMaxCoord, 1), std::out_of_range);
   EXPECT_THROW(bank.update_pair(0, 0, 1, 1), std::out_of_range);
+}
+
+// ---- BankGroup: the fused multi-round layout ------------------------------
+//
+// The fused group must be bit-identical to an array of independent
+// per-round SketchBanks with the same seeds -- the layout it replaced.
+
+[[nodiscard]] std::vector<std::uint64_t> group_seeds(std::uint64_t base,
+                                                     std::size_t rounds) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t g = 0; g < rounds; ++g) {
+    seeds.push_back(derive_seed(base, 0x7700 + g));
+  }
+  return seeds;
+}
+
+[[nodiscard]] BankGroupConfig group_config(std::uint64_t base,
+                                           std::size_t rounds,
+                                           std::size_t instances = 4) {
+  BankGroupConfig c;
+  c.max_coord = kMaxCoord;
+  c.instances = instances;
+  c.seeds = group_seeds(base, rounds);
+  return c;
+}
+
+[[nodiscard]] std::vector<BankPairUpdate> make_pair_updates(
+    std::size_t vertices, std::size_t count, std::uint64_t seed,
+    bool with_churn = false) {
+  Rng rng(seed);
+  std::vector<BankPairUpdate> batch;
+  for (std::size_t i = 0; i < count; ++i) {
+    BankPairUpdate u;
+    u.lo = static_cast<std::uint32_t>(rng.next_below(vertices));
+    u.hi = static_cast<std::uint32_t>(
+        (u.lo + 1 + rng.next_below(vertices - 1)) % vertices);
+    u.coord = rng.next_below(kMaxCoord);
+    u.delta = static_cast<std::int64_t>(rng.next_below(5)) - 2;  // incl. 0
+    batch.push_back(u);
+    if (with_churn && rng.next_below(2) == 0) {
+      BankPairUpdate del = u;  // same (endpoints, coord), opposite delta
+      del.delta = -u.delta;
+      batch.push_back(del);
+    }
+  }
+  return batch;
+}
+
+TEST(BankGroupGolden, CellsMatchPerRoundSketchBanks) {
+  constexpr std::size_t kRounds = 5;
+  constexpr std::size_t kVertices = 8;
+  BankGroup group(kVertices, group_config(91, kRounds));
+  std::vector<SketchBank> banks;
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    SketchBankConfig c = bank_config(group_seeds(91, kRounds)[g]);
+    banks.emplace_back(kVertices, c);
+  }
+  // Mixed ingest: batched (with churn duplicates, so aggregation and the
+  // net-zero drop are exercised), scalar pair updates, and single updates.
+  const auto batch = make_pair_updates(kVertices, 400, 17, /*churn=*/true);
+  group.ingest_pairs(batch);
+  for (auto& bank : banks) bank.ingest_pairs(batch);
+  group.update_pair(0, kRounds, 1, 5, 123, 2);
+  group.update(2, 3, 99, -1);
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    banks[g].update_pair(1, 5, 123, 2);
+    if (g == 2) banks[g].update(3, 99, -1);
+  }
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    for (std::size_t v = 0; v < kVertices; ++v) {
+      expect_cells_equal(group.stripe(g, v), banks[g].stripe(v));
+    }
+  }
+}
+
+TEST(BankGroupGolden, IngestUpdatesMatchesScalarUpdates) {
+  constexpr std::size_t kRounds = 3;
+  BankGroup fused(6, group_config(92, kRounds));
+  BankGroup scalar(6, group_config(92, kRounds));
+  Rng rng(23);
+  std::vector<BankVertexUpdate> batch;
+  for (int i = 0; i < 300; ++i) {
+    BankVertexUpdate u;
+    u.vertex = static_cast<std::uint32_t>(rng.next_below(6));
+    u.coord = rng.next_below(kMaxCoord);
+    u.delta = static_cast<std::int64_t>(rng.next_below(5)) - 2;
+    batch.push_back(u);
+  }
+  fused.ingest_updates(batch);
+  for (const auto& u : batch) {
+    for (std::size_t g = 0; g < kRounds; ++g) {
+      scalar.update(g, u.vertex, u.coord, u.delta);
+    }
+  }
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      expect_cells_equal(fused.stripe(g, v), scalar.stripe(g, v));
+    }
+  }
+}
+
+TEST(BankGroupGolden, SparseFallbackMatchesScalarUpdates) {
+  // A tiny batch relative to the vertex count takes ingest_pairs' scalar
+  // fallback; its cells must match per-update update_pair exactly.
+  constexpr std::size_t kRounds = 3;
+  constexpr std::size_t kVertices = 4096;  // forces the sparse fallback
+  BankGroup fallback(kVertices, group_config(93, kRounds));
+  BankGroup scalar(kVertices, group_config(93, kRounds));
+  const auto batch = make_pair_updates(kVertices, 40, 29);
+  fallback.ingest_pairs(batch);
+  for (const auto& u : batch) {
+    if (u.delta == 0) continue;
+    scalar.update_pair(0, kRounds, u.lo, u.hi, u.coord, u.delta);
+  }
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    for (const auto& u : batch) {
+      expect_cells_equal(fallback.stripe(g, u.lo), scalar.stripe(g, u.lo));
+      expect_cells_equal(fallback.stripe(g, u.hi), scalar.stripe(g, u.hi));
+    }
+  }
+}
+
+TEST(BankGroupMerge, KWayShardMergeEqualsSequential) {
+  constexpr std::size_t kParts = 4;
+  constexpr std::size_t kRounds = 4;
+  const auto batch = make_pair_updates(6, 400, 31, /*churn=*/true);
+  BankGroup sequential(6, group_config(94, kRounds));
+  sequential.ingest_pairs(batch);
+  std::vector<BankGroup> parts;
+  for (std::size_t p = 0; p < kParts; ++p) {
+    parts.push_back(sequential.clone_empty());
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    parts[i % kParts].ingest_pairs({&batch[i], 1});
+  }
+  BankGroup merged = parts[0].clone_empty();
+  for (const BankGroup& p : parts) merged.merge(p, 1);
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    for (std::size_t v = 0; v < 6; ++v) {
+      expect_cells_equal(merged.stripe(g, v), sequential.stripe(g, v));
+    }
+  }
+}
+
+TEST(BankGroupMerge, CommutativeAssociativeAndSignedCancel) {
+  constexpr std::size_t kRounds = 3;
+  std::vector<BankGroup> parts;
+  for (int p = 0; p < 3; ++p) {
+    parts.emplace_back(5, group_config(95, kRounds));
+    parts[p].ingest_pairs(make_pair_updates(5, 120, 41 + p));
+  }
+  BankGroup ab = parts[0];
+  ab.merge(parts[1], 1);
+  BankGroup ba = parts[1];
+  ba.merge(parts[0], 1);
+  BankGroup ab_c = ab;  // (a+b)+c
+  ab_c.merge(parts[2], 1);
+  BankGroup bc = parts[1];  // a+(b+c)
+  bc.merge(parts[2], 1);
+  BankGroup a_bc = parts[0];
+  a_bc.merge(bc, 1);
+  for (std::size_t g = 0; g < kRounds; ++g) {
+    for (std::size_t v = 0; v < 5; ++v) {
+      expect_cells_equal(ab.stripe(g, v), ba.stripe(g, v));
+      expect_cells_equal(ab_c.stripe(g, v), a_bc.stripe(g, v));
+    }
+  }
+  BankGroup neg = parts[0];
+  neg.merge(parts[0], -1);
+  EXPECT_TRUE(neg.is_zero());
+}
+
+TEST(BankGroupMerge, RejectsIncompatibleGroups) {
+  BankGroup a(4, group_config(96, 2));
+  BankGroup b(5, group_config(96, 2));   // vertex-count mismatch
+  BankGroup c(4, group_config(97, 2));   // seed mismatch
+  BankGroup d(4, group_config(96, 3));   // round-count mismatch
+  EXPECT_THROW(a.merge(b, 1), std::invalid_argument);
+  EXPECT_THROW(a.merge(c, 1), std::invalid_argument);
+  EXPECT_THROW(a.merge(d, 1), std::invalid_argument);
+}
+
+TEST(BankGroup, ViewDecodesLikeStandaloneBank) {
+  constexpr std::size_t kRounds = 3;
+  BankGroup group(5, group_config(98, kRounds));
+  SketchBank bank(5, bank_config(group_seeds(98, kRounds)[1]));
+  for (std::size_t v = 0; v < 5; ++v) {
+    group.update(1, v, 200 + v, 3);
+    bank.update(v, 200 + v, 3);
+  }
+  const BankGroup::View view = group.view(1);
+  for (std::size_t v = 0; v < 5; ++v) {
+    const auto a = view.decode(v);
+    const auto b = bank.decode(v);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->coord, b->coord);
+    EXPECT_EQ(a->value, b->value);
+    expect_cells_equal(view.stripe(v), bank.stripe(v));
+  }
+}
+
+TEST(BankGroup, ChurnedBatchCancelsToZero) {
+  // Insert + delete of the same edges within one batch must leave the zero
+  // group (the aggregation path drops them; the cells must agree with the
+  // mathematical sum either way).
+  BankGroup group(6, group_config(99, 2));
+  std::vector<BankPairUpdate> batch;
+  Rng rng(51);
+  for (int i = 0; i < 100; ++i) {
+    BankPairUpdate u;
+    u.lo = static_cast<std::uint32_t>(rng.next_below(6));
+    u.hi = static_cast<std::uint32_t>((u.lo + 1 + rng.next_below(5)) % 6);
+    u.coord = rng.next_below(kMaxCoord);
+    u.delta = 1 + static_cast<std::int64_t>(rng.next_below(3));
+    batch.push_back(u);
+    BankPairUpdate del = u;
+    del.delta = -u.delta;
+    batch.push_back(del);
+  }
+  group.ingest_pairs(batch);
+  EXPECT_TRUE(group.is_zero());
+}
+
+TEST(BankGroup, RangeChecks) {
+  BankGroup group(3, group_config(100, 2));
+  EXPECT_THROW(group.update(2, 0, 0, 1), std::out_of_range);   // bad group
+  EXPECT_THROW(group.update(0, 3, 0, 1), std::out_of_range);   // bad vertex
+  EXPECT_THROW(group.update(0, 0, kMaxCoord, 1), std::out_of_range);
+  EXPECT_THROW(group.update_pair(0, 3, 0, 1, 0, 1), std::out_of_range);
+  EXPECT_THROW(group.update_pair(0, 2, 1, 1, 0, 1), std::out_of_range);
+  BankPairUpdate bad;
+  bad.lo = 0;
+  bad.hi = 0;
+  bad.coord = 0;
+  bad.delta = 1;
+  EXPECT_THROW(group.ingest_pairs({&bad, 1}), std::out_of_range);
 }
 
 // ---- deepest-level threshold vs the per-level loop ------------------------
