@@ -4,7 +4,6 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,39 +19,48 @@ namespace kw {
 namespace {
 
 // Nested subsample level of a pair under a hash: largest L such that the
-// pair survives rate 2^-L.
+// pair survives rate 2^-L.  Closed form of the historical per-level loop
+//   while (level + 1 <= max_level && h < (kFieldPrime >> (level + 1)))
+// -- h < p >> L  <=>  bit_width(h + 1) <= 61 - L, so the deepest surviving
+// level is 61 - bit_width(h + 1) (KWiseHash::deepest_level), clamped.  The
+// equivalence across every level including the max_level boundary is
+// regression-pinned in tests/test_kp12_sparsifier.cc.
 [[nodiscard]] std::size_t survive_level(const KWiseHash& hash,
                                         std::uint64_t pair,
                                         std::size_t max_level) {
-  const std::uint64_t h = hash(pair);
-  std::size_t level = 0;
-  while (level + 1 <= max_level && h < (kFieldPrime >> (level + 1))) {
-    ++level;
-  }
-  return level;
+  return std::min<std::uint64_t>(max_level,
+                                 KWiseHash::deepest_level(hash(pair)));
 }
 
-// Distance oracle over a fixed spanner graph: BFS from each queried source,
-// cached.  Distances are hop counts (the pipeline treats G as unweighted).
-class SpannerOracle {
- public:
-  explicit SpannerOracle(Graph spanner) : spanner_(std::move(spanner)) {}
-
-  [[nodiscard]] double distance(Vertex u, Vertex v) {
-    auto it = cache_.find(u);
-    if (it == cache_.end()) {
-      it = cache_.emplace(u, bfs_distances(spanner_, u)).first;
-    }
-    const std::uint32_t d = it->second[v];
-    return d == kUnreachableHops ? kUnreachableDist : static_cast<double>(d);
-  }
-
- private:
-  Graph spanner_;
-  std::unordered_map<Vertex, std::vector<std::uint32_t>> cache_;
-};
-
 }  // namespace
+
+SpannerOracle::SpannerOracle(Graph spanner, std::size_t max_cached_sources)
+    : spanner_(std::move(spanner)),
+      max_cached_(std::max<std::size_t>(1, max_cached_sources)) {}
+
+double SpannerOracle::distance(Vertex u, Vertex v) {
+  auto it = cache_.find(u);
+  if (it == cache_.end()) {
+    std::vector<std::uint32_t> row;
+    if (cache_.size() >= max_cached_) {
+      // Evict the oldest source and recycle its row's allocation for the
+      // fresh BFS -- the cache never holds more than max_cached_ rows and
+      // steady-state queries allocate nothing.
+      const Vertex victim = eviction_order_[next_victim_];
+      auto victim_it = cache_.find(victim);
+      row = std::move(victim_it->second);
+      cache_.erase(victim_it);
+      eviction_order_[next_victim_] = u;
+      next_victim_ = (next_victim_ + 1) % eviction_order_.size();
+    } else {
+      eviction_order_.push_back(u);
+    }
+    bfs_distances_into(spanner_, u, row);
+    it = cache_.emplace(u, std::move(row)).first;
+  }
+  const std::uint32_t d = it->second[v];
+  return d == kUnreachableHops ? kUnreachableDist : static_cast<double>(d);
+}
 
 Kp12Sparsifier::Kp12Sparsifier(Vertex n, const Kp12Config& config)
     : n_(n), config_(config) {
@@ -159,13 +167,102 @@ void Kp12Sparsifier::apply(const EdgeUpdate& upd) {
   }
 }
 
-void Kp12Sparsifier::absorb(std::span<const EdgeUpdate> batch) {
+void Kp12Sparsifier::absorb_scalar(std::span<const EdgeUpdate> batch) {
   if (phase_ == Phase::kDone) {
     throw std::logic_error("Kp12Sparsifier: absorb() after finish()");
   }
   if (batch.empty()) return;
   ensure_instances();
   for (const EdgeUpdate& u : batch) apply(u);
+}
+
+void Kp12Sparsifier::absorb(std::span<const EdgeUpdate> batch) {
+  if (phase_ == Phase::kDone) {
+    throw std::logic_error("Kp12Sparsifier: absorb() after finish()");
+  }
+  if (batch.empty()) return;
+  ensure_instances();
+
+  // ---- stage the batch ONCE -------------------------------------------
+  // Pair ids are computed once per update (the scalar path shared them
+  // across instances too); self-loops are dropped here because no instance
+  // ever ingests them.
+  staged_.clear();
+  for (const EdgeUpdate& upd : batch) {
+    if (upd.u >= n_ || upd.v >= n_) {
+      throw std::out_of_range("Kp12Sparsifier: endpoint out of range");
+    }
+    if (upd.u == upd.v) continue;
+    staged_.push_back({pair_id(upd.u, upd.v, n_), upd.u, upd.v, 0, upd.delta});
+  }
+  if (staged_.empty()) return;
+
+  // Coordinate dedup WITH delta aggregation: churn cancels at staging, and
+  // every membership hash below runs once per UNIQUE coordinate.
+  aggregate_batch_entries(staged_, ucoords_, slot_table_, slot_ids_);
+
+  // ---- one batched sweep per membership hash --------------------------
+  for (std::size_t j = 0; j < config_.j_copies; ++j) {
+    dispatch_copy(estimate_hashes_[j], t_levels_, oracles_[j]);
+  }
+  for (std::size_t s = 0; s < config_.z_samples; ++s) {
+    dispatch_copy(sample_hashes_[s], h_levels_, samplers_[s]);
+  }
+}
+
+void Kp12Sparsifier::dispatch_copy(const KWiseHash& hash, std::size_t levels,
+                                   std::vector<TwoPassSpanner>& row) {
+  const std::size_t count = staged_.size();  // entry i == coordinate slot i
+  const std::size_t cap = levels - 1;
+
+  // survive_level for every unique coordinate: one eval_many Horner sweep
+  // plus the bit_width closed form (no per-level loop, no per-update hash).
+  hash_vals_.resize(count);
+  hash.eval_many(ucoords_, hash_vals_);
+  slot_level_.resize(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    slot_level_[s] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cap, KWiseHash::deepest_level(hash_vals_[s])));
+  }
+
+  // Counting-sort the entries by DESCENDING level: the entries surviving
+  // rate 2^-t (level >= t) become the prefix [0, fence(t)), so all T
+  // nested instances of this copy share ONE sorted staging.  Sort key
+  // d = cap - level.
+  level_start_.assign(levels + 1, 0);
+  for (std::size_t s = 0; s < count; ++s) {
+    ++level_start_[cap - slot_level_[s] + 1];
+  }
+  for (std::size_t d = 1; d <= levels; ++d) {
+    level_start_[d] += level_start_[d - 1];
+  }
+  sorted_entries_.resize(count);
+  sorted_ucoords_.resize(count);
+  {
+    std::vector<std::uint32_t>& cursor = slot_ids_;  // reuse dedup scratch
+    cursor.assign(level_start_.begin(), level_start_.end() - 1);
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::uint32_t pos = cursor[cap - slot_level_[s]]++;
+      SpannerBatchEntry e = staged_[s];
+      e.slot = pos;  // sorted entry i references sorted coordinate i
+      sorted_entries_[pos] = e;
+      sorted_ucoords_[pos] = ucoords_[s];
+    }
+  }
+
+  // Instance (·, t) ingests exactly the prefix surviving rate 2^-t.
+  const bool pass1 = phase_ == Phase::kPass1;
+  for (std::size_t t = 0; t < levels; ++t) {
+    const std::size_t prefix = level_start_[cap - t + 1];
+    if (prefix == 0) break;  // deeper prefixes only shrink
+    const std::span<const SpannerBatchEntry> entries{sorted_entries_.data(),
+                                                     prefix};
+    if (pass1) {
+      row[t].pass1_ingest(entries, {sorted_ucoords_.data(), prefix});
+    } else {
+      row[t].pass2_ingest(entries);
+    }
+  }
 }
 
 void Kp12Sparsifier::advance_pass() {

@@ -19,17 +19,28 @@
 /// per-instance hashes -- the Section 6.3 pseudorandomness substitution).
 ///
 /// The class is a push-based StreamProcessor: the J*T + Z*H TwoPassSpanner
-/// instances are built in the constructor, absorb() fans each update out to
-/// the instances whose subsampled edge sets contain it, advance_pass()
-/// closes pass 1 everywhere, and finish() runs the ESTIMATE queries and the
+/// instances are built on the first absorbed update, advance_pass() closes
+/// pass 1 everywhere, and finish() runs the ESTIMATE queries and the
 /// SAMPLE/SPARSIFY aggregation.  clone_empty()/merge() shard ingestion by
 /// the linearity of the underlying spanner sketches.
+///
+/// absorb() is the fused hot path: each batch is staged ONCE (pair ids,
+/// coordinate dedup), every membership hash -- one per ESTIMATE copy j and
+/// one per SAMPLE invocation s -- rides one batched KWiseHash::eval_many
+/// sweep over the unique coordinates with survive_level computed in closed
+/// form (bit_width, no per-level loop), and a counting sort by survive
+/// level turns "instance (j, t) sees exactly the updates surviving rate
+/// 2^-t" into a contiguous prefix handed to TwoPassSpanner::pass*_ingest,
+/// which shares the staging across all T (resp. H) nested instances.  The
+/// per-update reference path survives as absorb_scalar(); both produce
+/// bit-identical sketch state (golden-pinned in tests/test_kp12_fused.cc).
 #ifndef KW_CORE_KP12_SPARSIFIER_H
 #define KW_CORE_KP12_SPARSIFIER_H
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -55,6 +66,32 @@ struct Kp12Result {
   std::size_t nominal_bytes = 0;
 };
 
+// Distance oracle over a fixed spanner graph: BFS from each queried source.
+// Cached with a bounded FIFO of source rows (the ESTIMATE query loop visits
+// sources in runs, so a small window captures nearly all reuse) and one
+// distance buffer recycled through evictions -- the cache cannot grow past
+// max_cached_sources rows no matter how many ESTIMATE queries run.
+class SpannerOracle {
+ public:
+  explicit SpannerOracle(Graph spanner, std::size_t max_cached_sources = 64);
+
+  [[nodiscard]] double distance(Vertex u, Vertex v);
+
+  [[nodiscard]] std::size_t cached_sources() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::size_t max_cached_sources() const noexcept {
+    return max_cached_;
+  }
+
+ private:
+  Graph spanner_;
+  std::size_t max_cached_;
+  std::unordered_map<Vertex, std::vector<std::uint32_t>> cache_;
+  std::vector<Vertex> eviction_order_;  // FIFO of cached sources
+  std::size_t next_victim_ = 0;         // rotates through eviction_order_
+};
+
 class Kp12Sparsifier final : public StreamProcessor {
  public:
   Kp12Sparsifier(Vertex n, const Kp12Config& config);
@@ -70,7 +107,14 @@ class Kp12Sparsifier final : public StreamProcessor {
   [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
   void merge(StreamProcessor&& other) override;
 
-  // Valid once after finish().
+  // The historical per-update fan-out (one survive_level hash per instance
+  // copy, one pass*_update per surviving instance).  Kept as the reference
+  // implementation: state after absorb_scalar() is bit-identical to
+  // absorb(), which the golden tests and the bench's legacy row pin.
+  void absorb_scalar(std::span<const EdgeUpdate> batch);
+
+  // Valid once after finish(); throws std::logic_error if finish() has not
+  // run or the result was already taken.
   [[nodiscard]] Kp12Result take_result();
 
   // Convenience: the full pipeline with exactly two pass-counted replays
@@ -88,6 +132,11 @@ class Kp12Sparsifier final : public StreamProcessor {
   // a sparsifier that never sees an update (e.g. an empty weight class in
   // weighted_kp12_sparsify) costs nothing beyond this object.
   void ensure_instances();
+  // Fused dispatch of the staged batch to one membership hash's nested
+  // instance row (sort by survive level; instance t gets the prefix that
+  // survives rate 2^-t).
+  void dispatch_copy(const KWiseHash& hash, std::size_t levels,
+                     std::vector<TwoPassSpanner>& row);
 
   Vertex n_;
   Kp12Config config_;
@@ -100,6 +149,17 @@ class Kp12Sparsifier final : public StreamProcessor {
   std::vector<std::vector<TwoPassSpanner>> oracles_;    // [j][t] on E^j_t
   std::vector<std::vector<TwoPassSpanner>> samplers_;   // [s][j] on E_{s,j}
   std::optional<Kp12Result> result_;  // set by finish()
+
+  // ---- fused-absorb scratch (reused across batches; never cloned) ----
+  std::vector<SpannerBatchEntry> staged_;     // staged batch (slot = coord id)
+  std::vector<std::uint64_t> ucoords_;        // unique coordinates
+  std::vector<std::uint64_t> slot_table_;     // open-addressing dedup keys
+  std::vector<std::uint32_t> slot_ids_;       // dedup payload: slot index
+  std::vector<std::uint64_t> hash_vals_;      // per-slot membership hashes
+  std::vector<std::uint32_t> slot_level_;     // per-slot survive level
+  std::vector<std::uint32_t> level_start_;    // counting-sort fences
+  std::vector<std::uint64_t> sorted_ucoords_;       // level-descending coords
+  std::vector<SpannerBatchEntry> sorted_entries_;   // level-descending entries
 };
 
 // Corollary 2, weighted case: round weights to powers of (1 + class_eps),

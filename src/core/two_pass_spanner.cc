@@ -1,6 +1,7 @@
 #include "core/two_pass_spanner.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,39 @@
 #include "util/random.h"
 
 namespace kw {
+
+void aggregate_batch_entries(std::vector<SpannerBatchEntry>& entries,
+                             std::vector<std::uint64_t>& ucoords,
+                             std::vector<std::uint64_t>& slot_table,
+                             std::vector<std::uint32_t>& slot_ids) {
+  const std::size_t table_size = next_pow2(2 * entries.size());
+  const int shift = 64 - std::countr_zero(table_size);
+  const std::size_t mask = table_size - 1;
+  slot_table.assign(table_size, ~std::uint64_t{0});
+  slot_ids.resize(table_size);
+  ucoords.clear();
+  std::size_t unique_count = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    SpannerBatchEntry e = entries[i];
+    std::size_t pos =
+        static_cast<std::size_t>((e.coord * 0x9e3779b97f4a7c15ULL) >> shift);
+    while (slot_table[pos] != ~std::uint64_t{0} &&
+           slot_table[pos] != e.coord) {
+      pos = (pos + 1) & mask;
+    }
+    if (slot_table[pos] == ~std::uint64_t{0}) {
+      slot_table[pos] = e.coord;
+      const auto id = static_cast<std::uint32_t>(unique_count);
+      slot_ids[pos] = id;
+      e.slot = id;
+      ucoords.push_back(e.coord);
+      entries[unique_count++] = e;  // in-place compaction: id <= i
+    } else {
+      entries[slot_ids[pos]].delta += e.delta;
+    }
+  }
+  entries.resize(unique_count);
+}
 
 TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
     : n_(n),
@@ -36,6 +70,13 @@ TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
         static_cast<double>(kFieldPrime) *
         std::pow(2.0, -step * static_cast<double>(j)));
   }
+  pass1_pages_.resize(
+      static_cast<std::size_t>(config_.k > 1 ? config_.k - 1 : 0) *
+      edge_levels_);
+  pass1_cell_count_ =
+      config_.pass1_rows * 2 * std::max<std::size_t>(config_.pass1_budget, 1);
+  coord_bytes_ = std::max<std::size_t>(
+      1, (std::bit_width(std::max<std::uint64_t>(num_pairs(n_), 1)) + 7) / 8);
 }
 
 TwoPassSpanner::TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag)
@@ -48,12 +89,17 @@ TwoPassSpanner::TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag)
       edge_level_hash_(other.edge_level_hash_),
       y_hash_(other.y_hash_),
       y_thresholds_(other.y_thresholds_),
+      pass1_cell_count_(other.pass1_cell_count_),
+      coord_bytes_(other.coord_bytes_),
       forest_(other.forest_),
       terminals_(other.terminals_),
       terminal_of_vertex_(other.terminal_of_vertex_),
-      terminal_member_sets_(other.terminal_member_sets_) {
-  // Pass-1 sketches materialize lazily, so nothing to zero there; pass-2
-  // clones need the (empty) H^u_j tables with the primary's geometry.
+      member_offsets_(other.member_offsets_),
+      members_csr_(other.members_csr_),
+      y_caps_(other.y_caps_) {
+  // Pass-1 pages materialize lazily, so fresh empty pages are "all zero";
+  // pass-2 clones need the (empty) H^u_j tables with the primary's geometry.
+  pass1_pages_.resize(other.pass1_pages_.size());
   if (phase_ == Phase::kPass2) {
     tables_.reserve(terminals_.size());
     for (std::size_t t = 0; t < terminals_.size(); ++t) {
@@ -68,15 +114,28 @@ TwoPassSpanner::TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag)
 }
 
 void TwoPassSpanner::absorb(std::span<const EdgeUpdate> batch) {
-  switch (phase_) {
-    case Phase::kPass1:
-      for (const EdgeUpdate& u : batch) pass1_update(u);
-      break;
-    case Phase::kPass2:
-      for (const EdgeUpdate& u : batch) pass2_update(u);
-      break;
-    default:
-      throw std::logic_error("TwoPassSpanner: absorb() after finish()");
+  if (phase_ != Phase::kPass1 && phase_ != Phase::kPass2) {
+    throw std::logic_error("TwoPassSpanner: absorb() after finish()");
+  }
+  // Stage once: pair ids, self-loop filtering, coordinate dedup -- the same
+  // shape the KP12 sparsifier hands to pass*_ingest, built internally so
+  // engine-driven single-instance runs ride the fused path too.
+  staged_entries_.clear();
+  for (const EdgeUpdate& u : batch) {
+    if (u.u >= n_ || u.v >= n_) {
+      throw std::out_of_range("TwoPassSpanner: endpoint out of range");
+    }
+    if (u.u == u.v) continue;
+    staged_entries_.push_back(
+        {pair_id(u.u, u.v, n_), u.u, u.v, 0, u.delta});
+  }
+  if (staged_entries_.empty()) return;
+  aggregate_batch_entries(staged_entries_, staged_ucoords_, slot_table_,
+                          slot_ids_);
+  if (phase_ == Phase::kPass2) {
+    pass2_ingest(staged_entries_);
+  } else {
+    pass1_ingest(staged_entries_, staged_ucoords_);
   }
 }
 
@@ -93,19 +152,34 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
         "TwoPassSpanner::merge: incompatible instance (n/seed/phase)");
   }
   switch (phase_) {
-    case Phase::kPass1:
-      for (auto& [key, sketch] : o.pass1_sketches_) {
-        auto it = pass1_sketches_.find(key);
-        if (it == pass1_sketches_.end()) {
-          pass1_sketches_.emplace(key, std::move(sketch));
+    case Phase::kPass1: {
+      for (std::size_t idx = 0; idx < pass1_pages_.size(); ++idx) {
+        Pass1Page& mine = pass1_pages_[idx];
+        Pass1Page& theirs = o.pass1_pages_[idx];
+        if (theirs.cells.empty()) continue;  // never touched: all zero
+        if (mine.cells.empty()) {
+          mine.cells = std::move(theirs.cells);
+          mine.touched = std::move(theirs.touched);
         } else {
-          it->second.merge(sketch, 1);
+          for (std::size_t c = 0; c < mine.cells.size(); ++c) {
+            mine.cells[c].merge(theirs.cells[c], 1);
+          }
+          for (Vertex v = 0; v < n_; ++v) {
+            mine.touched[v] = static_cast<char>(mine.touched[v] |
+                                                theirs.touched[v]);
+          }
         }
       }
-      // Shards each count their own first touch of a key, so summing the
-      // counters would double-count; the merged map is the ground truth.
-      diagnostics_.pass1_sketches_touched = pass1_sketches_.size();
+      // Shards each count their own first touch of a (u, r, j) sketch, so
+      // summing the counters would double-count; the merged touch set is
+      // the ground truth.
+      std::size_t touched = 0;
+      for (const Pass1Page& page : pass1_pages_) {
+        for (const char t : page.touched) touched += t != 0;
+      }
+      diagnostics_.pass1_sketches_touched = touched;
       break;
+    }
     case Phase::kPass2:
       for (std::size_t t = 0; t < tables_.size(); ++t) {
         for (std::size_t j = 0; j < tables_[t].size(); ++j) {
@@ -118,17 +192,15 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
   }
 }
 
-std::uint64_t TwoPassSpanner::sketch_key(Vertex v, unsigned r,
-                                         std::size_t j) const {
-  return (static_cast<std::uint64_t>(v) * config_.k + r) * edge_levels_ + j;
-}
-
 SparseRecoveryConfig TwoPassSpanner::pass1_config(unsigned r,
                                                   std::size_t j) const {
   SparseRecoveryConfig c;
   c.max_coord = num_pairs(n_);
   c.budget = config_.pass1_budget;
   c.rows = config_.pass1_rows;
+  // One geometry serves the whole page, so the radix walk tables behind the
+  // batched term kernels amortize over every vertex and every batch.
+  c.full_pow_tables = true;
   // Randomness is a function of (r, j) only -- identical for every vertex,
   // which is what makes Q_j(u) = sum_{v in T_u} S^{i+1}_j(v) a valid sketch.
   c.seed = derive_seed(config_.seed, 0x1000 + r * 1024 + j);
@@ -161,15 +233,17 @@ LinearKvConfig TwoPassSpanner::table_config(unsigned level,
 }
 
 std::size_t TwoPassSpanner::edge_level_of(std::uint64_t pair) const {
-  const std::uint64_t h = edge_level_hash_(pair);
-  std::size_t level = 0;
-  while (level + 1 < edge_levels_ && h < (kFieldPrime >> (level + 1))) {
-    ++level;
-  }
-  return level;
+  // Closed form of the historical per-level loop
+  //   while (level + 1 < edge_levels_ && h < kFieldPrime >> (level + 1))
+  // -- h < p >> L  <=>  bit_width(h + 1) <= 61 - L, so the deepest
+  // surviving level is KWiseHash::deepest_level(h), clamped to the ladder.
+  return std::min<std::uint64_t>(
+      edge_levels_ - 1, KWiseHash::deepest_level(edge_level_hash_(pair)));
 }
 
 std::size_t TwoPassSpanner::y_level_of(Vertex v) const {
+  // The Y_j thresholds are not dyadic (half-octave ladder), so this stays a
+  // loop; pass 2 only ever reads the per-vertex precompute in y_caps_.
   const std::uint64_t h = y_hash_(v);
   std::size_t level = 0;
   while (level + 1 < vertex_levels_ && h < y_thresholds_[level + 1]) {
@@ -178,9 +252,33 @@ std::size_t TwoPassSpanner::y_level_of(Vertex v) const {
   return level;
 }
 
+void TwoPassSpanner::ensure_page_geometry(Pass1Page& page, unsigned r,
+                                          std::size_t j) {
+  if (!page.geometry.has_value()) {
+    page.geometry.emplace(pass1_config(r, j));
+  }
+}
+
+OneSparseCell* TwoPassSpanner::page_stripe(Pass1Page& page, Vertex keeper) {
+  if (page.cells.empty()) {
+    page.cells.resize(static_cast<std::size_t>(n_) * pass1_cell_count_);
+    page.touched.assign(n_, 0);
+  }
+  char& flag = page.touched[keeper];
+  if (flag == 0) {
+    flag = 1;
+    ++diagnostics_.pass1_sketches_touched;
+  }
+  return page.cells.data() + static_cast<std::size_t>(keeper) *
+                                 pass1_cell_count_;
+}
+
 void TwoPassSpanner::pass1_update(const EdgeUpdate& update) {
   if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
   if (update.u == update.v) return;
+  if (update.u >= n_ || update.v >= n_) {
+    throw std::out_of_range("TwoPassSpanner: endpoint out of range");
+  }
   const std::uint64_t coord = pair_id(update.u, update.v, n_);
   const std::size_t jmax = edge_level_of(coord);
   for (unsigned r = 1; r < config_.k; ++r) {
@@ -191,15 +289,202 @@ void TwoPassSpanner::pass1_update(const EdgeUpdate& update) {
       const Vertex other = side == 0 ? update.v : update.u;
       if (!hierarchy_.contains(r, other)) continue;
       for (std::size_t j = 0; j <= jmax; ++j) {
-        const std::uint64_t key = sketch_key(keeper, r, j);
-        auto it = pass1_sketches_.find(key);
-        if (it == pass1_sketches_.end()) {
-          it = pass1_sketches_
-                   .emplace(key, SparseRecoverySketch(pass1_config(r, j)))
-                   .first;
-          ++diagnostics_.pass1_sketches_touched;
+        Pass1Page& page = page_at(r, j);
+        ensure_page_geometry(page, r, j);
+        OneSparseCell* stripe = page_stripe(page, keeper);
+        page.geometry->update_state({stripe, pass1_cell_count_}, coord,
+                                    update.delta);
+      }
+    }
+  }
+}
+
+void TwoPassSpanner::validate_entries(
+    std::span<const SpannerBatchEntry> entries) const {
+  const std::uint64_t max_coord = num_pairs(n_);
+  for (const SpannerBatchEntry& e : entries) {
+    if (e.u >= n_ || e.v >= n_ || e.u == e.v) {
+      throw std::out_of_range("TwoPassSpanner: staged endpoints invalid");
+    }
+    if (e.coord >= max_coord) {
+      throw std::out_of_range("TwoPassSpanner: staged coordinate invalid");
+    }
+  }
+}
+
+void TwoPassSpanner::pass1_ingest(std::span<const SpannerBatchEntry> entries,
+                                  std::span<const std::uint64_t> ucoords) {
+  if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
+  if (entries.empty()) return;
+  validate_entries(entries);
+  const std::size_t rows = config_.pass1_rows;
+  if (rows == 0 || rows > kMaxFastRows) {
+    // Exotic geometry: take the exact scalar path (same cells).
+    for (const SpannerBatchEntry& e : entries) {
+      pass1_update({e.u, e.v, e.delta, 1.0});
+    }
+    return;
+  }
+  const std::size_t uniques = ucoords.size();
+
+  // 1. Hierarchy qualification per slot: an entry contributes to level r
+  //    iff one endpoint's partner is in C_r, so slots none of whose entries
+  //    qualify anywhere never pay for hashing at all (C_r is sampled at
+  //    rate n^{-r/k}: most of the batch drops out right here).  Bit b of
+  //    qual_mask_[slot] records level r = b + 1; levels beyond the mask
+  //    width fall back to "qualified".
+  constexpr unsigned kMaskLevels = 8;
+  qual_mask_.assign(uniques, 0);
+  for (unsigned r = 1; r < config_.k; ++r) {
+    const char* in_r = hierarchy_.in_level[r].data();
+    const auto bit = static_cast<std::uint8_t>(
+        r <= kMaskLevels ? 1u << (r - 1) : 0xffu);
+    for (const SpannerBatchEntry& e : entries) {
+      if (in_r[e.u] != 0 || in_r[e.v] != 0) qual_mask_[e.slot] |= bit;
+    }
+  }
+
+  // 2. Deepest surviving E_j level per qualifying coordinate: one batched
+  //    Horner sweep + the bit_width closed form, instead of one hash
+  //    evaluation and one compare-loop per update.
+  gather_coords_.clear();
+  active_slots_.clear();
+  for (std::size_t s = 0; s < uniques; ++s) {
+    if (qual_mask_[s] == 0) continue;
+    active_slots_.push_back(static_cast<std::uint32_t>(s));
+    gather_coords_.push_back(ucoords[s]);
+  }
+  if (active_slots_.empty()) return;
+  scratch_hash_.resize(active_slots_.size());
+  edge_level_hash_.eval_many(gather_coords_, scratch_hash_);
+  scratch_jmax_.assign(uniques, 0);
+  const auto level_cap = static_cast<std::uint8_t>(edge_levels_ - 1);
+  for (std::size_t i = 0; i < active_slots_.size(); ++i) {
+    const std::uint64_t deep = KWiseHash::deepest_level(scratch_hash_[i]);
+    scratch_jmax_[active_slots_[i]] =
+        deep < level_cap ? static_cast<std::uint8_t>(deep) : level_cap;
+  }
+
+  const std::size_t term_digits =
+      coord_bytes_ <= FingerprintBasis::kPowBytes ? coord_bytes_ : 0;
+  for (unsigned r = 1; r < config_.k; ++r) {
+    if (hierarchy_.level_members[r].empty()) continue;  // nothing qualifies
+    const auto r_bit = static_cast<std::uint8_t>(
+        r <= kMaskLevels ? 1u << (r - 1) : 0xffu);
+    // 3. Per-slot record blocks (records for levels 0..jmax, consecutively)
+    //    and per-level slot lists (level j's list = this r's qualifying
+    //    slots with jmax >= j, in active order).
+    block_off_.resize(uniques + 1);
+    level_end_.assign(edge_levels_ + 1, 0);
+    std::uint32_t total = 0;
+    for (const std::uint32_t s : active_slots_) {
+      if ((qual_mask_[s] & r_bit) == 0) continue;
+      block_off_[s] = total;
+      total += static_cast<std::uint32_t>(scratch_jmax_[s]) + 1;
+      // Every level up to jmax contains this slot; count via a difference
+      // trick: +1 at level 0, -1 at jmax + 1, prefix-summed below.
+      ++level_end_[0];
+      --level_end_[static_cast<std::size_t>(scratch_jmax_[s]) + 1];
+    }
+    if (total == 0) continue;
+    for (std::size_t j = 1; j <= edge_levels_; ++j) {
+      level_end_[j] += level_end_[j - 1];
+    }
+    // level_end_[j] now holds the length of level j's list; convert to end
+    // fences over the flat array and fill.
+    for (std::size_t j = 1; j < edge_levels_; ++j) {
+      level_end_[j] += level_end_[j - 1];
+    }
+    level_slots_.resize(total);
+    {
+      // Fill cursors: level j's region is [level_end_[j-1], level_end_[j]).
+      std::vector<std::uint32_t>& cursors = slot_ids_;  // reuse scratch
+      cursors.resize(edge_levels_);
+      for (std::size_t j = 0; j < edge_levels_; ++j) {
+        cursors[j] = j == 0 ? 0 : level_end_[j - 1];
+      }
+      for (const std::uint32_t s : active_slots_) {
+        if ((qual_mask_[s] & r_bit) == 0) continue;
+        for (std::size_t j = 0; j <= scratch_jmax_[s]; ++j) {
+          level_slots_[cursors[j]++] = s;
         }
-        it->second.update(coord, update.delta);
+      }
+    }
+    recs_.resize(total);
+
+    // 4. Kernels per (r, j) page over its slot list: basis powers of every
+    //    unique coordinate (radix-256 walks over L1-resident tables) and
+    //    row buckets (eval_many + the same Lemire reduction bucket() uses).
+    //    Each is computed ONCE per unique coordinate per page; the scalar
+    //    path recomputes the term per row and per touching update.
+    for (std::size_t j = 0; j < edge_levels_; ++j) {
+      const std::size_t begin = j == 0 ? 0 : level_end_[j - 1];
+      const std::size_t end = level_end_[j];
+      if (begin == end) break;  // lists shrink with j: all deeper are empty
+      Pass1Page& page = page_at(r, j);
+      ensure_page_geometry(page, r, j);
+      const SparseRecoverySketch& geom = *page.geometry;
+      const FingerprintBasis& basis = geom.basis();
+      gather_coords_.resize(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        gather_coords_[i - begin] = ucoords[level_slots_[i]];
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        PageRec& rec = recs_[block_off_[level_slots_[i]] + j];
+        if (term_digits != 0) {
+          basis.pow_pair_bytes(gather_coords_[i - begin] + 1, term_digits,
+                               &rec.p1, &rec.p2);
+        } else {
+          basis.pow_pair(gather_coords_[i - begin] + 1, &rec.p1, &rec.p2);
+        }
+      }
+      const std::uint64_t buckets = geom.buckets_per_row();
+      scratch_hash_.resize(end - begin);
+      for (std::size_t row = 0; row < rows; ++row) {
+        geom.row_hash(row).eval_many(gather_coords_, scratch_hash_);
+        const auto base = static_cast<std::uint32_t>(row * buckets);
+        for (std::size_t i = begin; i < end; ++i) {
+          PageRec& rec = recs_[block_off_[level_slots_[i]] + j];
+          rec.cell[row] =
+              base + static_cast<std::uint32_t>(
+                         (static_cast<__uint128_t>(scratch_hash_[i - begin]) *
+                          buckets) >>
+                         61);
+        }
+      }
+    }
+
+    // 4. Scatter: one pass over the entries for this r.  Side
+    //    qualification (other endpoint in C_r) is j-independent, terms get
+    //    the delta applied once per (entry, page), and both endpoints and
+    //    all rows share them.
+    const char* in_r = hierarchy_.in_level[r].data();
+    for (const SpannerBatchEntry& e : entries) {
+      const bool keep_u = in_r[e.v] != 0;  // u keeps the edge iff v in C_r
+      const bool keep_v = in_r[e.u] != 0;
+      if (!keep_u && !keep_v) continue;
+      const std::uint8_t jmax = scratch_jmax_[e.slot];
+      const auto delta = static_cast<std::int64_t>(e.delta);
+      const std::uint64_t df = field_from_signed(delta);
+      const std::uint64_t wsum = static_cast<std::uint64_t>(delta) * e.coord;
+      const std::uint32_t block = block_off_[e.slot];
+      Pass1Page* pages = pass1_pages_.data() + (r - 1) * edge_levels_;
+      for (std::size_t j = 0; j <= jmax; ++j) {
+        const PageRec& rec = recs_[block + j];
+        const std::uint64_t t1 = df == 1 ? rec.p1 : field_mul(df, rec.p1);
+        const std::uint64_t t2 = df == 1 ? rec.p2 : field_mul(df, rec.p2);
+        for (int side = 0; side < 2; ++side) {
+          if (!(side == 0 ? keep_u : keep_v)) continue;
+          OneSparseCell* stripe =
+              page_stripe(pages[j], side == 0 ? e.u : e.v);
+          for (std::size_t row = 0; row < rows; ++row) {
+            OneSparseCell& cell = stripe[rec.cell[row]];
+            cell.count += delta;
+            cell.coord_sum += wsum;
+            cell.fp1 = field_add(cell.fp1, t1);
+            cell.fp2 = field_add(cell.fp2, t2);
+          }
+        }
       }
     }
   }
@@ -215,17 +500,28 @@ std::optional<Connector> TwoPassSpanner::sketch_connector(
   const std::unordered_set<Vertex> member_set(members.begin(), members.end());
   // Scan E_j levels from sparsest to densest; the first nonempty decodable
   // support yields the parent and witness (Algorithm 1 lines 11-18).
+  acc_.resize(pass1_cell_count_);
   for (std::size_t j = edge_levels_; j-- > 0;) {
-    SparseRecoverySketch q(pass1_config(level + 1, j));
+    Pass1Page& page = page_at(level + 1, j);
+    if (page.cells.empty()) continue;  // page never touched: all zero
+    std::fill(acc_.begin(), acc_.end(), OneSparseCell{});
     bool any = false;
+    // Sum per member OCCURRENCE (duplicate copies fold twice), exactly like
+    // the historical per-key merge; an untouched member's stripe is zero
+    // and skipping it keeps `any` equal to "some member had a materialized
+    // sketch".
     for (const Vertex v : members) {
-      const auto it = pass1_sketches_.find(sketch_key(v, level + 1, j));
-      if (it == pass1_sketches_.end()) continue;
-      q.merge(it->second, 1);
+      if (page.touched[v] == 0) continue;
       any = true;
+      const OneSparseCell* stripe =
+          page.cells.data() + static_cast<std::size_t>(v) * pass1_cell_count_;
+      for (std::size_t c = 0; c < pass1_cell_count_; ++c) {
+        acc_[c].merge(stripe[c], 1);
+      }
     }
     if (!any) continue;  // all-zero sum: nothing at this sampling level
-    const auto decoded = q.decode();
+    ensure_page_geometry(page, level + 1, j);
+    const auto decoded = page.geometry->decode_state(acc_);
     if (!decoded.has_value()) {
       ++diagnostics_.pass1_scan_failures;
       continue;  // overloaded level; keep descending (denser levels below
@@ -267,13 +563,15 @@ void TwoPassSpanner::finish_pass1() {
 
   // Prepare pass-2 structures.
   terminals_ = forest_->terminals();
-  terminal_member_sets_.clear();
-  terminal_member_sets_.reserve(terminals_.size());
+  member_offsets_.assign(terminals_.size() + 1, 0);
+  members_csr_.clear();
   tables_.clear();
   tables_.reserve(terminals_.size());
   for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    // terminal_members() is deduplicated and sorted: append as one CSR row.
     const auto members = forest_->terminal_members(terminals_[t]);
-    terminal_member_sets_.emplace_back(members.begin(), members.end());
+    members_csr_.insert(members_csr_.end(), members.begin(), members.end());
+    member_offsets_[t + 1] = static_cast<std::uint32_t>(members_csr_.size());
     std::vector<LinearKeyValueSketch> per_level;
     per_level.reserve(vertex_levels_);
     for (std::size_t j = 0; j < vertex_levels_; ++j) {
@@ -293,29 +591,67 @@ void TwoPassSpanner::finish_pass1() {
     terminal_of_vertex_[a] =
         term_index.at(static_cast<std::uint64_t>(tp.level) * n_ + tp.v);
   }
-  // Pass-1 sketches are dead weight from here on; a real streaming device
-  // would reuse this memory for the pass-2 tables.
-  for (const auto& [key, sketch] : pass1_sketches_) {
-    (void)key;
-    pass1_touched_bytes_ += sketch.nominal_bytes();
+  // Per-vertex Y_j level cap: pass 2 historically re-hashed y_level_of per
+  // update side; each vertex's level is a pure function of the vertex, so
+  // one sweep here replaces per-update degree-8 Horner evaluations.
+  y_caps_.resize(n_);
+  for (Vertex a = 0; a < n_; ++a) {
+    y_caps_[a] = static_cast<std::uint8_t>(
+        std::min(y_level_of(a), vertex_levels_ - 1));
   }
-  pass1_sketches_.clear();
+  // Pass-1 pages are dead weight from here on; a real streaming device
+  // would reuse this memory for the pass-2 tables.  The touched-byte
+  // accounting matches the historical lazy map: one sketch-sized allocation
+  // per (u, r, j) an update actually landed in.
+  pass1_touched_bytes_ =
+      diagnostics_.pass1_sketches_touched *
+      (pass1_cell_count_ * sizeof(OneSparseCell) +
+       sizeof(SparseRecoveryConfig));
+  for (Pass1Page& page : pass1_pages_) {
+    page.cells = {};
+    page.touched = {};
+    page.geometry.reset();
+  }
   phase_ = Phase::kPass2;
 }
 
 void TwoPassSpanner::pass2_update(const EdgeUpdate& update) {
   if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
   if (update.u == update.v) return;
+  if (update.u >= n_ || update.v >= n_) {
+    throw std::out_of_range("TwoPassSpanner: endpoint out of range");
+  }
   for (int side = 0; side < 2; ++side) {
     const Vertex a = side == 0 ? update.u : update.v;
     const Vertex b = side == 0 ? update.v : update.u;
     const std::uint32_t t = terminal_of_vertex_[a];
-    if (terminal_member_sets_[t].contains(b)) continue;  // b in T_u: skip
-    const std::size_t jmax = std::min(y_level_of(a), vertex_levels_ - 1);
+    if (is_member(t, b)) continue;  // b in T_u: skip
+    const std::size_t jmax = y_caps_[a];
     for (std::size_t j = 0; j <= jmax; ++j) {
       // "add SKETCH(delta * a) to the b-th entry of H^u_j".
       tables_[t][j].update(/*key=*/b, update.delta, /*payload_coord=*/a,
                            update.delta);
+    }
+  }
+}
+
+void TwoPassSpanner::pass2_ingest(std::span<const SpannerBatchEntry> entries) {
+  if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
+  if (entries.empty()) return;
+  validate_entries(entries);
+  for (const SpannerBatchEntry& e : entries) {
+    for (int side = 0; side < 2; ++side) {
+      const Vertex a = side == 0 ? e.u : e.v;
+      const Vertex b = side == 0 ? e.v : e.u;
+      const std::uint32_t t = terminal_of_vertex_[a];
+      if (is_member(t, b)) continue;  // b in T_u: skip
+      const std::size_t jmax = y_caps_[a];
+      for (std::size_t j = 0; j <= jmax; ++j) {
+        // update_staged computes the key and payload fingerprint terms once
+        // and reuses them across all kv tables and payload rows.
+        tables_[t][j].update_staged(/*key=*/b, e.delta, /*payload_coord=*/a,
+                                    e.delta);
+      }
     }
   }
 }
@@ -411,6 +747,15 @@ const ClusterForest& TwoPassSpanner::forest() const {
     throw std::logic_error("forest unavailable before finish_pass1()");
   }
   return *forest_;
+}
+
+std::span<const OneSparseCell> TwoPassSpanner::pass1_cells(
+    unsigned r, std::size_t j) const {
+  if (r == 0 || r >= config_.k || j >= edge_levels_) {
+    throw std::out_of_range("pass1_cells: no such page");
+  }
+  const Pass1Page& page = pass1_pages_[(r - 1) * edge_levels_ + j];
+  return {page.cells.data(), page.cells.size()};
 }
 
 TwoPassResult TwoPassSpanner::run(const DynamicStream& stream) {

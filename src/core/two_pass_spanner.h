@@ -15,11 +15,31 @@
 /// w in T_u.  The spanner is phi(F) plus those edges (Lemma 12 size bound,
 /// Lemma 13 stretch bound).
 ///
+/// Storage layout (the sparsifier hot-path refactor): all of pass 1's
+/// S^r_j(u) sketches live in (k-1) * edge_levels "pages", one per (r, j).
+/// A page holds ONE shared geometry (row hashes + fingerprint basis -- the
+/// sharing across vertices is what makes member sketches summable) plus a
+/// flat vertex-major cell array `cells[u * cell_count + c]`, materialized on
+/// first touch.  The historical layout was a lazy map keyed by (u, r, j)
+/// whose every entry owned a full SparseRecoverySketch -- including a
+/// private copy of the (r, j) fingerprint power tables, rebuilt per touched
+/// vertex.  Cells are bit-identical between the two layouts (same
+/// derive_seed chain, and cell adds commute), which the golden tests in
+/// tests/test_two_pass_spanner.cc pin against a scalar SparseRecoverySketch
+/// reference.
+///
 /// The class implements the push-based StreamProcessor contract (two
 /// passes; absorb / advance_pass / finish driven by kw::StreamEngine) and
 /// additionally exposes the per-update methods (pass1_update / pass2_update /
 /// finish_pass1) because the KP12 sparsifier feeds many instances
 /// update-level filtered substreams of the *same* two physical passes.
+/// For batched fan-in there are staged entry points (pass1_ingest /
+/// pass2_ingest) consuming caller-staged batches with deduplicated
+/// coordinates: hash levels ride one eval_many sweep per batch, fingerprint
+/// terms and row buckets are computed once per unique coordinate per page,
+/// and pass 2 reads precomputed per-vertex Y_j levels and a terminal-member
+/// bit matrix instead of hashing per update.  absorb() stages internally,
+/// so engine-driven ingestion takes the batched path automatically.
 /// run() is the single-instance convenience, routed through
 /// StreamEngine::run_single so the two-pass contract is enforced in one
 /// place.  clone_empty()/merge() shard either pass by sketch linearity.
@@ -30,6 +50,7 @@
 #ifndef KW_CORE_TWO_PASS_SPANNER_H
 #define KW_CORE_TWO_PASS_SPANNER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -72,6 +93,34 @@ struct TwoPassResult {
   std::size_t touched_bytes = 0;  // memory actually held by this simulator
 };
 
+// One staged stream update for the batched ingest entry points: the caller
+// computed the pair id once and deduplicated coordinates into slots (every
+// entry's `slot` indexes the ucoords span handed to pass1_ingest), so a fleet
+// of instances fed filtered substreams of one batch -- the KP12 shape --
+// stages the batch ONCE and shares the staging across all of them.
+struct SpannerBatchEntry {
+  std::uint64_t coord = 0;  // pair_id(u, v, n)
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  std::uint32_t slot = 0;  // index into the unique-coordinate array
+  std::int32_t delta = 0;
+};
+
+// In-place coordinate dedup WITH delta aggregation over a staged batch
+// (open addressing over the caller's reusable scratch): a pair id
+// determines its endpoints, so duplicate coordinates -- a churn stream's
+// deletion reuses its insertion's pair id -- collapse into one entry with
+// the summed delta, linearity-exact for every downstream cell.  Net-zero
+// survivors are KEPT (a zero-delta entry still materializes the same
+// pass-1 sketches the per-update path would, so state stays bit-identical).
+// Afterwards entries.size() == ucoords.size() and entry i IS unique
+// coordinate slot i.  Shared by TwoPassSpanner::absorb and
+// Kp12Sparsifier::absorb.
+void aggregate_batch_entries(std::vector<SpannerBatchEntry>& entries,
+                             std::vector<std::uint64_t>& ucoords,
+                             std::vector<std::uint64_t>& slot_table,
+                             std::vector<std::uint32_t>& slot_ids);
+
 class TwoPassSpanner final : public StreamProcessor {
  public:
   TwoPassSpanner(Vertex n, const TwoPassConfig& config);
@@ -101,8 +150,29 @@ class TwoPassSpanner final : public StreamProcessor {
   void finish_pass1();  // builds the cluster forest, prepares pass 2
   void pass2_update(const EdgeUpdate& update);
 
+  // --- staged batched interface (the fused sparsifier hot path) ---
+  // Entries must have u != v, endpoints < n, coord == pair_id(u, v, n) and
+  // slot < ucoords.size() with ucoords[slot] == coord; ucoords must be
+  // duplicate-free.  Cells after pass1_ingest are bit-identical to the same
+  // entries fed through pass1_update one at a time (adds commute; hashing is
+  // eval_many, terms ride shared power tables -- all exact).
+  void pass1_ingest(std::span<const SpannerBatchEntry> entries,
+                    std::span<const std::uint64_t> ucoords);
+  // Same contract for pass 2 (no coordinate staging needed: pass 2 hashes
+  // vertices, whose levels are precomputed at finish_pass1()).
+  void pass2_ingest(std::span<const SpannerBatchEntry> entries);
+
   // Valid after finish_pass1().
   [[nodiscard]] const ClusterForest& forest() const;
+
+  // Pass-1 page cells for (r, j) -- empty span if never touched.  Golden
+  // tests rebuild the scalar SparseRecoverySketch reference (config seed
+  // chain: derive_seed(seed, 0x1000 + r * 1024 + j)) and compare cells.
+  [[nodiscard]] std::span<const OneSparseCell> pass1_cells(unsigned r,
+                                                           std::size_t j) const;
+  [[nodiscard]] std::size_t edge_sampling_levels() const noexcept {
+    return edge_levels_;
+  }
 
   // --- convenience: exactly two pass-counted replays via StreamEngine ---
   [[nodiscard]] TwoPassResult run(const DynamicStream& stream);
@@ -111,11 +181,31 @@ class TwoPassSpanner final : public StreamProcessor {
   enum class Phase { kPass1, kBetween, kPass2, kDone };
   struct EmptyCloneTag {};
 
+  // One (r, j) pass-1 page: the S^r_j(u) bank over ALL vertices.  geometry
+  // (hashes + basis, built once per page) and cells (n * cell_count,
+  // vertex-major) materialize lazily so an instance that never sees an
+  // update -- or a deep KP12 subsample level -- costs nothing.  touched
+  // mirrors the historical map's key set ((u, r, j) materialized iff an
+  // update landed there), keeping diagnostics and connector-scan semantics
+  // bit-compatible.
+  struct Pass1Page {
+    std::optional<SparseRecoverySketch> geometry;  // state unused; randomness
+    std::vector<OneSparseCell> cells;              // n * cell_count or empty
+    std::vector<char> touched;                     // per-vertex, or empty
+  };
+
+  // Staged per-(slot, j) scatter operands for the current r: the basis
+  // powers of coord + 1 (delta applied at scatter time) and the row cell
+  // indices within a vertex's page stripe.
+  struct PageRec {
+    std::uint64_t p1 = 0, p2 = 0;
+    std::uint32_t cell[4] = {0, 0, 0, 0};
+  };
+  static constexpr std::size_t kMaxFastRows = 4;
+
   // clone_empty(): same config/randomness/control state, zero sketch state.
   TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag);
 
-  [[nodiscard]] std::uint64_t sketch_key(Vertex v, unsigned r,
-                                         std::size_t j) const;
   [[nodiscard]] SparseRecoveryConfig pass1_config(unsigned r,
                                                   std::size_t j) const;
   [[nodiscard]] LinearKvConfig table_config(unsigned level,
@@ -124,6 +214,29 @@ class TwoPassSpanner final : public StreamProcessor {
   // Levels of E_j that a pair survives (nested subsampling).
   [[nodiscard]] std::size_t edge_level_of(std::uint64_t pair) const;
   [[nodiscard]] std::size_t y_level_of(Vertex v) const;
+
+  [[nodiscard]] Pass1Page& page_at(unsigned r, std::size_t j) {
+    return pass1_pages_[(r - 1) * edge_levels_ + j];
+  }
+  void ensure_page_geometry(Pass1Page& page, unsigned r, std::size_t j);
+  // Materializes cells/touched and registers the (keeper, page) touch in the
+  // diagnostics, mirroring the historical map's lazy emplace.
+  [[nodiscard]] OneSparseCell* page_stripe(Pass1Page& page, Vertex keeper);
+  void validate_entries(std::span<const SpannerBatchEntry> entries) const;
+  // Is v a member of terminal tree `term`?  CSR probe over the sorted
+  // member list (short lists scan linearly, longer ones binary-search).
+  [[nodiscard]] bool is_member(std::size_t term, Vertex v) const {
+    const std::uint32_t begin = member_offsets_[term];
+    const std::uint32_t end = member_offsets_[term + 1];
+    if (end - begin <= 8) {
+      for (std::uint32_t i = begin; i < end; ++i) {
+        if (members_csr_[i] == v) return true;
+      }
+      return false;
+    }
+    return std::binary_search(members_csr_.begin() + begin,
+                              members_csr_.begin() + end, v);
+  }
 
   [[nodiscard]] std::optional<Connector> sketch_connector(
       unsigned level, const std::vector<Vertex>& members);
@@ -140,14 +253,23 @@ class TwoPassSpanner final : public StreamProcessor {
   KWiseHash y_hash_;
   std::vector<std::uint64_t> y_thresholds_;  // survive j iff hash < thresh[j]
 
-  // Pass 1: lazily materialised S^r_j(u); absent means identically zero.
-  std::unordered_map<std::uint64_t, SparseRecoverySketch> pass1_sketches_;
+  // Pass 1: (k-1) * edge_levels_ pages (see Pass1Page).
+  std::vector<Pass1Page> pass1_pages_;
+  std::size_t pass1_cell_count_ = 0;  // rows * buckets per (u, r, j) sketch
+  std::size_t coord_bytes_ = 1;       // radix-256 digits covering pair ids
 
   // Between passes.
   std::optional<ClusterForest> forest_;
   std::vector<CopyRef> terminals_;
   std::vector<std::uint32_t> terminal_of_vertex_;  // index into terminals_
-  std::vector<std::unordered_set<Vertex>> terminal_member_sets_;
+  // Terminal membership as a CSR of sorted member lists (O(n * k) total --
+  // each vertex appears in at most one tree per level, so a bit MATRIX
+  // would be Theta(terminals * n) for nothing) and the per-vertex Y_j
+  // level cap, both precomputed at finish_pass1() so pass 2 does no
+  // per-update hashing or hash-set probing.
+  std::vector<std::uint32_t> member_offsets_;  // terminals + 1 fences
+  std::vector<Vertex> members_csr_;            // concatenated sorted lists
+  std::vector<std::uint8_t> y_caps_;
 
   // Pass 2: H^u_j tables, one vector per terminal copy.
   std::vector<std::vector<LinearKeyValueSketch>> tables_;
@@ -156,6 +278,23 @@ class TwoPassSpanner final : public StreamProcessor {
   std::size_t pass1_touched_bytes_ = 0;  // recorded before pass-1 teardown
   std::map<std::pair<Vertex, Vertex>, double> augmented_;  // dedup
   std::optional<TwoPassResult> result_;  // set by finish()
+
+  // ---- staged-ingest scratch (reused across batches; never cloned) ----
+  std::vector<std::uint64_t> scratch_hash_;   // per-slot / per-list hashes
+  std::vector<std::uint8_t> scratch_jmax_;    // per-slot deepest E_j level
+  std::vector<std::uint8_t> qual_mask_;       // per-slot C_r qualification
+  std::vector<std::uint32_t> active_slots_;   // slots qualifying somewhere
+  std::vector<std::uint32_t> block_off_;      // per-slot record block offset
+  std::vector<std::uint32_t> level_slots_;    // per-level slot lists (flat)
+  std::vector<std::uint32_t> level_end_;      // fences into level_slots_
+  std::vector<std::uint64_t> gather_coords_;  // per-page gathered coords
+  std::vector<PageRec> recs_;                 // current r's scatter operands
+  std::vector<OneSparseCell> acc_;            // connector-scan accumulator
+  // absorb()'s internal staging (pair ids + coordinate dedup).
+  std::vector<SpannerBatchEntry> staged_entries_;
+  std::vector<std::uint64_t> staged_ucoords_;
+  std::vector<std::uint64_t> slot_table_;
+  std::vector<std::uint32_t> slot_ids_;
 };
 
 // Remark 14: weighted graphs via geometric weight classes.  Splits the

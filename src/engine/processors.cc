@@ -141,6 +141,19 @@ DemuxProcessor::DemuxProcessor(
 }
 
 void DemuxProcessor::absorb(std::span<const EdgeUpdate> batch) {
+  if (lanes_.size() == 1) {
+    // Single-lane demux (e.g. a weighted run whose weights all land in one
+    // class): when no update is dropped (selector index >= lane count drops,
+    // per the class contract), hand the batch through without the buffering
+    // copy -- the lane's batched ingest sees the full span either way.
+    std::size_t keep = 0;
+    while (keep < batch.size() && selector_(batch[keep]) == 0) ++keep;
+    if (keep == batch.size()) {
+      lanes_.front()->absorb(batch);
+      return;
+    }
+    // Some update routes off-lane: fall through to the exact buffered path.
+  }
   for (auto& buffer : buffers_) buffer.clear();
   for (const EdgeUpdate& u : batch) {
     const std::size_t lane = selector_(u);

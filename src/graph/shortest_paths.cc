@@ -7,7 +7,14 @@
 namespace kw {
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
-  std::vector<std::uint32_t> dist(g.n(), kUnreachableHops);
+  std::vector<std::uint32_t> dist;
+  bfs_distances_into(g, source, dist);
+  return dist;
+}
+
+void bfs_distances_into(const Graph& g, Vertex source,
+                        std::vector<std::uint32_t>& dist) {
+  dist.assign(g.n(), kUnreachableHops);
   std::vector<Vertex> frontier{source};
   dist[source] = 0;
   std::uint32_t level = 0;
@@ -25,7 +32,6 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
     }
     frontier.swap(next);
   }
-  return dist;
 }
 
 std::vector<double> dijkstra_distances(const Graph& g, Vertex source) {

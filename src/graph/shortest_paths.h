@@ -24,6 +24,12 @@ inline constexpr double kUnreachableDist =
 [[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
                                                        Vertex source);
 
+// bfs_distances into a caller-owned buffer (resized/overwritten to g.n()):
+// callers that bound their cache (e.g. the KP12 SpannerOracle) recycle one
+// buffer through evictions instead of allocating per source.
+void bfs_distances_into(const Graph& g, Vertex source,
+                        std::vector<std::uint32_t>& dist);
+
 // Weighted single-source Dijkstra distances; kUnreachableDist if unreachable.
 // All edge weights must be nonnegative.
 [[nodiscard]] std::vector<double> dijkstra_distances(const Graph& g,

@@ -6,25 +6,46 @@
 
 namespace kw {
 
-FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
+FingerprintBasis::FingerprintBasis(std::uint64_t seed, bool full_tables) {
   std::uint64_t r1 = field_reduce(derive_seed(seed, 0xf1));
   std::uint64_t r2 = field_reduce(derive_seed(seed, 0xf2));
   if (r1 == 0) r1 = 3;
   if (r2 == 0) r2 = 5;
-  auto tables = std::make_shared<Tables>();
-  tables->sq1[0] = r1;
-  tables->sq2[0] = r2;
-  for (std::size_t i = 1; i < kPowBits; ++i) {
-    tables->sq1[i] = field_mul(tables->sq1[i - 1], tables->sq1[i - 1]);
-    tables->sq2[i] = field_mul(tables->sq2[i - 1], tables->sq2[i - 1]);
+  // Full basis: squares and radix tables in ONE allocation (the batched
+  // power-walk kernels stream both), aliased through the two shared_ptrs.
+  // Compact basis: the 0.7 KiB squares alone.
+  struct FullTables {
+    SquareTables squares;
+    RadixTables radix;
+  };
+  std::shared_ptr<FullTables> full;
+  SquareTables* squares;
+  if (full_tables) {
+    full = std::make_shared<FullTables>();
+    squares = &full->squares;
+  } else {
+    auto compact = std::make_shared<SquareTables>();
+    squares = compact.get();
+    squares_ = std::move(compact);
   }
+  squares->sq1[0] = r1;
+  squares->sq2[0] = r2;
+  for (std::size_t i = 1; i < kPowBits; ++i) {
+    squares->sq1[i] = field_mul(squares->sq1[i - 1], squares->sq1[i - 1]);
+    squares->sq2[i] = field_mul(squares->sq2[i - 1], squares->sq2[i - 1]);
+  }
+  if (!full_tables) return;  // compact basis: square-table fallbacks only
+
+  auto* tables = &full->radix;
+  const auto& sq1 = squares->sq1;
+  const auto& sq2 = squares->sq2;
   // Radix-16 tables for pow_pair: nib[i][d] = r^(d * 16^i), built by
   // repeated multiplication with nib[i][1] = r^(2^(4i)) = sq[4i].
   for (std::size_t i = 0; i < kPowNibbles; ++i) {
     tables->nib1[i][0] = 1;
     tables->nib2[i][0] = 1;
-    tables->nib1[i][1] = tables->sq1[4 * i];
-    tables->nib2[i][1] = tables->sq2[4 * i];
+    tables->nib1[i][1] = sq1[4 * i];
+    tables->nib2[i][1] = sq2[4 * i];
     for (std::size_t d = 2; d < 16; ++d) {
       tables->nib1[i][d] = field_mul(tables->nib1[i][d - 1], tables->nib1[i][1]);
       tables->nib2[i][d] = field_mul(tables->nib2[i][d - 1], tables->nib2[i][1]);
@@ -34,8 +55,8 @@ FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
   for (std::size_t i = 0; i < kPowBytes; ++i) {
     tables->byte1[i][0] = 1;
     tables->byte2[i][0] = 1;
-    tables->byte1[i][1] = tables->sq1[8 * i];
-    tables->byte2[i][1] = tables->sq2[8 * i];
+    tables->byte1[i][1] = sq1[8 * i];
+    tables->byte2[i][1] = sq2[8 * i];
     for (std::size_t d = 2; d < 256; ++d) {
       tables->byte1[i][d] =
           field_mul(tables->byte1[i][d - 1], tables->byte1[i][1]);
@@ -43,7 +64,15 @@ FingerprintBasis::FingerprintBasis(std::uint64_t seed) {
           field_mul(tables->byte2[i][d - 1], tables->byte2[i][1]);
     }
   }
-  tables_ = std::move(tables);
+  squares_ = std::shared_ptr<const SquareTables>(full, &full->squares);
+  radix_ = std::shared_ptr<const RadixTables>(full, &full->radix);
+}
+
+void FingerprintBasis::pow_pair_fallback(std::uint64_t exp,
+                                         std::uint64_t* out1,
+                                         std::uint64_t* out2) const noexcept {
+  *out1 = pow_r1(exp);
+  *out2 = pow_r2(exp);
 }
 
 CellState classify_cell(const OneSparseCell& cell, std::uint64_t max_coord,

@@ -31,13 +31,22 @@ namespace kw {
 // behind a shared_ptr so COPIES of a basis share one table: per-vertex
 // sketch arrays built by copying a prototype (the emplacement pattern in
 // additive_spanner/multipass_spanner) cost 16 bytes per copy, not ~700.
+//
+// The radix-16/radix-256 walk tables behind pow_pair()/pow_pair_bytes() are
+// a batched-ingest accelerator: ~27 KiB and ~2000 field multiplies per
+// basis.  Sketches that are instantiated by the tens of thousands with
+// DISTINCT seeds (the KP12 fleet's per-(terminal, level) kv tables -- whose
+// bases can never be shared because the seeds differ) opt out via
+// full_tables = false: pow_pair*() then falls back to the square tables
+// with bit-identical results, construction drops to the 88 squarings, and
+// the basis costs ~0.7 KiB instead of ~28 KiB.
 class FingerprintBasis {
  public:
   static constexpr std::size_t kPowBits = 44;
   static constexpr std::size_t kPowNibbles = (kPowBits + 3) / 4;
   static constexpr std::size_t kPowBytes = (kPowBits + 7) / 8;
 
-  explicit FingerprintBasis(std::uint64_t seed);
+  explicit FingerprintBasis(std::uint64_t seed, bool full_tables = true);
   FingerprintBasis() : FingerprintBasis(0) {}
 
   // Contribution of (coordinate, signed delta) to each fingerprint.
@@ -52,28 +61,29 @@ class FingerprintBasis {
 
   // r1^exp / r2^exp from the precomputed square tables.
   [[nodiscard]] std::uint64_t pow_r1(std::uint64_t exp) const noexcept {
-    return pow_from(tables_->sq1, exp);
+    return pow_from(squares_->sq1, exp);
   }
   [[nodiscard]] std::uint64_t pow_r2(std::uint64_t exp) const noexcept {
-    return pow_from(tables_->sq2, exp);
+    return pow_from(squares_->sq2, exp);
   }
 
   // Both points' powers at once from the radix-16 tables: one multiply per
   // nonzero exponent nibble instead of one per set bit, with the r1 and r2
   // chains interleaved so their multiply latencies overlap.  Values are
   // bit-identical to pow_r1/pow_r2 (field_mul is exact and associative).
-  // This is the staged-term fast path of BankGroup::ingest_pairs.
+  // This is the staged-term fast path of BankGroup::ingest_pairs.  A
+  // compact basis (full_tables = false) falls back to the square tables,
+  // same values.
   void pow_pair(std::uint64_t exp, std::uint64_t* out1,
                 std::uint64_t* out2) const noexcept {
-    if (exp >> kPowBits) {  // off every coordinate space in the library
-      *out1 = pow_r1(exp);
-      *out2 = pow_r2(exp);
+    if (radix_ == nullptr || (exp >> kPowBits) != 0) [[unlikely]] {
+      pow_pair_fallback(exp, out1, out2);
       return;
     }
     std::uint64_t r1 = 1;
     std::uint64_t r2 = 1;
-    const auto& nib1 = tables_->nib1;
-    const auto& nib2 = tables_->nib2;
+    const auto& nib1 = radix_->nib1;
+    const auto& nib2 = radix_->nib2;
     for (std::size_t i = 0; exp != 0; ++i, exp >>= 4) {
       const std::size_t d = exp & 15;
       if (d != 0) {
@@ -92,11 +102,16 @@ class FingerprintBasis {
   // pair ids of one vertex set) runs branch-predictor-clean, one multiply
   // per digit with the r1/r2 chains interleaved, and one basis's byte
   // tables (24 KiB) fit L1 for the whole sweep.  Bit-identical to
-  // pow_r1/pow_r2 (field_mul is exact and associative).
+  // pow_r1/pow_r2 (field_mul is exact and associative); a compact basis
+  // falls back to them.
   void pow_pair_bytes(std::uint64_t exp, std::size_t bytes,
                       std::uint64_t* out1, std::uint64_t* out2) const noexcept {
-    const auto& byte1 = tables_->byte1;
-    const auto& byte2 = tables_->byte2;
+    if (radix_ == nullptr) [[unlikely]] {
+      pow_pair_fallback(exp, out1, out2);
+      return;
+    }
+    const auto& byte1 = radix_->byte1;
+    const auto& byte2 = radix_->byte2;
     std::uint64_t r1 = byte1[0][exp & 255];
     std::uint64_t r2 = byte2[0][exp & 255];
     for (std::size_t i = 1; i < bytes; ++i) {
@@ -109,13 +124,25 @@ class FingerprintBasis {
     *out2 = r2;
   }
 
-  [[nodiscard]] std::uint64_t r1() const noexcept { return tables_->sq1[0]; }
-  [[nodiscard]] std::uint64_t r2() const noexcept { return tables_->sq2[0]; }
+  [[nodiscard]] std::uint64_t r1() const noexcept { return squares_->sq1[0]; }
+  [[nodiscard]] std::uint64_t r2() const noexcept { return squares_->sq2[0]; }
+  [[nodiscard]] bool has_radix_tables() const noexcept {
+    return radix_ != nullptr;
+  }
 
  private:
-  struct Tables {
+  // Out-of-line square-table fallback for the pow_pair* entry points: kept
+  // OUT of the inline bodies so their hot radix loops stay small enough to
+  // inline into the batched kernels (the fallback only runs for compact
+  // bases and off-range exponents).
+  void pow_pair_fallback(std::uint64_t exp, std::uint64_t* out1,
+                         std::uint64_t* out2) const noexcept;
+
+  struct SquareTables {
     std::uint64_t sq1[kPowBits];  // sq1[i] = r1^(2^i)
     std::uint64_t sq2[kPowBits];  // sq2[i] = r2^(2^i)
+  };
+  struct RadixTables {
     std::uint64_t nib1[kPowNibbles][16];  // nib1[i][d] = r1^(d * 16^i)
     std::uint64_t nib2[kPowNibbles][16];  // nib2[i][d] = r2^(d * 16^i)
     std::uint64_t byte1[kPowBytes][256];  // byte1[i][d] = r1^(d * 256^i)
@@ -139,7 +166,9 @@ class FingerprintBasis {
     return result;
   }
 
-  std::shared_ptr<const Tables> tables_;  // shared by copies of this basis
+  // Shared by copies of this basis.
+  std::shared_ptr<const SquareTables> squares_;
+  std::shared_ptr<const RadixTables> radix_;  // null for a compact basis
 };
 
 // Linear one-sparse detector: the classic (count, coordinate-weighted sum,
@@ -158,6 +187,19 @@ struct OneSparseCell {
     coord_sum += static_cast<std::uint64_t>(delta) * coord;
     fp1 = field_add(fp1, basis.term1(coord, delta));
     fp2 = field_add(fp2, basis.term2(coord, delta));
+  }
+
+  // add() with the fingerprint terms precomputed by the caller: t1/t2 must
+  // equal basis.term1/term2(coord, delta).  This is the staged-ingest fast
+  // path -- one term computation serves every cell (all rows, all tables)
+  // the same (coord, delta) lands in, where add() would recompute the power
+  // walk per cell.
+  void add_term(std::uint64_t coord, std::int64_t delta, std::uint64_t t1,
+                std::uint64_t t2) noexcept {
+    count += delta;
+    coord_sum += static_cast<std::uint64_t>(delta) * coord;
+    fp1 = field_add(fp1, t1);
+    fp2 = field_add(fp2, t2);
   }
 
   void merge(const OneSparseCell& other, std::int64_t sign) noexcept {

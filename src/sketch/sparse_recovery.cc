@@ -10,7 +10,7 @@ namespace kw {
 SparseRecoverySketch::SparseRecoverySketch(const SparseRecoveryConfig& config)
     : config_(config),
       buckets_per_row_(2 * std::max<std::size_t>(config.budget, 1)),
-      basis_(derive_seed(config.seed, 0xb0)),
+      basis_(derive_seed(config.seed, 0xb0), config.full_pow_tables),
       row_hashes_(config.rows, /*independence=*/4,
                   derive_seed(config.seed, 0xa0)) {
   if (config.rows == 0) throw std::invalid_argument("rows must be positive");

@@ -34,6 +34,12 @@ struct SparseRecoveryConfig {
   std::size_t budget = 8;       // B: recover up to B nonzeros
   std::size_t rows = 4;         // independent hash rows
   std::uint64_t seed = 1;
+  // Build the basis's radix walk tables (~28 KiB, ~2000 multiplies): worth
+  // it only for geometries whose pow_pair_bytes sits on a batched hot path
+  // (the two-pass spanner's pass-1 pages).  Mass-instantiated sketches --
+  // per-entry payload geometries, per-vertex samplers -- keep the compact
+  // basis; every pow falls back to the square tables, bit-identically.
+  bool full_pow_tables = false;
 };
 
 class SparseRecoverySketch {
@@ -64,6 +70,18 @@ class SparseRecoverySketch {
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return config_.rows * buckets_per_row_;
   }
+  [[nodiscard]] std::size_t rows() const noexcept { return config_.rows; }
+  [[nodiscard]] std::size_t buckets_per_row() const noexcept {
+    return buckets_per_row_;
+  }
+  // Row hash for batched bucket computation (eval_many + the same Lemire
+  // reduction bucket() applies); cell_index() is the scalar equivalent.
+  [[nodiscard]] const KWiseHash& row_hash(std::size_t row) const {
+    return row_hashes_[row];
+  }
+  // Flat cell index of (row, coord): row * buckets_per_row() + bucket.
+  [[nodiscard]] std::size_t cell_index(std::size_t row,
+                                       std::uint64_t coord) const;
   // Applies (coord, delta) to an external state array.
   void update_state(std::span<OneSparseCell> cells, std::uint64_t coord,
                     std::int64_t delta) const;
@@ -77,9 +95,6 @@ class SparseRecoverySketch {
   }
 
  private:
-  [[nodiscard]] std::size_t cell_index(std::size_t row,
-                                       std::uint64_t coord) const;
-
   SparseRecoveryConfig config_;
   std::size_t buckets_per_row_;
   FingerprintBasis basis_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace kw {
@@ -16,13 +17,36 @@ WeightClassPartition::WeightClassPartition(double wmin, double wmax,
   log_base_ = std::log1p(eps);
   const double span = std::log(wmax / wmin) / log_base_;
   num_classes_ = static_cast<std::size_t>(std::floor(span)) + 1;
+
+  // Calibrate the class boundaries against the defining formula: start at
+  // the analytic edge wmin * (1+eps)^c and nextafter-walk (a few ulps at
+  // most) until boundaries_[c-1] is the exact smallest double the formula
+  // places in class >= c.  The table search in class_of() is then equal to
+  // the formula for EVERY double, with no log() on the per-update path.
+  boundaries_.reserve(num_classes_ > 0 ? num_classes_ - 1 : 0);
+  for (std::size_t c = 1; c < num_classes_; ++c) {
+    double b = wmin_ * std::exp(log_base_ * static_cast<double>(c));
+    while (b > wmin_ && class_of_formula(std::nextafter(b, 0.0)) >= c) {
+      b = std::nextafter(b, 0.0);
+    }
+    while (class_of_formula(b) < c) {
+      b = std::nextafter(b, std::numeric_limits<double>::infinity());
+    }
+    boundaries_.push_back(b);
+  }
 }
 
-std::size_t WeightClassPartition::class_of(double w) const {
+std::size_t WeightClassPartition::class_of_formula(double w) const {
   if (w <= wmin_) return 0;
   const auto c =
       static_cast<std::size_t>(std::floor(std::log(w / wmin_) / log_base_));
   return std::min(c, num_classes_ - 1);
+}
+
+std::size_t WeightClassPartition::class_of(double w) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), w) -
+      boundaries_.begin());
 }
 
 double WeightClassPartition::representative(std::size_t c) const {

@@ -4,6 +4,14 @@
 // nearest power of (1+eps), run the unweighted construction per class, take
 // the union.  Cost: a factor O(log_{1+eps}(wmax/wmin)) in space; stretch
 // grows by at most (1+eps).
+//
+// class_of() sits on the demux hot path (it classifies EVERY update of a
+// weighted run, twice for two-pass algorithms), so classification uses a
+// precomputed boundary table searched with a handful of compares instead of
+// evaluating log() per update.  The boundaries are calibrated at
+// construction (nextafter walk) to agree with the defining formula
+// floor(log(w/wmin) / log(1+eps)) for EVERY double w -- pinned in
+// tests/test_weight_classes.cc.
 #ifndef KW_STREAM_WEIGHT_CLASSES_H
 #define KW_STREAM_WEIGHT_CLASSES_H
 
@@ -24,7 +32,8 @@ class WeightClassPartition {
     return num_classes_;
   }
 
-  // Class of weight w (clamped into range).
+  // Class of weight w (clamped into range).  Boundary-table search,
+  // everywhere equal to the log-formula classification.
   [[nodiscard]] std::size_t class_of(double w) const;
 
   // Representative (lower edge) weight of a class.
@@ -36,9 +45,14 @@ class WeightClassPartition {
       const DynamicStream& stream) const;
 
  private:
+  [[nodiscard]] std::size_t class_of_formula(double w) const;
+
   double wmin_;
   double log_base_;
   std::size_t num_classes_;
+  // boundaries_[i] = smallest double w with class_of_formula(w) >= i + 1;
+  // class_of(w) = #(boundaries_ <= w).
+  std::vector<double> boundaries_;
 };
 
 }  // namespace kw

@@ -12,6 +12,38 @@ TEST(FingerprintBasis, NonDegenerate) {
   EXPECT_NE(basis.r1(), basis.r2());
 }
 
+TEST(FingerprintBasis, CompactBasisMatchesFullBitForBit) {
+  // A compact basis (no radix walk tables) must produce the same powers and
+  // terms as the full one through every entry point -- the fallbacks route
+  // through the square tables, which both variants share.
+  const FingerprintBasis full(99, /*full_tables=*/true);
+  const FingerprintBasis compact(99, /*full_tables=*/false);
+  EXPECT_TRUE(full.has_radix_tables());
+  EXPECT_FALSE(compact.has_radix_tables());
+  EXPECT_EQ(full.r1(), compact.r1());
+  EXPECT_EQ(full.r2(), compact.r2());
+  for (std::uint64_t exp :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{97},
+        std::uint64_t{255}, std::uint64_t{256}, std::uint64_t{65537},
+        (std::uint64_t{1} << 42) - 3, (std::uint64_t{1} << 50) + 11}) {
+    EXPECT_EQ(full.pow_r1(exp), compact.pow_r1(exp)) << exp;
+    std::uint64_t f1 = 0, f2 = 0, c1 = 0, c2 = 0;
+    full.pow_pair(exp, &f1, &f2);
+    compact.pow_pair(exp, &c1, &c2);
+    EXPECT_EQ(f1, c1) << exp;
+    EXPECT_EQ(f2, c2) << exp;
+    if (exp < (std::uint64_t{1} << 24)) {
+      full.pow_pair_bytes(exp, 3, &f1, &f2);
+      compact.pow_pair_bytes(exp, 3, &c1, &c2);
+      EXPECT_EQ(f1, c1) << exp;
+      EXPECT_EQ(f2, c2) << exp;
+      EXPECT_EQ(f1, full.pow_r1(exp)) << exp;
+    }
+    EXPECT_EQ(full.term1(exp, -5), compact.term1(exp, -5)) << exp;
+    EXPECT_EQ(full.term2(exp, 7), compact.term2(exp, 7)) << exp;
+  }
+}
+
 TEST(OneSparseCell, ZeroInitially) {
   const OneSparseCell cell;
   EXPECT_TRUE(cell.is_zero());

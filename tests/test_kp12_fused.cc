@@ -1,0 +1,180 @@
+// Golden contract of the PR-5 sparsifier hot path: Kp12Sparsifier::absorb
+// (staged batch, eval_many membership levels, level-sorted prefix dispatch
+// into TwoPassSpanner::pass*_ingest) must be indistinguishable -- result,
+// diagnostics, space accounting -- from the historical per-update fan-out
+// (absorb_scalar), mirroring the PR-4 fused-vs-legacy BankGroup contract.
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kp12_sparsifier.h"
+#include "graph/generators.h"
+#include "stream/dynamic_stream.h"
+#include "stream/weight_classes.h"
+#include "util/random.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] Kp12Config fused_config(std::uint64_t seed) {
+  Kp12Config c;
+  c.k = 2;
+  c.epsilon = 0.5;
+  c.seed = seed;
+  c.j_copies = 4;
+  c.z_samples = 6;
+  c.spanner.pass1_budget = 4;
+  return c;
+}
+
+void expect_results_identical(const Kp12Result& a, const Kp12Result& b) {
+  ASSERT_EQ(a.sparsifier.m(), b.sparsifier.m());
+  for (std::size_t i = 0; i < a.sparsifier.edges().size(); ++i) {
+    EXPECT_EQ(a.sparsifier.edges()[i].u, b.sparsifier.edges()[i].u);
+    EXPECT_EQ(a.sparsifier.edges()[i].v, b.sparsifier.edges()[i].v);
+    EXPECT_DOUBLE_EQ(a.sparsifier.edges()[i].weight,
+                     b.sparsifier.edges()[i].weight);
+  }
+  EXPECT_EQ(a.diagnostics.oracle_instances, b.diagnostics.oracle_instances);
+  EXPECT_EQ(a.diagnostics.sample_instances, b.diagnostics.sample_instances);
+  EXPECT_EQ(a.diagnostics.edges_weighted, b.diagnostics.edges_weighted);
+  EXPECT_EQ(a.diagnostics.q_queries, b.diagnostics.q_queries);
+  EXPECT_EQ(a.diagnostics.unhealthy_spanners,
+            b.diagnostics.unhealthy_spanners);
+  EXPECT_EQ(a.nominal_bytes, b.nominal_bytes);
+}
+
+// Drives both paths over the same two passes (small batches for the fused
+// side so batch boundaries and staging reuse get exercised) and requires
+// identical results.
+void expect_fused_matches_scalar(Vertex n, const DynamicStream& stream,
+                                 const Kp12Config& config,
+                                 std::size_t batch_size) {
+  const auto& ups = stream.updates();
+  Kp12Sparsifier fused(n, config);
+  Kp12Sparsifier scalar(n, config);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < ups.size(); i += batch_size) {
+      const std::size_t len = std::min(batch_size, ups.size() - i);
+      fused.absorb({ups.data() + i, len});
+    }
+    scalar.absorb_scalar(ups);
+    if (pass == 0) {
+      fused.advance_pass();
+      scalar.advance_pass();
+    }
+  }
+  fused.finish();
+  scalar.finish();
+  const Kp12Result rf = fused.take_result();
+  const Kp12Result rs = scalar.take_result();
+  expect_results_identical(rf, rs);
+  EXPECT_GT(rf.sparsifier.m(), 0u);
+}
+
+TEST(Kp12Fused, MatchesScalarOnInsertOnlyStream) {
+  const Graph g = erdos_renyi_gnm(48, 220, 3);
+  const DynamicStream stream = DynamicStream::from_graph(g, 5);
+  expect_fused_matches_scalar(48, stream, fused_config(7), 64);
+}
+
+TEST(Kp12Fused, MatchesScalarOnChurnStream) {
+  // Deletions reuse their insertions' pair ids: the staging aggregation
+  // cancels them while the scalar path replays them one by one -- state
+  // must still match exactly, including the pass-1 touch accounting for
+  // net-zero pairs.
+  const Graph g = erdos_renyi_gnm(40, 180, 11);
+  const DynamicStream stream = DynamicStream::with_churn(g, 120, 13);
+  expect_fused_matches_scalar(40, stream, fused_config(17), 96);
+}
+
+TEST(Kp12Fused, MatchesScalarOnMultiplicityStream) {
+  const Graph g = erdos_renyi_gnm(32, 140, 19);
+  const DynamicStream stream =
+      DynamicStream::with_multiplicity(g, 3, /*delete_back=*/true, 23);
+  expect_fused_matches_scalar(32, stream, fused_config(29), 48);
+}
+
+TEST(Kp12Fused, BatchBoundariesDoNotMatter) {
+  // One big batch vs many tiny ones: identical (staging is per batch, the
+  // sketch state is linear).
+  const Graph g = erdos_renyi_gnm(36, 160, 31);
+  const DynamicStream stream = DynamicStream::from_graph(g, 37);
+  const Kp12Config config = fused_config(41);
+  const auto& ups = stream.updates();
+
+  Kp12Sparsifier big(36, config);
+  Kp12Sparsifier tiny(36, config);
+  for (int pass = 0; pass < 2; ++pass) {
+    big.absorb(ups);
+    for (std::size_t i = 0; i < ups.size(); i += 7) {
+      tiny.absorb({ups.data() + i, std::min<std::size_t>(7, ups.size() - i)});
+    }
+    if (pass == 0) {
+      big.advance_pass();
+      tiny.advance_pass();
+    }
+  }
+  big.finish();
+  tiny.finish();
+  const Kp12Result rb = big.take_result();
+  const Kp12Result rt = tiny.take_result();
+  expect_results_identical(rb, rt);
+}
+
+TEST(Kp12Fused, WeightedPipelineMatchesPerClassScalarRuns) {
+  // weighted_kp12_sparsify rides the fused absorb behind the weight-class
+  // demux; reconstruct it with per-class scalar runs over split streams and
+  // require the same union.
+  const Graph g =
+      with_geometric_weights(erdos_renyi_gnm(32, 150, 43), 1.0, 8.0, 47);
+  const DynamicStream stream = DynamicStream::from_graph(g, 53);
+  const Kp12Config config = fused_config(59);
+  const double wmin = 1.0;
+  const double wmax = 8.0;
+  const double eps = 1.0;
+
+  const WeightedKp12Result fused =
+      weighted_kp12_sparsify(stream, config, wmin, wmax, eps);
+
+  const WeightClassPartition partition(wmin, wmax, eps);
+  const auto parts = partition.split_stream(stream);
+  Graph expect(stream.n());
+  {
+    std::map<std::pair<Vertex, Vertex>, double> weights;
+    for (std::size_t cls = 0; cls < parts.size(); ++cls) {
+      Kp12Config cc = config;
+      cc.seed = derive_seed(config.seed, 0x8800 + cls);
+      Kp12Sparsifier sparsifier(stream.n(), cc);
+      const auto& ups = parts[cls].updates();
+      for (int pass = 0; pass < 2; ++pass) {
+        sparsifier.absorb_scalar(ups);
+        if (pass == 0) sparsifier.advance_pass();
+      }
+      sparsifier.finish();
+      const Kp12Result r = sparsifier.take_result();
+      const double scale = partition.representative(cls) * (1.0 + eps);
+      for (const auto& e : r.sparsifier.edges()) {
+        weights[{std::min(e.u, e.v), std::max(e.u, e.v)}] +=
+            e.weight * scale;
+      }
+    }
+    for (const auto& [key, w] : weights) {
+      expect.add_edge(key.first, key.second, w);
+    }
+  }
+  ASSERT_EQ(fused.sparsifier.m(), expect.m());
+  for (std::size_t i = 0; i < expect.edges().size(); ++i) {
+    EXPECT_EQ(fused.sparsifier.edges()[i].u, expect.edges()[i].u);
+    EXPECT_EQ(fused.sparsifier.edges()[i].v, expect.edges()[i].v);
+    EXPECT_DOUBLE_EQ(fused.sparsifier.edges()[i].weight,
+                     expect.edges()[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace kw

@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
 #include <tuple>
+#include <vector>
 
+#include "core/cluster_forest.h"
 #include "graph/generators.h"
 #include "graph/shortest_paths.h"
+#include "sketch/sparse_recovery.h"
+#include "util/bit_util.h"
+#include "util/random.h"
 
 namespace kw {
 namespace {
@@ -197,6 +204,172 @@ TEST(TwoPass, StarGraphKeepsAllEdges) {
   TwoPassSpanner spanner(64, make_config(2, 103));
   const TwoPassResult result = spanner.run(stream);
   EXPECT_EQ(result.spanner.m(), g.m());
+}
+
+// ---- fused-vs-scalar golden contract (the PR-5 sparsifier hot path) ------
+
+[[nodiscard]] std::vector<EdgeUpdate> churny_updates(Vertex n,
+                                                     std::uint64_t seed) {
+  const Graph g = erdos_renyi_gnm(n, 6ULL * n, seed);
+  const DynamicStream stream =
+      DynamicStream::with_churn(g, 2ULL * n, seed + 1);
+  return stream.updates();
+}
+
+[[nodiscard]] bool cells_equal(std::span<const OneSparseCell> a,
+                               std::span<const OneSparseCell> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].count != b[i].count || a[i].coord_sum != b[i].coord_sum ||
+        a[i].fp1 != b[i].fp1 || a[i].fp2 != b[i].fp2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TwoPass, BatchedAbsorbCellsMatchPerUpdatePath) {
+  // Pass-1 pages after the batched absorb() (coordinate dedup + delta
+  // aggregation + eval_many staging + grouped scatter) must be
+  // bit-identical to the same updates fed through pass1_update one at a
+  // time, and the final spanners must agree exactly.
+  const Vertex n = 48;
+  const auto updates = churny_updates(n, 211);
+  const TwoPassConfig config = make_config(2, 223);
+
+  TwoPassSpanner batched(n, config);
+  TwoPassSpanner scalar(n, config);
+  batched.absorb(updates);
+  for (const EdgeUpdate& u : updates) scalar.pass1_update(u);
+
+  const std::size_t levels = batched.edge_sampling_levels();
+  for (std::size_t j = 0; j < levels; ++j) {
+    EXPECT_TRUE(cells_equal(batched.pass1_cells(1, j), scalar.pass1_cells(1, j)))
+        << "page (r=1, j=" << j << ") diverged";
+  }
+
+  batched.advance_pass();
+  scalar.advance_pass();
+  batched.absorb(updates);
+  for (const EdgeUpdate& u : updates) scalar.pass2_update(u);
+  batched.finish();
+  scalar.finish();
+  const TwoPassResult rb = batched.take_result();
+  const TwoPassResult rs = scalar.take_result();
+  ASSERT_EQ(rb.spanner.m(), rs.spanner.m());
+  for (std::size_t i = 0; i < rb.spanner.edges().size(); ++i) {
+    EXPECT_EQ(rb.spanner.edges()[i].u, rs.spanner.edges()[i].u);
+    EXPECT_EQ(rb.spanner.edges()[i].v, rs.spanner.edges()[i].v);
+  }
+  EXPECT_EQ(rb.diagnostics.pass1_sketches_touched,
+            rs.diagnostics.pass1_sketches_touched);
+  EXPECT_EQ(rb.diagnostics.pass1_scan_failures,
+            rs.diagnostics.pass1_scan_failures);
+  EXPECT_EQ(rb.nominal_bytes, rs.nominal_bytes);
+  EXPECT_EQ(rb.touched_bytes, rs.touched_bytes);
+}
+
+TEST(TwoPass, Pass1PagesMatchIndependentScalarReference) {
+  // Golden pin of the storage refactor against the historical layout: an
+  // independent reconstruction of the per-(u, r, j) SparseRecoverySketch
+  // semantics -- same derive_seed chain (0x1000 + r * 1024 + j), same
+  // hierarchy, same E_j level hash -- must reproduce the page cells
+  // bit-for-bit.
+  const Vertex n = 40;
+  const unsigned k = 3;
+  const std::uint64_t seed = 307;
+  const auto updates = churny_updates(n, 311);
+
+  TwoPassSpanner spanner(n, make_config(k, seed));
+  spanner.absorb(updates);
+
+  const ClusterHierarchy hierarchy = ClusterHierarchy::sample(n, k, seed);
+  const std::size_t edge_levels = 2 * ceil_log2(std::uint64_t{n}) + 1;
+  const KWiseHash edge_hash(8, derive_seed(seed, 0xe1));
+  for (unsigned r = 1; r < k; ++r) {
+    for (std::size_t j = 0; j < edge_levels; ++j) {
+      SparseRecoveryConfig cfg;
+      cfg.max_coord = num_pairs(n);
+      cfg.budget = TwoPassConfig{}.pass1_budget;
+      cfg.rows = TwoPassConfig{}.pass1_rows;
+      cfg.seed = derive_seed(seed, 0x1000 + r * 1024 + j);
+      const SparseRecoverySketch geometry(cfg);
+      std::vector<OneSparseCell> cells(n * geometry.cell_count());
+      std::vector<char> touched(n, 0);
+      for (const EdgeUpdate& u : updates) {
+        if (u.u == u.v) continue;
+        const std::uint64_t coord = pair_id(u.u, u.v, n);
+        // Historical per-level loop for the deepest surviving E_j level.
+        const std::uint64_t h = edge_hash(coord);
+        std::size_t jmax = 0;
+        while (jmax + 1 < edge_levels && h < (kFieldPrime >> (jmax + 1))) {
+          ++jmax;
+        }
+        if (j > jmax) continue;
+        for (int side = 0; side < 2; ++side) {
+          const Vertex keeper = side == 0 ? u.u : u.v;
+          const Vertex other = side == 0 ? u.v : u.u;
+          if (!hierarchy.contains(r, other)) continue;
+          touched[keeper] = 1;
+          geometry.update_state(
+              {cells.data() + keeper * geometry.cell_count(),
+               geometry.cell_count()},
+              coord, u.delta);
+        }
+      }
+      const auto page = spanner.pass1_cells(r, j);
+      const bool page_touched =
+          std::any_of(touched.begin(), touched.end(),
+                      [](char c) { return c != 0; });
+      if (!page_touched) {
+        // Never-touched pages stay unmaterialized (the historical map had
+        // no keys there).
+        EXPECT_TRUE(page.empty() || cells_equal(page, cells));
+        continue;
+      }
+      ASSERT_EQ(page.size(), cells.size()) << "page (r=" << r << ", j=" << j
+                                           << ") not materialized";
+      EXPECT_TRUE(cells_equal(page, cells))
+          << "page (r=" << r << ", j=" << j << ") diverged from reference";
+    }
+  }
+}
+
+TEST(TwoPass, StagedIngestSharesKp12StagingShape) {
+  // pass1_ingest consumed through the KP12 staging contract (caller-staged
+  // entries + deduplicated coordinate slots) equals absorb() on the raw
+  // updates.
+  const Vertex n = 32;
+  const auto updates = churny_updates(n, 401);
+  const TwoPassConfig config = make_config(2, 409);
+
+  TwoPassSpanner via_absorb(n, config);
+  via_absorb.absorb(updates);
+
+  TwoPassSpanner via_ingest(n, config);
+  std::vector<SpannerBatchEntry> entries;
+  std::vector<std::uint64_t> ucoords;
+  for (const EdgeUpdate& u : updates) {
+    if (u.u == u.v) continue;
+    const std::uint64_t coord = pair_id(u.u, u.v, n);
+    std::size_t slot = ucoords.size();
+    for (std::size_t s = 0; s < ucoords.size(); ++s) {
+      if (ucoords[s] == coord) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == ucoords.size()) ucoords.push_back(coord);
+    entries.push_back({coord, u.u, u.v, static_cast<std::uint32_t>(slot),
+                       u.delta});
+  }
+  via_ingest.pass1_ingest(entries, ucoords);
+
+  for (std::size_t j = 0; j < via_absorb.edge_sampling_levels(); ++j) {
+    EXPECT_TRUE(cells_equal(via_absorb.pass1_cells(1, j),
+                            via_ingest.pass1_cells(1, j)))
+        << "page (r=1, j=" << j << ") diverged";
+  }
 }
 
 }  // namespace

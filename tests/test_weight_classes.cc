@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <tuple>
 
 #include "graph/generators.h"
 
@@ -57,6 +60,45 @@ TEST(WeightClasses, RejectsBadArguments) {
   EXPECT_THROW(WeightClassPartition(0.0, 1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(WeightClassPartition(2.0, 1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(WeightClassPartition(1.0, 2.0, 0.0), std::invalid_argument);
+}
+
+// The defining formula the calibrated boundary table must reproduce for
+// EVERY double (see weight_classes.h): floor(log(w / wmin) / log(1 + eps)),
+// clamped.
+[[nodiscard]] std::size_t formula_class(double w, double wmin, double eps,
+                                        std::size_t num_classes) {
+  if (w <= wmin) return 0;
+  const auto c = static_cast<std::size_t>(
+      std::floor(std::log(w / wmin) / std::log1p(eps)));
+  return std::min(c, num_classes - 1);
+}
+
+TEST(WeightClasses, BoundaryTableMatchesLogFormulaEverywhere) {
+  for (const auto& [wmin, wmax, eps] :
+       {std::tuple{1.0, 16.0, 1.0}, std::tuple{0.25, 300.0, 0.3},
+        std::tuple{3.0, 3000.0, 2.5}, std::tuple{1.0, 1.0, 1.0}}) {
+    const WeightClassPartition p(wmin, wmax, eps);
+    // Random weights over (and past) the range...
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 2000; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double unit = static_cast<double>(state >> 11) / 9007199254740992.0;
+      const double w = wmin * 0.5 + unit * (wmax - wmin * 0.5) * 1.5;
+      EXPECT_EQ(p.class_of(w), formula_class(w, wmin, eps, p.num_classes()))
+          << "w=" << w << " eps=" << eps;
+    }
+    // ...and the ulp neighborhoods of every class edge, where a
+    // miscalibrated table would diverge from the formula.
+    for (std::size_t c = 0; c < p.num_classes(); ++c) {
+      double w = p.representative(c);
+      for (int step = 0; step < 4; ++step) w = std::nextafter(w, 0.0);
+      for (int step = 0; step < 8; ++step) {
+        EXPECT_EQ(p.class_of(w), formula_class(w, wmin, eps, p.num_classes()))
+            << "boundary w=" << w << " class=" << c;
+        w = std::nextafter(w, std::numeric_limits<double>::infinity());
+      }
+    }
+  }
 }
 
 }  // namespace
