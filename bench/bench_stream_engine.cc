@@ -1,14 +1,27 @@
-// StreamEngine ingestion throughput: per-update feeding vs batched feeding
-// vs sharded (threaded) ingestion on churn workloads of two lengths.
+// StreamEngine ingestion throughput: sequential batched feeding vs the
+// concurrent ingest driver at 1/2/4 workers, on a churn workload.
 //
 // The processor under load is the AGM spanning-forest sketch (Theorem 10):
-// a pure linear stage whose per-update cost dominates.  Sharding pays a
-// fixed per-pass cost -- constructing one empty sketch clone per shard and
-// folding the clones back -- so there is a crossover: short streams lose,
-// long streams win.  Both regimes are shown; every sharded row doubles as a
-// correctness check (merged clones must decode the identical forest).
+// a pure linear stage whose per-update cost dominates.  Every threaded row
+// is self-checking -- the merged worker-owned clones must decode the
+// identical spanning forest as sequential ingestion (exact by sketch
+// linearity) -- and the program exits nonzero on any mismatch, so the CI
+// run doubles as a correctness gate.
+//
+// Emits BENCH_stream_engine.json; the committed baselines at the repo root
+// (full + quick) are compared by tools/compare_bench.py in CI, normalized
+// by the forest_ingest_seq row so runner-speed differences cancel and only
+// the threading overhead/scaling ratio is gated.  `--quick` shrinks the
+// workload for CI; `--out PATH` overrides the output path.
+//
+// Scaling expectations: w1 pays the routing + handoff + clone/merge tax
+// with no parallelism (expect a modest slowdown vs seq); w2/w4 recover it
+// and win once the machine actually has that many hardware threads.  The
+// committed baselines record the machine's hardware_concurrency so a
+// single-core baseline is not misread as "threading doesn't help".
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -26,6 +39,20 @@ namespace {
 using namespace kw;
 using namespace kw::bench;
 
+// Best-of-N wall clock, same policy as bench_sketch_hotpath: each
+// measurement re-runs its full ingest kReps times and keeps the minimum.
+constexpr int kReps = 5;
+
+struct Result {
+  std::string name;
+  std::size_t updates = 0;
+  double ms = 0.0;
+  bool ok = false;
+  [[nodiscard]] double per_sec() const {
+    return static_cast<double>(updates) / (ms / 1e3);
+  }
+};
+
 [[nodiscard]] std::vector<std::tuple<Vertex, Vertex>> forest_edges(
     ForestResult result) {
   std::vector<std::tuple<Vertex, Vertex>> edges;
@@ -36,75 +63,124 @@ using namespace kw::bench;
   return edges;
 }
 
-struct Mode {
-  std::string name;
-  std::size_t batch_size;
-  std::size_t shards;
-};
+[[nodiscard]] Result forest_ingest(
+    const std::string& name, const DynamicStream& stream, Vertex n,
+    const AgmConfig& config, std::size_t batch_size, std::size_t workers,
+    const std::vector<std::tuple<Vertex, Vertex>>& reference) {
+  Result r;
+  r.name = name;
+  r.updates = stream.size();
+  r.ms = 1e300;
+  r.ok = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SpanningForestProcessor processor(n, config);
+    StreamEngine engine(StreamEngineOptions{batch_size, workers});
+    engine.attach(processor);
+    Timer timer;
+    const EngineRunStats stats = engine.run(stream);
+    r.ms = std::min(r.ms, timer.millis());
+    const auto edges = forest_edges(processor.take_result());
+    // Exactness gate: merged worker clones decode the same forest as the
+    // sequential reference, every rep, before any number is reported.
+    r.ok = r.ok && stats.updates_per_pass == stream.size() &&
+           (reference.empty() || edges == reference);
+  }
+  return r;
+}
 
-bool run(Table& table, Vertex n, std::size_t churn_per_vertex,
-         const std::string& regime) {
+void write_json(const std::vector<Result>& results, const std::string& path,
+                bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"stream_engine\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
+               quick ? "true" : "false",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"updates\": %zu, \"ms\": %.3f, "
+                 "\"updates_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), r.updates, r.ms, r.per_sec(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_stream_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  banner("StreamEngine ingestion: sequential vs concurrent ingest driver",
+         "Claim: worker-owned shard clones fed through lock-free SPSC rings "
+         "and merged at pass end are EXACT by sketch linearity (every "
+         "threaded row re-decodes the sequential forest), and scale with "
+         "hardware threads once the per-pass clone+merge cost amortizes.");
+
+  // Quick mode trims CI cost but keeps each timed region ~100ms: much
+  // shorter and scheduler noise dominates the regression compare.
+  const Vertex n = quick ? 256 : 512;
+  const std::size_t churn_per_vertex = quick ? 12 : 32;
+  const std::size_t batch = 4096;
+
   const Graph g = erdos_renyi_gnm(n, 8ULL * n, /*seed=*/7);
   const DynamicStream stream = DynamicStream::with_churn(
       g, churn_per_vertex * static_cast<std::size_t>(n), /*seed=*/11);
   AgmConfig config;
   config.seed = 13;
 
-  const std::vector<Mode> modes = {
-      {"per-update", 1, 1},
-      {"batched (4096)", 4096, 1},
-      {"4-shard batched", 4096, 4},
-  };
+  // Sequential reference first: its forest anchors every self-check and its
+  // throughput anchors the CI normalization (compare_bench --normalize-by
+  // forest_ingest_seq).
+  const Result seq = forest_ingest("forest_ingest_seq", stream, n, config,
+                                   batch, /*workers=*/1, {});
+  SpanningForestProcessor ref_processor(n, config);
+  StreamEngine::run_single(ref_processor, stream, batch);
+  const auto reference = forest_edges(ref_processor.take_result());
 
-  std::vector<std::tuple<Vertex, Vertex>> reference;
-  double baseline_ms = 0.0;
-  bool all_ok = true;
-  for (const Mode& mode : modes) {
-    SpanningForestProcessor processor(g.n(), config);
-    StreamEngine engine(StreamEngineOptions{mode.batch_size, mode.shards});
-    engine.attach(processor);
-    Timer timer;
-    const EngineRunStats stats = engine.run(stream);
-    const double ms = timer.millis();
-    const auto edges = forest_edges(processor.take_result());
-    if (reference.empty()) {
-      reference = edges;
-      baseline_ms = ms;
-    }
-    const bool identical = edges == reference;
-    all_ok = all_ok && identical && stats.updates_per_pass == stream.size();
-    table.add_row({regime, mode.name, fmt_int(n), fmt_int(stream.size()),
-                   fmt(ms, 1),
-                   fmt_int(static_cast<std::size_t>(
-                       static_cast<double>(stream.size()) / (ms / 1e3))),
-                   fmt(baseline_ms / ms, 2), identical ? "yes" : "NO",
-                   verdict(identical)});
+  std::vector<Result> results;
+  results.push_back(seq);
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    results.push_back(forest_ingest("forest_ingest_w" +
+                                        std::to_string(workers),
+                                    stream, n, config, batch, workers,
+                                    reference));
   }
-  return all_ok;
-}
 
-}  // namespace
-
-int main() {
-  banner("StreamEngine ingestion throughput (per-update vs batched vs "
-         "sharded)",
-         "Claim: sharded ingestion via clone_empty()/merge() is exact by "
-         "sketch linearity; it pays a fixed per-pass clone+fold cost, so "
-         "throughput wins appear once the stream is long enough to "
-         "amortize it.");
-  Table table({"regime", "mode", "n", "updates", "ingest ms", "updates/sec",
-               "vs per-update", "forest identical", "verdict"});
-  bool ok = true;
-  ok &= run(table, 512, /*churn_per_vertex=*/2, "short stream");
-  ok &= run(table, 512, /*churn_per_vertex=*/32, "long stream");
+  Table table({"measurement", "updates", "ingest ms", "updates/sec",
+               "vs seq", "self-check", "verdict"});
+  bool all_ok = true;
+  const double seq_ms = results.front().ms;
+  for (const Result& r : results) {
+    all_ok = all_ok && r.ok;
+    table.add_row({r.name, fmt_int(r.updates), fmt(r.ms, 1),
+                   fmt_int(static_cast<std::size_t>(r.per_sec())),
+                   fmt(seq_ms / r.ms, 2), r.ok ? "yes" : "NO",
+                   verdict(r.ok)});
+  }
   table.print();
   std::printf(
-      "\nNotes: churn workloads (phantom insert+delete pairs); 'forest "
-      "identical' asserts the merged per-shard clones decode the same "
-      "spanning forest as sequential ingestion.  The short-stream regime "
-      "shows the fixed clone+fold overhead, the long-stream regime its "
-      "amortization; wall-clock wins over per-update ingestion additionally "
-      "require multiple hardware threads (this machine reports %u).\n",
-      std::thread::hardware_concurrency());
-  return ok ? 0 : 1;
+      "\nNotes: churn workload (phantom insert+delete pairs) through the "
+      "AGM spanning-forest sketch; wN = concurrent ingest driver with N "
+      "worker threads (lo-endpoint routing, %zu-update aggregation "
+      "buffers).  w1 isolates the routing+handoff+merge tax; wall-clock "
+      "wins at w2/w4 additionally require that many hardware threads (this "
+      "machine reports %u).\n",
+      batch, std::thread::hardware_concurrency());
+
+  write_json(results, out, quick);
+  return all_ok ? 0 : 1;
 }

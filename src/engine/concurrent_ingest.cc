@@ -1,0 +1,193 @@
+#include "engine/concurrent_ingest.h"
+
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+namespace kw {
+
+ConcurrentIngestDriver::ConcurrentIngestDriver(ConcurrentIngestOptions options)
+    : options_(std::move(options)), jitter_(options_.flush_jitter_seed) {
+  if (options_.workers == 0) {
+    throw std::invalid_argument("ConcurrentIngestDriver: workers must be >= 1");
+  }
+  if (options_.flush_capacity == 0) {
+    throw std::invalid_argument(
+        "ConcurrentIngestDriver: flush_capacity must be >= 1");
+  }
+  if (options_.queue_depth == 0) {
+    throw std::invalid_argument(
+        "ConcurrentIngestDriver: queue_depth must be >= 1");
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(options_));
+  }
+  // Threads start only after the worker array is fully built: each thread
+  // captures a stable Worker& (unique_ptr keeps the address fixed).
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+}
+
+ConcurrentIngestDriver::~ConcurrentIngestDriver() {
+  // Closing the rings drains whatever is still queued (workers discard the
+  // leftovers of an abandoned pass) and terminates every worker loop.
+  for (auto& worker : workers_) worker->inbox.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ConcurrentIngestDriver::worker_loop(Worker& w) {
+  Handoff handoff;
+  while (w.inbox.pop(handoff)) {
+    if (!handoff.updates.empty() && w.error == nullptr) {
+      try {
+        for (auto& shard : w.shards) shard->absorb(handoff.updates);
+      } catch (...) {
+        // Keep consuming so the front-end never blocks on a full ring and
+        // the pass-end barrier still completes; end_pass() rethrows.
+        w.error = std::current_exception();
+        any_error_.store(true, std::memory_order_relaxed);
+      }
+    }
+    const bool pass_end = handoff.pass_end;
+    handoff.updates.clear();
+    // Hand the emptied vector back for reuse; if the freelist is full the
+    // vector is simply dropped (allocation is off the common path only).
+    (void)w.recycled.try_push(handoff.updates);
+    handoff = Handoff{};
+    if (pass_end) {
+      w.passes_done.fetch_add(1, std::memory_order_release);
+      w.passes_done.notify_one();
+    }
+  }
+}
+
+std::size_t ConcurrentIngestDriver::next_threshold() {
+  if (options_.flush_jitter_seed == 0) return options_.flush_capacity;
+  return 1 + static_cast<std::size_t>(
+                 jitter_.next_below(options_.flush_capacity));
+}
+
+void ConcurrentIngestDriver::begin_pass(
+    const std::vector<StreamProcessor*>& processors) {
+  if (in_pass_) {
+    throw std::logic_error(
+        "ConcurrentIngestDriver: begin_pass() during an open pass");
+  }
+  if (processors.empty()) {
+    throw std::logic_error(
+        "ConcurrentIngestDriver: begin_pass() with no processors");
+  }
+  primaries_ = processors;
+  if (options_.router) {
+    router_ = options_.router;
+  } else {
+    // All attached processors ride one partition, so the first one's
+    // affinity hint routes for everybody (any choice is exact; this one is
+    // the locality-preferred one).
+    router_ = [first = processors.front()](const EdgeUpdate& u,
+                                           std::size_t shards) {
+      return first->shard_affinity(u, shards);
+    };
+  }
+  for (auto& worker : workers_) {
+    worker->shards.clear();
+    worker->error = nullptr;
+    for (const StreamProcessor* p : primaries_) {
+      std::unique_ptr<StreamProcessor> clone = p->clone_empty();
+      if (clone == nullptr) {
+        throw std::logic_error(
+            std::string("StreamEngine: sharded ingestion requested but "
+                        "processor ") +
+            typeid(*p).name() +
+            " is not mergeable in its current pass (clone_empty() returned "
+            "nullptr)");
+      }
+      worker->shards.push_back(std::move(clone));
+    }
+    worker->buffer.clear();
+    worker->buffer.reserve(options_.flush_capacity);
+    worker->flush_threshold = next_threshold();
+  }
+  any_error_.store(false, std::memory_order_relaxed);
+  pass_stats_ = ConcurrentIngestStats{};
+  in_pass_ = true;
+  ++passes_begun_;
+}
+
+void ConcurrentIngestDriver::flush(Worker& w, bool pass_end) {
+  Handoff handoff;
+  handoff.updates = std::move(w.buffer);
+  handoff.pass_end = pass_end;
+  if (!handoff.updates.empty()) ++pass_stats_.batches;
+  pass_stats_.backpressure_waits += w.inbox.push(std::move(handoff));
+  if (!w.recycled.try_pop(w.buffer)) w.buffer = std::vector<EdgeUpdate>{};
+  w.buffer.clear();
+  w.buffer.reserve(options_.flush_capacity);
+  w.flush_threshold = next_threshold();
+}
+
+void ConcurrentIngestDriver::push(std::span<const EdgeUpdate> updates) {
+  if (!in_pass_) {
+    throw std::logic_error("ConcurrentIngestDriver: push() outside a pass");
+  }
+  const std::size_t shard_count = workers_.size();
+  for (const EdgeUpdate& u : updates) {
+    const std::size_t shard = router_(u, shard_count);
+    if (shard >= shard_count) {
+      throw std::out_of_range(
+          "ConcurrentIngestDriver: router returned shard " +
+          std::to_string(shard) + " but only " + std::to_string(shard_count) +
+          " workers exist");
+    }
+    Worker& w = *workers_[shard];
+    w.buffer.push_back(u);
+    if (w.buffer.size() >= w.flush_threshold) flush(w, /*pass_end=*/false);
+  }
+  pass_stats_.updates += updates.size();
+}
+
+ConcurrentIngestStats ConcurrentIngestDriver::end_pass() {
+  if (!in_pass_) {
+    throw std::logic_error("ConcurrentIngestDriver: end_pass() outside a pass");
+  }
+  // Remainder flush + pass-end marker for every worker, then the drain
+  // barrier: a worker bumps passes_done only after absorbing (or
+  // discarding) everything up to and including the marker.
+  for (auto& worker : workers_) flush(*worker, /*pass_end=*/true);
+  for (auto& worker : workers_) {
+    const std::uint32_t target = passes_begun_;
+    std::uint32_t done;
+    while ((done = worker->passes_done.load(std::memory_order_acquire)) !=
+           target) {
+      worker->passes_done.wait(done, std::memory_order_acquire);
+    }
+  }
+  in_pass_ = false;
+
+  for (auto& worker : workers_) {
+    if (worker->error) {
+      // Poisoned pass: drop the partial clones everywhere, then surface the
+      // worker's exception on the caller thread.
+      std::exception_ptr error = worker->error;
+      for (auto& wr : workers_) wr->shards.clear();
+      std::rethrow_exception(error);
+    }
+  }
+
+  // Deterministic fold, fixed worker order.  Linearity makes the result
+  // independent of which updates each worker ingested and in what batches.
+  for (auto& worker : workers_) {
+    for (std::size_t i = 0; i < primaries_.size(); ++i) {
+      primaries_[i]->merge(std::move(*worker->shards[i]));
+    }
+    worker->shards.clear();
+  }
+  return pass_stats_;
+}
+
+}  // namespace kw

@@ -184,6 +184,11 @@ std::unique_ptr<StreamProcessor> DemuxProcessor::clone_empty() const {
       new DemuxProcessor(std::move(clones), selector_));
 }
 
+std::size_t DemuxProcessor::shard_affinity(
+    const EdgeUpdate& update, std::size_t shards) const noexcept {
+  return lanes_.front()->shard_affinity(update, shards);
+}
+
 void DemuxProcessor::merge(StreamProcessor&& other) {
   auto& o = merge_cast<DemuxProcessor>(other);
   if (o.lanes_.size() != lanes_.size()) {

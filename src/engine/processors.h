@@ -108,6 +108,12 @@ class DemuxProcessor final : public StreamProcessor {
   [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override;
   void merge(StreamProcessor&& other) override;
 
+  // Routing rides the lanes' preference: a demux is transparent to the
+  // concurrent driver, so the lane processors' locality hint (lo-endpoint
+  // for BankGroup-backed sketches) survives the indirection.
+  [[nodiscard]] std::size_t shard_affinity(
+      const EdgeUpdate& update, std::size_t shards) const noexcept override;
+
  private:
   DemuxProcessor(std::vector<std::unique_ptr<StreamProcessor>> owned,
                  Selector selector);

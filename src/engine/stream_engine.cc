@@ -1,13 +1,8 @@
 #include "engine/stream_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
-#include <typeinfo>
 #include <utility>
 
 namespace kw {
@@ -46,6 +41,19 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
     total_passes = std::max(total_passes, p->passes_required());
   }
 
+  // One persistent driver serves every sharded pass of the run: worker
+  // threads outlive pass boundaries, only the per-pass clones are re-taken.
+  std::unique_ptr<ConcurrentIngestDriver> driver;
+  if (options_.shards > 1) {
+    ConcurrentIngestOptions driver_options;
+    driver_options.workers = options_.shards;
+    driver_options.flush_capacity = options_.batch_size;
+    driver_options.queue_depth = options_.shard_queue_depth;
+    driver_options.router = options_.shard_router;
+    driver_options.flush_jitter_seed = options_.shard_flush_jitter_seed;
+    driver = std::make_unique<ConcurrentIngestDriver>(driver_options);
+  }
+
   EngineRunStats stats;
   stats.shards = options_.shards;
   for (std::size_t pass = 0; pass < total_passes; ++pass) {
@@ -54,11 +62,12 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
       if (pass < p->passes_required()) active.push_back(p);
     }
     source.begin_pass();
-    if (options_.shards > 1) {
-      run_pass_sharded(source, active, stats);
+    if (driver != nullptr) {
+      run_pass_concurrent(source, active, *driver, stats);
     } else {
       run_pass_sequential(source, active, stats);
     }
+    source.end_pass();
     ++stats.passes;
     for (StreamProcessor* p : active) {
       if (pass + 1 == p->passes_required()) {
@@ -124,81 +133,27 @@ void StreamEngine::run_pass_sequential(
   }
 }
 
-void StreamEngine::run_pass_sharded(
+void StreamEngine::run_pass_concurrent(
     StreamSource& source, const std::vector<StreamProcessor*>& active,
-    EngineRunStats& stats) {
-  const std::size_t shards = options_.shards;
-  // Shard 0 ingests into the primary processors; shards 1..k-1 into empty
-  // clones taken at this pass boundary, merged back below.
-  std::vector<std::vector<std::unique_ptr<StreamProcessor>>> clones(
-      shards - 1);
-  for (std::size_t s = 0; s + 1 < shards; ++s) {
-    clones[s].reserve(active.size());
-    for (const StreamProcessor* p : active) {
-      std::unique_ptr<StreamProcessor> clone = p->clone_empty();
-      if (clone == nullptr) {
-        throw std::logic_error(
-            std::string("StreamEngine: sharded ingestion requested but "
-                        "processor ") +
-            typeid(*p).name() +
-            " is not mergeable in its current pass (clone_empty() returned "
-            "nullptr)");
-      }
-      clones[s].push_back(std::move(clone));
-    }
+    ConcurrentIngestDriver& driver, EngineRunStats& stats) {
+  // The front-end (this thread) is the only one touching the source, so no
+  // source lock is needed at all: it pulls batches, routes each update to
+  // its shard's aggregation buffer, and the driver hands full buffers to
+  // the worker threads over the bounded rings.
+  driver.begin_pass(active);
+  std::vector<EdgeUpdate> buffer(options_.batch_size);
+  for (;;) {
+    const std::span<const EdgeUpdate> batch = pull_batch(source, buffer);
+    if (batch.empty()) break;
+    driver.push(batch);
+    // A worker already failed: stop feeding, let end_pass() barrier and
+    // rethrow instead of routing the remainder of the pass for nothing.
+    if (driver.failed()) break;
   }
-
-  std::mutex source_mutex;
-  std::atomic<std::size_t> batches{0};
-  std::atomic<std::size_t> updates{0};
-  std::vector<std::exception_ptr> errors(shards);
-  auto ingest = [&](std::size_t shard) {
-    std::vector<StreamProcessor*> sinks;
-    if (shard == 0) {
-      sinks = active;
-    } else {
-      sinks.reserve(active.size());
-      for (auto& c : clones[shard - 1]) sinks.push_back(c.get());
-    }
-    std::vector<EdgeUpdate> buffer(options_.batch_size);
-    try {
-      for (;;) {
-        std::span<const EdgeUpdate> batch;
-        {
-          // Views returned under the lock stay valid for the whole pass
-          // (StreamSource contract), so absorb() runs unlocked.
-          const std::lock_guard<std::mutex> lock(source_mutex);
-          batch = pull_batch(source, buffer);
-        }
-        if (batch.empty()) break;
-        for (StreamProcessor* p : sinks) p->absorb(batch);
-        batches.fetch_add(1, std::memory_order_relaxed);
-        updates.fetch_add(batch.size(), std::memory_order_relaxed);
-      }
-    } catch (...) {
-      errors[shard] = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(shards - 1);
-  for (std::size_t s = 1; s < shards; ++s) threads.emplace_back(ingest, s);
-  ingest(0);
-  for (auto& t : threads) t.join();
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
-  }
-
-  // Deterministic fold: shard order.  Linear state makes the result
-  // independent of which updates each shard happened to grab.
-  for (std::size_t s = 0; s + 1 < shards; ++s) {
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      active[i]->merge(std::move(*clones[s][i]));
-    }
-  }
-
-  stats.batches += batches.load();
-  if (stats.passes == 0) stats.updates_per_pass = updates.load();
+  const ConcurrentIngestStats pass = driver.end_pass();
+  stats.batches += pass.batches;
+  stats.backpressure_waits += pass.backpressure_waits;
+  if (stats.passes == 0) stats.updates_per_pass = pass.updates;
 }
 
 }  // namespace kw

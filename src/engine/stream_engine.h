@@ -2,8 +2,11 @@
 /// batches from a StreamSource, fans one physical pass out to every attached
 /// StreamProcessor (e.g. a spanner, a KP12 sparsifier, and an AGM forest all
 /// riding the same two passes), and optionally shards ingestion across
-/// threads via per-shard clone_empty() copies merged back by sketch
-/// linearity (Section 1's distributed setting, in-process).
+/// threads (shards > 1) through a persistent ConcurrentIngestDriver:
+/// per-shard aggregation buffers routed by lo-endpoint, bounded lock-free
+/// handoff rings, worker-owned clone_empty() copies merged back by sketch
+/// linearity at each pass end (Section 1's distributed setting, in-process;
+/// see engine/concurrent_ingest.h).
 ///
 /// Pass semantics: the engine makes max_i passes_required(i) physical
 /// passes.  During pass p only processors with passes_required() > p receive
@@ -16,28 +19,56 @@
 #define KW_ENGINE_STREAM_ENGINE_H
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "engine/concurrent_ingest.h"
 #include "engine/stream_processor.h"
 #include "engine/stream_source.h"
 
 namespace kw {
 
 struct StreamEngineOptions {
+  StreamEngineOptions() = default;
+  // The two knobs almost every caller sets; driver tuning keeps defaults.
+  StreamEngineOptions(std::size_t batch_size_, std::size_t shards_)
+      : batch_size(batch_size_), shards(shards_) {}
+
   // Updates per absorb() call.  Fused-sketch processors (BankGroup-backed)
   // amortize staging, hashing, churn cancellation and the vertex-grouped
   // scatter over the batch, so bigger is cheaper until the per-batch
   // scratch falls out of L2; 16k updates (~1 MB of scratch) is a good
-  // default for every workload in this repo.
+  // default for every workload in this repo.  Under shards > 1 this is also
+  // each shard's aggregation-buffer flush capacity.
   std::size_t batch_size = 16384;
-  std::size_t shards = 1;  // >1: threaded ingestion via clone/merge
+
+  // >1: concurrent ingestion -- a persistent ConcurrentIngestDriver with
+  // this many worker threads, each owning clone_empty() copies of every
+  // active processor, merged back at each pass end (exact by linearity).
+  std::size_t shards = 1;
+
+  // ---- concurrent-driver tuning (ignored when shards == 1) -------------
+  // Flushed batches in flight per worker before the front-end blocks.
+  std::size_t shard_queue_depth = 4;
+  // Custom update -> worker routing; empty = the processors' own
+  // shard_affinity() hint (lo-endpoint).  Any router is exact.
+  ConcurrentIngestOptions::Router shard_router;
+  // Nonzero: seeded random per-buffer flush thresholds (test knob; see
+  // ConcurrentIngestOptions::flush_jitter_seed).
+  std::uint64_t shard_flush_jitter_seed = 0;
 };
 
 struct EngineRunStats {
   std::size_t passes = 0;            // physical passes made
   std::size_t updates_per_pass = 0;  // updates fed during the first pass
-  std::size_t batches = 0;           // total absorb batches (all passes)
+  // Total absorb() batches (all passes).  Sequential: source batches.
+  // Sharded: non-empty aggregation-buffer flushes handed to workers.
+  std::size_t batches = 0;
   std::size_t shards = 1;
+  // Times the sharded front-end slept on a full worker ring (0 when
+  // shards == 1): backpressure blocks, it never drops.
+  std::size_t backpressure_waits = 0;
 };
 
 class StreamEngine {
@@ -66,9 +97,10 @@ class StreamEngine {
   void run_pass_sequential(StreamSource& source,
                            const std::vector<StreamProcessor*>& active,
                            EngineRunStats& stats);
-  void run_pass_sharded(StreamSource& source,
-                        const std::vector<StreamProcessor*>& active,
-                        EngineRunStats& stats);
+  void run_pass_concurrent(StreamSource& source,
+                           const std::vector<StreamProcessor*>& active,
+                           ConcurrentIngestDriver& driver,
+                           EngineRunStats& stats);
 
   StreamEngineOptions options_;
   std::vector<StreamProcessor*> processors_;

@@ -73,6 +73,21 @@ class StreamProcessor {
         "StreamProcessor::merge: this processor is not mergeable");
   }
 
+  // Shard-affinity hint: the worker shard the concurrent ingest driver
+  // (engine/concurrent_ingest.h) should route `update` to when it partitions
+  // a pass across `shards` worker-owned clones.  ANY assignment is exact --
+  // linearity makes the merged result independent of the partition -- so
+  // this is purely a locality hint.  The default routes by lo-endpoint:
+  // the fused BankGroup ingest groups its scatter by the update's lo vertex,
+  // so keeping all updates incident to one lo vertex on one worker keeps
+  // each worker's vertex-grouped scatter inside a disjoint slice of its own
+  // clone.  Must be a pure function of (update, shards), < shards.
+  [[nodiscard]] virtual std::size_t shard_affinity(
+      const EdgeUpdate& update, std::size_t shards) const noexcept {
+    const Vertex lo = update.u < update.v ? update.u : update.v;
+    return static_cast<std::size_t>(lo) % shards;
+  }
+
  protected:
   // Downcast helper for merge() implementations.
   template <class Derived>

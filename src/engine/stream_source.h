@@ -47,6 +47,14 @@ class StreamSource {
     (void)max_len;
     return std::nullopt;
   }
+
+  // Pass-end hook: the engine calls this once per pass after the pass is
+  // fully consumed AND -- under concurrent ingestion -- after the drain
+  // barrier, i.e. once no worker thread will touch a view served this pass.
+  // Only then may a source release or reuse per-pass resources (buffers
+  // backing next_view(), a generator closure, a network window).  Default:
+  // nothing to release.
+  virtual void end_pass() {}
 };
 
 // A pass-counted view over a materialized DynamicStream.
@@ -103,6 +111,10 @@ class GeneratorSource final : public StreamSource {
   [[nodiscard]] Vertex n() const noexcept override { return n_; }
 
   void begin_pass() override { next_ = make_pass_(); }
+
+  // The generator closure (and whatever state it captured for this pass) is
+  // released as soon as the engine guarantees the pass is drained.
+  void end_pass() override { next_ = nullptr; }
 
   [[nodiscard]] std::size_t next_batch(std::span<EdgeUpdate> out) override {
     std::size_t produced = 0;

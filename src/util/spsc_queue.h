@@ -1,0 +1,134 @@
+/// Bounded single-producer / single-consumer handoff ring.
+///
+/// The concurrent ingest driver (engine/concurrent_ingest.h) moves flushed
+/// aggregation batches from the routing front-end to each worker through one
+/// of these: the front-end is the only pusher, the worker the only popper,
+/// so a ring with two atomic indices suffices -- no locks anywhere, not even
+/// on the blocking paths.
+///
+/// Blocking uses the eventcount idiom over C++20 atomic wait/notify: each
+/// side bumps its epoch counter AFTER publishing an index change, and a
+/// would-be waiter re-checks the ring AFTER capturing the epoch it will wait
+/// on, so a wakeup can never be missed.  A full ring therefore BLOCKS the
+/// producer (bounded memory, backpressure) -- it never drops.
+///
+/// close() is the producer's end-of-stream: pop() drains whatever is
+/// buffered, then returns false forever.
+#ifndef KW_UTIL_SPSC_QUEUE_H
+#define KW_UTIL_SPSC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace kw {
+
+template <class T>
+class SpscQueue {
+ public:
+  // `capacity` items may be buffered before push() blocks.
+  explicit SpscQueue(std::size_t capacity) : slots_(capacity + 1) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be >= 1");
+    }
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer only.  Blocks while the ring is full; returns how many times it
+  // had to sleep (the driver surfaces this as a backpressure statistic).
+  std::size_t push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next_tail = next(tail);
+    std::size_t waits = 0;
+    while (next_tail == head_.load(std::memory_order_acquire)) {
+      const std::uint32_t seen = pop_epoch_.load(std::memory_order_acquire);
+      if (next_tail != head_.load(std::memory_order_acquire)) break;
+      ++waits;
+      pop_epoch_.wait(seen, std::memory_order_acquire);
+    }
+    slots_[tail] = std::move(value);
+    tail_.store(next_tail, std::memory_order_release);
+    push_epoch_.fetch_add(1, std::memory_order_release);
+    push_epoch_.notify_one();
+    return waits;
+  }
+
+  // Producer only.  Non-blocking; false = ring full, value untouched.
+  [[nodiscard]] bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next_tail = next(tail);
+    if (next_tail == head_.load(std::memory_order_acquire)) return false;
+    slots_[tail] = std::move(value);
+    tail_.store(next_tail, std::memory_order_release);
+    push_epoch_.fetch_add(1, std::memory_order_release);
+    push_epoch_.notify_one();
+    return true;
+  }
+
+  // Consumer only.  Blocks until an item arrives or the queue is closed and
+  // drained; false = closed + empty (terminal).
+  [[nodiscard]] bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (head != tail_.load(std::memory_order_acquire)) break;
+      const std::uint32_t seen = push_epoch_.load(std::memory_order_acquire);
+      if (head != tail_.load(std::memory_order_acquire)) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        // close() precedes its epoch bump, so this recheck is final.
+        if (head == tail_.load(std::memory_order_acquire)) return false;
+        break;
+      }
+      push_epoch_.wait(seen, std::memory_order_acquire);
+    }
+    out = std::move(slots_[head]);
+    head_.store(next(head), std::memory_order_release);
+    pop_epoch_.fetch_add(1, std::memory_order_release);
+    pop_epoch_.notify_one();
+    return true;
+  }
+
+  // Consumer only.  Non-blocking; false = nothing buffered right now.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head]);
+    head_.store(next(head), std::memory_order_release);
+    pop_epoch_.fetch_add(1, std::memory_order_release);
+    pop_epoch_.notify_one();
+    return true;
+  }
+
+  // Producer side: no more pushes will come.  Idempotent.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    push_epoch_.fetch_add(1, std::memory_order_release);
+    push_epoch_.notify_one();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size() - 1;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  // Producer- and consumer-owned state on separate cache lines so the two
+  // threads never false-share.
+  alignas(64) std::atomic<std::size_t> tail_{0};        // producer writes
+  alignas(64) std::atomic<std::uint32_t> push_epoch_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};        // consumer writes
+  alignas(64) std::atomic<std::uint32_t> pop_epoch_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace kw
+
+#endif  // KW_UTIL_SPSC_QUEUE_H

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -188,7 +190,7 @@ void expect_sharded_matches_sequential(const DynamicStream& stream,
   (void)seq_engine.run(stream);
 
   Processor sharded = make();
-  StreamEngine par_engine(StreamEngineOptions{/*batch_size=*/256, shards});
+  StreamEngine par_engine(StreamEngineOptions{256, shards});
   par_engine.attach(sharded);
   const EngineRunStats stats = par_engine.run(stream);
   EXPECT_EQ(stats.shards, shards);
@@ -259,7 +261,7 @@ TEST(StreamEngine, ShardedBaselineMaterializationMatchesSequential) {
   (void)seq_engine.run(stream);
 
   auto sharded = greedy_spanner_processor(g.n(), 2);
-  StreamEngine par_engine(StreamEngineOptions{/*batch_size=*/128, 4});
+  StreamEngine par_engine(StreamEngineOptions{128, /*shards=*/4});
   par_engine.attach(*sharded);
   (void)par_engine.run(stream);
 
@@ -285,7 +287,7 @@ TEST(StreamEngine, DemuxRoutesEachUpdateToOneLaneAndShards) {
                          [](const EdgeUpdate& u) {
                            return static_cast<std::size_t>(u.weight > 1.5);
                          });
-    StreamEngine engine(StreamEngineOptions{/*batch_size=*/16, shards});
+    StreamEngine engine(StreamEngineOptions{16, shards});
     engine.attach(demux);
     (void)engine.run(stream);
     return std::make_pair(edge_list(lane0.graph()), edge_list(lane1.graph()));
@@ -305,7 +307,7 @@ TEST(StreamEngine, BatchSizeDoesNotChangeOutputs) {
   for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
                                   std::size_t{4096}}) {
     TwoPassSpanner spanner(g.n(), spanner_config(163));
-    StreamEngine engine(StreamEngineOptions{batch, 1});
+    StreamEngine engine(StreamEngineOptions{batch, /*shards=*/1});
     engine.attach(spanner);
     (void)engine.run(stream);
     const auto edges = edge_list(spanner.take_result().spanner);
@@ -395,7 +397,89 @@ TEST(StreamEngine, ShardingRequiresMergeableProcessors) {
   NonMergeableProcessor processor(8);
   StreamEngine engine(StreamEngineOptions{64, /*shards=*/3});
   engine.attach(processor);
-  EXPECT_THROW((void)engine.run(stream), std::logic_error);
+  // Still a descriptive std::logic_error under the concurrent driver: the
+  // message names the processor type and the clone_empty() contract.
+  try {
+    (void)engine.run(stream);
+    FAIL() << "sharded run over an unshardable processor must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("clone_empty"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NonMergeableProcessor"),
+              std::string::npos);
+  }
+}
+
+TEST(StreamEngine, ShardedStatsAccountingIsExact) {
+  // The driver's accounting is deterministic: updates routed by lo-endpoint
+  // into per-shard buffers of `batch_size` updates, one non-empty flush per
+  // filled (or remainder) buffer.  Recompute the expected batch count from
+  // the same routing rule and require exact agreement.
+  const Graph g = erdos_renyi_gnm(40, 180, 211);
+  const DynamicStream stream = DynamicStream::with_churn(g, 90, 223);
+  constexpr std::size_t kShards = 3;
+  constexpr std::size_t kBatch = 7;
+
+  std::array<std::size_t, kShards> per_shard{};
+  for (const EdgeUpdate& u : stream.updates()) {
+    ++per_shard[static_cast<std::size_t>(std::min(u.u, u.v)) % kShards];
+  }
+  std::size_t expected_batches = 0;
+  for (const std::size_t count : per_shard) {
+    expected_batches += (count + kBatch - 1) / kBatch;  // ceil
+  }
+
+  AgmConfig config;
+  config.seed = 227;
+  SpanningForestProcessor processor(g.n(), config);
+  StreamEngine engine(StreamEngineOptions{kBatch, kShards});
+  engine.attach(processor);
+  const EngineRunStats stats = engine.run(stream);
+  EXPECT_EQ(stats.shards, kShards);
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.updates_per_pass, stream.size());
+  EXPECT_EQ(stats.batches, expected_batches);
+  (void)processor.take_result();
+}
+
+namespace {
+// Mergeable, but every worker-clone absorb() fails after a few batches: the
+// engine must surface the worker's exception on the caller thread instead
+// of deadlocking the pass-end drain barrier.
+class FaultyCloneProcessor final : public StreamProcessor {
+ public:
+  explicit FaultyCloneProcessor(Vertex n, bool is_clone = false)
+      : n_(n), is_clone_(is_clone) {}
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate>) override {
+    if (is_clone_ && ++absorbed_ >= 3) {
+      throw std::runtime_error("FaultyCloneProcessor: injected worker fault");
+    }
+  }
+  void advance_pass() override {}
+  void finish() override {}
+  [[nodiscard]] std::unique_ptr<StreamProcessor> clone_empty() const override {
+    return std::make_unique<FaultyCloneProcessor>(n_, /*is_clone=*/true);
+  }
+  void merge(StreamProcessor&&) override {}
+
+ private:
+  Vertex n_;
+  bool is_clone_;
+  std::size_t absorbed_ = 0;
+};
+}  // namespace
+
+TEST(StreamEngine, WorkerExceptionPropagatesWithoutDeadlockingTheBarrier) {
+  const Graph g = erdos_renyi_gnm(32, 160, 229);
+  const DynamicStream stream = DynamicStream::with_churn(g, 200, 233);
+  FaultyCloneProcessor processor(g.n());
+  StreamEngine engine(StreamEngineOptions{/*batch_size=*/4, /*shards=*/3});
+  engine.attach(processor);
+  // Must throw the worker's exception type (not hang, not logic_error).
+  EXPECT_THROW((void)engine.run(stream), std::runtime_error);
 }
 
 namespace {
