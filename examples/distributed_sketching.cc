@@ -1,88 +1,325 @@
-// Scenario: distributed servers, one coordinator (Section 1's setting).
+// Scenario: distributed servers, one coordinator (Section 1's setting) --
+// run as REAL processes.
 //
-// s servers each observe a slice of the edge stream.  Because every sketch
-// in this library is LINEAR, each server sketches its slice locally with
-// shared randomness (the agreed-upon sketching matrix S); the coordinator
-// sums the sketches and extracts a spanning forest of the global graph --
-// communicating sketches, never edges.
+// s worker processes each observe a slice of the edge stream.  Because
+// every sketch in this library is LINEAR, each worker sketches its slice
+// locally with shared randomness (the agreed-upon sketching matrix S,
+// i.e. the shared seed), writes the serialized sketch to a file, and exits.
+// The coordinator folds the shard files back together with
+// ser::merge_from_stream() and extracts the answer -- the parties exchange
+// sketches, never edges, and never share an address space.
 //
-// Both forms are shown:
-//   1. the explicit protocol (split the stream, per-server sketches, manual
-//      coordinator merge), and
-//   2. the same computation as one StreamEngine run with sharded ingestion
-//      -- the engine creates one empty clone per shard (clone_empty()),
-//      feeds each shard a portion of the stream on its own thread, and
-//      folds the clones back (merge()), which is the in-process version of
-//      the server/coordinator protocol.
+// Three protocols ride the same worker pool:
+//   1. spanning forest   (one round: sketch -> merge -> decode)
+//   2. k-connectivity    (one round, k edge-disjoint forests peeled)
+//   3. KP12 sparsifier   (TWO rounds: the coordinator merges the pass-1
+//      shards, advances the merged state to pass 2, broadcasts that state
+//      back to the workers as bytes, and merges their pass-2 shards)
+//
+// Every protocol's output is checked bit-for-bit against the sequential
+// single-process run: linearity makes the distributed execution EXACT, not
+// approximate.
+//
+// Workers re-execute this same binary with --worker (fork + exec); the only
+// coordinator->worker channel is argv + the shard directory.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "agm/k_connectivity.h"
 #include "agm/spanning_forest.h"
+#include "core/config.h"
+#include "core/kp12_sparsifier.h"
 #include "engine/stream_engine.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
+#include "serialize/serialize.h"
 #include "stream/dynamic_stream.h"
 
-int main() {
-  using namespace kw;
+namespace {
 
-  const Vertex n = 400;
-  const std::size_t servers = 8;
-  const Graph g = erdos_renyi_gnm(n, 1600, /*seed=*/31);
-  const DynamicStream stream = DynamicStream::with_churn(g, 800, /*seed=*/32);
-  const auto slices = stream.split(servers);
-  std::printf("global graph: n=%u m=%zu; %zu servers, ~%zu updates each\n",
-              g.n(), g.m(), servers, slices[0].size());
+using namespace kw;
 
-  // Shared seed = the random sketching matrix all parties agreed on.
+// ---- the shared world every process re-derives ---------------------------
+// Workers receive no data from the coordinator besides argv; graph, stream,
+// slices, and seeds are all re-derived from these constants (in a real
+// deployment each server observes its slice from the network instead).
+
+constexpr Vertex kN = 128;
+constexpr std::size_t kEdges = 512;
+constexpr std::size_t kChurn = 256;
+constexpr std::size_t kServers = 4;
+constexpr std::size_t kConnLayers = 3;
+constexpr std::size_t kBatch = 4096;
+
+[[nodiscard]] DynamicStream make_stream() {
+  const Graph g = erdos_renyi_gnm(kN, kEdges, /*seed=*/31);
+  return DynamicStream::with_churn(g, kChurn, /*seed=*/32);
+}
+
+[[nodiscard]] AgmConfig make_agm_config() {
   AgmConfig config;
   config.seed = 33;
+  return config;
+}
 
-  // ---- 1. The explicit protocol -----------------------------------------
-  std::vector<AgmGraphSketch> local;
-  local.reserve(servers);
-  for (std::size_t s = 0; s < servers; ++s) {
-    local.emplace_back(n, config);
+[[nodiscard]] Kp12Config make_kp12_config() {
+  Kp12Config config;
+  config.seed = 34;
+  config.j_copies = 2;  // demo-sized ESTIMATE/SAMPLE fleets
+  config.z_samples = 2;
+  return config;
+}
+
+[[nodiscard]] std::vector<EdgeUpdate> slice_updates(std::size_t shard) {
+  const DynamicStream stream = make_stream();
+  const std::vector<DynamicStream> slices = stream.split(kServers);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(slices[shard].size());
+  slices[shard].replay(
+      [&updates](const EdgeUpdate& u) { updates.push_back(u); });
+  return updates;
+}
+
+void absorb_batched(StreamProcessor& p, const std::vector<EdgeUpdate>& upd) {
+  for (std::size_t i = 0; i < upd.size(); i += kBatch) {
+    const std::size_t len = std::min(kBatch, upd.size() - i);
+    p.absorb({upd.data() + i, len});
   }
-  std::size_t sketch_bytes = 0;
-  for (std::size_t s = 0; s < servers; ++s) {
-    slices[s].replay([&local, s](const EdgeUpdate& u) {
-      local[s].update(u.u, u.v, u.delta);
-    });
-    sketch_bytes = local[s].nominal_bytes();
+}
+
+[[nodiscard]] std::string shard_file(const std::string& dir,
+                                     const std::string& role,
+                                     std::size_t shard) {
+  return dir + "/" + role + "." + std::to_string(shard) + ".kwsk";
+}
+
+void save_processor(const std::string& path, const StreamProcessor& p) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ser::save(os, p);
+  if (!os.flush()) {
+    std::fprintf(stderr, "worker: write failed: %s\n", path.c_str());
+    std::exit(1);
   }
-  std::printf("per-server sketch: %.2f MiB -- fixed size, independent of\n"
-              "stream length (a raw update log grows without bound and\n"
-              "cannot be merged by addition)\n",
-              static_cast<double>(sketch_bytes) / (1 << 20));
+}
 
-  // Coordinator: sum the linear sketches, then solve.
-  AgmGraphSketch global = std::move(local[0]);
-  for (std::size_t s = 1; s < servers; ++s) global.merge(local[s], 1);
-  const ForestResult forest = agm_spanning_forest(global);
+// ---- worker roles --------------------------------------------------------
+// Each worker builds the agreed-upon prototype, takes an empty clone (the
+// exact object the in-process sharded engine would hand a thread), absorbs
+// its slice, and ships the serialized clone.
 
-  const Graph forest_graph = Graph::from_edges(n, forest.edges);
-  const bool ok = forest.complete && same_partition(g, forest_graph);
-  std::printf("coordinator: forest of %zu edges in %zu Boruvka rounds\n",
-              forest.edges.size(), forest.rounds_used);
-  std::printf("connectivity matches the global graph: %s\n",
-              ok ? "YES" : "NO");
+int worker_main(const std::string& role, std::size_t shard,
+                const std::string& dir) {
+  const std::vector<EdgeUpdate> updates = slice_updates(shard);
 
-  // ---- 2. The same computation, one sharded StreamEngine run -------------
-  const StreamEngineOptions options{/*batch_size=*/4096, /*shards=*/servers};
-  SpanningForestProcessor processor(n, config);
-  StreamEngine engine(options);
-  engine.attach(processor);
-  const EngineRunStats stats = engine.run(stream);
-  const ForestResult sharded = processor.take_result();
-  const bool sharded_ok =
-      sharded.complete && same_partition(g, Graph::from_edges(n, sharded.edges));
-  std::printf("engine: %zu shards x %zu-update batches, %zu pass(es), "
-              "forest of %zu edges\n",
-              stats.shards, options.batch_size, stats.passes,
-              sharded.edges.size());
-  std::printf("sharded ingestion matches the protocol: %s\n",
-              sharded_ok ? "YES" : "NO");
-  std::printf("components: %zu\n", component_count(g));
-  return ok && sharded_ok ? 0 : 1;
+  std::unique_ptr<StreamProcessor> local;
+  if (role == "forest") {
+    const SpanningForestProcessor prototype(kN, make_agm_config());
+    local = prototype.clone_empty();
+  } else if (role == "kconn") {
+    const KConnectivitySketch prototype(kN, kConnLayers, make_agm_config());
+    local = prototype.clone_empty();
+  } else if (role == "kp12-pass1") {
+    const Kp12Sparsifier prototype(kN, make_kp12_config());
+    local = prototype.clone_empty();
+  } else if (role == "kp12-pass2") {
+    // Round 2: start from the coordinator's merged-and-advanced pass-1
+    // state (the broadcast), then sketch the pass-2 slice on a fresh clone.
+    Kp12Sparsifier prototype(kN, make_kp12_config());
+    std::ifstream is(dir + "/kp12.advanced.kwsk", std::ios::binary);
+    ser::load(is, prototype);
+    local = prototype.clone_empty();
+  } else {
+    std::fprintf(stderr, "worker: unknown role %s\n", role.c_str());
+    return 1;
+  }
+
+  absorb_batched(*local, updates);
+  save_processor(shard_file(dir, role, shard), *local);
+  return 0;
+}
+
+// ---- coordinator side ----------------------------------------------------
+
+void spawn_workers(const char* self, const std::string& role,
+                   const std::string& dir) {
+  std::vector<pid_t> pids;
+  for (std::size_t shard = 0; shard < kServers; ++shard) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid == 0) {
+      const std::string shard_arg = std::to_string(shard);
+      const char* argv[] = {self,              "--worker",
+                            role.c_str(),      shard_arg.c_str(),
+                            dir.c_str(),       nullptr};
+      execv("/proc/self/exe", const_cast<char* const*>(argv));
+      std::perror("execv");
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "coordinator: worker %d failed\n", pid);
+      std::exit(1);
+    }
+  }
+}
+
+void merge_shards(const std::string& dir, const std::string& role,
+                  StreamProcessor& target) {
+  for (std::size_t shard = 0; shard < kServers; ++shard) {
+    std::ifstream is(shard_file(dir, role, shard), std::ios::binary);
+    ser::merge_from_stream(is, target);
+  }
+}
+
+[[nodiscard]] double seconds_since(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+[[nodiscard]] bool same_edges(const std::vector<Edge>& a,
+                              const std::vector<Edge>& b) {
+  auto key = [](const Edge& e) {
+    return std::make_tuple(e.u, e.v, e.weight);
+  };
+  if (a.size() != b.size()) return false;
+  std::vector<std::tuple<Vertex, Vertex, double>> ka, kb;
+  for (const Edge& e : a) ka.push_back(key(e));
+  for (const Edge& e : b) kb.push_back(key(e));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+int coordinator_main(const char* self) {
+  const DynamicStream stream = make_stream();
+  const Graph g = erdos_renyi_gnm(kN, kEdges, /*seed=*/31);
+  char dir_template[] = "/tmp/kw_distributed.XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+  std::printf("global graph: n=%u m=%zu; %zu worker processes, shard dir %s\n",
+              g.n(), g.m(), kServers, dir.c_str());
+  bool all_ok = true;
+
+  // ---- 1. spanning forest: one round of sketch shipping ------------------
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    spawn_workers(self, "forest", dir);
+    SpanningForestProcessor coordinator(kN, make_agm_config());
+    merge_shards(dir, "forest", coordinator);
+    coordinator.finish();
+    const ForestResult merged = coordinator.take_result();
+
+    SpanningForestProcessor sequential(kN, make_agm_config());
+    StreamEngine::run_single(sequential, stream);
+    const ForestResult expect = sequential.take_result();
+
+    const bool ok = merged.complete && same_edges(merged.edges, expect.edges) &&
+                    same_partition(g, Graph::from_edges(kN, merged.edges));
+    std::printf("forest: %zu edges from %zu shard files -- %s sequential "
+                "(%.1fs)\n",
+                merged.edges.size(), kServers,
+                ok ? "identical to" : "MISMATCH vs", seconds_since(t0));
+    all_ok = all_ok && ok;
+  }
+
+  // ---- 2. k-connectivity: same round shape, k forests peeled -------------
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    spawn_workers(self, "kconn", dir);
+    KConnectivitySketch coordinator(kN, kConnLayers, make_agm_config());
+    merge_shards(dir, "kconn", coordinator);
+    coordinator.finish();
+    const KConnectivityResult merged = coordinator.take_result();
+
+    KConnectivitySketch sequential(kN, kConnLayers, make_agm_config());
+    StreamEngine::run_single(sequential, stream);
+    const KConnectivityResult expect = sequential.take_result();
+
+    const bool ok =
+        merged.complete &&
+        same_edges(merged.certificate.edges(), expect.certificate.edges());
+    std::printf(
+        "k-connectivity (k=%zu): certificate of %zu edges -- %s sequential "
+        "(%.1fs)\n",
+        kConnLayers, merged.certificate.m(),
+        ok ? "identical to" : "MISMATCH vs", seconds_since(t0));
+    all_ok = all_ok && ok;
+  }
+
+  // ---- 3. KP12 sparsifier: a two-round protocol --------------------------
+  // Round 1 workers sketch pass 1; the coordinator merges, advances the
+  // merged state to pass 2, and broadcasts it (as bytes) for round 2.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    spawn_workers(self, "kp12-pass1", dir);
+    Kp12Sparsifier coordinator(kN, make_kp12_config());
+    merge_shards(dir, "kp12-pass1", coordinator);
+    coordinator.advance_pass();
+    {
+      std::ofstream os(dir + "/kp12.advanced.kwsk",
+                       std::ios::binary | std::ios::trunc);
+      ser::save(os, coordinator);
+    }
+    spawn_workers(self, "kp12-pass2", dir);
+    merge_shards(dir, "kp12-pass2", coordinator);
+    coordinator.finish();
+    Kp12Result merged = coordinator.take_result();
+
+    Kp12Sparsifier sequential(kN, make_kp12_config());
+    Kp12Result expect = sequential.run(stream);
+
+    const bool ok = same_edges(merged.sparsifier.edges(),
+                               expect.sparsifier.edges());
+    std::printf("kp12 (two rounds): sparsifier of %zu weighted edges -- %s "
+                "sequential (%.1fs)\n",
+                merged.sparsifier.m(), ok ? "identical to" : "MISMATCH vs",
+                seconds_since(t0));
+    all_ok = all_ok && ok;
+  }
+
+  std::printf("distributed == sequential on every protocol: %s\n",
+              all_ok ? "YES" : "NO");
+
+  for (const char* role : {"forest", "kconn", "kp12-pass1", "kp12-pass2"}) {
+    for (std::size_t shard = 0; shard < kServers; ++shard) {
+      std::remove(shard_file(dir, role, shard).c_str());
+    }
+  }
+  std::remove((dir + "/kp12.advanced.kwsk").c_str());
+  rmdir(dir.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 5 && std::strcmp(argv[1], "--worker") == 0) {
+    return worker_main(argv[2],
+                       static_cast<std::size_t>(std::strtoul(argv[3], nullptr,
+                                                             10)),
+                       argv[4]);
+  }
+  return coordinator_main(argv[0]);
 }

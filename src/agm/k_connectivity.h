@@ -75,6 +75,11 @@ class KConnectivitySketch final : public StreamProcessor {
   }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
 
+  // ---- serialization (src/serialize/processor_serialize.cc) ------------
+  [[nodiscard]] std::uint32_t serial_tag() const noexcept override;
+  void serialize(ser::Writer& w) const override;
+  void deserialize(ser::Reader& r) override;
+
  private:
   Vertex n_;
   std::size_t k_ = 0;

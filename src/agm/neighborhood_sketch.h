@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "serialize/serialize_fwd.h"
 #include "sketch/bank_group.h"
 #include "stream/update.h"
 
@@ -86,6 +87,10 @@ class AgmGraphSketch {
   [[nodiscard]] std::size_t nominal_bytes() const noexcept {
     return group_.nominal_bytes();
   }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
 
  private:
   Vertex n_;

@@ -72,6 +72,11 @@ class SpanningForestProcessor final : public StreamProcessor {
     return sketch_;
   }
 
+  // ---- serialization (src/serialize/processor_serialize.cc) ------------
+  [[nodiscard]] std::uint32_t serial_tag() const noexcept override;
+  void serialize(ser::Writer& w) const override;
+  void deserialize(ser::Reader& r) override;
+
  private:
   AgmConfig config_;
   AgmGraphSketch sketch_;

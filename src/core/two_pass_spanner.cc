@@ -561,7 +561,24 @@ void TwoPassSpanner::finish_pass1() {
   });
   diagnostics_.terminals_per_level = forest_->terminals_per_level();
 
-  // Prepare pass-2 structures.
+  prepare_pass2_structures();
+  // Pass-1 pages are dead weight from here on; a real streaming device
+  // would reuse this memory for the pass-2 tables.  The touched-byte
+  // accounting matches the historical lazy map: one sketch-sized allocation
+  // per (u, r, j) an update actually landed in.
+  pass1_touched_bytes_ =
+      diagnostics_.pass1_sketches_touched *
+      (pass1_cell_count_ * sizeof(OneSparseCell) +
+       sizeof(SparseRecoveryConfig));
+  for (Pass1Page& page : pass1_pages_) {
+    page.cells = {};
+    page.touched = {};
+    page.geometry.reset();
+  }
+  phase_ = Phase::kPass2;
+}
+
+void TwoPassSpanner::prepare_pass2_structures() {
   terminals_ = forest_->terminals();
   member_offsets_.assign(terminals_.size() + 1, 0);
   members_csr_.clear();
@@ -599,20 +616,6 @@ void TwoPassSpanner::finish_pass1() {
     y_caps_[a] = static_cast<std::uint8_t>(
         std::min(y_level_of(a), vertex_levels_ - 1));
   }
-  // Pass-1 pages are dead weight from here on; a real streaming device
-  // would reuse this memory for the pass-2 tables.  The touched-byte
-  // accounting matches the historical lazy map: one sketch-sized allocation
-  // per (u, r, j) an update actually landed in.
-  pass1_touched_bytes_ =
-      diagnostics_.pass1_sketches_touched *
-      (pass1_cell_count_ * sizeof(OneSparseCell) +
-       sizeof(SparseRecoveryConfig));
-  for (Pass1Page& page : pass1_pages_) {
-    page.cells = {};
-    page.touched = {};
-    page.geometry.reset();
-  }
-  phase_ = Phase::kPass2;
 }
 
 void TwoPassSpanner::pass2_update(const EdgeUpdate& update) {

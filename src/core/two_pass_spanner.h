@@ -177,6 +177,15 @@ class TwoPassSpanner final : public StreamProcessor {
   // --- convenience: exactly two pass-counted replays via StreamEngine ---
   [[nodiscard]] TwoPassResult run(const DynamicStream& stream);
 
+  // ---- serialization (src/serialize/spanner_serialize.cc) --------------
+  // Supported at any phase before kDone (checkpoints land mid-pass; the
+  // distributed protocol ships pass-1 shards, the advanced between-pass
+  // state, and pass-2 shards).  A finished spanner's state lives in its
+  // result -- extract it instead of serializing.
+  [[nodiscard]] std::uint32_t serial_tag() const noexcept override;
+  void serialize(ser::Writer& w) const override;
+  void deserialize(ser::Reader& r) override;
+
  private:
   enum class Phase { kPass1, kBetween, kPass2, kDone };
   struct EmptyCloneTag {};
@@ -240,6 +249,12 @@ class TwoPassSpanner final : public StreamProcessor {
 
   [[nodiscard]] std::optional<Connector> sketch_connector(
       unsigned level, const std::vector<Vertex>& members);
+
+  // Derives every pass-2 structure (terminals_, member CSR, empty tables_,
+  // terminal_of_vertex_, y_caps_) from forest_.  Shared by finish_pass1()
+  // and deserialize() (which loads forest_ then table states into the
+  // freshly derived empty tables).
+  void prepare_pass2_structures();
 
   void note_augmented(const Edge& e);
 

@@ -114,6 +114,14 @@ class DemuxProcessor final : public StreamProcessor {
   [[nodiscard]] std::size_t shard_affinity(
       const EdgeUpdate& update, std::size_t shards) const noexcept override;
 
+  // ---- serialization (src/serialize/processor_serialize.cc) ------------
+  // A demux serializes as the ordered list of its lanes' payloads; every
+  // lane must itself be serializable.  deserialize() restores lane state in
+  // place (the lanes are not owned).
+  [[nodiscard]] std::uint32_t serial_tag() const noexcept override;
+  void serialize(ser::Writer& w) const override;
+  void deserialize(ser::Reader& r) override;
+
  private:
   DemuxProcessor(std::vector<std::unique_ptr<StreamProcessor>> owned,
                  Selector selector);

@@ -1,19 +1,35 @@
 #include "engine/stream_engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "serialize/serialize.h"
+
 namespace kw {
 
 StreamEngine::StreamEngine(StreamEngineOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   if (options_.batch_size == 0) {
     throw std::invalid_argument("StreamEngine: batch_size must be >= 1");
   }
   if (options_.shards == 0) {
     throw std::invalid_argument("StreamEngine: shards must be >= 1");
+  }
+  if (options_.checkpoint_every_updates > 0) {
+    if (options_.checkpoint_path.empty()) {
+      throw std::invalid_argument(
+          "StreamEngine: checkpointing enabled without a checkpoint_path");
+    }
+    if (options_.shards > 1) {
+      throw std::invalid_argument(
+          "StreamEngine: checkpointing requires sequential ingest "
+          "(shards == 1); a sharded run's in-flight worker state is not a "
+          "serializable cut");
+    }
   }
 }
 
@@ -22,7 +38,8 @@ StreamEngine& StreamEngine::attach(StreamProcessor& processor) {
   return *this;
 }
 
-EngineRunStats StreamEngine::run(StreamSource& source) {
+std::size_t StreamEngine::validate_and_count_passes(
+    const StreamSource& source) const {
   if (processors_.empty()) {
     throw std::logic_error("StreamEngine: no processors attached");
   }
@@ -40,6 +57,17 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
     }
     total_passes = std::max(total_passes, p->passes_required());
   }
+  return total_passes;
+}
+
+EngineRunStats StreamEngine::run(StreamSource& source) {
+  return run_from(source, /*start_pass=*/0, /*skip_updates=*/0);
+}
+
+EngineRunStats StreamEngine::run_from(StreamSource& source,
+                                      std::size_t start_pass,
+                                      std::uint64_t skip_updates) {
+  const std::size_t total_passes = validate_and_count_passes(source);
 
   // One persistent driver serves every sharded pass of the run: worker
   // threads outlive pass boundaries, only the per-pass clones are re-taken.
@@ -54,9 +82,10 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
     driver = std::make_unique<ConcurrentIngestDriver>(driver_options);
   }
 
+  updates_since_checkpoint_ = 0;
   EngineRunStats stats;
   stats.shards = options_.shards;
-  for (std::size_t pass = 0; pass < total_passes; ++pass) {
+  for (std::size_t pass = start_pass; pass < total_passes; ++pass) {
     std::vector<StreamProcessor*> active;
     for (StreamProcessor* p : processors_) {
       if (pass < p->passes_required()) active.push_back(p);
@@ -65,7 +94,8 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
     if (driver != nullptr) {
       run_pass_concurrent(source, active, *driver, stats);
     } else {
-      run_pass_sequential(source, active, stats);
+      run_pass_sequential(source, active, stats, pass,
+                          pass == start_pass ? skip_updates : 0);
     }
     source.end_pass();
     ++stats.passes;
@@ -98,6 +128,104 @@ EngineRunStats StreamEngine::run(const DynamicStream& stream) {
   return stats;
 }
 
+EngineRunStats StreamEngine::resume(StreamSource& source,
+                                    const std::string& checkpoint_path) {
+  if (processors_.empty()) {
+    throw std::logic_error("StreamEngine: no processors attached");
+  }
+  if (options_.shards > 1) {
+    throw std::logic_error("StreamEngine: resume requires shards == 1");
+  }
+  std::ifstream is(checkpoint_path, std::ios::binary);
+  if (!is) {
+    throw ser::SerializeError("cannot open checkpoint file: " +
+                              checkpoint_path);
+  }
+  const std::vector<unsigned char> payload =
+      ser::detail::read_envelope(is, ser::kTagCheckpoint);
+  ser::Reader r(payload.data(), payload.size());
+  const std::uint32_t n = r.u32();
+  const std::uint64_t pass = r.u64();
+  const std::uint64_t offset = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count != processors_.size()) {
+    throw ser::SerializeError(
+        "checkpoint holds " + std::to_string(count) +
+        " processors but the engine has " +
+        std::to_string(processors_.size()) + " attached");
+  }
+  for (StreamProcessor* p : processors_) {
+    if (p->n() != n) {
+      throw ser::SerializeError(
+          "checkpoint was taken over n=" + std::to_string(n) +
+          " but a processor is built for n=" + std::to_string(p->n()));
+    }
+    const std::uint32_t tag = r.u32();
+    if (tag != p->serial_tag()) {
+      throw ser::SerializeError(
+          "checkpoint processor type mismatch: file holds '" +
+          ser::tag_name(tag) + "', attached processor is '" +
+          ser::tag_name(p->serial_tag()) + "'");
+    }
+    const std::uint64_t len = r.u64();
+    ser::Reader sub = r.sub(len);
+    p->deserialize(sub);
+    sub.expect_end();
+  }
+  r.expect_end();
+  return run_from(source, static_cast<std::size_t>(pass), offset);
+}
+
+EngineRunStats StreamEngine::resume(const DynamicStream& stream,
+                                    const std::string& checkpoint_path) {
+  ReplaySource source(stream);
+  return resume(source, checkpoint_path);
+}
+
+void StreamEngine::write_checkpoint(std::size_t pass,
+                                    std::uint64_t offset) const {
+  ser::Writer w;
+  w.begin_section("checkpoint.header");
+  w.u32(processors_.front()->n());
+  w.u64(pass);
+  w.u64(offset);
+  w.u64(processors_.size());
+  w.end_section();
+  for (const StreamProcessor* p : processors_) {
+    const std::uint32_t tag = p->serial_tag();
+    if (tag == 0) {
+      throw ser::SerializeError(
+          "checkpointing requires every attached processor to be "
+          "serializable");
+    }
+    ser::Writer pw;
+    p->serialize(pw);
+    w.begin_section("checkpoint.processor");
+    w.u32(tag);
+    w.u64(pw.buffer().size());
+    w.bytes(pw.buffer().data(), pw.buffer().size());
+    w.end_section();
+  }
+  // Atomic publish: a crash mid-write leaves the previous checkpoint (or
+  // nothing) at checkpoint_path, never a torn file.
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw ser::SerializeError("cannot open checkpoint tmp file: " + tmp);
+    }
+    ser::detail::write_envelope(os, ser::kTagCheckpoint, w.buffer(), nullptr);
+    os.flush();
+    if (!os) {
+      throw ser::SerializeError("checkpoint write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
+    throw ser::SerializeError("checkpoint rename failed: " + tmp + " -> " +
+                              options_.checkpoint_path);
+  }
+}
+
 void StreamEngine::run_single(StreamProcessor& processor,
                               const DynamicStream& stream,
                               std::size_t batch_size) {
@@ -121,15 +249,40 @@ namespace {
 
 void StreamEngine::run_pass_sequential(
     StreamSource& source, const std::vector<StreamProcessor*>& active,
-    EngineRunStats& stats) {
+    EngineRunStats& stats, std::size_t pass_index,
+    std::uint64_t skip_updates) {
   std::vector<EdgeUpdate> buffer(options_.batch_size);
-  const bool first_pass = stats.passes == 0;
+  const bool first_pass = pass_index == 0 && skip_updates == 0;
+  // Updates absorbed during this pass so far, including a resumed prefix:
+  // the offset recorded with each checkpoint.
+  std::uint64_t absorbed_in_pass = skip_updates;
   for (;;) {
     const std::span<const EdgeUpdate> batch = pull_batch(source, buffer);
     if (batch.empty()) break;
-    for (StreamProcessor* p : active) p->absorb(batch);
+    std::span<const EdgeUpdate> feed = batch;
+    if (skip_updates > 0) {
+      // Resume: drop the prefix the checkpointed run already absorbed.  A
+      // partial batch remainder is fed as-is -- every attached sketch's
+      // state is invariant to batch boundaries, so the final state matches
+      // the uninterrupted run exactly.
+      if (batch.size() <= skip_updates) {
+        skip_updates -= batch.size();
+        continue;
+      }
+      feed = batch.subspan(static_cast<std::size_t>(skip_updates));
+      skip_updates = 0;
+    }
+    for (StreamProcessor* p : active) p->absorb(feed);
     ++stats.batches;
-    if (first_pass) stats.updates_per_pass += batch.size();
+    absorbed_in_pass += feed.size();
+    if (first_pass) stats.updates_per_pass += feed.size();
+    if (options_.checkpoint_every_updates > 0) {
+      updates_since_checkpoint_ += feed.size();
+      if (updates_since_checkpoint_ >= options_.checkpoint_every_updates) {
+        updates_since_checkpoint_ = 0;
+        write_checkpoint(pass_index, absorbed_in_pass);
+      }
+    }
   }
 }
 

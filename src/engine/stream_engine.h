@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/concurrent_ingest.h"
@@ -57,6 +58,18 @@ struct StreamEngineOptions {
   // Nonzero: seeded random per-buffer flush thresholds (test knob; see
   // ConcurrentIngestOptions::flush_jitter_seed).
   std::uint64_t shard_flush_jitter_seed = 0;
+
+  // ---- periodic checkpointing (sequential ingest only) -----------------
+  // 0 = off.  When set, every checkpoint_every_updates absorbed updates the
+  // engine serializes every attached processor to checkpoint_path (write to
+  // a .tmp sibling, then atomic rename), together with the current pass and
+  // the update offset inside it.  A killed run restarts via resume(), which
+  // reloads the processors and replays only the remainder of the stream --
+  // exact because every attached sketch's state is invariant to batch
+  // boundaries.  Requires shards == 1 and every attached processor to be
+  // serializable (serial_tag() != 0).
+  std::size_t checkpoint_every_updates = 0;
+  std::string checkpoint_path;
 };
 
 struct EngineRunStats {
@@ -87,6 +100,18 @@ class StreamEngine {
   // stream's own pass counter against the engine's accounting.
   EngineRunStats run(const DynamicStream& stream);
 
+  // Restarts a killed checkpointed run: loads the checkpoint written by a
+  // previous run() with the same options and attached processors (same
+  // types, same order, same configs), restores every processor's state, and
+  // replays only the remainder of the stream -- from the stored pass,
+  // skipping the stored number of already-absorbed updates.  The final
+  // state is identical to the uninterrupted run.  Throws SerializeError on
+  // a missing/corrupt/mismatched checkpoint.
+  EngineRunStats resume(StreamSource& source,
+                        const std::string& checkpoint_path);
+  EngineRunStats resume(const DynamicStream& stream,
+                        const std::string& checkpoint_path);
+
   // THE single implementation behind every algorithm's run(stream)
   // convenience: exactly processor.passes_required() pass-counted replays.
   static void run_single(StreamProcessor& processor,
@@ -94,9 +119,15 @@ class StreamEngine {
                          std::size_t batch_size = 16384);
 
  private:
+  [[nodiscard]] std::size_t validate_and_count_passes(
+      const StreamSource& source) const;
+  EngineRunStats run_from(StreamSource& source, std::size_t start_pass,
+                          std::uint64_t skip_updates);
+  void write_checkpoint(std::size_t pass, std::uint64_t offset) const;
   void run_pass_sequential(StreamSource& source,
                            const std::vector<StreamProcessor*>& active,
-                           EngineRunStats& stats);
+                           EngineRunStats& stats, std::size_t pass_index,
+                           std::uint64_t skip_updates);
   void run_pass_concurrent(StreamSource& source,
                            const std::vector<StreamProcessor*>& active,
                            ConcurrentIngestDriver& driver,
@@ -104,6 +135,7 @@ class StreamEngine {
 
   StreamEngineOptions options_;
   std::vector<StreamProcessor*> processors_;
+  std::uint64_t updates_since_checkpoint_ = 0;
 };
 
 }  // namespace kw

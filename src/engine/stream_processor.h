@@ -20,11 +20,13 @@
 #ifndef KW_ENGINE_STREAM_PROCESSOR_H
 #define KW_ENGINE_STREAM_PROCESSOR_H
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
 
 #include "graph/graph.h"
+#include "serialize/serialize_fwd.h"
 #include "stream/update.h"
 
 namespace kw {
@@ -86,6 +88,35 @@ class StreamProcessor {
       const EdgeUpdate& update, std::size_t shards) const noexcept {
     const Vertex lo = update.u < update.v ? update.u : update.v;
     return static_cast<std::size_t>(lo) % shards;
+  }
+
+  // ---- serialization (src/serialize) -----------------------------------
+
+  // Type tag of this processor's serialized payload (a ser:: fourcc), or 0
+  // if the type does not support serialization.  ser::save/load dispatch on
+  // it, and checkpoint files record it per attached processor.
+  [[nodiscard]] virtual std::uint32_t serial_tag() const noexcept {
+    return 0;
+  }
+
+  // Writes the processor's state (config/geometry validation header +
+  // linear sketch state + control state) to `w`.  Only meaningful when
+  // serial_tag() != 0.
+  virtual void serialize(ser::Writer& w) const {
+    (void)w;
+    throw std::logic_error(
+        "StreamProcessor::serialize: this processor type is not "
+        "serializable");
+  }
+
+  // Restores state written by serialize() into this object, which must have
+  // been constructed with the same configuration; throws ser::SerializeError
+  // if the stored geometry or seeds disagree.
+  virtual void deserialize(ser::Reader& r) {
+    (void)r;
+    throw std::logic_error(
+        "StreamProcessor::deserialize: this processor type is not "
+        "serializable");
   }
 
  protected:

@@ -1,0 +1,14 @@
+// Forward declarations for the serialization layer, so class headers can
+// declare serialize()/deserialize() members without pulling in the full
+// binary-io machinery.
+#ifndef KW_SERIALIZE_SERIALIZE_FWD_H
+#define KW_SERIALIZE_SERIALIZE_FWD_H
+
+namespace kw::ser {
+
+class Writer;
+class Reader;
+
+}  // namespace kw::ser
+
+#endif  // KW_SERIALIZE_SERIALIZE_FWD_H

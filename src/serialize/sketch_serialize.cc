@@ -1,0 +1,214 @@
+// serialize()/deserialize() members of the sketch layer: BankGroup,
+// SketchBank, SparseRecoverySketch, DistinctElementsSketch,
+// LinearKeyValueSketch, AgmGraphSketch.
+//
+// Each payload starts with the object's configuration/geometry, which
+// deserialize() VALIDATES against the live (identically constructed)
+// destination rather than loads -- hash coefficients and fingerprint power
+// tables are rebuilt from seeds by the constructors and never serialized.
+#include <algorithm>
+#include <vector>
+
+#include "agm/neighborhood_sketch.h"
+#include "serialize/serialize.h"
+#include "sketch/bank_group.h"
+#include "sketch/distinct_elements.h"
+#include "sketch/linear_kv_sketch.h"
+#include "sketch/sketch_bank.h"
+#include "sketch/sparse_recovery.h"
+
+namespace kw {
+
+// ---- BankGroup ----------------------------------------------------------
+
+void BankGroup::serialize(ser::Writer& w) const {
+  w.begin_section("bank_group.header");
+  w.u64(max_coord_);
+  w.u64(instances_);
+  w.u64(groups_);
+  w.u64(vertices_);
+  w.u64(levels_);
+  w.u64(seeds_.size());
+  for (const std::uint64_t s : seeds_) w.u64(s);
+  w.end_section();
+  ser::write_cells(w, {cells_.data(), cells_.size()}, "bank_group.cells");
+}
+
+void BankGroup::deserialize(ser::Reader& r) {
+  ser::check_field(r.u64(), max_coord_, "BankGroup max_coord");
+  ser::check_field(r.u64(), instances_, "BankGroup instances");
+  ser::check_field(r.u64(), groups_, "BankGroup groups");
+  ser::check_field(r.u64(), vertices_, "BankGroup vertices");
+  ser::check_field(r.u64(), levels_, "BankGroup levels");
+  ser::check_field(r.u64(), seeds_.size(), "BankGroup seed count");
+  for (const std::uint64_t s : seeds_) {
+    ser::check_field(r.u64(), s, "BankGroup seed");
+  }
+  ser::read_cells(r, {cells_.data(), cells_.size()});
+}
+
+// ---- SketchBank ---------------------------------------------------------
+
+void SketchBank::serialize(ser::Writer& w) const {
+  w.begin_section("sketch_bank.header");
+  w.u64(config_.max_coord);
+  w.u64(config_.instances);
+  w.u64(config_.seed);
+  w.end_section();
+  group_.serialize(w);
+}
+
+void SketchBank::deserialize(ser::Reader& r) {
+  ser::check_field(r.u64(), config_.max_coord, "SketchBank max_coord");
+  ser::check_field(r.u64(), config_.instances, "SketchBank instances");
+  ser::check_field(r.u64(), config_.seed, "SketchBank seed");
+  group_.deserialize(r);
+}
+
+// ---- SparseRecoverySketch -----------------------------------------------
+
+void SparseRecoverySketch::serialize(ser::Writer& w) const {
+  w.begin_section("sparse_recovery.header");
+  w.u64(config_.max_coord);
+  w.u64(config_.budget);
+  w.u64(config_.rows);
+  w.u64(config_.seed);
+  w.u8(config_.full_pow_tables ? 1 : 0);
+  w.end_section();
+  ser::write_cells(w, {cells_.data(), cells_.size()},
+                   "sparse_recovery.cells");
+}
+
+void SparseRecoverySketch::deserialize(ser::Reader& r) {
+  ser::check_field(r.u64(), config_.max_coord, "SparseRecovery max_coord");
+  ser::check_field(r.u64(), config_.budget, "SparseRecovery budget");
+  ser::check_field(r.u64(), config_.rows, "SparseRecovery rows");
+  ser::check_field(r.u64(), config_.seed, "SparseRecovery seed");
+  ser::check_field(r.u8(), config_.full_pow_tables ? 1 : 0,
+                   "SparseRecovery full_pow_tables");
+  ser::read_cells(r, {cells_.data(), cells_.size()});
+}
+
+// ---- DistinctElementsSketch ---------------------------------------------
+
+void DistinctElementsSketch::serialize(ser::Writer& w) const {
+  w.begin_section("distinct_elements.header");
+  w.u64(config_.max_coord);
+  w.f64(config_.epsilon);
+  w.u64(config_.repetitions);
+  w.u64(config_.seed);
+  w.end_section();
+  w.begin_section("distinct_elements.fingerprints");
+  for (const std::vector<std::uint64_t>& rep : fingerprints_) {
+    ser::put_u64_vector(w, rep);
+  }
+  w.end_section();
+}
+
+void DistinctElementsSketch::deserialize(ser::Reader& r) {
+  ser::check_field(r.u64(), config_.max_coord,
+                   "DistinctElements max_coord");
+  ser::check_f64_field(r.f64(), config_.epsilon, "DistinctElements epsilon");
+  ser::check_field(r.u64(), config_.repetitions,
+                   "DistinctElements repetitions");
+  ser::check_field(r.u64(), config_.seed, "DistinctElements seed");
+  for (std::vector<std::uint64_t>& rep : fingerprints_) {
+    const std::size_t expected = rep.size();
+    ser::get_u64_vector(r, rep);
+    ser::check_field(rep.size(), expected,
+                     "DistinctElements fingerprint run length");
+  }
+}
+
+// ---- LinearKeyValueSketch -----------------------------------------------
+
+void LinearKeyValueSketch::serialize_state(ser::Writer& w) const {
+  w.begin_section("linear_kv.state");
+  // The map is iteration-order-unstable; sort by slot id so save -> load ->
+  // save is byte-identical.
+  std::vector<std::uint64_t> slots;
+  slots.reserve(cells_.size());
+  for (const auto& [slot_id, cell] : cells_) slots.push_back(slot_id);
+  std::sort(slots.begin(), slots.end());
+  w.u64(slots.size());
+  w.u64(payload_geometry_.cell_count());
+  for (const std::uint64_t slot_id : slots) {
+    const Cell& cell = cells_.at(slot_id);
+    w.u64(slot_id);
+    ser::put_cell(w, cell.key_part);
+    for (const OneSparseCell& c : cell.payload) ser::put_cell(w, c);
+  }
+  w.end_section();
+}
+
+void LinearKeyValueSketch::deserialize_state(ser::Reader& r) {
+  const std::uint64_t count = r.u64();
+  ser::check_field(r.u64(), payload_geometry_.cell_count(),
+                   "LinearKv payload cell count");
+  const std::uint64_t slot_limit = config_.tables * cells_per_table_;
+  cells_.clear();
+  std::uint64_t prev_slot = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t slot_id = r.u64();
+    if (slot_id >= slot_limit || (i > 0 && slot_id <= prev_slot)) {
+      throw ser::SerializeError(
+          "LinearKv slot id out of order or out of range");
+    }
+    prev_slot = slot_id;
+    Cell cell = make_cell();
+    cell.key_part = ser::get_cell(r);
+    for (OneSparseCell& c : cell.payload) c = ser::get_cell(r);
+    cells_.emplace(slot_id, std::move(cell));
+  }
+}
+
+void LinearKeyValueSketch::serialize(ser::Writer& w) const {
+  w.begin_section("linear_kv.header");
+  w.u64(config_.max_key);
+  w.u64(config_.max_payload_coord);
+  w.u64(config_.capacity);
+  w.u64(config_.tables);
+  w.f64(config_.load_factor);
+  w.u64(config_.payload_budget);
+  w.u64(config_.payload_rows);
+  w.u64(config_.seed);
+  w.end_section();
+  serialize_state(w);
+}
+
+void LinearKeyValueSketch::deserialize(ser::Reader& r) {
+  ser::check_field(r.u64(), config_.max_key, "LinearKv max_key");
+  ser::check_field(r.u64(), config_.max_payload_coord,
+                   "LinearKv max_payload_coord");
+  ser::check_field(r.u64(), config_.capacity, "LinearKv capacity");
+  ser::check_field(r.u64(), config_.tables, "LinearKv tables");
+  ser::check_f64_field(r.f64(), config_.load_factor, "LinearKv load_factor");
+  ser::check_field(r.u64(), config_.payload_budget,
+                   "LinearKv payload_budget");
+  ser::check_field(r.u64(), config_.payload_rows, "LinearKv payload_rows");
+  ser::check_field(r.u64(), config_.seed, "LinearKv seed");
+  deserialize_state(r);
+}
+
+// ---- AgmGraphSketch -----------------------------------------------------
+
+void AgmGraphSketch::serialize(ser::Writer& w) const {
+  w.begin_section("agm.header");
+  w.u32(n_);
+  w.u64(config_.rounds);
+  w.u64(config_.sampler_instances);
+  w.u64(config_.seed);
+  w.end_section();
+  group_.serialize(w);
+}
+
+void AgmGraphSketch::deserialize(ser::Reader& r) {
+  ser::check_field(r.u32(), n_, "AgmGraphSketch n");
+  ser::check_field(r.u64(), config_.rounds, "AgmGraphSketch rounds");
+  ser::check_field(r.u64(), config_.sampler_instances,
+                   "AgmGraphSketch sampler_instances");
+  ser::check_field(r.u64(), config_.seed, "AgmGraphSketch seed");
+  group_.deserialize(r);
+}
+
+}  // namespace kw

@@ -46,6 +46,7 @@
 #include <span>
 #include <vector>
 
+#include "serialize/serialize_fwd.h"
 #include "sketch/fingerprint.h"
 #include "util/hashing.h"
 
@@ -214,6 +215,13 @@ class BankGroup {
   };
 
   [[nodiscard]] View view(std::size_t group) const { return View(*this, group); }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  // Writes geometry + seeds (validated on load) and one sparse cell
+  // section; hashes/bases are rebuilt from seeds by the constructor, so
+  // deserialize() requires an identically-configured destination.
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
 
  private:
   [[nodiscard]] const OneSparseCell* stripe_ptr(std::size_t group,

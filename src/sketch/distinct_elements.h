@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "serialize/serialize_fwd.h"
 #include "util/hashing.h"
 #include "util/prime_field.h"
 
@@ -41,6 +42,10 @@ class DistinctElementsSketch {
   [[nodiscard]] const DistinctElementsConfig& config() const noexcept {
     return config_;
   }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
 
  private:
   [[nodiscard]] double estimate_one(std::size_t rep) const;

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serialize/serialize_fwd.h"
 #include "sketch/fingerprint.h"
 #include "sketch/sparse_recovery.h"
 #include "util/hashing.h"
@@ -95,6 +96,15 @@ class LinearKeyValueSketch {
   [[nodiscard]] const LinearKvConfig& config() const noexcept {
     return config_;
   }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  // Full form: config validation header + state.  The state-only pair
+  // exists for fleet owners (TwoPassSpanner / MultipassSpanner tables)
+  // whose table configs are re-derived from their own seed chain.
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
+  void serialize_state(ser::Writer& w) const;
+  void deserialize_state(ser::Reader& r);
 
  private:
   struct Cell {

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "serialize/serialize_fwd.h"
 #include "sketch/bank_group.h"
 #include "sketch/fingerprint.h"
 #include "util/hashing.h"
@@ -147,6 +148,10 @@ class SketchBank {
   [[nodiscard]] const KWiseHash& level_hash(std::size_t instance) const {
     return group_.level_hash(0, instance);
   }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
 
  private:
   [[nodiscard]] static BankGroupConfig group_config(

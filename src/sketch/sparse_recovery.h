@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "serialize/serialize_fwd.h"
 #include "sketch/fingerprint.h"
 #include "util/hashing.h"
 
@@ -93,6 +94,10 @@ class SparseRecoverySketch {
   [[nodiscard]] const FingerprintBasis& basis() const noexcept {
     return basis_;
   }
+
+  // ---- serialization (src/serialize/sketch_serialize.cc) ---------------
+  void serialize(ser::Writer& w) const;
+  void deserialize(ser::Reader& r);
 
  private:
   SparseRecoveryConfig config_;

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Dump the header of a .kwsk serialized-sketch or checkpoint file.
+
+Usage: inspect_checkpoint.py FILE [FILE ...]
+
+Stdlib-only.  Understands the KWSK envelope (magic, version, type tag,
+payload length, trailing CRC-32) of every file written by src/serialize/,
+verifies the checksum, and for engine checkpoints (tag CKPT) additionally
+decodes the checkpoint header -- vertex count, pass, mid-pass update
+offset -- and the per-processor table of contents, so an operator can see
+what a crashed run left behind without linking the C++ library.
+
+Exit code: 0 if every file parsed and passed its CRC, 1 otherwise.
+"""
+
+import struct
+import sys
+import zlib
+
+MAGIC = 0x4B53574B  # 'KWSK' little-endian
+HEADER = struct.Struct("<IIIQ")  # magic, version, tag, payload length
+
+TAG_NAMES = {
+    "BKGR": "BankGroup",
+    "SKBK": "SketchBank",
+    "SPRS": "SparseRecoverySketch",
+    "DSTE": "DistinctElementsSketch",
+    "LKVS": "LinearKeyValueSketch",
+    "AGMS": "AgmGraphSketch",
+    "TPSP": "TwoPassSpanner",
+    "SPFP": "SpanningForestProcessor",
+    "KCON": "KConnectivitySketch",
+    "KP12": "Kp12Sparsifier",
+    "MPSP": "MultipassSpanner",
+    "ADSP": "AdditiveSpannerSketch",
+    "DEMX": "DemuxProcessor",
+    "CKPT": "StreamEngine checkpoint",
+}
+
+
+def fourcc(tag):
+    raw = struct.pack("<I", tag)
+    try:
+        text = raw.decode("ascii")
+    except UnicodeDecodeError:
+        return f"0x{tag:08x}"
+    return text if text.isprintable() else f"0x{tag:08x}"
+
+
+def human(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024.0
+    return f"{n} B"
+
+
+def dump_checkpoint_payload(payload):
+    """CKPT payload: u32 n, u64 pass, u64 offset, u64 count, then per
+    processor u32 tag + u64 length + that many payload bytes."""
+    head = struct.Struct("<IQQQ")
+    if len(payload) < head.size:
+        print("  checkpoint payload truncated")
+        return False
+    n, pass_idx, offset, count = head.unpack_from(payload, 0)
+    print(f"  vertices           : {n}")
+    print(f"  pass               : {pass_idx}")
+    print(f"  updates into pass  : {offset}")
+    print(f"  processors         : {count}")
+    pos = head.size
+    entry = struct.Struct("<IQ")
+    for i in range(count):
+        if pos + entry.size > len(payload):
+            print(f"  processor[{i}]: table of contents truncated")
+            return False
+        tag, length = entry.unpack_from(payload, pos)
+        pos += entry.size
+        cc = fourcc(tag)
+        name = TAG_NAMES.get(cc, "unknown type")
+        print(f"  processor[{i}]       : {cc} ({name}), {human(length)}")
+        pos += length
+    if pos != len(payload):
+        print(f"  WARNING: {len(payload) - pos} unparsed trailing bytes")
+        return False
+    return True
+
+
+def inspect(path):
+    print(f"{path}:")
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        print(f"  cannot read: {e}")
+        return False
+    if len(blob) < HEADER.size + 4:
+        print(f"  too short for a KWSK envelope ({len(blob)} bytes)")
+        return False
+    magic, version, tag, length = HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        print(f"  bad magic 0x{magic:08x} (want 0x{MAGIC:08x} 'KWSK')")
+        return False
+    cc = fourcc(tag)
+    print(f"  format version     : {version}")
+    print(f"  type               : {cc} ({TAG_NAMES.get(cc, 'unknown type')})")
+    print(f"  payload            : {human(length)}")
+    expected_size = HEADER.size + length + 4
+    if len(blob) < expected_size:
+        print(f"  TRUNCATED: file is {len(blob)} bytes, envelope needs "
+              f"{expected_size}")
+        return False
+    if len(blob) > expected_size:
+        print(f"  note: {len(blob) - expected_size} bytes follow the "
+              "envelope (concatenated stream?)")
+    (stored_crc,) = struct.unpack_from("<I", blob, HEADER.size + length)
+    actual_crc = zlib.crc32(blob[: HEADER.size + length]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        print(f"  CRC MISMATCH: stored 0x{stored_crc:08x}, computed "
+              f"0x{actual_crc:08x}")
+        return False
+    print(f"  crc32              : 0x{stored_crc:08x} (ok)")
+    if cc == "CKPT":
+        payload = blob[HEADER.size : HEADER.size + length]
+        return dump_checkpoint_payload(payload)
+    return True
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if len(argv) >= 2 else 1
+    ok = True
+    for path in argv[1:]:
+        ok = inspect(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
