@@ -32,6 +32,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/ss_sparsifier.h"
@@ -139,6 +140,30 @@ void run_ingest(std::vector<Result>& results, bool quick) {
     between.ms = std::min(between.ms, between_ms);
   }
 
+  // Worker sweep: the same fused workload pinned to explicit lane counts.
+  // Rows are machine-relative context (on a 1-thread box they coincide with
+  // the fused row); the determinism wall guarantees identical RESULTS at
+  // every lane count, so these time pure scatter overhead/benefit.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    Kp12Config wc = config;
+    wc.ingest_workers = workers;
+    Result row;
+    row.name = "kp12_ingest_fused_w" + std::to_string(workers);
+    row.updates = 2 * feed_reps * ups.size();
+    row.ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      Kp12Sparsifier sparsifier(n, wc);
+      const double ms = ingest_once(
+          sparsifier, ups, feed_reps,
+          [](Kp12Sparsifier& s, std::span<const EdgeUpdate> b) {
+            s.absorb(b);
+          },
+          nullptr);
+      row.ms = std::min(row.ms, ms);
+    }
+    results.push_back(row);
+  }
+
   Result scalar;
   scalar.name = "kp12_ingest_scalar";
   scalar.updates = 2 * ups.size();  // one feed per pass: the path is slow
@@ -238,8 +263,10 @@ void write_json(const std::vector<Result>& results, const std::string& path,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"kp12\",\n  \"schema\": 1,\n");
-  std::fprintf(f, "  \"quick\": %s,\n  \"results\": [\n",
-               quick ? "true" : "false");
+  std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
+               quick ? "true" : "false",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     std::fprintf(f,

@@ -26,6 +26,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -327,8 +328,10 @@ void write_json(const std::vector<Result>& results, const std::string& path,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"sketch_hotpath\",\n  \"schema\": 1,\n");
-  std::fprintf(f, "  \"quick\": %s,\n  \"results\": [\n",
-               quick ? "true" : "false");
+  std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
+               quick ? "true" : "false",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     std::fprintf(f,

@@ -79,6 +79,12 @@ struct Kp12Config {
 
   // Underlying two-pass spanner geometry for all oracle instances.
   TwoPassConfig spanner;
+
+  // Worker lanes for the staged-absorb scatter and the between-pass /
+  // finish advance (0 = hardware_concurrency).  Execution-only: results
+  // are bit-identical for every lane count, so this is never serialized
+  // and never perturbs the seed chain.
+  std::size_t ingest_workers = 0;
 };
 
 }  // namespace kw

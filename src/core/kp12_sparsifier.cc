@@ -80,27 +80,38 @@ Kp12Sparsifier::Kp12Sparsifier(Vertex n, const Kp12Config& config)
 void Kp12Sparsifier::ensure_instances() {
   if (initialized_) return;
   initialized_ = true;
+  // One seed -- hence ONE SpannerGeometry (hierarchy, level hashes, page
+  // geometries, y caps) -- per membership ROW: the T nested instances of an
+  // ESTIMATE copy see nested substreams of the same row and are never voted
+  // against each other (the Algorithm 4 majority is across the J copies at
+  // a fixed t), so sharing the row's randomness preserves every per-level
+  // success bound while the heavy geometry is constructed J + Z times
+  // instead of J*T + Z*H.  Same argument for a SAMPLE invocation's H
+  // levels: averaging is across the Z invocations.
+  //
   // ESTIMATE oracles O[j][t] on E^j_t (nested in t at rate 2^{-(t-1)}).
   oracles_.resize(config_.j_copies);
   for (std::size_t j = 0; j < config_.j_copies; ++j) {
+    TwoPassConfig sc = config_.spanner;
+    sc.augmented = false;
+    sc.seed = derive_seed(config_.seed, 0x4000 + j * 256);
+    const auto geo = SpannerGeometry::make(n_, sc);
     oracles_[j].reserve(t_levels_);
     for (std::size_t t = 0; t < t_levels_; ++t) {
-      TwoPassConfig sc = config_.spanner;
-      sc.augmented = false;
-      sc.seed = derive_seed(config_.seed, 0x4000 + j * 256 + t);
-      oracles_[j].emplace_back(n_, sc);
+      oracles_[j].emplace_back(geo);
     }
   }
   // SAMPLE instances A[s][j] on E_{s,j} (nested in j, independent in s),
   // augmented per Claims 16/18/20.
   samplers_.resize(config_.z_samples);
   for (std::size_t s = 0; s < config_.z_samples; ++s) {
+    TwoPassConfig sc = config_.spanner;
+    sc.augmented = true;
+    sc.seed = derive_seed(config_.seed, 0x6000 + s * 256);
+    const auto geo = SpannerGeometry::make(n_, sc);
     samplers_[s].reserve(h_levels_);
     for (std::size_t j = 0; j < h_levels_; ++j) {
-      TwoPassConfig sc = config_.spanner;
-      sc.augmented = true;
-      sc.seed = derive_seed(config_.seed, 0x6000 + s * 256 + j);
-      samplers_[s].emplace_back(n_, sc);
+      samplers_[s].emplace_back(geo);
     }
   }
   // If the first update only arrives in pass 2 (possible behind a demux
@@ -113,6 +124,14 @@ void Kp12Sparsifier::ensure_instances() {
       for (auto& a : row) a.finish_pass1();
     }
   }
+}
+
+WorkerPool& Kp12Sparsifier::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<WorkerPool>(
+        WorkerPool::resolve_lanes(config_.ingest_workers));
+  }
+  return *pool_;
 }
 
 Kp12Sparsifier::Kp12Sparsifier(const Kp12Sparsifier& other, EmptyCloneTag)
@@ -201,67 +220,84 @@ void Kp12Sparsifier::absorb(std::span<const EdgeUpdate> batch) {
   // every membership hash below runs once per UNIQUE coordinate.
   aggregate_batch_entries(staged_, ucoords_, slot_table_, slot_ids_);
 
-  // ---- one batched sweep per membership hash --------------------------
-  for (std::size_t j = 0; j < config_.j_copies; ++j) {
-    dispatch_copy(estimate_hashes_[j], t_levels_, oracles_[j]);
-  }
-  for (std::size_t s = 0; s < config_.z_samples; ++s) {
-    dispatch_copy(sample_hashes_[s], h_levels_, samplers_[s]);
-  }
+  // ---- scatter the membership rows across the pool --------------------
+  // Row r owns its scratch and its nested instances and only READS the
+  // shared staging above, so any lane assignment produces the sequential
+  // result bit for bit.
+  const std::size_t rows = config_.j_copies + config_.z_samples;
+  if (row_scratch_.size() < rows) row_scratch_.resize(rows);
+  pool().run(rows, [this](std::size_t r) {
+    if (r < config_.j_copies) {
+      dispatch_copy(estimate_hashes_[r], t_levels_, oracles_[r],
+                    row_scratch_[r]);
+    } else {
+      const std::size_t s = r - config_.j_copies;
+      dispatch_copy(sample_hashes_[s], h_levels_, samplers_[s],
+                    row_scratch_[r]);
+    }
+  });
 }
 
 void Kp12Sparsifier::dispatch_copy(const KWiseHash& hash, std::size_t levels,
-                                   std::vector<TwoPassSpanner>& row) {
+                                   std::vector<TwoPassSpanner>& row,
+                                   RowScratch& scratch) {
   const std::size_t count = staged_.size();  // entry i == coordinate slot i
   const std::size_t cap = levels - 1;
 
   // survive_level for every unique coordinate: one eval_many Horner sweep
   // plus the bit_width closed form (no per-level loop, no per-update hash).
-  hash_vals_.resize(count);
-  hash.eval_many(ucoords_, hash_vals_);
-  slot_level_.resize(count);
+  scratch.hash_vals.resize(count);
+  hash.eval_many(ucoords_, scratch.hash_vals);
+  scratch.slot_level.resize(count);
   for (std::size_t s = 0; s < count; ++s) {
-    slot_level_[s] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        cap, KWiseHash::deepest_level(hash_vals_[s])));
+    scratch.slot_level[s] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cap, KWiseHash::deepest_level(scratch.hash_vals[s])));
   }
 
   // Counting-sort the entries by DESCENDING level: the entries surviving
   // rate 2^-t (level >= t) become the prefix [0, fence(t)), so all T
   // nested instances of this copy share ONE sorted staging.  Sort key
   // d = cap - level.
-  level_start_.assign(levels + 1, 0);
+  scratch.level_start.assign(levels + 1, 0);
   for (std::size_t s = 0; s < count; ++s) {
-    ++level_start_[cap - slot_level_[s] + 1];
+    ++scratch.level_start[cap - scratch.slot_level[s] + 1];
   }
   for (std::size_t d = 1; d <= levels; ++d) {
-    level_start_[d] += level_start_[d - 1];
+    scratch.level_start[d] += scratch.level_start[d - 1];
   }
-  sorted_entries_.resize(count);
-  sorted_ucoords_.resize(count);
-  {
-    std::vector<std::uint32_t>& cursor = slot_ids_;  // reuse dedup scratch
-    cursor.assign(level_start_.begin(), level_start_.end() - 1);
-    for (std::size_t s = 0; s < count; ++s) {
-      const std::uint32_t pos = cursor[cap - slot_level_[s]]++;
-      SpannerBatchEntry e = staged_[s];
-      e.slot = pos;  // sorted entry i references sorted coordinate i
-      sorted_entries_[pos] = e;
-      sorted_ucoords_[pos] = ucoords_[s];
-    }
+  scratch.sorted_entries.resize(count);
+  scratch.sorted_ucoords.resize(count);
+  scratch.cursor.assign(scratch.level_start.begin(),
+                        scratch.level_start.end() - 1);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::uint32_t pos = scratch.cursor[cap - scratch.slot_level[s]]++;
+    SpannerBatchEntry e = staged_[s];
+    e.slot = pos;  // sorted entry i references sorted coordinate i
+    scratch.sorted_entries[pos] = e;
+    scratch.sorted_ucoords[pos] = ucoords_[s];
   }
 
-  // Instance (·, t) ingests exactly the prefix surviving rate 2^-t.
-  const bool pass1 = phase_ == Phase::kPass1;
+  // Instance (·, t) ingests exactly the prefix surviving rate 2^-t; the
+  // whole nested row rides ONE staged computation (pass1_ingest_row /
+  // pass2_ingest_row) over the sorted entries.
+  scratch.instances.clear();
+  scratch.prefixes.clear();
   for (std::size_t t = 0; t < levels; ++t) {
-    const std::size_t prefix = level_start_[cap - t + 1];
+    const std::size_t prefix = scratch.level_start[cap - t + 1];
     if (prefix == 0) break;  // deeper prefixes only shrink
-    const std::span<const SpannerBatchEntry> entries{sorted_entries_.data(),
-                                                     prefix};
-    if (pass1) {
-      row[t].pass1_ingest(entries, {sorted_ucoords_.data(), prefix});
-    } else {
-      row[t].pass2_ingest(entries);
-    }
+    scratch.instances.push_back(&row[t]);
+    scratch.prefixes.push_back(prefix);
+  }
+  if (scratch.instances.empty()) return;
+  const std::span<const SpannerBatchEntry> entries{
+      scratch.sorted_entries.data(), scratch.prefixes.front()};
+  if (phase_ == Phase::kPass1) {
+    TwoPassSpanner::pass1_ingest_row(
+        scratch.instances, scratch.prefixes, entries,
+        {scratch.sorted_ucoords.data(), scratch.prefixes.front()});
+  } else {
+    TwoPassSpanner::pass2_ingest_row(scratch.instances, scratch.prefixes,
+                                     entries);
   }
 }
 
@@ -269,12 +305,17 @@ void Kp12Sparsifier::advance_pass() {
   if (phase_ != Phase::kPass1) {
     throw std::logic_error("Kp12Sparsifier: advance_pass() outside pass 1");
   }
+  // Whole instances are disjoint islands: fan the between-pass advance out
+  // over every (row, level) instance at once.
+  std::vector<TwoPassSpanner*> all;
+  all.reserve(oracles_.size() * t_levels_ + samplers_.size() * h_levels_);
   for (auto& row : oracles_) {
-    for (auto& o : row) o.finish_pass1();
+    for (auto& o : row) all.push_back(&o);
   }
   for (auto& row : samplers_) {
-    for (auto& a : row) a.finish_pass1();
+    for (auto& a : row) all.push_back(&a);
   }
+  pool().run(all.size(), [&all](std::size_t i) { all[i]->finish_pass1(); });
   phase_ = Phase::kPass2;
 }
 
@@ -322,13 +363,25 @@ void Kp12Sparsifier::finish() {
   diag.sample_instances = initialized_ ? config_.z_samples * h_levels_ : 0;
 
   // ---- Finish all instances -------------------------------------------
+  // The decode-heavy per-instance finish() fans out over the pool (each
+  // instance touches only its own state); aggregation below stays
+  // sequential.
+  {
+    std::vector<TwoPassSpanner*> all;
+    for (auto& row : oracles_) {
+      for (auto& o : row) all.push_back(&o);
+    }
+    for (auto& row : samplers_) {
+      for (auto& a : row) all.push_back(&a);
+    }
+    pool().run(all.size(), [&all](std::size_t i) { all[i]->finish(); });
+  }
   std::vector<std::vector<SpannerOracle>> oracle_graphs;
   oracle_graphs.reserve(config_.j_copies);
   for (auto& row : oracles_) {
     std::vector<SpannerOracle> out;
     out.reserve(row.size());
     for (auto& o : row) {
-      o.finish();
       TwoPassResult r = o.take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
@@ -343,7 +396,6 @@ void Kp12Sparsifier::finish() {
   for (std::size_t s = 0; s < samplers_.size(); ++s) {
     sample_outputs[s].reserve(h_levels_);
     for (std::size_t j = 0; j < h_levels_; ++j) {
-      samplers_[s][j].finish();
       TwoPassResult r = samplers_[s][j].take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;

@@ -30,10 +30,19 @@
 /// sweep over the unique coordinates with survive_level computed in closed
 /// form (bit_width, no per-level loop), and a counting sort by survive
 /// level turns "instance (j, t) sees exactly the updates surviving rate
-/// 2^-t" into a contiguous prefix handed to TwoPassSpanner::pass*_ingest,
-/// which shares the staging across all T (resp. H) nested instances.  The
+/// 2^-t" into a contiguous prefix handed to the row-ingest entry points
+/// (pass1_ingest_row / pass2_ingest_row), which share the per-update
+/// staging across all T (resp. H) nested instances of the row.  The
 /// per-update reference path survives as absorb_scalar(); both produce
 /// bit-identical sketch state (golden-pinned in tests/test_kp12_fused.cc).
+///
+/// The J + Z membership rows are disjoint state islands (row r's counting
+/// sort, staging scratch, and nested instances are touched by no other
+/// row), so absorb() scatters them across a persistent WorkerPool; the
+/// between-pass advance and the per-instance finish() fan out the same way
+/// over whole instances.  Lane count comes from Kp12Config::ingest_workers
+/// and never affects results -- the threaded state is bit-identical to the
+/// sequential loop (the determinism wall in tests/test_kp12_fused.cc).
 #ifndef KW_CORE_KP12_SPARSIFIER_H
 #define KW_CORE_KP12_SPARSIFIER_H
 
@@ -49,6 +58,7 @@
 #include "graph/graph.h"
 #include "stream/dynamic_stream.h"
 #include "util/hashing.h"
+#include "util/worker_pool.h"
 
 namespace kw {
 
@@ -139,11 +149,26 @@ class Kp12Sparsifier final : public StreamProcessor {
   // a sparsifier that never sees an update (e.g. an empty weight class in
   // weighted_kp12_sparsify) costs nothing beyond this object.
   void ensure_instances();
+  // Per-row dispatch scratch: each membership row runs as an independent
+  // worker task, so its sort/staging buffers must be private to the row.
+  struct RowScratch {
+    std::vector<std::uint64_t> hash_vals;    // per-slot membership hashes
+    std::vector<std::uint32_t> slot_level;   // per-slot survive level
+    std::vector<std::uint32_t> level_start;  // counting-sort fences
+    std::vector<std::uint32_t> cursor;       // scatter cursors
+    std::vector<std::uint64_t> sorted_ucoords;      // level-descending
+    std::vector<SpannerBatchEntry> sorted_entries;  // level-descending
+    std::vector<TwoPassSpanner*> instances;  // row handed to *_ingest_row
+    std::vector<std::size_t> prefixes;       // per-instance entry prefix
+  };
+
   // Fused dispatch of the staged batch to one membership hash's nested
   // instance row (sort by survive level; instance t gets the prefix that
-  // survives rate 2^-t).
+  // survives rate 2^-t).  Reads only the shared staged batch; writes only
+  // the row's instances and scratch -- safe to run rows concurrently.
   void dispatch_copy(const KWiseHash& hash, std::size_t levels,
-                     std::vector<TwoPassSpanner>& row);
+                     std::vector<TwoPassSpanner>& row, RowScratch& scratch);
+  [[nodiscard]] WorkerPool& pool();
 
   Vertex n_;
   Kp12Config config_;
@@ -158,15 +183,16 @@ class Kp12Sparsifier final : public StreamProcessor {
   std::optional<Kp12Result> result_;  // set by finish()
 
   // ---- fused-absorb scratch (reused across batches; never cloned) ----
+  // Shared staging, written once per batch on the caller thread before the
+  // row scatter; rows read it concurrently.
   std::vector<SpannerBatchEntry> staged_;     // staged batch (slot = coord id)
   std::vector<std::uint64_t> ucoords_;        // unique coordinates
   std::vector<std::uint64_t> slot_table_;     // open-addressing dedup keys
   std::vector<std::uint32_t> slot_ids_;       // dedup payload: slot index
-  std::vector<std::uint64_t> hash_vals_;      // per-slot membership hashes
-  std::vector<std::uint32_t> slot_level_;     // per-slot survive level
-  std::vector<std::uint32_t> level_start_;    // counting-sort fences
-  std::vector<std::uint64_t> sorted_ucoords_;       // level-descending coords
-  std::vector<SpannerBatchEntry> sorted_entries_;   // level-descending entries
+  std::vector<RowScratch> row_scratch_;       // [j_copies + z_samples]
+  // Lazy: built on first use from config_.ingest_workers; execution-only
+  // state -- never cloned, merged, or serialized.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 // Corollary 2, weighted case: round weights to powers of (1 + class_eps),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -47,69 +48,165 @@ void aggregate_batch_entries(std::vector<SpannerBatchEntry>& entries,
   entries.resize(unique_count);
 }
 
-TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
-    : n_(n),
-      config_(config),
-      hierarchy_(ClusterHierarchy::sample(n, config.k, config.seed)),
-      edge_levels_(2 * ceil_log2(std::max<Vertex>(n, 2)) + 1),
-      vertex_levels_(2 * ceil_log2(std::max<Vertex>(n, 2)) + 1),
-      edge_level_hash_(8, derive_seed(config.seed, 0xe1)),
-      y_hash_(8, derive_seed(config.seed, 0xe2)) {
+namespace {
+
+[[nodiscard]] LinearKvConfig bank_class_config(Vertex n,
+                                               const TwoPassConfig& cfg,
+                                               unsigned level) {
+  LinearKvConfig c;
+  c.max_key = n;
+  c.max_payload_coord = n;
+  const double nd = static_cast<double>(n);
+  // Claim 11: terminal trees at level i have |N(T_u)| <= C log n *
+  // n^{(i+1)/k} whp; the table must hold that many keys.
+  const double bound = std::pow(nd, static_cast<double>(level + 1) / cfg.k) *
+                       std::max(1.0, std::log2(nd));
+  c.capacity =
+      static_cast<std::size_t>(std::ceil(cfg.table_capacity_factor * bound));
+  c.tables = cfg.kv_tables;
+  c.load_factor = cfg.kv_load_factor;
+  c.payload_budget = cfg.table_payload_budget;
+  c.payload_rows = cfg.table_payload_rows;
+  // One seed for the whole terminal fleet (level classes differ only in
+  // capacity): the fleet shares a KvBankGeometry, and sharing randomness
+  // across terminals is sound because no step votes or averages across
+  // banks -- each bank's decode bound holds by itself and the union bound
+  // over the fleet is seed-layout-independent (same argument as the
+  // row-shared pass-1 pages).  The historical per-terminal chain was
+  // derive_seed(seed, 0x20000 + term_index).
+  c.seed = derive_seed(cfg.seed, 0x20000);
+  return c;
+}
+
+[[nodiscard]] SparseRecoveryConfig pass1_page_config(Vertex n,
+                                                     const TwoPassConfig& cfg,
+                                                     unsigned r,
+                                                     std::size_t j) {
+  SparseRecoveryConfig c;
+  c.max_coord = num_pairs(n);
+  c.budget = cfg.pass1_budget;
+  c.rows = cfg.pass1_rows;
+  // One geometry serves the whole page (and, through SpannerGeometry, every
+  // instance of a row), so the radix walk tables behind the batched term
+  // kernels amortize over every vertex, batch and instance.
+  c.full_pow_tables = true;
+  // Randomness is a function of (r, j) only -- identical for every vertex,
+  // which is what makes Q_j(u) = sum_{v in T_u} S^{i+1}_j(v) a valid sketch.
+  c.seed = derive_seed(cfg.seed, 0x1000 + r * 1024 + j);
+  return c;
+}
+
+}  // namespace
+
+SpannerGeometry::SpannerGeometry(Vertex n_in, const TwoPassConfig& config_in)
+    : n(n_in),
+      config(config_in),
+      hierarchy(ClusterHierarchy::sample(n_in, config_in.k, config_in.seed)),
+      edge_levels(2 * ceil_log2(std::max<Vertex>(n_in, 2)) + 1),
+      vertex_levels(2 * ceil_log2(std::max<Vertex>(n_in, 2)) + 1),
+      edge_level_hash(8, derive_seed(config_in.seed, 0xe1)),
+      y_hash(8, derive_seed(config_in.seed, 0xe2)) {
   if (n < 2) throw std::invalid_argument("spanner needs n >= 2");
   if (config.k == 0) throw std::invalid_argument("spanner needs k >= 1");
   // Y_j at half-octave rates 2^{-j/2} (default): finer steps than the
   // paper's 2^{-j} sharpen the guarantee that some level isolates <= B
   // neighbors per key.  bench_ablation compares the two ladders.
-  if (!config_.y_half_octave) {
-    vertex_levels_ = ceil_log2(std::max<Vertex>(n, 2)) + 1;
+  if (!config.y_half_octave) {
+    vertex_levels = ceil_log2(std::max<Vertex>(n, 2)) + 1;
   }
-  const double step = config_.y_half_octave ? 0.5 : 1.0;
-  y_thresholds_.resize(vertex_levels_);
-  for (std::size_t j = 0; j < vertex_levels_; ++j) {
-    y_thresholds_[j] = static_cast<std::uint64_t>(
+  const double step = config.y_half_octave ? 0.5 : 1.0;
+  y_thresholds.resize(vertex_levels);
+  for (std::size_t j = 0; j < vertex_levels; ++j) {
+    y_thresholds[j] = static_cast<std::uint64_t>(
         static_cast<double>(kFieldPrime) *
         std::pow(2.0, -step * static_cast<double>(j)));
   }
-  pass1_pages_.resize(
-      static_cast<std::size_t>(config_.k > 1 ? config_.k - 1 : 0) *
-      edge_levels_);
-  pass1_cell_count_ =
-      config_.pass1_rows * 2 * std::max<std::size_t>(config_.pass1_budget, 1);
-  coord_bytes_ = std::max<std::size_t>(
-      1, (std::bit_width(std::max<std::uint64_t>(num_pairs(n_), 1)) + 7) / 8);
+  const std::size_t levels_r =
+      static_cast<std::size_t>(config.k > 1 ? config.k - 1 : 0);
+  pages.reserve(levels_r * edge_levels);
+  for (unsigned r = 1; r < config.k; ++r) {
+    for (std::size_t j = 0; j < edge_levels; ++j) {
+      pages.emplace_back(pass1_page_config(n, config, r, j));
+    }
+  }
+  // Per-vertex Y_j level cap: pass 2 historically re-hashed y_level_of per
+  // update side (then per instance); each vertex's level is a pure function
+  // of the geometry, so one sweep here serves every pass-2 update of every
+  // instance built on this geometry.
+  y_caps.resize(n);
+  for (Vertex a = 0; a < n; ++a) {
+    y_caps[a] =
+        static_cast<std::uint8_t>(std::min(y_level_of(a), vertex_levels - 1));
+  }
+  pass1_cell_count =
+      config.pass1_rows * 2 * std::max<std::size_t>(config.pass1_budget, 1);
+  coord_bytes = std::max<std::size_t>(
+      1, (std::bit_width(std::max<std::uint64_t>(num_pairs(n), 1)) + 7) / 8);
+  // Shared pass-2 bank geometry: terminal trees exist at levels 0..k-1, one
+  // capacity class each, with staged per-vertex scatter operands (key and
+  // payload spaces are both the vertex set, so staging is O(n * k) words).
+  std::vector<LinearKvConfig> bank_configs;
+  bank_configs.reserve(config.k);
+  for (unsigned level = 0; level < config.k; ++level) {
+    bank_configs.push_back(bank_class_config(n, config, level));
+  }
+  bank_geo = KvBankGeometry::make(std::move(bank_configs),
+                                  /*stage_scatter=*/true);
+}
+
+std::size_t SpannerGeometry::edge_level_of(std::uint64_t pair) const {
+  // Closed form of the historical per-level loop
+  //   while (level + 1 < edge_levels && h < kFieldPrime >> (level + 1))
+  // -- h < p >> L  <=>  bit_width(h + 1) <= 61 - L, so the deepest
+  // surviving level is KWiseHash::deepest_level(h), clamped to the ladder.
+  return std::min<std::uint64_t>(
+      edge_levels - 1, KWiseHash::deepest_level(edge_level_hash(pair)));
+}
+
+std::size_t SpannerGeometry::y_level_of(Vertex v) const {
+  // The Y_j thresholds are not dyadic (half-octave ladder), so this stays a
+  // loop; pass 2 only ever reads the precomputed y_caps.
+  const std::uint64_t h = y_hash(v);
+  std::size_t level = 0;
+  while (level + 1 < vertex_levels && h < y_thresholds[level + 1]) {
+    ++level;
+  }
+  return level;
+}
+
+TwoPassSpanner::TwoPassSpanner(Vertex n, const TwoPassConfig& config)
+    : TwoPassSpanner(SpannerGeometry::make(n, config)) {}
+
+TwoPassSpanner::TwoPassSpanner(std::shared_ptr<const SpannerGeometry> geometry)
+    : geo_(std::move(geometry)),
+      n_(geo_->n),
+      config_(geo_->config),
+      edge_levels_(geo_->edge_levels),
+      vertex_levels_(geo_->vertex_levels),
+      pass1_cell_count_(geo_->pass1_cell_count),
+      coord_bytes_(geo_->coord_bytes) {
+  pass1_pages_.resize(geo_->pages.size());
 }
 
 TwoPassSpanner::TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag)
-    : n_(other.n_),
+    : geo_(other.geo_),
+      n_(other.n_),
       config_(other.config_),
       phase_(other.phase_),
-      hierarchy_(other.hierarchy_),
       edge_levels_(other.edge_levels_),
       vertex_levels_(other.vertex_levels_),
-      edge_level_hash_(other.edge_level_hash_),
-      y_hash_(other.y_hash_),
-      y_thresholds_(other.y_thresholds_),
       pass1_cell_count_(other.pass1_cell_count_),
       coord_bytes_(other.coord_bytes_),
       forest_(other.forest_),
       terminals_(other.terminals_),
       terminal_of_vertex_(other.terminal_of_vertex_),
-      member_offsets_(other.member_offsets_),
-      members_csr_(other.members_csr_),
-      y_caps_(other.y_caps_) {
-  // Pass-1 pages materialize lazily, so fresh empty pages are "all zero";
-  // pass-2 clones need the (empty) H^u_j tables with the primary's geometry.
+      tree_at_level_(other.tree_at_level_) {
+  // Pass-1 pages and pass-2 banks materialize lazily, so fresh empty slots
+  // ARE the zero sketch state -- a pass-2 clone costs O(terminals) pointers,
+  // not a table-fleet construction.
   pass1_pages_.resize(other.pass1_pages_.size());
   if (phase_ == Phase::kPass2) {
-    tables_.reserve(terminals_.size());
-    for (std::size_t t = 0; t < terminals_.size(); ++t) {
-      std::vector<LinearKeyValueSketch> per_level;
-      per_level.reserve(vertex_levels_);
-      for (std::size_t j = 0; j < vertex_levels_; ++j) {
-        per_level.emplace_back(table_config(terminals_[t].level, t, j));
-      }
-      tables_.push_back(std::move(per_level));
-    }
+    banks_.resize(terminals_.size());
   }
 }
 
@@ -181,9 +278,12 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
       break;
     }
     case Phase::kPass2:
-      for (std::size_t t = 0; t < tables_.size(); ++t) {
-        for (std::size_t j = 0; j < tables_[t].size(); ++j) {
-          tables_[t][j].merge(o.tables_[t][j], 1);
+      for (std::size_t t = 0; t < banks_.size(); ++t) {
+        if (!o.banks_[t]) continue;  // their terminal untouched: all zero
+        if (!banks_[t]) {
+          banks_[t] = std::move(o.banks_[t]);
+        } else {
+          banks_[t]->merge(*o.banks_[t], 1);
         }
       }
       break;
@@ -192,71 +292,20 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
   }
 }
 
-SparseRecoveryConfig TwoPassSpanner::pass1_config(unsigned r,
-                                                  std::size_t j) const {
-  SparseRecoveryConfig c;
-  c.max_coord = num_pairs(n_);
-  c.budget = config_.pass1_budget;
-  c.rows = config_.pass1_rows;
-  // One geometry serves the whole page, so the radix walk tables behind the
-  // batched term kernels amortize over every vertex and every batch.
-  c.full_pow_tables = true;
-  // Randomness is a function of (r, j) only -- identical for every vertex,
-  // which is what makes Q_j(u) = sum_{v in T_u} S^{i+1}_j(v) a valid sketch.
-  c.seed = derive_seed(config_.seed, 0x1000 + r * 1024 + j);
-  return c;
+LinearKvConfig TwoPassSpanner::table_config(unsigned level) const {
+  return bank_class_config(n_, config_, level);
 }
 
-LinearKvConfig TwoPassSpanner::table_config(unsigned level,
-                                            std::size_t term_index,
-                                            std::size_t j) const {
-  LinearKvConfig c;
-  c.max_key = n_;
-  c.max_payload_coord = n_;
-  const double nd = static_cast<double>(n_);
-  // Claim 11: terminal trees at level i have |N(T_u)| <= C log n *
-  // n^{(i+1)/k} whp; the table must hold that many keys.
-  const double bound =
-      std::pow(nd, static_cast<double>(level + 1) / config_.k) *
-      std::max(1.0, std::log2(nd));
-  c.capacity = static_cast<std::size_t>(
-      std::ceil(config_.table_capacity_factor * bound));
-  c.tables = config_.kv_tables;
-  c.load_factor = config_.kv_load_factor;
-  c.payload_budget = config_.table_payload_budget;
-  c.payload_rows = config_.table_payload_rows;
-  // Independent randomness per (terminal, j); the key/payload hash choices
-  // never need to be shared across tables because tables are not merged
-  // across terminals.
-  c.seed = derive_seed(config_.seed, 0x20000 + term_index * 64 + j);
-  return c;
-}
-
-std::size_t TwoPassSpanner::edge_level_of(std::uint64_t pair) const {
-  // Closed form of the historical per-level loop
-  //   while (level + 1 < edge_levels_ && h < kFieldPrime >> (level + 1))
-  // -- h < p >> L  <=>  bit_width(h + 1) <= 61 - L, so the deepest
-  // surviving level is KWiseHash::deepest_level(h), clamped to the ladder.
-  return std::min<std::uint64_t>(
-      edge_levels_ - 1, KWiseHash::deepest_level(edge_level_hash_(pair)));
-}
-
-std::size_t TwoPassSpanner::y_level_of(Vertex v) const {
-  // The Y_j thresholds are not dyadic (half-octave ladder), so this stays a
-  // loop; pass 2 only ever reads the per-vertex precompute in y_caps_.
-  const std::uint64_t h = y_hash_(v);
-  std::size_t level = 0;
-  while (level + 1 < vertex_levels_ && h < y_thresholds_[level + 1]) {
-    ++level;
+KvTableBank& TwoPassSpanner::bank_for(std::size_t t) {
+  std::unique_ptr<KvTableBank>& bank = banks_[t];
+  if (!bank) {
+    // Class index == terminal level: the shared geometry carries one
+    // capacity class per level, everything else (basis, hashes, staged
+    // scatter tables) identical across the fleet.
+    bank = std::make_unique<KvTableBank>(geo_->bank_geo, terminals_[t].level,
+                                         vertex_levels_);
   }
-  return level;
-}
-
-void TwoPassSpanner::ensure_page_geometry(Pass1Page& page, unsigned r,
-                                          std::size_t j) {
-  if (!page.geometry.has_value()) {
-    page.geometry.emplace(pass1_config(r, j));
-  }
+  return *bank;
 }
 
 OneSparseCell* TwoPassSpanner::page_stripe(Pass1Page& page, Vertex keeper) {
@@ -280,20 +329,18 @@ void TwoPassSpanner::pass1_update(const EdgeUpdate& update) {
     throw std::out_of_range("TwoPassSpanner: endpoint out of range");
   }
   const std::uint64_t coord = pair_id(update.u, update.v, n_);
-  const std::size_t jmax = edge_level_of(coord);
+  const std::size_t jmax = geo_->edge_level_of(coord);
   for (unsigned r = 1; r < config_.k; ++r) {
     // S^r_j(u) covers ({u} x C_r) cap E cap E_j: endpoint u keeps the edge
     // iff the *other* endpoint is in C_r.
     for (int side = 0; side < 2; ++side) {
       const Vertex keeper = side == 0 ? update.u : update.v;
       const Vertex other = side == 0 ? update.v : update.u;
-      if (!hierarchy_.contains(r, other)) continue;
+      if (!geo_->hierarchy.contains(r, other)) continue;
       for (std::size_t j = 0; j <= jmax; ++j) {
-        Pass1Page& page = page_at(r, j);
-        ensure_page_geometry(page, r, j);
-        OneSparseCell* stripe = page_stripe(page, keeper);
-        page.geometry->update_state({stripe, pass1_cell_count_}, coord,
-                                    update.delta);
+        OneSparseCell* stripe = page_stripe(page_at(r, j), keeper);
+        geo_->page_geometry(r, j).update_state({stripe, pass1_cell_count_},
+                                               coord, update.delta);
       }
     }
   }
@@ -314,17 +361,49 @@ void TwoPassSpanner::validate_entries(
 
 void TwoPassSpanner::pass1_ingest(std::span<const SpannerBatchEntry> entries,
                                   std::span<const std::uint64_t> ucoords) {
-  if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
-  if (entries.empty()) return;
-  validate_entries(entries);
-  const std::size_t rows = config_.pass1_rows;
-  if (rows == 0 || rows > kMaxFastRows) {
-    // Exotic geometry: take the exact scalar path (same cells).
-    for (const SpannerBatchEntry& e : entries) {
-      pass1_update({e.u, e.v, e.delta, 1.0});
+  TwoPassSpanner* self = this;
+  const std::size_t prefix = entries.size();
+  pass1_ingest_row({&self, 1}, {&prefix, 1}, entries, ucoords);
+}
+
+void TwoPassSpanner::pass1_ingest_row(
+    std::span<TwoPassSpanner* const> instances,
+    std::span<const std::size_t> prefixes,
+    std::span<const SpannerBatchEntry> entries,
+    std::span<const std::uint64_t> ucoords) {
+  if (instances.empty() || entries.empty()) return;
+  if (prefixes.size() != instances.size()) {
+    throw std::invalid_argument("pass1_ingest_row: one prefix per instance");
+  }
+  TwoPassSpanner& lead = *instances.front();
+  const SpannerGeometry& geo = *lead.geo_;
+  bool monotone = true;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i]->phase_ != Phase::kPass1) {
+      throw std::logic_error("not in pass 1");
+    }
+    if (instances[i]->geo_ != lead.geo_) {
+      throw std::invalid_argument(
+          "pass1_ingest_row: instances must share one geometry");
+    }
+    if (prefixes[i] > entries.size()) {
+      throw std::out_of_range("pass1_ingest_row: prefix beyond the batch");
+    }
+    if (i > 0 && prefixes[i] > prefixes[i - 1]) monotone = false;
+  }
+  lead.validate_entries(entries);
+  const std::size_t rows = geo.config.pass1_rows;
+  if (rows == 0 || rows > kMaxFastRows || !monotone) {
+    // Exotic geometry or general (non-nested) prefixes: take the exact
+    // scalar path (same cells).
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      for (const SpannerBatchEntry& e : entries.first(prefixes[i])) {
+        instances[i]->pass1_update({e.u, e.v, e.delta, 1.0});
+      }
     }
     return;
   }
+  const std::size_t edge_levels = geo.edge_levels;
   const std::size_t uniques = ucoords.size();
 
   // 1. Hierarchy qualification per slot: an entry contributes to level r
@@ -334,155 +413,167 @@ void TwoPassSpanner::pass1_ingest(std::span<const SpannerBatchEntry> entries,
   //    qual_mask_[slot] records level r = b + 1; levels beyond the mask
   //    width fall back to "qualified".
   constexpr unsigned kMaskLevels = 8;
-  qual_mask_.assign(uniques, 0);
-  for (unsigned r = 1; r < config_.k; ++r) {
-    const char* in_r = hierarchy_.in_level[r].data();
+  lead.qual_mask_.assign(uniques, 0);
+  for (unsigned r = 1; r < geo.config.k; ++r) {
+    const char* in_r = geo.hierarchy.in_level[r].data();
     const auto bit = static_cast<std::uint8_t>(
         r <= kMaskLevels ? 1u << (r - 1) : 0xffu);
     for (const SpannerBatchEntry& e : entries) {
-      if (in_r[e.u] != 0 || in_r[e.v] != 0) qual_mask_[e.slot] |= bit;
+      if (in_r[e.u] != 0 || in_r[e.v] != 0) lead.qual_mask_[e.slot] |= bit;
     }
   }
 
   // 2. Deepest surviving E_j level per qualifying coordinate: one batched
   //    Horner sweep + the bit_width closed form, instead of one hash
   //    evaluation and one compare-loop per update.
-  gather_coords_.clear();
-  active_slots_.clear();
+  lead.gather_coords_.clear();
+  lead.active_slots_.clear();
   for (std::size_t s = 0; s < uniques; ++s) {
-    if (qual_mask_[s] == 0) continue;
-    active_slots_.push_back(static_cast<std::uint32_t>(s));
-    gather_coords_.push_back(ucoords[s]);
+    if (lead.qual_mask_[s] == 0) continue;
+    lead.active_slots_.push_back(static_cast<std::uint32_t>(s));
+    lead.gather_coords_.push_back(ucoords[s]);
   }
-  if (active_slots_.empty()) return;
-  scratch_hash_.resize(active_slots_.size());
-  edge_level_hash_.eval_many(gather_coords_, scratch_hash_);
-  scratch_jmax_.assign(uniques, 0);
-  const auto level_cap = static_cast<std::uint8_t>(edge_levels_ - 1);
-  for (std::size_t i = 0; i < active_slots_.size(); ++i) {
-    const std::uint64_t deep = KWiseHash::deepest_level(scratch_hash_[i]);
-    scratch_jmax_[active_slots_[i]] =
+  if (lead.active_slots_.empty()) return;
+  lead.scratch_hash_.resize(lead.active_slots_.size());
+  geo.edge_level_hash.eval_many(lead.gather_coords_, lead.scratch_hash_);
+  lead.scratch_jmax_.assign(uniques, 0);
+  const auto level_cap = static_cast<std::uint8_t>(edge_levels - 1);
+  for (std::size_t i = 0; i < lead.active_slots_.size(); ++i) {
+    const std::uint64_t deep = KWiseHash::deepest_level(lead.scratch_hash_[i]);
+    lead.scratch_jmax_[lead.active_slots_[i]] =
         deep < level_cap ? static_cast<std::uint8_t>(deep) : level_cap;
   }
 
   const std::size_t term_digits =
-      coord_bytes_ <= FingerprintBasis::kPowBytes ? coord_bytes_ : 0;
-  for (unsigned r = 1; r < config_.k; ++r) {
-    if (hierarchy_.level_members[r].empty()) continue;  // nothing qualifies
+      geo.coord_bytes <= FingerprintBasis::kPowBytes ? geo.coord_bytes : 0;
+  for (unsigned r = 1; r < geo.config.k; ++r) {
+    if (geo.hierarchy.level_members[r].empty()) continue;  // nothing qualifies
     const auto r_bit = static_cast<std::uint8_t>(
         r <= kMaskLevels ? 1u << (r - 1) : 0xffu);
     // 3. Per-slot record blocks (records for levels 0..jmax, consecutively)
     //    and per-level slot lists (level j's list = this r's qualifying
     //    slots with jmax >= j, in active order).
-    block_off_.resize(uniques + 1);
-    level_end_.assign(edge_levels_ + 1, 0);
+    lead.block_off_.resize(uniques + 1);
+    lead.level_end_.assign(edge_levels + 1, 0);
     std::uint32_t total = 0;
-    for (const std::uint32_t s : active_slots_) {
-      if ((qual_mask_[s] & r_bit) == 0) continue;
-      block_off_[s] = total;
-      total += static_cast<std::uint32_t>(scratch_jmax_[s]) + 1;
+    for (const std::uint32_t s : lead.active_slots_) {
+      if ((lead.qual_mask_[s] & r_bit) == 0) continue;
+      lead.block_off_[s] = total;
+      total += static_cast<std::uint32_t>(lead.scratch_jmax_[s]) + 1;
       // Every level up to jmax contains this slot; count via a difference
       // trick: +1 at level 0, -1 at jmax + 1, prefix-summed below.
-      ++level_end_[0];
-      --level_end_[static_cast<std::size_t>(scratch_jmax_[s]) + 1];
+      ++lead.level_end_[0];
+      --lead.level_end_[static_cast<std::size_t>(lead.scratch_jmax_[s]) + 1];
     }
     if (total == 0) continue;
-    for (std::size_t j = 1; j <= edge_levels_; ++j) {
-      level_end_[j] += level_end_[j - 1];
+    for (std::size_t j = 1; j <= edge_levels; ++j) {
+      lead.level_end_[j] += lead.level_end_[j - 1];
     }
     // level_end_[j] now holds the length of level j's list; convert to end
     // fences over the flat array and fill.
-    for (std::size_t j = 1; j < edge_levels_; ++j) {
-      level_end_[j] += level_end_[j - 1];
+    for (std::size_t j = 1; j < edge_levels; ++j) {
+      lead.level_end_[j] += lead.level_end_[j - 1];
     }
-    level_slots_.resize(total);
+    lead.level_slots_.resize(total);
     {
       // Fill cursors: level j's region is [level_end_[j-1], level_end_[j]).
-      std::vector<std::uint32_t>& cursors = slot_ids_;  // reuse scratch
-      cursors.resize(edge_levels_);
-      for (std::size_t j = 0; j < edge_levels_; ++j) {
-        cursors[j] = j == 0 ? 0 : level_end_[j - 1];
+      std::vector<std::uint32_t>& cursors = lead.slot_ids_;  // reuse scratch
+      cursors.resize(edge_levels);
+      for (std::size_t j = 0; j < edge_levels; ++j) {
+        cursors[j] = j == 0 ? 0 : lead.level_end_[j - 1];
       }
-      for (const std::uint32_t s : active_slots_) {
-        if ((qual_mask_[s] & r_bit) == 0) continue;
-        for (std::size_t j = 0; j <= scratch_jmax_[s]; ++j) {
-          level_slots_[cursors[j]++] = s;
+      for (const std::uint32_t s : lead.active_slots_) {
+        if ((lead.qual_mask_[s] & r_bit) == 0) continue;
+        for (std::size_t j = 0; j <= lead.scratch_jmax_[s]; ++j) {
+          lead.level_slots_[cursors[j]++] = s;
         }
       }
     }
-    recs_.resize(total);
+    lead.recs_.resize(total);
 
     // 4. Kernels per (r, j) page over its slot list: basis powers of every
     //    unique coordinate (radix-256 walks over L1-resident tables) and
     //    row buckets (eval_many + the same Lemire reduction bucket() uses).
-    //    Each is computed ONCE per unique coordinate per page; the scalar
-    //    path recomputes the term per row and per touching update.
-    for (std::size_t j = 0; j < edge_levels_; ++j) {
-      const std::size_t begin = j == 0 ? 0 : level_end_[j - 1];
-      const std::size_t end = level_end_[j];
+    //    Each is computed ONCE per unique coordinate per page -- and, since
+    //    the kernels read nothing but the SHARED geometry, once for the
+    //    whole instance row; the scalar path recomputes the term per row
+    //    and per touching update per instance.
+    for (std::size_t j = 0; j < edge_levels; ++j) {
+      const std::size_t begin = j == 0 ? 0 : lead.level_end_[j - 1];
+      const std::size_t end = lead.level_end_[j];
       if (begin == end) break;  // lists shrink with j: all deeper are empty
-      Pass1Page& page = page_at(r, j);
-      ensure_page_geometry(page, r, j);
-      const SparseRecoverySketch& geom = *page.geometry;
+      const SparseRecoverySketch& geom = geo.page_geometry(r, j);
       const FingerprintBasis& basis = geom.basis();
-      gather_coords_.resize(end - begin);
+      lead.gather_coords_.resize(end - begin);
       for (std::size_t i = begin; i < end; ++i) {
-        gather_coords_[i - begin] = ucoords[level_slots_[i]];
+        lead.gather_coords_[i - begin] = ucoords[lead.level_slots_[i]];
       }
       for (std::size_t i = begin; i < end; ++i) {
-        PageRec& rec = recs_[block_off_[level_slots_[i]] + j];
+        PageRec& rec = lead.recs_[lead.block_off_[lead.level_slots_[i]] + j];
         if (term_digits != 0) {
-          basis.pow_pair_bytes(gather_coords_[i - begin] + 1, term_digits,
-                               &rec.p1, &rec.p2);
+          basis.pow_pair_bytes(lead.gather_coords_[i - begin] + 1,
+                               term_digits, &rec.p1, &rec.p2);
         } else {
-          basis.pow_pair(gather_coords_[i - begin] + 1, &rec.p1, &rec.p2);
+          basis.pow_pair(lead.gather_coords_[i - begin] + 1, &rec.p1,
+                         &rec.p2);
         }
       }
       const std::uint64_t buckets = geom.buckets_per_row();
-      scratch_hash_.resize(end - begin);
+      lead.scratch_hash_.resize(end - begin);
       for (std::size_t row = 0; row < rows; ++row) {
-        geom.row_hash(row).eval_many(gather_coords_, scratch_hash_);
+        geom.row_hash(row).eval_many(lead.gather_coords_, lead.scratch_hash_);
         const auto base = static_cast<std::uint32_t>(row * buckets);
         for (std::size_t i = begin; i < end; ++i) {
-          PageRec& rec = recs_[block_off_[level_slots_[i]] + j];
+          PageRec& rec = lead.recs_[lead.block_off_[lead.level_slots_[i]] + j];
           rec.cell[row] =
-              base + static_cast<std::uint32_t>(
-                         (static_cast<__uint128_t>(scratch_hash_[i - begin]) *
-                          buckets) >>
-                         61);
+              base +
+              static_cast<std::uint32_t>(
+                  (static_cast<__uint128_t>(lead.scratch_hash_[i - begin]) *
+                   buckets) >>
+                  61);
         }
       }
     }
 
-    // 4. Scatter: one pass over the entries for this r.  Side
-    //    qualification (other endpoint in C_r) is j-independent, terms get
-    //    the delta applied once per (entry, page), and both endpoints and
-    //    all rows share them.
-    const char* in_r = hierarchy_.in_level[r].data();
-    for (const SpannerBatchEntry& e : entries) {
+    // 5. Scatter, entry-major: side qualification (other endpoint in C_r),
+    //    the E_j depth, and the delta-scaled terms are instance-independent,
+    //    so each is computed once per (entry, page) and every receiving
+    //    instance -- a two-pointer over the non-increasing prefixes --
+    //    reuses them; the per-instance work is the page-stripe writes alone.
+    //    Adds commute, so the entry-major order lands bit-identical cells
+    //    to the historical instance-major sweep.
+    const char* in_r = geo.hierarchy.in_level[r].data();
+    const std::size_t page_base = (r - 1) * edge_levels;
+    std::size_t m = instances.size();
+    for (std::size_t p = 0; p < prefixes.front(); ++p) {
+      while (m > 0 && prefixes[m - 1] <= p) --m;
+      const SpannerBatchEntry& e = entries[p];
       const bool keep_u = in_r[e.v] != 0;  // u keeps the edge iff v in C_r
       const bool keep_v = in_r[e.u] != 0;
       if (!keep_u && !keep_v) continue;
-      const std::uint8_t jmax = scratch_jmax_[e.slot];
+      const std::uint8_t jmax = lead.scratch_jmax_[e.slot];
       const auto delta = static_cast<std::int64_t>(e.delta);
       const std::uint64_t df = field_from_signed(delta);
       const std::uint64_t wsum = static_cast<std::uint64_t>(delta) * e.coord;
-      const std::uint32_t block = block_off_[e.slot];
-      Pass1Page* pages = pass1_pages_.data() + (r - 1) * edge_levels_;
+      const std::uint32_t block = lead.block_off_[e.slot];
       for (std::size_t j = 0; j <= jmax; ++j) {
-        const PageRec& rec = recs_[block + j];
+        const PageRec& rec = lead.recs_[block + j];
         const std::uint64_t t1 = df == 1 ? rec.p1 : field_mul(df, rec.p1);
         const std::uint64_t t2 = df == 1 ? rec.p2 : field_mul(df, rec.p2);
-        for (int side = 0; side < 2; ++side) {
-          if (!(side == 0 ? keep_u : keep_v)) continue;
-          OneSparseCell* stripe =
-              page_stripe(pages[j], side == 0 ? e.u : e.v);
-          for (std::size_t row = 0; row < rows; ++row) {
-            OneSparseCell& cell = stripe[rec.cell[row]];
-            cell.count += delta;
-            cell.coord_sum += wsum;
-            cell.fp1 = field_add(cell.fp1, t1);
-            cell.fp2 = field_add(cell.fp2, t2);
+        for (std::size_t inst = 0; inst < m; ++inst) {
+          TwoPassSpanner& sp = *instances[inst];
+          Pass1Page* pages = sp.pass1_pages_.data() + page_base;
+          for (int side = 0; side < 2; ++side) {
+            if (!(side == 0 ? keep_u : keep_v)) continue;
+            OneSparseCell* stripe =
+                sp.page_stripe(pages[j], side == 0 ? e.u : e.v);
+            for (std::size_t row = 0; row < rows; ++row) {
+              OneSparseCell& cell = stripe[rec.cell[row]];
+              cell.count += delta;
+              cell.coord_sum += wsum;
+              cell.fp1 = field_add(cell.fp1, t1);
+              cell.fp2 = field_add(cell.fp2, t2);
+            }
           }
         }
       }
@@ -520,8 +611,8 @@ std::optional<Connector> TwoPassSpanner::sketch_connector(
       }
     }
     if (!any) continue;  // all-zero sum: nothing at this sampling level
-    ensure_page_geometry(page, level + 1, j);
-    const auto decoded = page.geometry->decode_state(acc_);
+    const auto decoded =
+        geo_->page_geometry(level + 1, j).decode_state(acc_);
     if (!decoded.has_value()) {
       ++diagnostics_.pass1_scan_failures;
       continue;  // overloaded level; keep descending (denser levels below
@@ -534,12 +625,12 @@ std::optional<Connector> TwoPassSpanner::sketch_connector(
       const auto [x, y] = pair_from_id(rec.coord, n_);
       note_augmented({x, y, 1.0});
       Connector c;
-      if (hierarchy_.contains(level + 1, y) && member_set.contains(x)) {
+      if (geo_->hierarchy.contains(level + 1, y) && member_set.contains(x)) {
         c.parent = y;
         c.witness = {x, y, 1.0};
         return c;
       }
-      if (hierarchy_.contains(level + 1, x) && member_set.contains(y)) {
+      if (geo_->hierarchy.contains(level + 1, x) && member_set.contains(y)) {
         c.parent = x;
         c.witness = {y, x, 1.0};
         return c;
@@ -554,7 +645,7 @@ std::optional<Connector> TwoPassSpanner::sketch_connector(
 
 void TwoPassSpanner::finish_pass1() {
   if (phase_ != Phase::kPass1) throw std::logic_error("not in pass 1");
-  forest_.emplace(hierarchy_);
+  forest_.emplace(geo_->hierarchy);
   forest_->build([this](Vertex /*u*/, unsigned level,
                         const std::vector<Vertex>& members) {
     return sketch_connector(level, members);
@@ -573,48 +664,42 @@ void TwoPassSpanner::finish_pass1() {
   for (Pass1Page& page : pass1_pages_) {
     page.cells = {};
     page.touched = {};
-    page.geometry.reset();
   }
   phase_ = Phase::kPass2;
 }
 
 void TwoPassSpanner::prepare_pass2_structures() {
   terminals_ = forest_->terminals();
-  member_offsets_.assign(terminals_.size() + 1, 0);
-  members_csr_.clear();
-  tables_.clear();
-  tables_.reserve(terminals_.size());
+  // Invert the member lists into the (level, v) -> tree table behind the
+  // O(1) is_member: a vertex belongs to at most one tree per level, so the
+  // inversion is collision-free.
+  tree_at_level_.assign(static_cast<std::size_t>(config_.k + 1) * n_, kNoTree);
   for (std::size_t t = 0; t < terminals_.size(); ++t) {
-    // terminal_members() is deduplicated and sorted: append as one CSR row.
-    const auto members = forest_->terminal_members(terminals_[t]);
-    members_csr_.insert(members_csr_.end(), members.begin(), members.end());
-    member_offsets_[t + 1] = static_cast<std::uint32_t>(members_csr_.size());
-    std::vector<LinearKeyValueSketch> per_level;
-    per_level.reserve(vertex_levels_);
-    for (std::size_t j = 0; j < vertex_levels_; ++j) {
-      per_level.emplace_back(
-          table_config(terminals_[t].level, t, j));
+    const std::size_t base =
+        static_cast<std::size_t>(terminals_[t].level) * n_;
+    for (const Vertex v : forest_->terminal_members(terminals_[t])) {
+      tree_at_level_[base + v] = static_cast<std::uint32_t>(t);
     }
-    tables_.push_back(std::move(per_level));
   }
+  // The H^u_* banks stay null until the first pass-2 update lands in them
+  // (bank_for): the historical path eagerly built terminals * vertex_levels
+  // tables -- hash families, fingerprint bases and all -- before the first
+  // pass-2 byte arrived, which was the between-pass wall.
+  banks_.clear();
+  banks_.resize(terminals_.size());
+  // Flat (level, v) -> terminal index map: levels <= k, so (k + 1) * n
+  // slots replace the historical unordered_map probes.
   terminal_of_vertex_.assign(n_, 0);
-  std::unordered_map<std::uint64_t, std::uint32_t> term_index;
+  std::vector<std::uint32_t> term_index(
+      static_cast<std::size_t>(config_.k + 1) * n_, 0);
   for (std::size_t t = 0; t < terminals_.size(); ++t) {
-    term_index[static_cast<std::uint64_t>(terminals_[t].level) * n_ +
+    term_index[static_cast<std::size_t>(terminals_[t].level) * n_ +
                terminals_[t].v] = static_cast<std::uint32_t>(t);
   }
   for (Vertex a = 0; a < n_; ++a) {
     const CopyRef tp = forest_->terminal_parent_of(a);
     terminal_of_vertex_[a] =
-        term_index.at(static_cast<std::uint64_t>(tp.level) * n_ + tp.v);
-  }
-  // Per-vertex Y_j level cap: pass 2 historically re-hashed y_level_of per
-  // update side; each vertex's level is a pure function of the vertex, so
-  // one sweep here replaces per-update degree-8 Horner evaluations.
-  y_caps_.resize(n_);
-  for (Vertex a = 0; a < n_; ++a) {
-    y_caps_[a] = static_cast<std::uint8_t>(
-        std::min(y_level_of(a), vertex_levels_ - 1));
+        term_index[static_cast<std::size_t>(tp.level) * n_ + tp.v];
   }
 }
 
@@ -624,37 +709,164 @@ void TwoPassSpanner::pass2_update(const EdgeUpdate& update) {
   if (update.u >= n_ || update.v >= n_) {
     throw std::out_of_range("TwoPassSpanner: endpoint out of range");
   }
+  const std::uint8_t* y_caps = geo_->y_caps.data();
   for (int side = 0; side < 2; ++side) {
     const Vertex a = side == 0 ? update.u : update.v;
     const Vertex b = side == 0 ? update.v : update.u;
     const std::uint32_t t = terminal_of_vertex_[a];
     if (is_member(t, b)) continue;  // b in T_u: skip
-    const std::size_t jmax = y_caps_[a];
-    for (std::size_t j = 0; j <= jmax; ++j) {
-      // "add SKETCH(delta * a) to the b-th entry of H^u_j".
-      tables_[t][j].update(/*key=*/b, update.delta, /*payload_coord=*/a,
-                           update.delta);
-    }
+    // "add SKETCH(delta * a) to the b-th entry of H^u_j for j = 0..jmax":
+    // one bank update covers the whole level prefix.
+    bank_for(t).update(/*key=*/b, update.delta, /*payload_coord=*/a,
+                       update.delta, /*jmax=*/y_caps[a]);
   }
 }
 
 void TwoPassSpanner::pass2_ingest(std::span<const SpannerBatchEntry> entries) {
-  if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
-  if (entries.empty()) return;
-  validate_entries(entries);
+  TwoPassSpanner* self = this;
+  const std::size_t prefix = entries.size();
+  pass2_ingest_row({&self, 1}, {&prefix, 1}, entries);
+}
+
+void TwoPassSpanner::pass2_ingest_each(
+    std::span<const SpannerBatchEntry> entries) {
+  const std::uint8_t* y_caps = geo_->y_caps.data();
   for (const SpannerBatchEntry& e : entries) {
     for (int side = 0; side < 2; ++side) {
       const Vertex a = side == 0 ? e.u : e.v;
       const Vertex b = side == 0 ? e.v : e.u;
       const std::uint32_t t = terminal_of_vertex_[a];
       if (is_member(t, b)) continue;  // b in T_u: skip
-      const std::size_t jmax = y_caps_[a];
-      for (std::size_t j = 0; j <= jmax; ++j) {
-        // update_staged computes the key and payload fingerprint terms once
-        // and reuses them across all kv tables and payload rows.
-        tables_[t][j].update_staged(/*key=*/b, e.delta, /*payload_coord=*/a,
-                                    e.delta);
+      bank_for(t).update(/*key=*/b, e.delta, /*payload_coord=*/a, e.delta,
+                         /*jmax=*/y_caps[a]);
+    }
+  }
+}
+
+void TwoPassSpanner::pass2_ingest_row(
+    std::span<TwoPassSpanner* const> instances,
+    std::span<const std::size_t> prefixes,
+    std::span<const SpannerBatchEntry> entries) {
+  if (instances.empty() || entries.empty()) return;
+  if (prefixes.size() != instances.size()) {
+    throw std::invalid_argument("pass2_ingest_row: one prefix per instance");
+  }
+  TwoPassSpanner& lead = *instances.front();
+  bool monotone = true;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i]->phase_ != Phase::kPass2) {
+      throw std::logic_error("not in pass 2");
+    }
+    if (instances[i]->geo_ != lead.geo_) {
+      throw std::invalid_argument(
+          "pass2_ingest_row: instances must share one geometry");
+    }
+    if (prefixes[i] > entries.size()) {
+      throw std::out_of_range("pass2_ingest_row: prefix beyond the batch");
+    }
+    if (i > 0 && prefixes[i] > prefixes[i - 1]) monotone = false;
+  }
+  lead.validate_entries(entries);
+  const SpannerGeometry& geo = *lead.geo_;
+  const KvBankGeometry* bg = geo.bank_geo.get();
+  if (!monotone || bg == nullptr || !bg->staged()) {
+    // General prefixes (or an unstaged geometry): per-instance scatter,
+    // same arithmetic.  The KP12 dispatcher's nested prefixes are always
+    // non-increasing, so the hot path below is the one that runs.
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      instances[i]->pass2_ingest_each(entries.first(prefixes[i]));
+    }
+    return;
+  }
+  // Bank-major scatter.  An entry-major walk pays the full dependent-load
+  // chain (terminal route -> bank -> hash probe -> entry -> cell block) for
+  // EVERY (entry, instance) pair, and consecutive pairs land in unrelated
+  // banks, so the whole pass runs at memory latency.  Instead the batch is
+  // gathered into (bank, key, coord, delta, jmax) touches first, then
+  // grouped by bank with a STABLE counting sort and applied group by group:
+  // one bank's hash table and cell blocks serve all its touches back to
+  // back while they are hot.  Bit-identity with the per-entry order holds
+  // because the sort is stable (a bank sees its own touches in sequential
+  // order, so entry first-touch order -- and with it the serialized state
+  // -- is unchanged) and cell adds are commutative exact field/wrapping
+  // additions, so cross-bank reordering cannot change any value.
+  const std::uint8_t* y_caps = geo.y_caps.data();
+  std::vector<std::size_t> bank_off(instances.size() + 1, 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    bank_off[i + 1] = bank_off[i] + instances[i]->terminals_.size();
+  }
+  struct BankTouch {
+    std::uint32_t bank;
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t jmax;
+    std::int64_t delta;
+  };
+  std::vector<BankTouch> touches;
+  std::vector<BankTouch> grouped;
+  std::vector<std::uint32_t> group_pos(bank_off.back());
+  // Chunked so the touch buffer stays cache-resident; the (p, m) cursor
+  // carries across chunks, preserving the two-pointer prefix walk.
+  constexpr std::size_t kChunkTouches = std::size_t{1} << 16;
+  touches.reserve(kChunkTouches + 2 * instances.size());
+  std::size_t m = instances.size();
+  const std::size_t total = prefixes.front();
+  std::size_t p = 0;
+  while (p < total) {
+    touches.clear();
+    while (p < total && touches.size() < kChunkTouches) {
+      while (m > 0 && prefixes[m - 1] <= p) --m;
+      const SpannerBatchEntry& e = entries[p];
+      const auto delta = static_cast<std::int64_t>(e.delta);
+      for (int side = 0; side < 2; ++side) {
+        const Vertex a = side == 0 ? e.u : e.v;
+        const Vertex b = side == 0 ? e.v : e.u;
+        const std::uint32_t jmax = y_caps[a];
+        for (std::size_t i = 0; i < m; ++i) {
+          TwoPassSpanner& sp = *instances[i];
+          const std::uint32_t t = sp.terminal_of_vertex_[a];
+          if (sp.is_member(t, b)) continue;  // b in T_u: skip
+          touches.push_back({static_cast<std::uint32_t>(bank_off[i] + t), a,
+                             b, jmax, delta});
+        }
       }
+      ++p;
+    }
+    std::fill(group_pos.begin(), group_pos.end(), 0);
+    for (const BankTouch& tc : touches) ++group_pos[tc.bank];
+    std::uint32_t run = 0;
+    for (std::uint32_t& c : group_pos) {
+      const std::uint32_t count = c;
+      c = run;
+      run += count;
+    }
+    grouped.resize(touches.size());
+    for (const BankTouch& tc : touches) grouped[group_pos[tc.bank]++] = tc;
+    std::uint32_t cur_bank = std::numeric_limits<std::uint32_t>::max();
+    KvTableBank* bank = nullptr;
+    for (const BankTouch& tc : grouped) {
+      if (tc.bank != cur_bank) {
+        cur_bank = tc.bank;
+        const std::size_t i = static_cast<std::size_t>(
+            std::upper_bound(bank_off.begin(), bank_off.end(), tc.bank) -
+            bank_off.begin() - 1);
+        bank = &instances[i]->bank_for(tc.bank - bank_off[i]);
+      }
+      const std::uint64_t* kt = bg->key_term(tc.b);
+      const std::uint64_t* pt = bg->pay_term(tc.a);
+      std::uint64_t kt1 = kt[0];
+      std::uint64_t kt2 = kt[1];
+      std::uint64_t pt1 = pt[0];
+      std::uint64_t pt2 = pt[1];
+      const std::uint64_t df = field_from_signed(tc.delta);
+      if (df != 1) {
+        kt1 = field_mul(df, kt1);
+        kt2 = field_mul(df, kt2);
+        pt1 = field_mul(df, pt1);
+        pt2 = field_mul(df, pt2);
+      }
+      bank->update_staged(/*key=*/tc.b, tc.delta, /*payload_coord=*/tc.a,
+                          tc.delta, tc.jmax, kt1, kt2, pt1, pt2);
     }
   }
 }
@@ -676,12 +888,16 @@ void TwoPassSpanner::finish() {
 
   // Terminal copies: recover one edge per outside neighbor.  For each key v
   // take the sparsest Y_j level at which the embedded neighborhood sketch
-  // decodes (Algorithm 2 lines 23-33).
+  // decodes (Algorithm 2 lines 23-33).  A terminal whose bank was never
+  // materialized saw no pass-2 update: every level decodes empty, exactly
+  // like the historical untouched tables.
   for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    if (!banks_[t]) continue;
+    const KvTableBank& bank = *banks_[t];
     std::unordered_set<Vertex> resolved;
     std::unordered_set<Vertex> seen;  // keys observed at any level
     for (std::size_t j = vertex_levels_; j-- > 0;) {
-      const auto decoded = tables_[t][j].decode();
+      const auto decoded = bank.decode(j);
       if (!decoded.has_value()) {
         ++diagnostics_.pass2_tables_undecodable;
         continue;
@@ -690,7 +906,7 @@ void TwoPassSpanner::finish() {
         const auto v = static_cast<Vertex>(entry.key);
         seen.insert(v);
         if (resolved.contains(v)) continue;
-        const auto support = tables_[t][j].decode_payload(entry);
+        const auto support = bank.decode_payload(entry);
         if (!support.has_value() || support->empty()) continue;
         const auto w = static_cast<Vertex>(support->front().coord);
         add(w, v, 1.0);
@@ -719,17 +935,18 @@ void TwoPassSpanner::finish() {
 
   // Nominal space: the dense footprint of every sketch the algorithm
   // declares (pass 1: n * (k-1) * edge_levels copies of SKETCH_B; pass 2:
-  // the declared tables).
-  const SparseRecoverySketch proto(pass1_config(1, 0));
-  result.nominal_bytes = static_cast<std::size_t>(n_) *
-                         (config_.k > 1 ? config_.k - 1 : 0) * edge_levels_ *
-                         proto.nominal_bytes();
+  // the declared table fleet -- a closed form per terminal, so the claim
+  // covers never-materialized banks too).
+  if (config_.k > 1) {
+    result.nominal_bytes = static_cast<std::size_t>(n_) * (config_.k - 1) *
+                           edge_levels_ *
+                           geo_->page_geometry(1, 0).nominal_bytes();
+  }
   result.touched_bytes = pass1_touched_bytes_;
-  for (const auto& per_level : tables_) {
-    for (const auto& table : per_level) {
-      result.nominal_bytes += table.nominal_bytes();
-      result.touched_bytes += table.touched_bytes();
-    }
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    result.nominal_bytes += KvTableBank::nominal_bytes(
+        table_config(terminals_[t].level), vertex_levels_);
+    if (banks_[t]) result.touched_bytes += banks_[t]->touched_bytes();
   }
   result_ = std::move(result);
 }

@@ -17,16 +17,25 @@
 ///
 /// Storage layout (the sparsifier hot-path refactor): all of pass 1's
 /// S^r_j(u) sketches live in (k-1) * edge_levels "pages", one per (r, j).
-/// A page holds ONE shared geometry (row hashes + fingerprint basis -- the
-/// sharing across vertices is what makes member sketches summable) plus a
-/// flat vertex-major cell array `cells[u * cell_count + c]`, materialized on
-/// first touch.  The historical layout was a lazy map keyed by (u, r, j)
-/// whose every entry owned a full SparseRecoverySketch -- including a
-/// private copy of the (r, j) fingerprint power tables, rebuilt per touched
-/// vertex.  Cells are bit-identical between the two layouts (same
-/// derive_seed chain, and cell adds commute), which the golden tests in
-/// tests/test_two_pass_spanner.cc pin against a scalar SparseRecoverySketch
-/// reference.
+/// A page holds a flat vertex-major cell array `cells[u * cell_count + c]`,
+/// materialized on first touch; everything immutable -- the cluster
+/// hierarchy, the level hashes, every page's SparseRecoverySketch geometry
+/// (row hashes + fingerprint power tables -- the sharing across vertices is
+/// what makes member sketches summable), and the per-vertex Y_j caps --
+/// lives in ONE shared SpannerGeometry, so a fleet of instances over the
+/// same substream row (the KP12 nested ladder) constructs it once.  The
+/// historical layout was a lazy map keyed by (u, r, j) whose every entry
+/// owned a full SparseRecoverySketch -- including a private copy of the
+/// (r, j) fingerprint power tables, rebuilt per touched vertex.  Cells are
+/// bit-identical between the two layouts (same derive_seed chain, and cell
+/// adds commute), which the golden tests in tests/test_two_pass_spanner.cc
+/// pin against a scalar SparseRecoverySketch reference.
+///
+/// Pass 2's H^u_j tables are a per-terminal KvTableBank: one geometry for
+/// all of a terminal's vertex levels, one slot probe per (update, table)
+/// covering the whole surviving level prefix, level-major contiguous cell
+/// blocks.  Banks materialize on first touch, so the between-pass advance
+/// is O(touched terminals), not O(terminals * levels).
 ///
 /// The class implements the push-based StreamProcessor contract (two
 /// passes; absorb / advance_pass / finish driven by kw::StreamEngine) and
@@ -121,9 +130,64 @@ void aggregate_batch_entries(std::vector<SpannerBatchEntry>& entries,
                              std::vector<std::uint64_t>& slot_table,
                              std::vector<std::uint32_t>& slot_ids);
 
+// Immutable randomness + precomputed tables shared by a ROW of spanner
+// instances: the cluster hierarchy, the E_j / Y_j sampling hashes and
+// thresholds, every (r, j) pass-1 page geometry (row hashes + fingerprint
+// basis with full power tables), and the per-vertex Y_j level caps.  A
+// standalone spanner owns a private geometry; the KP12 sparsifier builds ONE
+// per copy row and hands it to all T (resp. H) nested instances, so
+// hierarchy sampling, hash construction, power-table builds and the Y_j cap
+// sweep run once per row instead of once per instance.  Sharing randomness
+// across the nested instances of one copy is sound: the KP12 majority vote
+// runs across copies j -- whose rows stay independent -- never across the
+// nested t ladder of one copy, and each instance's per-level failure bounds
+// hold over the shared randomness by themselves (union bound over the row).
+// Instances sharing a geometry can also share batch staging
+// (pass1_ingest_row below): qualification masks, E_j levels, fingerprint
+// terms and row buckets are functions of the geometry only.
+struct SpannerGeometry {
+  SpannerGeometry(Vertex n, const TwoPassConfig& config);
+
+  [[nodiscard]] static std::shared_ptr<const SpannerGeometry> make(
+      Vertex n, const TwoPassConfig& config) {
+    return std::make_shared<const SpannerGeometry>(n, config);
+  }
+
+  [[nodiscard]] const SparseRecoverySketch& page_geometry(
+      unsigned r, std::size_t j) const {
+    return pages[(r - 1) * edge_levels + j];
+  }
+  // Deepest E_j level a pair survives (closed form; see the .cc).
+  [[nodiscard]] std::size_t edge_level_of(std::uint64_t pair) const;
+  [[nodiscard]] std::size_t y_level_of(Vertex v) const;
+
+  Vertex n;
+  TwoPassConfig config;
+  ClusterHierarchy hierarchy;
+  std::size_t edge_levels;    // log2(n^2) + 1 sampling levels for E_j
+  std::size_t vertex_levels;  // Y_j levels (half-octave rates by default)
+  KWiseHash edge_level_hash;
+  KWiseHash y_hash;
+  std::vector<std::uint64_t> y_thresholds;  // survive j iff hash < thresh[j]
+  // (k-1) * edge_levels page geometries (sketch state unused: hashes/basis).
+  std::vector<SparseRecoverySketch> pages;
+  std::vector<std::uint8_t> y_caps;  // per-vertex deepest Y_j level
+  std::size_t pass1_cell_count;      // rows * buckets per (u, r, j) sketch
+  std::size_t coord_bytes;           // radix-256 digits covering pair ids
+  // Pass 2's shared bank geometry: one class per terminal level (capacity
+  // ~n^{(level+1)/k}), one basis / payload geometry / hash family for the
+  // WHOLE terminal fleet of every instance on this geometry, with staged
+  // per-vertex fingerprint terms, payload row cells and table buckets (see
+  // KvBankGeometry).  The historical construction built all of that per
+  // terminal, under per-terminal seeds, on the between-pass path.
+  std::shared_ptr<const KvBankGeometry> bank_geo;
+};
+
 class TwoPassSpanner final : public StreamProcessor {
  public:
   TwoPassSpanner(Vertex n, const TwoPassConfig& config);
+  // Row form: share one geometry across a fleet of instances (KP12).
+  explicit TwoPassSpanner(std::shared_ptr<const SpannerGeometry> geometry);
 
   // --- StreamProcessor (engine-driven) ---
   [[nodiscard]] std::size_t passes_required() const noexcept override {
@@ -158,9 +222,32 @@ class TwoPassSpanner final : public StreamProcessor {
   // eval_many, terms ride shared power tables -- all exact).
   void pass1_ingest(std::span<const SpannerBatchEntry> entries,
                     std::span<const std::uint64_t> ucoords);
-  // Same contract for pass 2 (no coordinate staging needed: pass 2 hashes
-  // vertices, whose levels are precomputed at finish_pass1()).
+  // Same contract for pass 2 (no coordinate staging needed: pass 2 reads
+  // the geometry's precomputed per-vertex Y_j caps).
   void pass2_ingest(std::span<const SpannerBatchEntry> entries);
+
+  // --- row-shared staged ingest (the KP12 nested-instance hot path) ---
+  // instances[i] ingests the prefix entries[0, prefixes[i]); every instance
+  // must share ONE SpannerGeometry (and be in pass 1 / pass 2 accordingly).
+  // Staging -- hierarchy qualification, E_j levels, fingerprint terms, row
+  // buckets -- runs ONCE over the full entry set on instances[0]'s scratch
+  // and every instance's scatter reuses it; cells are bit-identical to each
+  // instance calling pass1_ingest on its own prefix.
+  static void pass1_ingest_row(std::span<TwoPassSpanner* const> instances,
+                               std::span<const std::size_t> prefixes,
+                               std::span<const SpannerBatchEntry> entries,
+                               std::span<const std::uint64_t> ucoords);
+  static void pass2_ingest_row(std::span<TwoPassSpanner* const> instances,
+                               std::span<const std::size_t> prefixes,
+                               std::span<const SpannerBatchEntry> entries);
+
+  [[nodiscard]] const SpannerGeometry& geometry() const noexcept {
+    return *geo_;
+  }
+  [[nodiscard]] const std::shared_ptr<const SpannerGeometry>& geometry_ptr()
+      const noexcept {
+    return geo_;
+  }
 
   // Valid after finish_pass1().
   [[nodiscard]] const ClusterForest& forest() const;
@@ -190,17 +277,16 @@ class TwoPassSpanner final : public StreamProcessor {
   enum class Phase { kPass1, kBetween, kPass2, kDone };
   struct EmptyCloneTag {};
 
-  // One (r, j) pass-1 page: the S^r_j(u) bank over ALL vertices.  geometry
-  // (hashes + basis, built once per page) and cells (n * cell_count,
-  // vertex-major) materialize lazily so an instance that never sees an
-  // update -- or a deep KP12 subsample level -- costs nothing.  touched
-  // mirrors the historical map's key set ((u, r, j) materialized iff an
-  // update landed there), keeping diagnostics and connector-scan semantics
-  // bit-compatible.
+  // One (r, j) pass-1 page: the S^r_j(u) bank over ALL vertices.  The page
+  // randomness lives in the shared geometry (geo_->page_geometry(r, j));
+  // cells (n * cell_count, vertex-major) materialize lazily so an instance
+  // that never sees an update -- or a deep KP12 subsample level -- costs
+  // nothing.  touched mirrors the historical map's key set ((u, r, j)
+  // materialized iff an update landed there), keeping diagnostics and
+  // connector-scan semantics bit-compatible.
   struct Pass1Page {
-    std::optional<SparseRecoverySketch> geometry;  // state unused; randomness
-    std::vector<OneSparseCell> cells;              // n * cell_count or empty
-    std::vector<char> touched;                     // per-vertex, or empty
+    std::vector<OneSparseCell> cells;  // n * cell_count or empty
+    std::vector<char> touched;         // per-vertex, or empty
   };
 
   // Staged per-(slot, j) scatter operands for the current r: the basis
@@ -215,79 +301,72 @@ class TwoPassSpanner final : public StreamProcessor {
   // clone_empty(): same config/randomness/control state, zero sketch state.
   TwoPassSpanner(const TwoPassSpanner& other, EmptyCloneTag);
 
-  [[nodiscard]] SparseRecoveryConfig pass1_config(unsigned r,
-                                                  std::size_t j) const;
-  [[nodiscard]] LinearKvConfig table_config(unsigned level,
-                                            std::size_t term_index,
-                                            std::size_t j) const;
-  // Levels of E_j that a pair survives (nested subsampling).
-  [[nodiscard]] std::size_t edge_level_of(std::uint64_t pair) const;
-  [[nodiscard]] std::size_t y_level_of(Vertex v) const;
+  [[nodiscard]] LinearKvConfig table_config(unsigned level) const;
 
   [[nodiscard]] Pass1Page& page_at(unsigned r, std::size_t j) {
     return pass1_pages_[(r - 1) * edge_levels_ + j];
   }
-  void ensure_page_geometry(Pass1Page& page, unsigned r, std::size_t j);
+  // Lazily materializes terminal t's H^u_* level bank: a terminal no pass-2
+  // update ever lands in never pays for construction (the between-pass
+  // advance is O(touched)).
+  [[nodiscard]] KvTableBank& bank_for(std::size_t t);
   // Materializes cells/touched and registers the (keeper, page) touch in the
   // diagnostics, mirroring the historical map's lazy emplace.
   [[nodiscard]] OneSparseCell* page_stripe(Pass1Page& page, Vertex keeper);
   void validate_entries(std::span<const SpannerBatchEntry> entries) const;
-  // Is v a member of terminal tree `term`?  CSR probe over the sorted
-  // member list (short lists scan linearly, longer ones binary-search).
+  // Per-entry pass-2 scatter shared by pass2_ingest and the row form's
+  // per-instance fallback (the exact per-update arithmetic of
+  // pass2_update, batch-shaped).
+  void pass2_ingest_each(std::span<const SpannerBatchEntry> entries);
+  // Is v a member of terminal tree `term`?  O(1): each vertex belongs to at
+  // most one tree per level, so v is in `term` iff `term` IS the tree at
+  // term's level containing v (tree_at_level_, built at finish_pass1; the
+  // historical CSR member lists cost a probe per (update, side, instance)).
   [[nodiscard]] bool is_member(std::size_t term, Vertex v) const {
-    const std::uint32_t begin = member_offsets_[term];
-    const std::uint32_t end = member_offsets_[term + 1];
-    if (end - begin <= 8) {
-      for (std::uint32_t i = begin; i < end; ++i) {
-        if (members_csr_[i] == v) return true;
-      }
-      return false;
-    }
-    return std::binary_search(members_csr_.begin() + begin,
-                              members_csr_.begin() + end, v);
+    return tree_at_level_[static_cast<std::size_t>(terminals_[term].level) *
+                              n_ +
+                          v] == static_cast<std::uint32_t>(term);
   }
 
   [[nodiscard]] std::optional<Connector> sketch_connector(
       unsigned level, const std::vector<Vertex>& members);
 
-  // Derives every pass-2 structure (terminals_, member CSR, empty tables_,
-  // terminal_of_vertex_, y_caps_) from forest_.  Shared by finish_pass1()
-  // and deserialize() (which loads forest_ then table states into the
-  // freshly derived empty tables).
+  // Derives every pass-2 structure (terminals_, member CSR, the empty lazy
+  // bank slots, terminal_of_vertex_) from forest_.  Shared by finish_pass1()
+  // and deserialize() (which loads forest_ then bank states into freshly
+  // materialized banks).
   void prepare_pass2_structures();
 
   void note_augmented(const Edge& e);
 
+  // Shared (possibly row-shared) randomness + precomputes; immutable.  The
+  // scalar mirrors below are copies of geo_ fields kept for serialization
+  // compatibility and terse hot-path reads.
+  std::shared_ptr<const SpannerGeometry> geo_;
   Vertex n_;
   TwoPassConfig config_;
   Phase phase_ = Phase::kPass1;
-  ClusterHierarchy hierarchy_;
-  std::size_t edge_levels_;    // log2(n^2) + 1 sampling levels for E_j
-  std::size_t vertex_levels_;  // Y_j levels at half-octave rates 2^{-j/2}
-  KWiseHash edge_level_hash_;
-  KWiseHash y_hash_;
-  std::vector<std::uint64_t> y_thresholds_;  // survive j iff hash < thresh[j]
+  std::size_t edge_levels_;
+  std::size_t vertex_levels_;
+  std::size_t pass1_cell_count_ = 0;
+  std::size_t coord_bytes_ = 1;
 
   // Pass 1: (k-1) * edge_levels_ pages (see Pass1Page).
   std::vector<Pass1Page> pass1_pages_;
-  std::size_t pass1_cell_count_ = 0;  // rows * buckets per (u, r, j) sketch
-  std::size_t coord_bytes_ = 1;       // radix-256 digits covering pair ids
 
   // Between passes.
   std::optional<ClusterForest> forest_;
   std::vector<CopyRef> terminals_;
   std::vector<std::uint32_t> terminal_of_vertex_;  // index into terminals_
-  // Terminal membership as a CSR of sorted member lists (O(n * k) total --
-  // each vertex appears in at most one tree per level, so a bit MATRIX
-  // would be Theta(terminals * n) for nothing) and the per-vertex Y_j
-  // level cap, both precomputed at finish_pass1() so pass 2 does no
-  // per-update hashing or hash-set probing.
-  std::vector<std::uint32_t> member_offsets_;  // terminals + 1 fences
-  std::vector<Vertex> members_csr_;            // concatenated sorted lists
-  std::vector<std::uint8_t> y_caps_;
+  // (level, v) -> index of the level-`level` terminal tree containing v
+  // (kNoTree if none): O(n * k) words, precomputed at finish_pass1() so
+  // pass-2 membership tests are one table read (see is_member).
+  static constexpr std::uint32_t kNoTree = ~std::uint32_t{0};
+  std::vector<std::uint32_t> tree_at_level_;  // (k + 1) * n slots
 
-  // Pass 2: H^u_j tables, one vector per terminal copy.
-  std::vector<std::vector<LinearKeyValueSketch>> tables_;
+  // Pass 2: one H^u_* level bank per terminal copy, materialized on first
+  // touch (see bank_for).
+  std::vector<std::unique_ptr<KvTableBank>> banks_;
 
   TwoPassDiagnostics diagnostics_;
   std::size_t pass1_touched_bytes_ = 0;  // recorded before pass-1 teardown

@@ -4,7 +4,7 @@
 ///
 ///   offset  size  field
 ///   0       4     magic 'KWSK' (0x4B53574B as LE u32 from bytes K W S K)
-///   4       4     format version (currently 1)
+///   4       4     format version (currently 2)
 ///   8       4     type tag (fourcc of the serialized type, e.g. 'BKGR')
 ///   12      8     payload length in bytes
 ///   20      len   payload (type-specific, parsed by Reader)
@@ -57,7 +57,10 @@ class DemuxProcessor;
 namespace ser {
 
 constexpr std::uint32_t kMagic = 0x4B53574Bu;  // 'KWSK' little-endian
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: KvTableBank blocks became level diffs and the pass-2 bank seed chain
+// went per-capacity-class (shared fleet geometry); v1 spanner checkpoints
+// would decode silently wrong, so the version gate rejects them.
+constexpr std::uint32_t kFormatVersion = 2;
 
 [[nodiscard]] constexpr std::uint32_t fourcc(char a, char b, char c,
                                              char d) noexcept {

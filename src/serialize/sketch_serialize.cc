@@ -120,6 +120,63 @@ void DistinctElementsSketch::deserialize(ser::Reader& r) {
   }
 }
 
+// ---- KvTableBank --------------------------------------------------------
+
+void KvTableBank::serialize_state(ser::Writer& w) const {
+  w.begin_section("kv_bank.state");
+  // entries_ is insertion-ordered (update arrival); sort by slot id so
+  // save -> load -> save is byte-identical regardless of update order.
+  std::vector<std::uint32_t> order(entries_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return entries_[a].slot_id < entries_[b].slot_id;
+            });
+  w.u64(entries_.size());
+  w.u64(levels_);
+  w.u64(cell_stride_);
+  for (const std::uint32_t i : order) {
+    const Entry& e = entries_[i];
+    w.u64(e.slot_id);
+    w.u64(e.block.size() / cell_stride_);  // touched levels 0..jcap
+    // Rows are the in-memory LEVEL DIFFS (level j's value is the suffix sum
+    // of rows >= j); readers get the same representation back, so merge /
+    // decode semantics round-trip unchanged.
+    for (const OneSparseCell& c : e.block) ser::put_cell(w, c);
+  }
+  w.end_section();
+}
+
+void KvTableBank::deserialize_state(ser::Reader& r) {
+  const std::uint64_t count = r.u64();
+  ser::check_field(r.u64(), levels_, "KvTableBank levels");
+  ser::check_field(r.u64(), cell_stride_, "KvTableBank cell stride");
+  const std::uint64_t slot_limit = config().tables * cells_per_table_;
+  entries_.clear();
+  ht_slot_.clear();
+  ht_index_.clear();
+  entries_.reserve(count);
+  std::uint64_t prev_slot = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    e.slot_id = r.u64();
+    if (e.slot_id >= slot_limit || (i > 0 && e.slot_id <= prev_slot)) {
+      throw ser::SerializeError(
+          "KvTableBank slot id out of order or out of range");
+    }
+    prev_slot = e.slot_id;
+    const std::uint64_t touched_levels = r.u64();
+    if (touched_levels == 0 || touched_levels > levels_) {
+      throw ser::SerializeError("KvTableBank touched level count invalid");
+    }
+    e.block.resize(static_cast<std::size_t>(touched_levels) * cell_stride_);
+    for (OneSparseCell& c : e.block) c = ser::get_cell(r);
+    entries_.push_back(std::move(e));
+  }
+  // One rebuild at the final size (grow_table sizes off entries_.size()).
+  if (!entries_.empty()) grow_table();
+}
+
 // ---- LinearKeyValueSketch -----------------------------------------------
 
 void LinearKeyValueSketch::serialize_state(ser::Writer& w) const {

@@ -196,10 +196,11 @@ void TwoPassSpanner::serialize(ser::Writer& w) const {
   put_edge_map(w, augmented_);
   w.u64(terminals_.size());
   w.end_section();
-  for (const auto& per_level : tables_) {
-    for (const LinearKeyValueSketch& table : per_level) {
-      table.serialize_state(w);
-    }
+  // Lazy bank fleet: a presence flag per terminal, state only for banks a
+  // pass-2 update actually materialized.
+  for (const auto& bank : banks_) {
+    w.u8(bank ? 1 : 0);
+    if (bank) bank->serialize_state(w);
   }
 }
 
@@ -241,10 +242,8 @@ void TwoPassSpanner::deserialize(ser::Reader& r) {
     forest_.reset();
     terminals_.clear();
     terminal_of_vertex_.clear();
-    member_offsets_.clear();
-    members_csr_.clear();
-    y_caps_.clear();
-    tables_.clear();
+    tree_at_level_.clear();
+    banks_.clear();
     pass1_touched_bytes_ = 0;
     diagnostics_.pass1_sketches_touched = static_cast<std::size_t>(r.u64());
     diagnostics_.pass1_scan_failures = static_cast<std::size_t>(r.u64());
@@ -263,7 +262,7 @@ void TwoPassSpanner::deserialize(ser::Reader& r) {
     return;
   }
 
-  forest_.emplace(hierarchy_);
+  forest_.emplace(geo_->hierarchy);
   forest_->deserialize(r);
   diagnostics_.pass1_sketches_touched = static_cast<std::size_t>(r.u64());
   diagnostics_.pass1_scan_failures = static_cast<std::size_t>(r.u64());
@@ -272,19 +271,16 @@ void TwoPassSpanner::deserialize(ser::Reader& r) {
   get_size_vector(r, diagnostics_.terminals_per_level);
   pass1_touched_bytes_ = static_cast<std::size_t>(r.u64());
   get_edge_map(r, n_, augmented_);
-  // Rebuild every pass-2 structure from the loaded forest (fresh empty
-  // tables included), then overwrite the table states.
+  // Rebuild every pass-2 structure from the loaded forest (banks all null),
+  // then materialize exactly the banks the writer had.
   prepare_pass2_structures();
   ser::check_field(r.u64(), terminals_.size(), "TwoPassSpanner terminals");
-  for (auto& per_level : tables_) {
-    for (LinearKeyValueSketch& table : per_level) {
-      table.deserialize_state(r);
-    }
+  for (std::size_t t = 0; t < terminals_.size(); ++t) {
+    if (r.u8() != 0) bank_for(t).deserialize_state(r);
   }
   for (Pass1Page& page : pass1_pages_) {
     page.cells = {};
     page.touched = {};
-    page.geometry.reset();
   }
   phase_ = Phase::kPass2;
 }

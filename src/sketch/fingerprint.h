@@ -34,12 +34,13 @@ namespace kw {
 //
 // The radix-16/radix-256 walk tables behind pow_pair()/pow_pair_bytes() are
 // a batched-ingest accelerator: ~27 KiB and ~2000 field multiplies per
-// basis.  Sketches that are instantiated by the tens of thousands with
-// DISTINCT seeds (the KP12 fleet's per-(terminal, level) kv tables -- whose
-// bases can never be shared because the seeds differ) opt out via
-// full_tables = false: pow_pair*() then falls back to the square tables
-// with bit-identical results, construction drops to the 88 squarings, and
-// the basis costs ~0.7 KiB instead of ~28 KiB.
+// basis.  Sketches instantiated by the tens of thousands with DISTINCT
+// seeds opt out via full_tables = false: pow_pair*() then falls back to
+// the square tables with bit-identical results, construction drops to the
+// 88 squarings, and the basis costs ~0.7 KiB instead of ~28 KiB.  (The
+// historical poster child -- the KP12 fleet's per-terminal kv tables --
+// moved to a row-shared KvBankGeometry whose single basis DOES carry full
+// tables; today the compact form serves standalone/multipass sketches.)
 class FingerprintBasis {
  public:
   static constexpr std::size_t kPowBits = 44;

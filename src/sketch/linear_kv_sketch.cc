@@ -25,6 +25,495 @@ constexpr std::size_t kFirstTouchReserve = 32;
 
 }  // namespace
 
+// ---- KvBankGeometry -----------------------------------------------------
+
+KvBankGeometry::KvBankGeometry(std::vector<LinearKvConfig> configs,
+                               bool stage_scatter)
+    : configs_(std::move(configs)),
+      cell_stride_(0),
+      payload_rows_(0),
+      tables_(configs_.empty() ? 0 : configs_.front().tables),
+      max_key_(configs_.empty() ? 0 : configs_.front().max_key),
+      // Full radix tables: ONE basis serves the whole fleet, so the
+      // per-basis table cost the compact per-terminal bases were dodging
+      // amortizes over every bank and every update.
+      key_basis_(configs_.empty()
+                     ? 0
+                     : derive_seed(configs_.front().seed, 0x51),
+                 /*full_tables=*/true),
+      payload_geometry_([&] {
+        if (configs_.empty()) {
+          throw std::invalid_argument("bank geometry needs >= 1 config");
+        }
+        SparseRecoveryConfig pc = payload_config(configs_.front());
+        pc.full_pow_tables = true;
+        return pc;
+      }()),
+      table_hashes_(configs_.front().tables, /*independence=*/4,
+                    derive_seed(configs_.front().seed, 0x53)) {
+  const LinearKvConfig& lead = configs_.front();
+  if (lead.tables == 0) throw std::invalid_argument("tables must be > 0");
+  for (const LinearKvConfig& c : configs_) {
+    if (c.seed != lead.seed || c.max_key != lead.max_key ||
+        c.max_payload_coord != lead.max_payload_coord ||
+        c.tables != lead.tables || c.payload_budget != lead.payload_budget ||
+        c.payload_rows != lead.payload_rows) {
+      throw std::invalid_argument(
+          "bank geometry classes may differ only in capacity");
+    }
+    if (c.load_factor <= 0.0 || c.load_factor > 1.0) {
+      throw std::invalid_argument("load_factor must be in (0,1]");
+    }
+    cells_per_table_.push_back(std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::ceil(static_cast<double>(c.capacity) /
+                                              c.load_factor))));
+  }
+  cell_stride_ = 1 + payload_geometry_.cell_count();
+  payload_rows_ = payload_geometry_.rows();
+  key_bytes_ = std::max<std::size_t>(
+      1, (std::bit_width(std::max<std::uint64_t>(lead.max_key, 1)) + 7) / 8);
+  payload_bytes_ = std::max<std::size_t>(
+      1, (std::bit_width(
+              std::max<std::uint64_t>(lead.max_payload_coord, 1)) +
+          7) /
+             8);
+  if (!stage_scatter) return;
+  // Staged scatter operands, one sweep per kind over the key / payload
+  // coordinate spaces.  Everything here is a pure function of the shared
+  // randomness, so a fleet of banks -- and every batch fed to them --
+  // reads the same tables.
+  key_terms_.resize(2 * max_key_);
+  for (std::uint64_t v = 0; v < max_key_; ++v) {
+    key_basis_.pow_pair_bytes(v + 1, key_bytes_, &key_terms_[2 * v],
+                              &key_terms_[2 * v + 1]);
+  }
+  const std::uint64_t max_coord = lead.max_payload_coord;
+  pay_terms_.resize(2 * max_coord);
+  pay_cells_.resize(max_coord * payload_rows_);
+  for (std::uint64_t v = 0; v < max_coord; ++v) {
+    payload_geometry_.basis().pow_pair_bytes(
+        v + 1, payload_bytes_, &pay_terms_[2 * v], &pay_terms_[2 * v + 1]);
+    for (std::size_t row = 0; row < payload_rows_; ++row) {
+      pay_cells_[v * payload_rows_ + row] =
+          static_cast<std::uint32_t>(payload_geometry_.cell_index(row, v));
+    }
+  }
+  buckets_.resize(configs_.size() * max_key_ * tables_);
+  for (std::size_t cls = 0; cls < configs_.size(); ++cls) {
+    const std::size_t cells = cells_per_table_[cls];
+    for (std::uint64_t v = 0; v < max_key_; ++v) {
+      std::uint32_t* out = buckets_.data() + (cls * max_key_ + v) * tables_;
+      for (std::size_t t = 0; t < tables_; ++t) {
+        out[t] = static_cast<std::uint32_t>(table_hashes_[t].bucket(v, cells));
+      }
+    }
+  }
+}
+
+// ---- KvTableBank --------------------------------------------------------
+
+KvTableBank::KvTableBank(const LinearKvConfig& config, std::size_t levels)
+    : KvTableBank(KvBankGeometry::make({config}), 0, levels) {}
+
+KvTableBank::KvTableBank(std::shared_ptr<const KvBankGeometry> geometry,
+                         std::size_t cls, std::size_t levels)
+    : geo_(std::move(geometry)), cls_(cls), levels_(levels) {
+  if (geo_ == nullptr || cls_ >= geo_->classes()) {
+    throw std::invalid_argument("bank needs a geometry covering its class");
+  }
+  if (levels == 0) throw std::invalid_argument("bank needs levels >= 1");
+  cells_per_table_ = geo_->cells_per_table(cls_);
+  cell_stride_ = geo_->cell_stride();
+}
+
+std::uint64_t KvTableBank::slot(std::size_t table, std::uint64_t key) const {
+  return table * cells_per_table_ +
+         geo_->table_hashes()[table].bucket(key, cells_per_table_);
+}
+
+void KvTableBank::grow_table() {
+  // Sized off the live entry count (not a doubling chain) so one rebuild
+  // after a bulk load -- deserialize_state fills entries_ first -- lands at
+  // the right size directly.
+  const std::size_t size = std::max<std::size_t>(
+      16, std::bit_ceil((entries_.size() + 1) * 2));
+  ht_slot_.assign(size, kEmptySlot);
+  ht_index_.assign(size, 0);
+  const int shift = 64 - std::countr_zero(size);
+  const std::size_t mask = size - 1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::size_t pos = static_cast<std::size_t>(
+        (entries_[i].slot_id * 0x9e3779b97f4a7c15ULL) >> shift);
+    while (ht_slot_[pos] != kEmptySlot) pos = (pos + 1) & mask;
+    ht_slot_[pos] = entries_[i].slot_id;
+    ht_index_[pos] = static_cast<std::uint32_t>(i);
+  }
+}
+
+KvTableBank::Entry& KvTableBank::entry_at(std::uint64_t slot_id) {
+  if (ht_slot_.empty() || (entries_.size() + 1) * 2 > ht_slot_.size()) {
+    grow_table();
+  }
+  const int shift = 64 - std::countr_zero(ht_slot_.size());
+  const std::size_t mask = ht_slot_.size() - 1;
+  std::size_t pos =
+      static_cast<std::size_t>((slot_id * 0x9e3779b97f4a7c15ULL) >> shift);
+  while (ht_slot_[pos] != kEmptySlot && ht_slot_[pos] != slot_id) {
+    pos = (pos + 1) & mask;
+  }
+  if (ht_slot_[pos] == slot_id) return entries_[ht_index_[pos]];
+  ht_slot_[pos] = slot_id;
+  ht_index_[pos] = static_cast<std::uint32_t>(entries_.size());
+  Entry e;
+  e.slot_id = slot_id;
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+const KvTableBank::Entry* KvTableBank::find_entry(
+    std::uint64_t slot_id) const {
+  if (ht_slot_.empty()) return nullptr;
+  const int shift = 64 - std::countr_zero(ht_slot_.size());
+  const std::size_t mask = ht_slot_.size() - 1;
+  std::size_t pos =
+      static_cast<std::size_t>((slot_id * 0x9e3779b97f4a7c15ULL) >> shift);
+  while (ht_slot_[pos] != kEmptySlot) {
+    if (ht_slot_[pos] == slot_id) return &entries_[ht_index_[pos]];
+    pos = (pos + 1) & mask;
+  }
+  return nullptr;
+}
+
+void KvTableBank::update(std::uint64_t key, std::int64_t key_delta,
+                         std::uint64_t payload_coord,
+                         std::int64_t payload_delta, std::size_t jmax) {
+  const KvBankGeometry& g = *geo_;
+  const LinearKvConfig& config = g.config(cls_);
+  if (key >= config.max_key) {
+    throw std::out_of_range("kv bank key out of range");
+  }
+  if (jmax >= levels_) {
+    throw std::out_of_range("kv bank level out of range");
+  }
+  if (key_delta == 0 && payload_delta == 0) return;
+  // Stage once for the whole table fan-out: key term pair, payload term
+  // pair, payload row buckets (read from the geometry's staged tables when
+  // it carries them -- same values either way).
+  std::uint64_t kt1 = 0;
+  std::uint64_t kt2 = 0;
+  const bool staged = g.staged();
+  if (key_delta != 0) {
+    if (staged) {
+      const std::uint64_t* kt = g.key_term(key);
+      kt1 = kt[0];
+      kt2 = kt[1];
+    } else {
+      g.key_basis().pow_pair_bytes(key + 1, g.key_bytes(), &kt1, &kt2);
+    }
+    const std::uint64_t df = field_from_signed(key_delta);
+    if (df != 1) {
+      kt1 = field_mul(df, kt1);
+      kt2 = field_mul(df, kt2);
+    }
+  }
+  std::uint64_t pt1 = 0;
+  std::uint64_t pt2 = 0;
+  constexpr std::size_t kMaxStagedPayloadRows = 8;
+  std::uint32_t pcell_buf[kMaxStagedPayloadRows] = {};
+  const std::uint32_t* pcell = pcell_buf;
+  const std::size_t payload_rows = g.payload_rows();
+  const bool staged_rows = staged || payload_rows <= kMaxStagedPayloadRows;
+  if (payload_delta != 0) {
+    if (payload_coord >= config.max_payload_coord) {
+      throw std::out_of_range("sparse recovery coordinate out of range");
+    }
+    if (staged) {
+      const std::uint64_t* pt = g.pay_term(payload_coord);
+      pt1 = pt[0];
+      pt2 = pt[1];
+      pcell = g.pay_cells(payload_coord);
+    } else {
+      g.payload_geometry().basis().pow_pair_bytes(
+          payload_coord + 1, g.payload_bytes(), &pt1, &pt2);
+      if (staged_rows) {
+        for (std::size_t row = 0; row < payload_rows; ++row) {
+          pcell_buf[row] = static_cast<std::uint32_t>(
+              g.payload_geometry().cell_index(row, payload_coord));
+        }
+      }
+    }
+    const std::uint64_t df = field_from_signed(payload_delta);
+    if (df != 1) {
+      pt1 = field_mul(df, pt1);
+      pt2 = field_mul(df, pt2);
+    }
+  }
+  // Diff representation: the whole level prefix 0..jmax is recorded by one
+  // cell-row write at jmax (levels materialize as suffix sums).
+  const std::size_t want = (jmax + 1) * cell_stride_;
+  for (std::size_t t = 0; t < config.tables; ++t) {
+    Entry& entry = entry_at(slot(t, key));
+    if (entry.block.size() < want) entry.block.resize(want);
+    OneSparseCell* cells = entry.block.data() + jmax * cell_stride_;
+    if (key_delta != 0) {
+      cells[0].add_term(key, key_delta, kt1, kt2);
+    }
+    if (payload_delta != 0) {
+      if (staged_rows) {
+        for (std::size_t row = 0; row < payload_rows; ++row) {
+          cells[1 + pcell[row]].add_term(payload_coord, payload_delta, pt1,
+                                         pt2);
+        }
+      } else {
+        for (std::size_t row = 0; row < payload_rows; ++row) {
+          cells[1 + g.payload_geometry().cell_index(row, payload_coord)]
+              .add_term(payload_coord, payload_delta, pt1, pt2);
+        }
+      }
+    }
+  }
+}
+
+void KvTableBank::update_staged(std::uint64_t key, std::int64_t key_delta,
+                                std::uint64_t payload_coord,
+                                std::int64_t payload_delta, std::size_t jmax,
+                                std::uint64_t kt1, std::uint64_t kt2,
+                                std::uint64_t pt1, std::uint64_t pt2) {
+  if (key_delta == 0 && payload_delta == 0) return;
+  const KvBankGeometry& g = *geo_;
+  const std::uint32_t* buckets = g.buckets(cls_, key);
+  const std::uint32_t* pcell = g.pay_cells(payload_coord);
+  const std::size_t payload_rows = g.payload_rows();
+  const std::size_t tables = g.config(cls_).tables;
+  const std::size_t want = (jmax + 1) * cell_stride_;
+  for (std::size_t t = 0; t < tables; ++t) {
+    Entry& entry = entry_at(t * cells_per_table_ + buckets[t]);
+    if (entry.block.size() < want) entry.block.resize(want);
+    OneSparseCell* cells = entry.block.data() + jmax * cell_stride_;
+    if (key_delta != 0) {
+      cells[0].add_term(key, key_delta, kt1, kt2);
+    }
+    if (payload_delta != 0) {
+      for (std::size_t row = 0; row < payload_rows; ++row) {
+        cells[1 + pcell[row]].add_term(payload_coord, payload_delta, pt1, pt2);
+      }
+    }
+  }
+}
+
+void KvTableBank::merge(const KvTableBank& other, std::int64_t sign) {
+  if (other.config().seed != config().seed ||
+      other.config().max_key != config().max_key ||
+      other.cells_per_table_ != cells_per_table_ ||
+      other.config().tables != config().tables || other.levels_ != levels_) {
+    throw std::invalid_argument("merging incompatible kv banks");
+  }
+  for (const Entry& theirs : other.entries_) {
+    Entry& mine = entry_at(theirs.slot_id);
+    if (mine.block.size() < theirs.block.size()) {
+      mine.block.resize(theirs.block.size());
+    }
+    for (std::size_t c = 0; c < theirs.block.size(); ++c) {
+      mine.block[c].merge(theirs.block[c], sign);
+    }
+  }
+}
+
+bool KvTableBank::is_zero() const noexcept {
+  for (const Entry& e : entries_) {
+    for (const OneSparseCell& c : e.block) {
+      if (!c.is_zero()) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<KvEntry>> KvTableBank::decode(
+    std::size_t level) const {
+  if (level >= levels_) {
+    throw std::out_of_range("kv bank level out of range");
+  }
+  // Same peeled-overlay scheme as LinearKeyValueSketch::decode.  The blocks
+  // store level DIFFS, so the level's cells are materialized first as the
+  // suffix sum of each entry's rows >= level (an entry whose block does not
+  // reach this level is zero here); the peeling below then reads the
+  // materialized values, identical to the historical per-level storage.
+  struct OverlayCell {
+    OneSparseCell key_part;
+    std::vector<OneSparseCell> payload;
+  };
+  const std::size_t payload_cells = cell_stride_ - 1;
+  std::unordered_map<std::uint64_t, OverlayCell> peeled;
+  peeled.reserve(entries_.size());
+  std::vector<KvEntry> found;
+
+  std::vector<OneSparseCell> mat(entries_.size() * cell_stride_);
+  std::vector<char> reaches(entries_.size(), 0);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const std::size_t jcap = e.block.size() / cell_stride_;
+    if (jcap <= level) continue;
+    reaches[i] = 1;
+    OneSparseCell* out = mat.data() + i * cell_stride_;
+    for (std::size_t j = level; j < jcap; ++j) {
+      const OneSparseCell* row = e.block.data() + j * cell_stride_;
+      for (std::size_t c = 0; c < cell_stride_; ++c) out[c].merge(row[c], 1);
+    }
+  }
+  const auto stored_cells = [&](std::uint64_t slot_id) -> const OneSparseCell* {
+    const Entry* e = find_entry(slot_id);
+    if (e == nullptr) return nullptr;
+    const std::size_t i = static_cast<std::size_t>(e - entries_.data());
+    if (reaches[i] == 0) return nullptr;
+    return mat.data() + i * cell_stride_;
+  };
+  const auto overlay_at = [&](std::uint64_t slot_id) -> const OverlayCell* {
+    const auto it = peeled.find(slot_id);
+    return it == peeled.end() ? nullptr : &it->second;
+  };
+  const auto effective_key = [&](std::uint64_t slot_id) -> OneSparseCell {
+    OneSparseCell key;
+    if (const OneSparseCell* stored = stored_cells(slot_id)) key = stored[0];
+    if (const OverlayCell* sub = overlay_at(slot_id)) {
+      key.merge(sub->key_part, -1);
+    }
+    return key;
+  };
+  const auto for_each_candidate = [&](const auto& fn) {
+    for (const Entry& e : entries_) {
+      if (!fn(e.slot_id)) return false;
+    }
+    for (const auto& [slot_id, cell] : peeled) {
+      (void)cell;
+      if (find_entry(slot_id) == nullptr && !fn(slot_id)) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    std::optional<KvEntry> next;
+    for_each_candidate([&](std::uint64_t slot_id) {
+      const OneSparseCell key = effective_key(slot_id);
+      Recovered rec;
+      if (key.count != 0 &&
+          classify_cell(key, config().max_key, geo_->key_basis(), &rec) ==
+              CellState::kOneSparse) {
+        KvEntry entry;
+        entry.key = rec.coord;
+        entry.key_count = rec.value;
+        entry.payload.assign(payload_cells, OneSparseCell{});
+        if (const OneSparseCell* stored = stored_cells(slot_id)) {
+          for (std::size_t i = 0; i < payload_cells; ++i) {
+            entry.payload[i] = stored[1 + i];
+          }
+        }
+        if (const OverlayCell* sub = overlay_at(slot_id)) {
+          for (std::size_t i = 0; i < payload_cells; ++i) {
+            entry.payload[i].merge(sub->payload[i], -1);
+          }
+        }
+        next = std::move(entry);
+        return false;
+      }
+      return true;
+    });
+    if (!next.has_value()) break;
+
+    for (std::size_t t = 0; t < config().tables; ++t) {
+      const std::uint64_t s = slot(t, next->key);
+      auto it = peeled.find(s);
+      if (it == peeled.end()) {
+        it = peeled.emplace(s, OverlayCell{}).first;
+        it->second.payload.assign(payload_cells, OneSparseCell{});
+      }
+      it->second.key_part.add(next->key, next->key_count, geo_->key_basis());
+      for (std::size_t i = 0; i < payload_cells; ++i) {
+        it->second.payload[i].merge(next->payload[i], 1);
+      }
+    }
+    found.push_back(std::move(*next));
+  }
+
+  const auto effectively_zero = [&](std::uint64_t slot_id) {
+    if (!effective_key(slot_id).is_zero()) return false;
+    const OneSparseCell* stored = stored_cells(slot_id);
+    const OverlayCell* sub = overlay_at(slot_id);
+    for (std::size_t i = 0; i < payload_cells; ++i) {
+      OneSparseCell c;
+      if (stored != nullptr) c = stored[1 + i];
+      if (sub != nullptr) c.merge(sub->payload[i], -1);
+      if (!c.is_zero()) return false;
+    }
+    return true;
+  };
+  if (!for_each_candidate(effectively_zero)) return std::nullopt;
+
+  std::sort(found.begin(), found.end(),
+            [](const KvEntry& a, const KvEntry& b) { return a.key < b.key; });
+  std::vector<KvEntry> out;
+  for (auto& e : found) {
+    if (!out.empty() && out.back().key == e.key) {
+      out.back().key_count += e.key_count;
+      for (std::size_t i = 0; i < out.back().payload.size(); ++i) {
+        out.back().payload[i].merge(e.payload[i], 1);
+      }
+    } else {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<Recovered>> KvTableBank::decode_payload(
+    const KvEntry& entry) const {
+  return geo_->payload_geometry().decode_state(entry.payload);
+}
+
+std::size_t KvTableBank::nominal_bytes(const LinearKvConfig& config,
+                                       std::size_t levels) noexcept {
+  // Mirrors the historical per-level LinearKeyValueSketch accounting so the
+  // space-claim numbers stay comparable across baselines: per level, tables
+  // * cells_per_table dense cells (key detector + embedded payload sketch)
+  // plus the config header.
+  const std::size_t cells_per_table = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::ceil(
+             static_cast<double>(config.capacity) / config.load_factor)));
+  const std::size_t payload_cells =
+      config.payload_rows * 2 * std::max<std::size_t>(config.payload_budget, 1);
+  const std::size_t cell_bytes = sizeof(OneSparseCell) * (1 + payload_cells);
+  return levels *
+         (config.tables * cells_per_table * cell_bytes +
+          sizeof(LinearKvConfig));
+}
+
+std::size_t KvTableBank::touched_bytes() const noexcept {
+  // Count LIVE (slot, level) cells only, matching the historical per-level
+  // erase-at-zero maps: a level whose state cancelled to zero costs nothing,
+  // so per-update churn and an aggregated batch report the same footprint.
+  // Liveness is a property of the MATERIALIZED level (the suffix sum of the
+  // stored diff rows), so the walk runs deepest-first, folding rows into a
+  // running accumulator and testing that.
+  std::size_t live_levels = 0;
+  std::vector<OneSparseCell> acc(cell_stride_);
+  for (const Entry& e : entries_) {
+    const std::size_t jcap = e.block.size() / cell_stride_;
+    std::fill(acc.begin(), acc.end(), OneSparseCell{});
+    for (std::size_t j = jcap; j-- > 0;) {
+      const OneSparseCell* cells = e.block.data() + j * cell_stride_;
+      bool live = false;
+      for (std::size_t c = 0; c < cell_stride_; ++c) {
+        acc[c].merge(cells[c], 1);
+        live = live || !acc[c].is_zero();
+      }
+      if (live) ++live_levels;
+    }
+  }
+  return live_levels * cell_stride_ * sizeof(OneSparseCell) +
+         sizeof(LinearKvConfig);
+}
+
+// ---- LinearKeyValueSketch -----------------------------------------------
+
 bool LinearKeyValueSketch::Cell::is_zero() const noexcept {
   if (!key_part.is_zero()) return false;
   return std::all_of(payload.begin(), payload.end(),
@@ -36,9 +525,10 @@ LinearKeyValueSketch::LinearKeyValueSketch(const LinearKvConfig& config)
       cells_per_table_(std::max<std::size_t>(
           4, static_cast<std::size_t>(std::ceil(
                  static_cast<double>(config.capacity) / config.load_factor)))),
-      // Compact basis: kv sketches are instantiated per (terminal, level)
-      // with distinct seeds -- tens of thousands of them in the KP12 fleet
-      // -- and their pow fallbacks stay on the square tables.
+      // Compact basis: standalone kv sketches are instantiated with
+      // distinct seeds (one per multipass phase table), so their pow
+      // fallbacks stay on the square tables; fleet consumers share a
+      // full-table KvBankGeometry instead.
       key_basis_(derive_seed(config.seed, 0x51), /*full_tables=*/false),
       payload_geometry_(payload_config(config)),
       table_hashes_(config.tables, /*independence=*/4,

@@ -1,0 +1,85 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+
+namespace kw {
+
+WorkerPool::WorkerPool(std::size_t lanes) : lanes_(std::max<std::size_t>(1, lanes)) {
+  const std::size_t extra = lanes_ - 1;
+  inboxes_.reserve(extra);
+  threads_.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    inboxes_.push_back(std::make_unique<SpscQueue<Job*>>(1));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& inbox : inboxes_) inbox->close();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t WorkerPool::resolve_lanes(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void WorkerPool::work(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
+        job.error = std::current_exception();
+      }
+    }
+  }
+  // `done` counts *lanes* that have drained, not tasks: a lane increments it
+  // exactly once, after its last touch of the job, so the caller can safely
+  // destroy the stack Job the moment done reaches the participant count.
+  // The release pairs with the caller's acquire wait: every write a task
+  // made is visible once all lanes have checked in.
+  job.done.fetch_add(1, std::memory_order_release);
+  job.done.notify_all();
+}
+
+void WorkerPool::worker_loop(std::size_t lane) {
+  SpscQueue<Job*>& inbox = *inboxes_[lane];
+  Job* job = nullptr;
+  while (inbox.pop(job)) {
+    work(*job);
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (lanes_ == 1 || count == 1) {
+    // Sequential fast path: no job object, exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  // Wake only as many threads as there are tasks beyond the caller's lane.
+  const std::size_t wake = std::min(inboxes_.size(), count - 1);
+  for (std::size_t i = 0; i < wake; ++i) inboxes_[i]->push(&job);
+  work(job);
+  const std::size_t participants = wake + 1;  // pool lanes + this caller
+  std::size_t seen = job.done.load(std::memory_order_acquire);
+  while (seen != participants) {
+    job.done.wait(seen, std::memory_order_acquire);
+    seen = job.done.load(std::memory_order_acquire);
+  }
+  if (job.failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(job.error);
+  }
+}
+
+}  // namespace kw

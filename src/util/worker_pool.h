@@ -1,0 +1,77 @@
+/// A small persistent worker pool for page-disjoint fan-out.
+///
+/// The KP12 sparsifier's instance fleet partitions cleanly into disjoint
+/// state islands (membership rows during ingest, whole instances during the
+/// between-pass advance), so a task scatter needs no aggregation protocol at
+/// all: every task writes only its own island, and the result is
+/// bit-identical to the sequential loop REGARDLESS of how tasks land on
+/// lanes.  That property is what lets run() hand out task indices through a
+/// shared atomic counter (natural load balancing) without giving up the
+/// determinism wall pinned in tests/test_kp12_fused.cc.
+///
+/// Structure follows the PR 6 concurrent-ingest driver: lanes - 1 persistent
+/// threads, each blocking on a 1-deep SpscQueue inbox of job pointers (the
+/// eventcount idiom in spsc_queue.h -- no spinning while idle); the caller
+/// is lane 0 and works too, then waits on the job's completion counter.
+/// Exceptions are captured once (first wins) and rethrown on the caller
+/// after every task finished, so a failed task cannot leave a peer writing
+/// into freed state.
+///
+/// A pool with lanes == 1 never starts a thread and run() is a plain loop --
+/// the sequential path stays allocation- and synchronization-free.
+#ifndef KW_UTIL_WORKER_POOL_H
+#define KW_UTIL_WORKER_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_queue.h"
+
+namespace kw {
+
+class WorkerPool {
+ public:
+  // lanes >= 1: the caller plus lanes - 1 pool threads.
+  explicit WorkerPool(std::size_t lanes);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  // Runs fn(0..count-1), tasks claimed through a shared counter.  Blocks
+  // until every claimed task returned; the first exception (if any) is
+  // rethrown here.  Not reentrant: one run() at a time per pool, and fn must
+  // only touch state disjoint from every other task's.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // config knob -> lane count: 0 means "auto" (hardware_concurrency).
+  [[nodiscard]] static std::size_t resolve_lanes(std::size_t requested);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // written by the failed.exchange winner only
+  };
+
+  static void work(Job& job);
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::unique_ptr<SpscQueue<Job*>>> inboxes_;  // one per thread
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace kw
+
+#endif  // KW_UTIL_WORKER_POOL_H

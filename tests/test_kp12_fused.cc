@@ -13,6 +13,7 @@
 
 #include "core/kp12_sparsifier.h"
 #include "graph/generators.h"
+#include "serialize/serialize.h"
 #include "stream/dynamic_stream.h"
 #include "stream/weight_classes.h"
 #include "util/random.h"
@@ -174,6 +175,112 @@ TEST(Kp12Fused, WeightedPipelineMatchesPerClassScalarRuns) {
     EXPECT_DOUBLE_EQ(fused.sparsifier.edges()[i].weight,
                      expect.edges()[i].weight);
   }
+}
+
+// ---- threaded determinism wall ------------------------------------------
+// The worker-pool scatter partitions work into disjoint state islands
+// (membership rows during absorb, whole instances during advance/finish),
+// so EVERY lane count must produce the same sketch state bit for bit --
+// checked at cell level through the canonical serialized form (sorted slot
+// ids; byte equality implies cell equality), not just through decoded
+// results.
+
+// Drives one fused pipeline at the given lane count and batch size over a
+// churn stream, capturing canonical state snapshots after pass 1 and
+// mid-pass-2, plus the final result.
+struct ThreadedRun {
+  std::string pass1_bytes;
+  std::string midpass2_bytes;
+  Kp12Result result;
+};
+
+[[nodiscard]] ThreadedRun run_threaded(Vertex n, const DynamicStream& stream,
+                                       std::size_t workers,
+                                       std::size_t batch_size) {
+  Kp12Config config = fused_config(71);
+  config.ingest_workers = workers;
+  const auto& ups = stream.updates();
+  Kp12Sparsifier sp(n, config);
+  ThreadedRun out;
+  for (std::size_t i = 0; i < ups.size(); i += batch_size) {
+    sp.absorb({ups.data() + i, std::min(batch_size, ups.size() - i)});
+  }
+  out.pass1_bytes = ser::save_to_bytes(sp);
+  sp.advance_pass();
+  const std::size_t half = ups.size() / 2;
+  for (std::size_t i = 0; i < half; i += batch_size) {
+    sp.absorb({ups.data() + i, std::min(batch_size, half - i)});
+  }
+  out.midpass2_bytes = ser::save_to_bytes(sp);
+  for (std::size_t i = half; i < ups.size(); i += batch_size) {
+    sp.absorb({ups.data() + i, std::min(batch_size, ups.size() - i)});
+  }
+  sp.finish();
+  out.result = sp.take_result();
+  return out;
+}
+
+TEST(Kp12Threaded, BitIdenticalAcrossWorkerCountsAndBatchSizes) {
+  const Graph g = erdos_renyi_gnm(40, 180, 61);
+  const DynamicStream stream = DynamicStream::with_churn(g, 100, 67);
+  constexpr std::size_t kWorkerCounts[] = {1, 2, 7, 0};  // 0 = hardware
+  constexpr std::size_t kBatchSizes[] = {17, 128};
+
+  // Scalar reference (per-update path, no pool involvement in absorb).
+  Kp12Sparsifier scalar(40, fused_config(71));
+  for (int pass = 0; pass < 2; ++pass) {
+    scalar.absorb_scalar(stream.updates());
+    if (pass == 0) scalar.advance_pass();
+  }
+  scalar.finish();
+  const Kp12Result scalar_result = scalar.take_result();
+
+  for (const std::size_t batch : kBatchSizes) {
+    const ThreadedRun ref = run_threaded(40, stream, 1, batch);
+    expect_results_identical(ref.result, scalar_result);
+    for (const std::size_t workers : kWorkerCounts) {
+      if (workers == 1) continue;
+      const ThreadedRun run = run_threaded(40, stream, workers, batch);
+      EXPECT_EQ(run.pass1_bytes, ref.pass1_bytes)
+          << "pass-1 cells diverged (workers=" << workers
+          << ", batch=" << batch << ")";
+      EXPECT_EQ(run.midpass2_bytes, ref.midpass2_bytes)
+          << "mid-pass-2 cells diverged (workers=" << workers
+          << ", batch=" << batch << ")";
+      expect_results_identical(run.result, ref.result);
+    }
+  }
+}
+
+TEST(Kp12Threaded, MidPass2CheckpointResumeRoundTrip) {
+  // Checkpoint a threaded pipeline in the middle of pass 2, restore it into
+  // a fresh instance (different lane count on purpose -- lanes are
+  // execution-only), feed both the identical remainder, and require
+  // identical final state bytes and results.
+  const Graph g = erdos_renyi_gnm(36, 160, 73);
+  const DynamicStream stream = DynamicStream::with_churn(g, 80, 79);
+  const auto& ups = stream.updates();
+  Kp12Config config = fused_config(83);
+  config.ingest_workers = 2;
+
+  Kp12Sparsifier original(36, config);
+  original.absorb(ups);
+  original.advance_pass();
+  const std::size_t half = ups.size() / 2;
+  original.absorb({ups.data(), half});
+  const std::string checkpoint = ser::save_to_bytes(original);
+
+  Kp12Config restored_config = config;
+  restored_config.ingest_workers = 7;
+  Kp12Sparsifier restored(36, restored_config);
+  ser::load_from_bytes(checkpoint, restored);
+
+  original.absorb({ups.data() + half, ups.size() - half});
+  restored.absorb({ups.data() + half, ups.size() - half});
+  EXPECT_EQ(ser::save_to_bytes(original), ser::save_to_bytes(restored));
+  original.finish();
+  restored.finish();
+  expect_results_identical(original.take_result(), restored.take_result());
 }
 
 }  // namespace

@@ -5,10 +5,13 @@ Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
                         [--strict] [--fail-over PCT]
 
 Matches results by name and warns when `updates_per_sec` dropped by more than
-the threshold (default 10%).  Exit code is 0 unless:
+the threshold (default 10%).  Rows present on only one side (a bench adding
+or retiring a measurement) are WARNINGS, never failures -- a renamed or new
+row should not block the PR that introduces it; only a measured regression
+on a row both sides share can fail.  Exit code is 0 unless:
   * --strict is given and ANY regression beyond --threshold was found, or
-  * --fail-over PCT is given and some measurement regressed by more than
-    PCT percent (or disappeared from the current run).
+  * --fail-over PCT is given and some shared measurement regressed by more
+    than PCT percent.
 
 --normalize-by NAME divides every measurement by measurement NAME on BOTH
 sides before comparing, turning the absolute updates/sec compare into a
@@ -80,9 +83,8 @@ def main():
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
-            print(f"MISSING  {name}: present in baseline, absent in current run")
-            regressions.append(name)
-            failures.append(name)
+            print(f"WARNING  {name}: present in baseline, absent in current "
+                  "run (retired or renamed row; not a failure)")
             continue
         b, c = base["updates_per_sec"] / norm_base, cur["updates_per_sec"] / norm_cur
         ratio = c / b if b else float("inf")
@@ -101,8 +103,9 @@ def main():
               f"({(ratio - 1.0) * 100:+.1f}%)")
 
     for name in sorted(set(current) - set(baseline)):
-        print(f"       new  {name}: {current[name]['updates_per_sec']:,.0f} "
-              "updates/sec (no baseline)")
+        print(f"   WARNING  {name}: "
+              f"{current[name]['updates_per_sec']:,.0f} updates/sec is new "
+              "(no baseline row; commit a re-baselined JSON to track it)")
 
     if regressions:
         print(f"\nWARNING: {len(regressions)} measurement(s) regressed more "
@@ -111,7 +114,7 @@ def main():
         print("\nAll measurements within threshold of the baseline.")
     if args.fail_over is not None and failures:
         print(f"FAIL: {len(failures)} measurement(s) regressed more than "
-              f"{args.fail_over:.0f}% (or went missing): {', '.join(failures)}")
+              f"{args.fail_over:.0f}%: {', '.join(failures)}")
         return 1
     if args.strict and regressions:
         return 1
