@@ -1,12 +1,18 @@
 // Serialization throughput and checkpoint overhead.
 //
-// Four measurements on the AGM spanning-forest processor over a churn
+// Five measurements on the AGM spanning-forest processor over a churn
 // workload (n=2048 full / n=512 quick):
 //
 //   forest_save                serialize the ingested sketch to bytes
 //   forest_load                restore those bytes into a fresh processor
 //   forest_ingest_plain        engine ingest, checkpointing off (anchor)
 //   forest_ingest_checkpointed same ingest + periodic checkpoints to disk
+//   forest_ingest_fault_hooks  the plain engine ingest + one DISARMED
+//                              fault::fire() per update -- per-UPDATE
+//                              granularity, far denser than the production
+//                              per-batch sites, so the compare_bench gate
+//                              on this row pins the disabled fast path
+//                              (one relaxed load + branch) at zero cost
 //
 // save/load report BYTES per second (the updates column holds the payload
 // size); the two ingest rows share units with bench_stream_engine so the
@@ -32,6 +38,7 @@
 #include "graph/generators.h"
 #include "serialize/serialize.h"
 #include "stream/dynamic_stream.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace {
@@ -39,7 +46,8 @@ namespace {
 using namespace kw;
 using namespace kw::bench;
 
-constexpr int kReps = 5;  // best-of wall clock, as in bench_stream_engine
+constexpr int kReps = 9;  // best-of wall clock; high rep count because the
+                          // fault-hooks gate compares ~10 ms quick-mode rows
 
 struct Result {
   std::string name;
@@ -184,6 +192,33 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  // ---- forest_ingest_fault_hooks -----------------------------------------
+  {
+    Result r;
+    r.name = "forest_ingest_fault_hooks";
+    r.updates = stream.size();
+    r.ms = 1e300;
+    r.ok = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      SpanningForestProcessor processor(n, config);
+      StreamEngine engine(StreamEngineOptions{batch, /*shards=*/1});
+      engine.attach(processor);
+      Timer timer;
+      // The exact plain-ingest code path, plus one disarmed site check per
+      // update on top: if the fast path were not free this row would fall
+      // measurably behind plain ingest.  fire() must return false --
+      // nothing is armed in a bench run.
+      for (const EdgeUpdate& u : updates) {
+        (void)u;
+        if (fault::fire(fault::site::kEngineAbsorbBatch)) r.ok = false;
+      }
+      (void)engine.run(stream);
+      r.ms = std::min(r.ms, timer.millis());
+      r.ok = r.ok && forest_edges(processor.take_result()) == reference;
+    }
+    results.push_back(r);
+  }
+
   // ---- forest_ingest_checkpointed ----------------------------------------
   {
     const std::string ckpt_path = "/tmp/kw_bench_serialize_ckpt.kwsk";
@@ -230,10 +265,12 @@ int main(int argc, char** argv) {
   std::printf(
       "\nNotes: save/load rows move the full n=%u AGM forest sketch "
       "(sparse cell sections where under half the cells are live); the "
-      "checkpointed ingest writes ~8 atomic write-then-rename checkpoints "
+      "checkpointed ingest writes ~8 fsync'd write-then-rename checkpoints "
       "to /tmp over the run, so (plain ms / checkpointed ms) is the "
-      "checkpoint tax.  Self-checks: load reserializes bit-identically, "
-      "and every ingest decodes the reference forest.\n",
+      "checkpoint tax; the fault_hooks row adds one DISARMED "
+      "fault-injection site check per update and must stay at plain-ingest "
+      "speed.  Self-checks: load reserializes bit-identically, every "
+      "ingest decodes the reference forest, and no disarmed site fires.\n",
       n);
 
   write_json(results, out, quick);

@@ -76,6 +76,8 @@ KConnectivityResult KConnectivitySketch::extract() && {
     const ForestResult forest =
         agm_spanning_forest(group_, layer_first, config_.rounds, identity);
     result.complete = result.complete && forest.complete;
+    result.decode_failures_per_layer.push_back(forest.decode_failures);
+    result.decode_failures += forest.decode_failures;
     for (const auto& e : forest.edges) {
       result.certificate.add_edge(e.u, e.v, e.weight);
       removed.push_back(e);
@@ -111,7 +113,13 @@ void KConnectivitySketch::finish() {
   }
   finished_ = true;
   result_ = std::move(*this).extract();
+  health_.name = "KConnectivity";
+  health_.l0_failures = result_->decode_failures;
+  health_.failures_per_round = result_->decode_failures_per_layer;
+  health_.degraded = !result_->complete;
 }
+
+ProcessorHealth KConnectivitySketch::health() const { return health_; }
 
 std::unique_ptr<StreamProcessor> KConnectivitySketch::clone_empty() const {
   if (finished_) return nullptr;

@@ -32,6 +32,10 @@ struct KConnectivityResult {
   std::vector<std::vector<Edge>> forests;  // F_1 .. F_k, edge-disjoint
   Graph certificate;                       // their union
   bool complete = true;                    // every forest extraction clean
+  // Decode failures summed per layer (forest F_i's Boruvka rounds) and in
+  // total -- see ForestResult::decode_failures.
+  std::vector<std::size_t> decode_failures_per_layer;
+  std::size_t decode_failures = 0;
 };
 
 // Streaming front-end: k sketch sets updated together in one pass, driven
@@ -53,6 +57,9 @@ class KConnectivitySketch final : public StreamProcessor {
 
   // Valid once after finish().
   [[nodiscard]] KConnectivityResult take_result();
+
+  // Decode-failure accounting (engine/health.h); survives take_result().
+  [[nodiscard]] ProcessorHealth health() const override;
 
   // --- per-update interface ---
   void update(Vertex u, Vertex v, std::int64_t delta);
@@ -88,6 +95,7 @@ class KConnectivitySketch final : public StreamProcessor {
   BankGroup group_;  // layer i's round r at group i * rounds + r
   std::vector<BankPairUpdate> staging_;  // absorb() batch, staged once
   std::optional<KConnectivityResult> result_;
+  ProcessorHealth health_;  // filled at finish()
 };
 
 }  // namespace kw

@@ -65,7 +65,7 @@ ForestResult agm_spanning_forest(const BankGroup& group,
     }
     // One summed stripe and one decoded outgoing edge per component.
     merges.clear();
-    bool decode_failure = false;
+    std::size_t round_failures = 0;
     for (Vertex root = 0; root < n; ++root) {
       const std::uint32_t begin = root == 0 ? 0 : member_end[root - 1];
       const std::uint32_t end = member_end[root];
@@ -77,16 +77,18 @@ ForestResult agm_spanning_forest(const BankGroup& group,
       const auto rec = bank.decode_cells(acc);
       if (!rec.has_value()) {
         // Zero sketch = isolated component (fine); nonzero = decode failure.
-        if (!BankGroup::cells_zero(acc)) decode_failure = true;
+        if (!BankGroup::cells_zero(acc)) ++round_failures;
         continue;
       }
       const auto [u, v] = pair_from_id(rec->coord, n);
       if (root_of[u] == root_of[v]) continue;  // should not happen; defensive
       merges.push_back({u, v, 1.0});
     }
+    result.decode_failures_per_round.push_back(round_failures);
+    result.decode_failures += round_failures;
     if (merges.empty()) {
       result.rounds_used = round + 1;
-      result.complete = !decode_failure;
+      result.complete = round_failures == 0;
       return result;  // fixed point: spanning unless a decode failed
     }
     for (const auto& e : merges) {
@@ -141,7 +143,13 @@ void SpanningForestProcessor::finish() {
   finished_ = true;
   result_ = partition_.empty() ? agm_spanning_forest(sketch_)
                                : agm_spanning_forest(sketch_, partition_);
+  health_.name = "SpanningForest";
+  health_.l0_failures = result_->decode_failures;
+  health_.failures_per_round = result_->decode_failures_per_round;
+  health_.degraded = !result_->complete;
 }
+
+ProcessorHealth SpanningForestProcessor::health() const { return health_; }
 
 std::unique_ptr<StreamProcessor> SpanningForestProcessor::clone_empty() const {
   if (finished_) return nullptr;

@@ -24,6 +24,11 @@ struct ForestResult {
   std::vector<Edge> edges;     // forest edges (endpoints in original ids)
   std::size_t rounds_used = 0;
   bool complete = true;  // false if rounds ran out while still merging
+  // Decode failures (nonzero summed sketch the bank could not decode) per
+  // Boruvka round, and their sum.  Redundancy can absorb failures: complete
+  // may be true with nonzero counters when later rounds finished the merge.
+  std::vector<std::size_t> decode_failures_per_round;
+  std::size_t decode_failures = 0;
 };
 
 // Computes a spanning forest of the sketched graph.  `partition[v]` gives
@@ -67,6 +72,9 @@ class SpanningForestProcessor final : public StreamProcessor {
   // Valid once after finish().
   [[nodiscard]] ForestResult take_result();
 
+  // Decode-failure accounting (engine/health.h); survives take_result().
+  [[nodiscard]] ProcessorHealth health() const override;
+
   // The underlying sketch (e.g. for nominal_bytes accounting).
   [[nodiscard]] const AgmGraphSketch& sketch() const noexcept {
     return sketch_;
@@ -83,6 +91,7 @@ class SpanningForestProcessor final : public StreamProcessor {
   std::vector<std::uint32_t> partition_;  // empty = identity
   bool finished_ = false;
   std::optional<ForestResult> result_;
+  ProcessorHealth health_;  // filled at finish()
 };
 
 }  // namespace kw

@@ -345,11 +345,25 @@ void Kp12Sparsifier::merge(StreamProcessor&& other) {
   }
 }
 
+void Kp12Sparsifier::accumulate_health(const TwoPassDiagnostics& d) {
+  health_.sparse_recovery_failures += d.pass1_scan_failures;
+  health_.kv_failures +=
+      d.pass2_tables_undecodable + d.pass2_neighbors_unrecovered;
+  health_.failures_per_round.push_back(d.pass1_scan_failures +
+                                       d.pass2_tables_undecodable +
+                                       d.pass2_neighbors_unrecovered);
+  if (!d.healthy()) health_.degraded = true;
+}
+
+ProcessorHealth Kp12Sparsifier::health() const { return health_; }
+
 void Kp12Sparsifier::finish() {
   if (phase_ != Phase::kPass2) {
     throw std::logic_error("Kp12Sparsifier: finish() outside pass 2");
   }
   phase_ = Phase::kDone;
+  health_ = ProcessorHealth{};
+  health_.name = "Kp12Sparsifier";
 
   const double lambda = std::pow(2.0, static_cast<double>(config_.spanner.k));
   const double cutoff = lambda * lambda;
@@ -385,6 +399,7 @@ void Kp12Sparsifier::finish() {
       TwoPassResult r = o.take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
+      accumulate_health(r.diagnostics);
       out.emplace_back(std::move(r.spanner));
     }
     oracle_graphs.push_back(std::move(out));
@@ -399,6 +414,7 @@ void Kp12Sparsifier::finish() {
       TwoPassResult r = samplers_[s][j].take_result();
       result.nominal_bytes += r.nominal_bytes;
       if (!r.diagnostics.healthy()) ++diag.unhealthy_spanners;
+      accumulate_health(r.diagnostics);
       // Augmented edges already include everything decoded; union in the
       // spanner's own edges (witnesses etc.) for safety.
       std::map<std::pair<Vertex, Vertex>, double> dedup;

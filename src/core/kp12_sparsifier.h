@@ -127,6 +127,10 @@ class Kp12Sparsifier final : public StreamProcessor {
   // run or the result was already taken.
   [[nodiscard]] Kp12Result take_result();
 
+  // Decode-failure accounting aggregated over the whole instance fleet
+  // (engine/health.h); survives take_result().
+  [[nodiscard]] ProcessorHealth health() const override;
+
   // Convenience: the full pipeline with exactly two pass-counted replays
   // via StreamEngine.  The input graph is treated as unweighted
   // (Corollary 2's weighted case is weighted_kp12_sparsify below).
@@ -181,6 +185,10 @@ class Kp12Sparsifier final : public StreamProcessor {
   std::vector<std::vector<TwoPassSpanner>> oracles_;    // [j][t] on E^j_t
   std::vector<std::vector<TwoPassSpanner>> samplers_;   // [s][j] on E_{s,j}
   std::optional<Kp12Result> result_;  // set by finish()
+  ProcessorHealth health_;            // aggregated at finish()
+  // Folds one instance's diagnostics into health_ (failures_per_round gets
+  // one entry per instance, in fleet order: oracles [j][t], samplers [s][j]).
+  void accumulate_health(const TwoPassDiagnostics& d);
 
   // ---- fused-absorb scratch (reused across batches; never cloned) ----
   // Shared staging, written once per batch on the caller thread before the

@@ -209,6 +209,23 @@ class TwoPassSpanner final : public StreamProcessor {
   // Valid once after finish().
   [[nodiscard]] TwoPassResult take_result();
 
+  // Decode-failure accounting (engine/health.h), from the running
+  // diagnostics: pass-1 connector-scan failures count as sparse-recovery
+  // misses, undecodable pass-2 tables and unrecovered neighbors as kv
+  // misses.  Survives take_result().
+  [[nodiscard]] ProcessorHealth health() const override {
+    ProcessorHealth h;
+    h.name = "TwoPassSpanner";
+    h.sparse_recovery_failures = diagnostics_.pass1_scan_failures;
+    h.kv_failures = diagnostics_.pass2_tables_undecodable +
+                    diagnostics_.pass2_neighbors_unrecovered;
+    h.failures_per_round = {diagnostics_.pass1_scan_failures,
+                            diagnostics_.pass2_tables_undecodable +
+                                diagnostics_.pass2_neighbors_unrecovered};
+    h.degraded = !diagnostics_.healthy();
+    return h;
+  }
+
   // --- per-update interface (filtered fan-in, e.g. KP12 substreams) ---
   void pass1_update(const EdgeUpdate& update);
   void finish_pass1();  // builds the cluster forest, prepares pass 2

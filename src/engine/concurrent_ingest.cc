@@ -1,9 +1,12 @@
 #include "engine/concurrent_ingest.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <typeinfo>
 #include <utility>
+
+#include "util/fault_injection.h"
 
 namespace kw {
 
@@ -45,6 +48,15 @@ void ConcurrentIngestDriver::worker_loop(Worker& w) {
   while (w.inbox.pop(handoff)) {
     if (!handoff.updates.empty() && w.error == nullptr) {
       try {
+        if (fault::fire(fault::site::kWorkerStall)) {
+          // Stalled consumer: the front-end keeps routing into this
+          // worker's ring and must absorb the backpressure, not drop.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (fault::fire(fault::site::kWorkerAbsorb)) {
+          throw std::runtime_error(
+              "fault injected: concurrent.worker.absorb");
+        }
         for (auto& shard : w.shards) shard->absorb(handoff.updates);
       } catch (...) {
         // Keep consuming so the front-end never blocks on a full ring and
@@ -77,6 +89,12 @@ void ConcurrentIngestDriver::begin_pass(
   if (in_pass_) {
     throw std::logic_error(
         "ConcurrentIngestDriver: begin_pass() during an open pass");
+  }
+  if (poisoned_) {
+    throw std::logic_error(
+        "ConcurrentIngestDriver: a previous pass failed mid-ingest and its "
+        "updates were lost; this driver's processors hold partial state -- "
+        "rebuild the processors and the driver instead of reusing them");
   }
   if (processors.empty()) {
     throw std::logic_error(
@@ -172,9 +190,14 @@ ConcurrentIngestStats ConcurrentIngestDriver::end_pass() {
   for (auto& worker : workers_) {
     if (worker->error) {
       // Poisoned pass: drop the partial clones everywhere, then surface the
-      // worker's exception on the caller thread.
+      // worker's exception on the caller thread.  The pass's updates are
+      // now partially applied to nothing (the clones are gone) but the
+      // PRIMARIES missed the whole pass -- their state is not a prefix of
+      // any legal stream, so the driver refuses further passes instead of
+      // merging garbage later (begin_pass throws std::logic_error).
       std::exception_ptr error = worker->error;
       for (auto& wr : workers_) wr->shards.clear();
+      poisoned_ = true;
       std::rethrow_exception(error);
     }
   }

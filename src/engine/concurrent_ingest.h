@@ -110,8 +110,14 @@ class ConcurrentIngestDriver {
 
   // Flushes every remainder buffer, waits for all workers to drain (the
   // pass-end barrier), rethrows the first worker exception if any, then
-  // merges each worker's clones into the primaries in worker order.
+  // merges each worker's clones into the primaries in worker order.  A
+  // rethrow poisons the driver: the primaries missed the pass's updates,
+  // so every later begin_pass() throws std::logic_error (see poisoned()).
   ConcurrentIngestStats end_pass();
+
+  // True once a worker exception poisoned a pass; the driver (and the
+  // partially-fed processors) must be rebuilt, not reused.
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
 
   [[nodiscard]] std::size_t workers() const noexcept {
     return workers_.size();
@@ -159,6 +165,10 @@ class ConcurrentIngestDriver {
   ConcurrentIngestOptions::Router router_;   // resolved at begin_pass()
   Rng jitter_;
   bool in_pass_ = false;
+  // Set when a worker exception poisoned a pass: the primaries missed that
+  // pass's updates entirely, so further passes would silently diverge.
+  // begin_pass() then throws std::logic_error.
+  bool poisoned_ = false;
   std::uint32_t passes_begun_ = 0;
   ConcurrentIngestStats pass_stats_;
   std::atomic<bool> any_error_{false};

@@ -1,0 +1,100 @@
+/// Decode-degradation accounting: the engine-level view of the paper's
+/// failure probabilities.
+///
+/// Every sketch in this repo is probabilistic -- sparse recovery, L0
+/// sampling, and the kv neighborhood tables all fail with probability
+/// delta -- and the decoders already detect every failure ("we always know
+/// if a SKETCH_B(x) can be decoded", Section 2).  Until now those
+/// detections were scattered per-algorithm flags (ForestResult::complete,
+/// TwoPassDiagnostics, Kp12Diagnostics::unhealthy_spanners).  HealthReport
+/// aggregates them: after finish(), each processor reports its decode
+/// failures bucketed by decoder family and by round/level, the engine
+/// attaches the collection to EngineRunStats, and callers choose between
+/// degraded-but-flagged results (default) and loud failure
+/// (StreamEngineOptions::strict, which throws DecodeDegradedError).
+#ifndef KW_ENGINE_HEALTH_H
+#define KW_ENGINE_HEALTH_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kw {
+
+struct ProcessorHealth {
+  // Identifies the processor in reports (serial tag name, or the engine
+  // fills it from serial_tag() when the processor leaves it empty).
+  std::string name;
+
+  // Decode failures by decoder family, summed over the whole run.
+  std::size_t sparse_recovery_failures = 0;  // SKETCH_B connector scans
+  std::size_t l0_failures = 0;               // L0 / bank-stripe decodes
+  std::size_t kv_failures = 0;               // kv tables + neighbor recovery
+
+  // The same failures bucketed by the processor's natural unit of progress:
+  // Boruvka round for forests, layer for k-connectivity, pass for spanners.
+  std::vector<std::size_t> failures_per_round;
+
+  // The processor's result was returned with reduced quality (incomplete
+  // forest, unhealthy spanner instance, ...).  Counters can be nonzero with
+  // degraded == false when redundancy absorbed every failure.
+  bool degraded = false;
+
+  [[nodiscard]] std::size_t total_failures() const noexcept {
+    return sparse_recovery_failures + l0_failures + kv_failures;
+  }
+  [[nodiscard]] bool healthy() const noexcept {
+    return !degraded && total_failures() == 0;
+  }
+};
+
+struct HealthReport {
+  std::vector<ProcessorHealth> processors;
+
+  [[nodiscard]] bool healthy() const noexcept {
+    for (const ProcessorHealth& p : processors) {
+      if (!p.healthy()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t total_failures() const noexcept {
+    std::size_t total = 0;
+    for (const ProcessorHealth& p : processors) total += p.total_failures();
+    return total;
+  }
+  [[nodiscard]] bool degraded() const noexcept {
+    for (const ProcessorHealth& p : processors) {
+      if (p.degraded) return true;
+    }
+    return false;
+  }
+
+  // One line per unhealthy processor, for error messages and logs.
+  [[nodiscard]] std::string summary() const {
+    std::string out;
+    for (const ProcessorHealth& p : processors) {
+      if (p.healthy()) continue;
+      if (!out.empty()) out += "; ";
+      out += p.name + ": sparse=" +
+             std::to_string(p.sparse_recovery_failures) +
+             " l0=" + std::to_string(p.l0_failures) +
+             " kv=" + std::to_string(p.kv_failures) +
+             (p.degraded ? " (degraded result)" : "");
+    }
+    return out.empty() ? "healthy" : out;
+  }
+};
+
+// Thrown by StreamEngine when options.strict is set and any processor
+// finished degraded or with decode failures.  The processors' partial
+// results remain takeable for post-mortems.
+class DecodeDegradedError : public std::runtime_error {
+ public:
+  explicit DecodeDegradedError(const std::string& what)
+      : std::runtime_error("decode degraded: " + what) {}
+};
+
+}  // namespace kw
+
+#endif  // KW_ENGINE_HEALTH_H

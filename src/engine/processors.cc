@@ -172,6 +172,20 @@ void DemuxProcessor::finish() {
   for (StreamProcessor* lane : lanes_) lane->finish();
 }
 
+ProcessorHealth DemuxProcessor::health() const {
+  ProcessorHealth h;
+  h.name = "Demux";
+  for (const StreamProcessor* lane : lanes_) {
+    const ProcessorHealth lane_health = lane->health();
+    h.sparse_recovery_failures += lane_health.sparse_recovery_failures;
+    h.l0_failures += lane_health.l0_failures;
+    h.kv_failures += lane_health.kv_failures;
+    h.failures_per_round.push_back(lane_health.total_failures());
+    h.degraded = h.degraded || lane_health.degraded;
+  }
+  return h;
+}
+
 std::unique_ptr<StreamProcessor> DemuxProcessor::clone_empty() const {
   std::vector<std::unique_ptr<StreamProcessor>> clones;
   clones.reserve(lanes_.size());

@@ -122,6 +122,11 @@ class DemuxProcessor final : public StreamProcessor {
   void serialize(ser::Writer& w) const override;
   void deserialize(ser::Reader& r) override;
 
+  // Sums the lanes' decode-failure accounting (engine/health.h):
+  // failures_per_round gets one entry per lane (that lane's total), and the
+  // demux is degraded iff any lane is.
+  [[nodiscard]] ProcessorHealth health() const override;
+
  private:
   DemuxProcessor(std::vector<std::unique_ptr<StreamProcessor>> owned,
                  Selector selector);

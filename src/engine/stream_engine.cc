@@ -1,13 +1,21 @@
 #include "engine/stream_engine.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "serialize/serialize.h"
+#include "util/fault_injection.h"
 
 namespace kw {
 
@@ -19,17 +27,10 @@ StreamEngine::StreamEngine(StreamEngineOptions options)
   if (options_.shards == 0) {
     throw std::invalid_argument("StreamEngine: shards must be >= 1");
   }
-  if (options_.checkpoint_every_updates > 0) {
-    if (options_.checkpoint_path.empty()) {
-      throw std::invalid_argument(
-          "StreamEngine: checkpointing enabled without a checkpoint_path");
-    }
-    if (options_.shards > 1) {
-      throw std::invalid_argument(
-          "StreamEngine: checkpointing requires sequential ingest "
-          "(shards == 1); a sharded run's in-flight worker state is not a "
-          "serializable cut");
-    }
+  if (options_.checkpoint_every_updates > 0 &&
+      options_.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "StreamEngine: checkpointing enabled without a checkpoint_path");
   }
 }
 
@@ -64,9 +65,33 @@ EngineRunStats StreamEngine::run(StreamSource& source) {
   return run_from(source, /*start_pass=*/0, /*skip_updates=*/0);
 }
 
+void StreamEngine::check_not_poisoned() const {
+  if (poisoned_) {
+    throw std::logic_error(
+        "StreamEngine: a previous run on this engine failed mid-ingest, so "
+        "the attached processors hold partial state that is not a prefix of "
+        "any legal stream; rebuild the processors and the engine (or resume "
+        "from a checkpoint into fresh processors) instead of reusing them");
+  }
+}
+
+void StreamEngine::collect_health(EngineRunStats& stats) const {
+  stats.health.processors.clear();
+  stats.health.processors.reserve(processors_.size());
+  for (const StreamProcessor* p : processors_) {
+    ProcessorHealth h = p->health();
+    if (h.name.empty()) {
+      const std::uint32_t tag = p->serial_tag();
+      h.name = tag == 0 ? "processor" : ser::tag_name(tag);
+    }
+    stats.health.processors.push_back(std::move(h));
+  }
+}
+
 EngineRunStats StreamEngine::run_from(StreamSource& source,
                                       std::size_t start_pass,
                                       std::uint64_t skip_updates) {
+  check_not_poisoned();
   const std::size_t total_passes = validate_and_count_passes(source);
 
   // One persistent driver serves every sharded pass of the run: worker
@@ -85,27 +110,46 @@ EngineRunStats StreamEngine::run_from(StreamSource& source,
   updates_since_checkpoint_ = 0;
   EngineRunStats stats;
   stats.shards = options_.shards;
-  for (std::size_t pass = start_pass; pass < total_passes; ++pass) {
-    std::vector<StreamProcessor*> active;
-    for (StreamProcessor* p : processors_) {
-      if (pass < p->passes_required()) active.push_back(p);
-    }
-    source.begin_pass();
-    if (driver != nullptr) {
-      run_pass_concurrent(source, active, *driver, stats);
-    } else {
-      run_pass_sequential(source, active, stats, pass,
-                          pass == start_pass ? skip_updates : 0);
-    }
-    source.end_pass();
-    ++stats.passes;
-    for (StreamProcessor* p : active) {
-      if (pass + 1 == p->passes_required()) {
-        p->finish();
+  try {
+    for (std::size_t pass = start_pass; pass < total_passes; ++pass) {
+      std::vector<StreamProcessor*> active;
+      for (StreamProcessor* p : processors_) {
+        if (pass < p->passes_required()) active.push_back(p);
+      }
+      source.begin_pass();
+      if (driver != nullptr) {
+        run_pass_concurrent(source, active, *driver, stats);
       } else {
-        p->advance_pass();
+        run_pass_sequential(source, active, stats, pass,
+                            pass == start_pass ? skip_updates : 0);
+      }
+      source.end_pass();
+      ++stats.passes;
+      for (StreamProcessor* p : active) {
+        if (pass + 1 == p->passes_required()) {
+          p->finish();
+        } else {
+          p->advance_pass();
+        }
+      }
+      // Sharded ingest has no serializable cut while worker clones are in
+      // flight, so its checkpoints land here, on the pass boundary after
+      // the merge (offset 0 of the next pass).  Sequential ingest already
+      // checkpoints mid-pass at the configured cadence.
+      if (driver != nullptr && options_.checkpoint_every_updates > 0 &&
+          pass + 1 < total_passes) {
+        write_checkpoint(pass + 1, /*offset=*/0);
       }
     }
+  } catch (...) {
+    // The processors absorbed some prefix of a pass that will never be
+    // completed; no later run over them can be correct.
+    poisoned_ = true;
+    throw;
+  }
+  collect_health(stats);
+  if (options_.strict && !stats.health.healthy()) {
+    throw DecodeDegradedError(stats.health.summary());
   }
   return stats;
 }
@@ -128,18 +172,11 @@ EngineRunStats StreamEngine::run(const DynamicStream& stream) {
   return stats;
 }
 
-EngineRunStats StreamEngine::resume(StreamSource& source,
-                                    const std::string& checkpoint_path) {
-  if (processors_.empty()) {
-    throw std::logic_error("StreamEngine: no processors attached");
-  }
-  if (options_.shards > 1) {
-    throw std::logic_error("StreamEngine: resume requires shards == 1");
-  }
-  std::ifstream is(checkpoint_path, std::ios::binary);
+StreamEngine::CheckpointCut StreamEngine::load_checkpoint(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
   if (!is) {
-    throw ser::SerializeError("cannot open checkpoint file: " +
-                              checkpoint_path);
+    throw ser::SerializeError("cannot open checkpoint file: " + path);
   }
   const std::vector<unsigned char> payload =
       ser::detail::read_envelope(is, ser::kTagCheckpoint);
@@ -153,6 +190,13 @@ EngineRunStats StreamEngine::resume(StreamSource& source,
         "checkpoint holds " + std::to_string(count) +
         " processors but the engine has " +
         std::to_string(processors_.size()) + " attached");
+  }
+  if (options_.shards > 1 && offset != 0) {
+    throw ser::SerializeError(
+        "checkpoint was taken mid-pass (offset " + std::to_string(offset) +
+        ") by a sequential run; sharded resume can only restart from a pass "
+        "boundary -- resume with shards == 1 or re-checkpoint at a pass "
+        "boundary");
   }
   for (StreamProcessor* p : processors_) {
     if (p->n() != n) {
@@ -173,7 +217,36 @@ EngineRunStats StreamEngine::resume(StreamSource& source,
     sub.expect_end();
   }
   r.expect_end();
-  return run_from(source, static_cast<std::size_t>(pass), offset);
+  return {static_cast<std::size_t>(pass), offset};
+}
+
+EngineRunStats StreamEngine::resume(StreamSource& source,
+                                    const std::string& checkpoint_path) {
+  if (processors_.empty()) {
+    throw std::logic_error("StreamEngine: no processors attached");
+  }
+  check_not_poisoned();
+  CheckpointCut cut;
+  try {
+    cut = load_checkpoint(checkpoint_path);
+  } catch (const ser::SerializeError& latest_error) {
+    // A crash can strand a corrupt/truncated/missing latest checkpoint; the
+    // rotation sibling is the previous good one.  Skip the fallback when it
+    // does not exist so a plain "wrong file" error stays direct.
+    const std::string prev = checkpoint_path + ".prev";
+    if (!std::ifstream(prev, std::ios::binary)) throw;
+    // deserialize() fully overwrites each processor's state, so a fallback
+    // after a partially-applied first attempt is safe.
+    try {
+      cut = load_checkpoint(prev);
+    } catch (const ser::SerializeError& prev_error) {
+      throw ser::SerializeError(
+          "latest checkpoint " + checkpoint_path + " is unusable (" +
+          latest_error.what() + ") and the rotation fallback " + prev +
+          " also failed (" + prev_error.what() + ")");
+    }
+  }
+  return run_from(source, cut.pass, cut.offset);
 }
 
 EngineRunStats StreamEngine::resume(const DynamicStream& stream,
@@ -181,6 +254,61 @@ EngineRunStats StreamEngine::resume(const DynamicStream& stream,
   ReplaySource source(stream);
   return resume(source, checkpoint_path);
 }
+
+namespace {
+
+// Writes `bytes` to a fresh `path` and fsyncs it before returning: after
+// this, the bytes survive a power cut even though the file is not yet
+// linked under its final name.
+void write_file_durable(const std::string& path, const std::string& bytes) {
+  if (fault::fire(fault::site::kCheckpointWrite)) {
+    throw ser::SerializeError(
+        "injected transient checkpoint write failure (ENOSPC): " + path);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw ser::SerializeError("cannot open checkpoint tmp file: " + path +
+                              ": " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t got =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw ser::SerializeError("checkpoint write failed: " + path + ": " +
+                                std::strerror(err));
+    }
+    written += static_cast<std::size_t>(got);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ser::SerializeError("checkpoint fsync failed: " + path + ": " +
+                              std::strerror(err));
+  }
+  ::close(fd);
+}
+
+// fsyncs the directory containing `path` so the renames themselves are
+// durable.  Best-effort: some filesystems refuse directory fsync, and the
+// file-level fsync already bounds the damage to "old checkpoint survives".
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, std::max<std::size_t>(
+                                                            slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
 
 void StreamEngine::write_checkpoint(std::size_t pass,
                                     std::uint64_t offset) const {
@@ -206,24 +334,54 @@ void StreamEngine::write_checkpoint(std::size_t pass,
     w.bytes(pw.buffer().data(), pw.buffer().size());
     w.end_section();
   }
-  // Atomic publish: a crash mid-write leaves the previous checkpoint (or
-  // nothing) at checkpoint_path, never a torn file.
-  const std::string tmp = options_.checkpoint_path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw ser::SerializeError("cannot open checkpoint tmp file: " + tmp);
-    }
-    ser::detail::write_envelope(os, ser::kTagCheckpoint, w.buffer(), nullptr);
-    os.flush();
-    if (!os) {
-      throw ser::SerializeError("checkpoint write failed: " + tmp);
+  std::ostringstream envelope(std::ios::binary);
+  ser::detail::write_envelope(envelope, ser::kTagCheckpoint, w.buffer(),
+                              nullptr);
+  const std::string bytes = std::move(envelope).str();
+
+  // Durability protocol (every step is a crash point the recovery harness
+  // kills at; resume() tolerates all of them):
+  //   1. write + fsync the ".tmp" sibling (bounded retry on transient
+  //      failure -- ENOSPC-style errors are often momentary)
+  //   2. rotate the current checkpoint to ".prev" (keeps one good
+  //      checkpoint on disk at every instant)
+  //   3. rename ".tmp" into place (atomic publish)
+  //   4. fsync the directory so the renames are durable
+  const std::string& path = options_.checkpoint_path;
+  const std::string tmp = path + ".tmp";
+  const std::string prev = path + ".prev";
+  constexpr int kWriteAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      write_file_durable(tmp, bytes);
+      break;
+    } catch (const ser::SerializeError&) {
+      if (attempt >= kWriteAttempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
     }
   }
-  if (std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) != 0) {
+  if (fault::fire(fault::site::kCheckpointBeforeRename)) {
+    throw ser::SerializeError(
+        "injected failure between checkpoint write and rename");
+  }
+  if (::access(path.c_str(), F_OK) == 0) {
+    if (std::rename(path.c_str(), prev.c_str()) != 0) {
+      throw ser::SerializeError("checkpoint rotation failed: " + path +
+                                " -> " + prev + ": " + std::strerror(errno));
+    }
+  }
+  if (fault::fire(fault::site::kCheckpointMidRotate)) {
+    throw ser::SerializeError(
+        "injected failure between checkpoint rotation and publish");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw ser::SerializeError("checkpoint rename failed: " + tmp + " -> " +
-                              options_.checkpoint_path);
+                              path + ": " + std::strerror(errno));
   }
+  if (fault::fire(fault::site::kCheckpointAfterRename)) {
+    throw ser::SerializeError("injected failure after checkpoint publish");
+  }
+  fsync_parent_dir(path);
 }
 
 void StreamEngine::run_single(StreamProcessor& processor,
@@ -272,6 +430,9 @@ void StreamEngine::run_pass_sequential(
       feed = batch.subspan(static_cast<std::size_t>(skip_updates));
       skip_updates = 0;
     }
+    if (fault::fire(fault::site::kEngineAbsorbBatch)) {
+      throw std::runtime_error("fault injected: engine.absorb_batch");
+    }
     for (StreamProcessor* p : active) p->absorb(feed);
     ++stats.batches;
     absorbed_in_pass += feed.size();
@@ -298,6 +459,9 @@ void StreamEngine::run_pass_concurrent(
   for (;;) {
     const std::span<const EdgeUpdate> batch = pull_batch(source, buffer);
     if (batch.empty()) break;
+    if (fault::fire(fault::site::kEngineAbsorbBatch)) {
+      throw std::runtime_error("fault injected: engine.absorb_batch");
+    }
     driver.push(batch);
     // A worker already failed: stop feeding, let end_pass() barrier and
     // rethrow instead of routing the remainder of the pass for nothing.

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "engine/concurrent_ingest.h"
+#include "engine/health.h"
 #include "engine/stream_processor.h"
 #include "engine/stream_source.h"
 
@@ -59,17 +60,38 @@ struct StreamEngineOptions {
   // ConcurrentIngestOptions::flush_jitter_seed).
   std::uint64_t shard_flush_jitter_seed = 0;
 
-  // ---- periodic checkpointing (sequential ingest only) -----------------
+  // ---- periodic checkpointing ------------------------------------------
   // 0 = off.  When set, every checkpoint_every_updates absorbed updates the
-  // engine serializes every attached processor to checkpoint_path (write to
-  // a .tmp sibling, then atomic rename), together with the current pass and
-  // the update offset inside it.  A killed run restarts via resume(), which
-  // reloads the processors and replays only the remainder of the stream --
-  // exact because every attached sketch's state is invariant to batch
-  // boundaries.  Requires shards == 1 and every attached processor to be
-  // serializable (serial_tag() != 0).
+  // engine serializes every attached processor to checkpoint_path, together
+  // with the current pass and the update offset inside it.  A killed run
+  // restarts via resume(), which reloads the processors and replays only
+  // the remainder of the stream -- exact because every attached sketch's
+  // state is invariant to batch boundaries.
+  //
+  // Durability protocol (crash-consistent; tests/test_crash_recovery.cc
+  // SIGKILLs between every step): the envelope is written to a ".tmp"
+  // sibling and fsync'd; a transient write failure is retried with bounded
+  // backoff; the previous checkpoint is rotated to checkpoint_path +
+  // ".prev"; the temp file is renamed into place; the directory is fsync'd.
+  // resume() prefers the latest file and falls back to ".prev" when the
+  // latest is missing, truncated, or corrupt.
+  //
+  // Sequential ingest (shards == 1) checkpoints mid-pass at this cadence.
+  // Sharded ingest has no serializable cut while worker clones are in
+  // flight, so checkpoints land at PASS BOUNDARIES only (after the pass-end
+  // merge) -- multi-pass sharded runs still resume without replaying
+  // completed passes.  Every attached processor must be serializable
+  // (serial_tag() != 0).
   std::size_t checkpoint_every_updates = 0;
   std::string checkpoint_path;
+
+  // ---- decode-failure policy -------------------------------------------
+  // false (default): decode failures degrade quality -- processors return
+  // partial results, and the per-processor counters land in
+  // EngineRunStats::health.  true: run()/resume() throw DecodeDegradedError
+  // after finishing when any processor reports failures or a degraded
+  // result (the loud behavior quality-regression tests want).
+  bool strict = false;
 };
 
 struct EngineRunStats {
@@ -82,6 +104,9 @@ struct EngineRunStats {
   // Times the sharded front-end slept on a full worker ring (0 when
   // shards == 1): backpressure blocks, it never drops.
   std::size_t backpressure_waits = 0;
+  // Per-processor decode-failure accounting, collected after finish().
+  // health.healthy() == true on a clean run.
+  HealthReport health;
 };
 
 class StreamEngine {
@@ -105,8 +130,10 @@ class StreamEngine {
   // types, same order, same configs), restores every processor's state, and
   // replays only the remainder of the stream -- from the stored pass,
   // skipping the stored number of already-absorbed updates.  The final
-  // state is identical to the uninterrupted run.  Throws SerializeError on
-  // a missing/corrupt/mismatched checkpoint.
+  // state is identical to the uninterrupted run.  When checkpoint_path is
+  // missing, truncated, or corrupt, falls back to checkpoint_path + ".prev"
+  // (the rotation sibling write_checkpoint maintains); throws
+  // SerializeError only when both are unusable or mismatched.
   EngineRunStats resume(StreamSource& source,
                         const std::string& checkpoint_path);
   EngineRunStats resume(const DynamicStream& stream,
@@ -118,12 +145,27 @@ class StreamEngine {
                          const DynamicStream& stream,
                          std::size_t batch_size = 16384);
 
+  // True once a run()/resume() escaped with an exception mid-ingest: the
+  // attached processors hold partial state that is not a prefix of any
+  // legal stream, so further run()/resume() calls throw std::logic_error
+  // with that explanation instead of computing garbage.
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
  private:
   [[nodiscard]] std::size_t validate_and_count_passes(
       const StreamSource& source) const;
   EngineRunStats run_from(StreamSource& source, std::size_t start_pass,
                           std::uint64_t skip_updates);
+  // Restores every processor from one checkpoint file and returns the
+  // stream cut (pass, offset-within-pass) to resume from.
+  struct CheckpointCut {
+    std::size_t pass = 0;
+    std::uint64_t offset = 0;
+  };
+  CheckpointCut load_checkpoint(const std::string& path);
   void write_checkpoint(std::size_t pass, std::uint64_t offset) const;
+  void collect_health(EngineRunStats& stats) const;
+  void check_not_poisoned() const;
   void run_pass_sequential(StreamSource& source,
                            const std::vector<StreamProcessor*>& active,
                            EngineRunStats& stats, std::size_t pass_index,
@@ -136,6 +178,7 @@ class StreamEngine {
   StreamEngineOptions options_;
   std::vector<StreamProcessor*> processors_;
   std::uint64_t updates_since_checkpoint_ = 0;
+  bool poisoned_ = false;
 };
 
 }  // namespace kw

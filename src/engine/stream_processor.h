@@ -25,6 +25,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "engine/health.h"
 #include "graph/graph.h"
 #include "serialize/serialize_fwd.h"
 #include "stream/update.h"
@@ -55,6 +56,14 @@ class StreamProcessor {
   // End of the final pass: run post-processing and make the result
   // available.  Called exactly once.
   virtual void finish() = 0;
+
+  // Decode-failure accounting, meaningful after finish(): how many sketch
+  // decodes failed (by decoder family and by round/level) and whether the
+  // result was degraded by them.  Survives take_result().  The default is
+  // an empty, healthy report -- processors without probabilistic decoders
+  // need not override.  The engine collects these into
+  // EngineRunStats::health (see engine/health.h).
+  [[nodiscard]] virtual ProcessorHealth health() const { return {}; }
 
   // ---- linear-stage support (sharded / distributed ingestion) ----------
 

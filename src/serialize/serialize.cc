@@ -5,6 +5,7 @@
 
 #include "engine/stream_processor.h"
 #include "graph/graph.h"
+#include "util/fault_injection.h"
 
 namespace kw::ser {
 
@@ -219,6 +220,9 @@ void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
 void write_envelope(std::ostream& os, std::uint32_t tag,
                     const std::vector<unsigned char>& payload,
                     SerializeStats* stats) {
+  if (fault::fire(fault::site::kSerializeWriteEnospc)) {
+    throw SerializeError("injected ENOSPC: no space left on device");
+  }
   std::vector<unsigned char> header;
   header.reserve(20);
   append_u32(header, kMagic);
@@ -227,6 +231,18 @@ void write_envelope(std::ostream& os, std::uint32_t tag,
   append_u64(header, payload.size());
   std::uint32_t crc = crc32(header.data(), header.size());
   crc = crc32(payload.data(), payload.size(), crc);
+  if (fault::fire(fault::site::kSerializeWriteShort)) {
+    // Short write: half the envelope lands, then the device gives out.  The
+    // truncated bytes stay in the stream -- readers must reject them.
+    os.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size() / 2));
+    os.flush();
+    os.setstate(std::ios::failbit);
+    throw SerializeError("write to output stream failed (injected short "
+                         "write)");
+  }
   os.write(reinterpret_cast<const char*>(header.data()),
            static_cast<std::streamsize>(header.size()));
   os.write(reinterpret_cast<const char*>(payload.data()),
@@ -281,6 +297,14 @@ std::vector<unsigned char> read_envelope(std::istream& is,
                            "declared length");
     }
     got += want;
+  }
+  if (fault::fire(fault::site::kSerializeReadBitflip) && !payload.empty()) {
+    // Deterministic single-bit corruption between the read and the CRC
+    // check, at a position that walks the payload across triggers.  A
+    // single flipped byte is a burst of <= 8 bits, so CRC-32 detects it
+    // with certainty -- the check below MUST throw.
+    const std::uint64_t t = fault::triggers(fault::site::kSerializeReadBitflip);
+    payload[(t * 8191) % payload.size()] ^= 0x04;
   }
   unsigned char crc_bytes[4];
   is.read(reinterpret_cast<char*>(crc_bytes), 4);

@@ -1,0 +1,112 @@
+#include "util/fault_injection.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/random.h"
+
+namespace kw::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  Schedule schedule;
+  std::function<void()> on_trigger;
+  std::uint64_t hits = 0;
+  std::uint64_t triggers = 0;
+};
+
+// One mutex guards the whole registry.  Contention is irrelevant: the
+// registry is only reachable while a test has a site armed; production runs
+// never pass the g_enabled check in fire().
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Site>& registry() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+
+[[nodiscard]] bool schedule_triggers(const Schedule& s, std::uint64_t hit) {
+  switch (s.kind) {
+    case Schedule::Kind::kNth:
+      return hit == s.nth;  // hit is 1-based
+    case Schedule::Kind::kProbability: {
+      // Derive the decision from (seed, hit) alone so it is independent of
+      // every other site and replayable from the counters.
+      const std::uint64_t word = derive_seed(s.seed, hit);
+      return static_cast<double>(word >> 11) * 0x1.0p-53 < s.probability;
+    }
+    case Schedule::Kind::kWindow:
+      return hit - 1 >= s.from && hit - 1 < s.to;
+  }
+  return false;
+}
+
+}  // namespace
+
+void arm(const std::string& site, Schedule schedule,
+         std::function<void()> on_trigger) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  Site& s = registry()[site];
+  s.schedule = schedule;
+  s.on_trigger = std::move(on_trigger);
+  s.hits = 0;
+  s.triggers = 0;
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().erase(site);
+  if (registry().empty()) {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t triggers(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.triggers;
+}
+
+namespace detail {
+
+bool fire_slow(const char* site) {
+  std::function<void()> on_trigger;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(site);
+    if (it == registry().end()) return false;
+    Site& s = it->second;
+    ++s.hits;
+    if (!schedule_triggers(s.schedule, s.hits)) return false;
+    ++s.triggers;
+    on_trigger = s.on_trigger;  // run outside the lock: it may re-enter
+  }
+  if (on_trigger) on_trigger();
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace kw::fault

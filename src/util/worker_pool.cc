@@ -1,6 +1,9 @@
 #include "util/worker_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/fault_injection.h"
 
 namespace kw {
 
@@ -32,6 +35,11 @@ void WorkerPool::work(Job& job) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
     try {
+      if (fault::fire(fault::site::kPoolTask)) {
+        throw std::runtime_error(
+            "fault injected: worker_pool.task (task " + std::to_string(i) +
+            ")");
+      }
       (*job.fn)(i);
     } catch (...) {
       if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
@@ -61,7 +69,14 @@ void WorkerPool::run(std::size_t count,
   if (count == 0) return;
   if (lanes_ == 1 || count == 1) {
     // Sequential fast path: no job object, exceptions propagate directly.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (fault::fire(fault::site::kPoolTask)) {
+        throw std::runtime_error(
+            "fault injected: worker_pool.task (task " + std::to_string(i) +
+            ")");
+      }
+      fn(i);
+    }
     return;
   }
   Job job;

@@ -1,0 +1,296 @@
+// The crash-recovery harness: a forked child runs a checkpointed engine
+// with a fault site armed to raise SIGKILL (the arm is inherited across
+// fork(), so the child dies at exactly the chosen point -- no cooperation
+// from the dying code).  The parent then resumes from whatever the crash
+// left on disk with FRESH processors and demands the final decoded output
+// be bit-identical to an uninterrupted run.  Together the kill points cover
+// every step of write_checkpoint's durability protocol plus mid-pass-2
+// ingest, sequential and sharded.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "agm/spanning_forest.h"
+#include "core/config.h"
+#include "core/kp12_sparsifier.h"
+#include "engine/stream_engine.h"
+#include "graph/generators.h"
+#include "serialize/serialize.h"
+#include "stream/dynamic_stream.h"
+#include "util/fault_injection.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] DynamicStream test_stream(Vertex n, std::size_t m,
+                                        std::size_t churn,
+                                        std::uint64_t seed) {
+  return DynamicStream::with_churn(erdos_renyi_gnm(n, m, seed), churn,
+                                   seed + 1);
+}
+
+[[nodiscard]] std::vector<std::tuple<Vertex, Vertex, double>> edge_list(
+    const std::vector<Edge>& edges) {
+  std::vector<std::tuple<Vertex, Vertex, double>> out;
+  for (const Edge& e : edges) {
+    out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v), e.weight);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class CheckpointFile {
+ public:
+  explicit CheckpointFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~CheckpointFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".prev").c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Forks, arms `site` in the CHILD to SIGKILL itself on the nth hit, runs
+// `body` there, and reports how the child ended.  The parent's registry is
+// untouched: arming happens after fork().  Exit code 0 means the site never
+// triggered (body completed); 2 means body threw instead of dying.
+[[nodiscard]] bool child_killed_at(const char* site, std::uint64_t nth,
+                                   const std::function<void()>& body) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    fault::arm(site, fault::Schedule::nth_hit(nth),
+               [] { std::raise(SIGKILL); });
+    try {
+      body();
+    } catch (...) {
+      ::_exit(2);
+    }
+    ::_exit(0);
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+[[nodiscard]] bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+// ---- sequential single-pass runs killed inside the durability protocol ----
+
+// Shared scenario: a cadence-150 checkpointed forest run over 500 updates
+// writes checkpoints after updates 160, 320, 480 (batch granularity).  The
+// child is killed at the SECOND checkpoint's chosen protocol step, so
+// recovery always has the first checkpoint to work from.
+struct ForestScenario {
+  explicit ForestScenario(std::uint64_t seed)
+      : stream(test_stream(48, 260, 120, seed)),
+        ckpt("crash_forest_" + std::to_string(seed) + ".kwsk") {
+    config.seed = seed + 1;
+    options.batch_size = 64;
+    options.checkpoint_every_updates = 150;
+    options.checkpoint_path = ckpt.path();
+  }
+
+  [[nodiscard]] std::vector<std::tuple<Vertex, Vertex, double>> reference()
+      const {
+    SpanningForestProcessor p(48, config);
+    StreamEngine::run_single(p, stream);
+    return edge_list(p.take_result().edges);
+  }
+
+  void child_run() const {
+    SpanningForestProcessor victim(48, config);
+    StreamEngine engine(options);
+    engine.attach(victim);
+    (void)engine.run(stream);
+  }
+
+  [[nodiscard]] std::vector<std::tuple<Vertex, Vertex, double>> resume()
+      const {
+    SpanningForestProcessor resumed(48, config);
+    StreamEngine engine(options);
+    engine.attach(resumed);
+    (void)engine.resume(stream, ckpt.path());
+    return edge_list(resumed.take_result().edges);
+  }
+
+  DynamicStream stream;
+  AgmConfig config;
+  CheckpointFile ckpt;
+  StreamEngineOptions options;
+};
+
+TEST(CrashRecovery, KilledBeforeRenameResumesFromLatest) {
+  const ForestScenario s(301);
+  // Dies with checkpoint 2 fsync'd to ".tmp" but not yet published: the
+  // previous checkpoint is still the current file.
+  ASSERT_TRUE(child_killed_at(fault::site::kCheckpointBeforeRename, 2,
+                              [&s] { s.child_run(); }));
+  ASSERT_TRUE(file_exists(s.ckpt.path()));
+  EXPECT_EQ(s.resume(), s.reference());
+}
+
+TEST(CrashRecovery, KilledMidRotateFallsBackToPrev) {
+  const ForestScenario s(302);
+  // Dies between "current -> .prev" and ".tmp -> current": the torn state
+  // has NO current checkpoint, only the rotated previous one.  resume()
+  // must notice and fall back.
+  ASSERT_TRUE(child_killed_at(fault::site::kCheckpointMidRotate, 2,
+                              [&s] { s.child_run(); }));
+  ASSERT_FALSE(file_exists(s.ckpt.path()));
+  ASSERT_TRUE(file_exists(s.ckpt.path() + ".prev"));
+  EXPECT_EQ(s.resume(), s.reference());
+}
+
+TEST(CrashRecovery, KilledAfterRenameResumesFromLatest) {
+  const ForestScenario s(303);
+  // Dies immediately after publishing checkpoint 2: the fresh checkpoint is
+  // the current file and recovery replays the least.
+  ASSERT_TRUE(child_killed_at(fault::site::kCheckpointAfterRename, 2,
+                              [&s] { s.child_run(); }));
+  ASSERT_TRUE(file_exists(s.ckpt.path()));
+  ASSERT_TRUE(file_exists(s.ckpt.path() + ".prev"));
+  EXPECT_EQ(s.resume(), s.reference());
+}
+
+TEST(CrashRecovery, CorruptLatestFallsBackToPrev) {
+  // No kill needed: complete a run (so rotation left latest + prev), then
+  // corrupt the latest in place.  resume() must reject it on CRC and
+  // recover from ".prev" -- the flip side of test_serialize's
+  // both-files-corrupt rejection case.
+  const ForestScenario s(304);
+  s.child_run();
+  ASSERT_TRUE(file_exists(s.ckpt.path()));
+  ASSERT_TRUE(file_exists(s.ckpt.path() + ".prev"));
+  {
+    std::ifstream is(s.ckpt.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    is.close();
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream os(s.ckpt.path(), std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(s.resume(), s.reference());
+}
+
+TEST(CrashRecovery, TruncatedLatestFallsBackToPrev) {
+  const ForestScenario s(305);
+  s.child_run();
+  ASSERT_TRUE(file_exists(s.ckpt.path() + ".prev"));
+  {
+    std::ifstream is(s.ckpt.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    is.close();
+    std::ofstream os(s.ckpt.path(), std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_EQ(s.resume(), s.reference());
+}
+
+// ---- killed mid-pass-2 of a KP12 run --------------------------------------
+
+TEST(CrashRecovery, KilledMidSecondPassOfKp12ResumesExactly) {
+  const DynamicStream stream = test_stream(32, 120, 40, 306);
+  Kp12Config config;
+  config.k = 2;
+  config.seed = 61;
+  config.j_copies = 2;
+  config.z_samples = 2;
+  config.t_levels = 3;
+  config.ingest_workers = 1;  // keep the child single-threaded
+
+  const CheckpointFile ckpt("crash_kp12.kwsk");
+  StreamEngineOptions options;
+  options.batch_size = 32;
+  options.checkpoint_every_updates = 150;
+  options.checkpoint_path = ckpt.path();
+
+  // 200 updates/pass at batch 32 = 7 batches/pass; absorb-batch hit 13 is
+  // deep inside pass 2, and cadence 150 has checkpointed mid-pass-2 (pass 1
+  // offset 128) by then -- the surviving cut restores phase AND offset.
+  ASSERT_TRUE(child_killed_at(
+      fault::site::kEngineAbsorbBatch, 13, [&stream, &config, &options] {
+        Kp12Sparsifier victim(32, config);
+        StreamEngine engine(options);
+        engine.attach(victim);
+        (void)engine.run(stream);
+      }));
+  ASSERT_TRUE(file_exists(ckpt.path()));
+
+  Kp12Sparsifier reference(32, config);
+  const Kp12Result expect = reference.run(stream);
+
+  Kp12Sparsifier resumed(32, config);
+  StreamEngine engine(options);
+  engine.attach(resumed);
+  (void)engine.resume(stream, ckpt.path());
+  Kp12Result result = resumed.take_result();
+  EXPECT_EQ(edge_list(result.sparsifier.edges()),
+            edge_list(expect.sparsifier.edges()));
+}
+
+// ---- sharded ingest killed mid-pass-2 -------------------------------------
+
+TEST(CrashRecovery, ShardedRunKilledMidPassTwoResumesAtPassBoundary) {
+  const DynamicStream stream = test_stream(32, 120, 40, 307);
+  Kp12Config config;
+  config.k = 2;
+  config.seed = 62;
+  config.j_copies = 2;
+  config.z_samples = 2;
+  config.t_levels = 3;
+  config.ingest_workers = 1;
+
+  const CheckpointFile ckpt("crash_sharded.kwsk");
+  StreamEngineOptions options;
+  options.batch_size = 32;
+  options.shards = 2;
+  options.checkpoint_every_updates = 150;  // sharded: pass boundaries only
+  options.checkpoint_path = ckpt.path();
+
+  // The child forks BEFORE any worker thread exists and spawns its own
+  // driver; hit 10 of the concurrent front-end's per-batch site lands in
+  // pass 2, after the pass-1-end boundary checkpoint was published.
+  ASSERT_TRUE(child_killed_at(
+      fault::site::kEngineAbsorbBatch, 10, [&stream, &config, &options] {
+        Kp12Sparsifier victim(32, config);
+        StreamEngine engine(options);
+        engine.attach(victim);
+        (void)engine.run(stream);
+      }));
+  ASSERT_TRUE(file_exists(ckpt.path()));
+
+  Kp12Sparsifier reference(32, config);
+  const Kp12Result expect = reference.run(stream);
+
+  // Sharded resume: the stored cut is (pass 1, offset 0) -- a legal sharded
+  // restart -- and the merged result matches the sequential reference by
+  // sketch linearity.
+  Kp12Sparsifier resumed(32, config);
+  StreamEngine engine(options);
+  engine.attach(resumed);
+  (void)engine.resume(stream, ckpt.path());
+  Kp12Result result = resumed.take_result();
+  EXPECT_EQ(edge_list(result.sparsifier.edges()),
+            edge_list(expect.sparsifier.edges()));
+}
+
+}  // namespace
+}  // namespace kw

@@ -1,0 +1,480 @@
+// The deterministic fault-injection subsystem (util/fault_injection.h) and
+// the failure contracts of every production site it is threaded through:
+// serialization write/read faults, checkpoint write retry + engine
+// poisoning, concurrent-driver worker faults, worker-pool task faults, and
+// the decode-degradation HealthReport / strict policy.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "agm/spanning_forest.h"
+#include "core/config.h"
+#include "core/kp12_sparsifier.h"
+#include "engine/concurrent_ingest.h"
+#include "engine/health.h"
+#include "engine/stream_engine.h"
+#include "graph/generators.h"
+#include "serialize/serialize.h"
+#include "sketch/sparse_recovery.h"
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+namespace {
+
+[[nodiscard]] DynamicStream test_stream(Vertex n, std::size_t m,
+                                        std::size_t churn,
+                                        std::uint64_t seed) {
+  return DynamicStream::with_churn(erdos_renyi_gnm(n, m, seed), churn,
+                                   seed + 1);
+}
+
+[[nodiscard]] std::vector<EdgeUpdate> stream_updates(
+    const DynamicStream& stream) {
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(stream.size());
+  stream.replay([&updates](const EdgeUpdate& u) { updates.push_back(u); });
+  return updates;
+}
+
+[[nodiscard]] std::vector<std::tuple<Vertex, Vertex, double>> edge_list(
+    const std::vector<Edge>& edges) {
+  std::vector<std::tuple<Vertex, Vertex, double>> out;
+  for (const Edge& e : edges) {
+    out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v), e.weight);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class CheckpointFile {
+ public:
+  explicit CheckpointFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~CheckpointFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".prev").c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Every test disarms on exit (ScopedArm), but a failed EXPECT inside a
+// triggered path must not leak an armed site into the next test.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm_all(); }
+};
+using FaultSchedule = FaultInjectionTest;
+using FaultSerialize = FaultInjectionTest;
+using FaultCheckpoint = FaultInjectionTest;
+using FaultConcurrent = FaultInjectionTest;
+using FaultPool = FaultInjectionTest;
+using FaultHealth = FaultInjectionTest;
+
+constexpr char kTestSite[] = "test.site";
+
+// ---- schedule semantics ---------------------------------------------------
+
+TEST_F(FaultSchedule, UnarmedSiteIsInert) {
+  EXPECT_FALSE(fault::fire(kTestSite));
+  EXPECT_EQ(fault::hits(kTestSite), 0u);
+  EXPECT_EQ(fault::triggers(kTestSite), 0u);
+}
+
+TEST_F(FaultSchedule, NthHitTriggersExactlyOnce) {
+  fault::ScopedArm arm(kTestSite, fault::Schedule::nth_hit(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(fault::fire(kTestSite));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false}));
+  EXPECT_EQ(fault::hits(kTestSite), 5u);
+  EXPECT_EQ(fault::triggers(kTestSite), 1u);
+}
+
+TEST_F(FaultSchedule, WindowTriggersOnHalfOpenRange) {
+  fault::ScopedArm arm(kTestSite, fault::Schedule::window(2, 4));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fault::fire(kTestSite));
+  // 0-based evaluation indices 2 and 3 trigger.
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(fault::triggers(kTestSite), 2u);
+}
+
+TEST_F(FaultSchedule, AlwaysTriggersEveryHit) {
+  fault::ScopedArm arm(kTestSite, fault::Schedule::always());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fault::fire(kTestSite));
+  EXPECT_EQ(fault::triggers(kTestSite), 4u);
+}
+
+TEST_F(FaultSchedule, ProbabilityIsSeededAndDeterministic) {
+  constexpr int kTrials = 128;
+  const auto pattern_for = [](std::uint64_t seed) {
+    fault::ScopedArm arm(kTestSite,
+                         fault::Schedule::with_probability(0.5, seed));
+    std::vector<bool> pattern;
+    for (int i = 0; i < kTrials; ++i) pattern.push_back(fault::fire(kTestSite));
+    return pattern;
+  };
+  const std::vector<bool> first = pattern_for(99);
+  EXPECT_EQ(first, pattern_for(99));     // same seed: same schedule, replayed
+  EXPECT_NE(first, pattern_for(1234));   // different seed: different draws
+  const std::size_t triggered =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(triggered, 0u);
+  EXPECT_LT(triggered, static_cast<std::size_t>(kTrials));
+
+  {
+    fault::ScopedArm arm(kTestSite, fault::Schedule::with_probability(0.0, 7));
+    for (int i = 0; i < 50; ++i) EXPECT_FALSE(fault::fire(kTestSite));
+  }
+  {
+    fault::ScopedArm arm(kTestSite, fault::Schedule::with_probability(1.0, 7));
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(fault::fire(kTestSite));
+  }
+}
+
+TEST_F(FaultSchedule, DisarmResetsCountersAndOverhead) {
+  fault::arm(kTestSite, fault::Schedule::always());
+  EXPECT_TRUE(fault::fire(kTestSite));
+  fault::disarm(kTestSite);
+  EXPECT_FALSE(fault::fire(kTestSite));
+  EXPECT_EQ(fault::hits(kTestSite), 0u);
+  EXPECT_EQ(fault::triggers(kTestSite), 0u);
+  // Re-arming starts the schedule over (nth counts from the new arm).
+  fault::arm(kTestSite, fault::Schedule::nth_hit(1));
+  EXPECT_TRUE(fault::fire(kTestSite));
+  fault::disarm(kTestSite);
+}
+
+TEST_F(FaultSchedule, OnTriggerRunsOnTriggeringHitsOnly) {
+  int calls = 0;
+  fault::ScopedArm arm(kTestSite, fault::Schedule::nth_hit(2),
+                       [&calls] { ++calls; });
+  EXPECT_FALSE(fault::fire(kTestSite));
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(fault::fire(kTestSite));
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(fault::fire(kTestSite));
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- serialization sites --------------------------------------------------
+
+[[nodiscard]] SparseRecoverySketch small_sketch() {
+  SparseRecoveryConfig config;
+  config.max_coord = 1 << 12;
+  config.seed = 7;
+  SparseRecoverySketch sketch(config);
+  for (std::uint64_t c = 0; c < 40; ++c) sketch.update(c * 17 % 4096, 1);
+  return sketch;
+}
+
+TEST_F(FaultSerialize, InjectedEnospcFailsSave) {
+  const SparseRecoverySketch sketch = small_sketch();
+  fault::ScopedArm arm(fault::site::kSerializeWriteEnospc,
+                       fault::Schedule::always());
+  EXPECT_THROW((void)ser::save_to_bytes(sketch), ser::SerializeError);
+}
+
+TEST_F(FaultSerialize, InjectedShortWriteFailsSave) {
+  const SparseRecoverySketch sketch = small_sketch();
+  fault::ScopedArm arm(fault::site::kSerializeWriteShort,
+                       fault::Schedule::always());
+  EXPECT_THROW((void)ser::save_to_bytes(sketch), ser::SerializeError);
+}
+
+TEST_F(FaultSerialize, InjectedBitflipIsCaughtByCrc) {
+  const SparseRecoverySketch sketch = small_sketch();
+  const std::string bytes = ser::save_to_bytes(sketch);
+  SparseRecoveryConfig config;
+  config.max_coord = 1 << 12;
+  config.seed = 7;
+  SparseRecoverySketch dst(config);
+  {
+    fault::ScopedArm arm(fault::site::kSerializeReadBitflip,
+                         fault::Schedule::always());
+    // The flip lands between the payload read and the CRC check, so the
+    // envelope's own integrity machinery must reject it.
+    EXPECT_THROW(ser::load_from_bytes(bytes, dst), ser::SerializeError);
+    EXPECT_GE(fault::triggers(fault::site::kSerializeReadBitflip), 1u);
+  }
+  // Disarmed, the same bytes load cleanly: the corruption was injected, not
+  // real.
+  EXPECT_NO_THROW(ser::load_from_bytes(bytes, dst));
+}
+
+// ---- checkpoint write retry and engine poisoning --------------------------
+
+TEST_F(FaultCheckpoint, TransientWriteFailureIsRetried) {
+  const DynamicStream stream = test_stream(48, 260, 120, 201);
+  AgmConfig config;
+  config.seed = 51;
+
+  SpanningForestProcessor reference(48, config);
+  StreamEngine::run_single(reference, stream);
+  const ForestResult expect = reference.take_result();
+
+  const CheckpointFile ckpt("fault_retry.kwsk");
+  StreamEngineOptions options;
+  options.batch_size = 64;
+  options.checkpoint_every_updates = 150;
+  options.checkpoint_path = ckpt.path();
+  {
+    // First durable-write attempt of the run fails; the bounded
+    // retry-with-backoff must absorb it without surfacing an error.
+    fault::ScopedArm arm(fault::site::kCheckpointWrite,
+                         fault::Schedule::nth_hit(1));
+    SpanningForestProcessor victim(48, config);
+    StreamEngine engine(options);
+    engine.attach(victim);
+    EXPECT_NO_THROW((void)engine.run(stream));
+    EXPECT_EQ(fault::triggers(fault::site::kCheckpointWrite), 1u);
+    EXPECT_FALSE(engine.poisoned());
+  }
+
+  // The checkpoint the retried write produced is a good one.
+  SpanningForestProcessor resumed(48, config);
+  StreamEngine engine(options);
+  engine.attach(resumed);
+  (void)engine.resume(stream, ckpt.path());
+  EXPECT_EQ(edge_list(resumed.take_result().edges), edge_list(expect.edges));
+}
+
+TEST_F(FaultCheckpoint, PermanentWriteFailurePoisonsTheEngine) {
+  const DynamicStream stream = test_stream(48, 260, 120, 202);
+  AgmConfig config;
+  config.seed = 52;
+
+  const CheckpointFile ckpt("fault_permanent.kwsk");
+  StreamEngineOptions options;
+  options.batch_size = 64;
+  options.checkpoint_every_updates = 150;
+  options.checkpoint_path = ckpt.path();
+  SpanningForestProcessor victim(48, config);
+  StreamEngine engine(options);
+  engine.attach(victim);
+  {
+    fault::ScopedArm arm(fault::site::kCheckpointWrite,
+                         fault::Schedule::always());
+    EXPECT_THROW((void)engine.run(stream), ser::SerializeError);
+    // Exactly the bounded number of attempts, then give up: no retry storm.
+    EXPECT_EQ(fault::hits(fault::site::kCheckpointWrite), 3u);
+  }
+  // The run died mid-pass: the attached processor's state is a partial
+  // prefix, so the engine refuses to be reused even with faults disarmed.
+  EXPECT_TRUE(engine.poisoned());
+  EXPECT_THROW((void)engine.run(stream), std::logic_error);
+  EXPECT_THROW((void)engine.resume(stream, ckpt.path()), std::logic_error);
+}
+
+// ---- concurrent driver worker faults (post-error reuse contract) ----------
+
+TEST_F(FaultConcurrent, WorkerFaultSurfacesAtEndPassAndPoisonsDriver) {
+  const DynamicStream stream = test_stream(48, 260, 120, 203);
+  const std::vector<EdgeUpdate> updates = stream_updates(stream);
+  AgmConfig config;
+  config.seed = 53;
+  SpanningForestProcessor processor(48, config);
+
+  ConcurrentIngestOptions options;
+  options.workers = 2;
+  options.flush_capacity = 64;
+  ConcurrentIngestDriver driver(options);
+  fault::ScopedArm arm(fault::site::kWorkerAbsorb,
+                       fault::Schedule::nth_hit(1));
+  driver.begin_pass({&processor});
+  driver.push({updates.data(), updates.size()});
+  // The worker exception is captured, the drain barrier still completes,
+  // and end_pass() rethrows on the caller thread.
+  EXPECT_THROW((void)driver.end_pass(), std::runtime_error);
+  // The primaries missed this pass's updates: the driver says so instead of
+  // silently desyncing on the next pass.
+  EXPECT_TRUE(driver.poisoned());
+  EXPECT_THROW(driver.begin_pass({&processor}), std::logic_error);
+}
+
+TEST_F(FaultConcurrent, EngineRunAfterWorkerFaultThrowsDescriptively) {
+  const DynamicStream stream = test_stream(48, 260, 120, 204);
+  AgmConfig config;
+  config.seed = 54;
+  SpanningForestProcessor processor(48, config);
+
+  StreamEngineOptions options;
+  options.batch_size = 64;
+  options.shards = 2;
+  StreamEngine engine(options);
+  engine.attach(processor);
+  {
+    fault::ScopedArm arm(fault::site::kWorkerAbsorb,
+                         fault::Schedule::nth_hit(1));
+    EXPECT_THROW((void)engine.run(stream), std::runtime_error);
+  }
+  EXPECT_TRUE(engine.poisoned());
+  // Satellite contract: post-error reuse is a descriptive logic_error, not
+  // undefined engine state.
+  try {
+    (void)engine.run(stream);
+    FAIL() << "poisoned engine accepted a new run";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("previous run"), std::string::npos);
+  }
+}
+
+TEST_F(FaultConcurrent, StalledWorkerOnlySlowsTheRun) {
+  const DynamicStream stream = test_stream(48, 260, 120, 205);
+  AgmConfig config;
+  config.seed = 55;
+
+  SpanningForestProcessor reference(48, config);
+  StreamEngine::run_single(reference, stream);
+  const ForestResult expect = reference.take_result();
+
+  // Stall a consumer for a few of its first batches with a 1-deep handoff
+  // ring: the front-end must block (backpressure), never drop, and the
+  // merged result stays bit-exact.
+  fault::ScopedArm arm(fault::site::kWorkerStall,
+                       fault::Schedule::window(0, 4));
+  StreamEngineOptions options;
+  options.batch_size = 64;
+  options.shards = 2;
+  options.shard_queue_depth = 1;
+  SpanningForestProcessor sharded(48, config);
+  StreamEngine engine(options);
+  engine.attach(sharded);
+  (void)engine.run(stream);
+  EXPECT_EQ(edge_list(sharded.take_result().edges), edge_list(expect.edges));
+}
+
+// ---- worker-pool task faults ----------------------------------------------
+
+TEST_F(FaultPool, TaskFaultRethrownOnCaller) {
+  const DynamicStream stream = test_stream(32, 120, 40, 206);
+  const std::vector<EdgeUpdate> updates = stream_updates(stream);
+  Kp12Config config;
+  config.k = 2;
+  config.seed = 56;
+  config.j_copies = 2;
+  config.z_samples = 2;
+  config.t_levels = 3;
+  config.ingest_workers = 2;
+
+  Kp12Sparsifier sparsifier(32, config);
+  fault::ScopedArm arm(fault::site::kPoolTask, fault::Schedule::nth_hit(2));
+  // The faulted membership-row task throws inside the pool; every peer task
+  // still completes (no freed-state writes) and the first error is rethrown
+  // from absorb() on this thread.
+  EXPECT_THROW(sparsifier.absorb({updates.data(), updates.size()}),
+               std::runtime_error);
+  EXPECT_EQ(fault::triggers(fault::site::kPoolTask), 1u);
+}
+
+// ---- HealthReport / strict decode policy ----------------------------------
+
+TEST_F(FaultHealth, ReportAggregatesAndSummarizes) {
+  HealthReport report;
+  ProcessorHealth clean;
+  clean.name = "CleanProc";
+  report.processors.push_back(clean);
+  EXPECT_TRUE(report.healthy());
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.summary(), "healthy");
+
+  ProcessorHealth sick;
+  sick.name = "SickProc";
+  sick.l0_failures = 3;
+  sick.kv_failures = 1;
+  sick.failures_per_round = {0, 3, 1};
+  sick.degraded = true;
+  report.processors.push_back(sick);
+  EXPECT_FALSE(report.healthy());
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.total_failures(), 4u);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("SickProc"), std::string::npos);
+  EXPECT_NE(summary.find("degraded"), std::string::npos);
+  EXPECT_EQ(summary.find("CleanProc"), std::string::npos);
+}
+
+TEST_F(FaultHealth, CleanRunReportsHealthyProcessors) {
+  const DynamicStream stream = test_stream(48, 260, 120, 207);
+  AgmConfig config;
+  config.seed = 57;
+  SpanningForestProcessor processor(48, config);
+  StreamEngineOptions options;
+  options.batch_size = 64;
+  StreamEngine engine(options);
+  engine.attach(processor);
+  const EngineRunStats stats = engine.run(stream);
+  ASSERT_EQ(stats.health.processors.size(), 1u);
+  EXPECT_FALSE(stats.health.processors[0].name.empty());
+  EXPECT_TRUE(stats.health.healthy());
+}
+
+// A processor whose decoders "failed": exercises the degraded-result path
+// without needing a stream adversarial enough to break a real sketch.
+class DegradedProcessor final : public StreamProcessor {
+ public:
+  explicit DegradedProcessor(Vertex n) : n_(n) {}
+  [[nodiscard]] std::size_t passes_required() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] Vertex n() const noexcept override { return n_; }
+  void absorb(std::span<const EdgeUpdate>) override {}
+  void advance_pass() override {
+    throw std::logic_error("single pass");
+  }
+  void finish() override { finished_ = true; }
+  [[nodiscard]] ProcessorHealth health() const override {
+    ProcessorHealth h;
+    h.name = "Degraded";
+    h.sparse_recovery_failures = finished_ ? 2 : 0;
+    h.degraded = finished_;
+    return h;
+  }
+
+ private:
+  Vertex n_;
+  bool finished_ = false;
+};
+
+TEST_F(FaultHealth, DefaultPolicyFlagsDegradedResultsQuietly) {
+  const DynamicStream stream = test_stream(16, 40, 0, 208);
+  DegradedProcessor processor(16);
+  StreamEngine engine;
+  engine.attach(processor);
+  const EngineRunStats stats = engine.run(stream);
+  EXPECT_FALSE(stats.health.healthy());
+  EXPECT_TRUE(stats.health.degraded());
+  EXPECT_EQ(stats.health.total_failures(), 2u);
+}
+
+TEST_F(FaultHealth, StrictPolicyThrowsAfterFinishing) {
+  const DynamicStream stream = test_stream(16, 40, 0, 209);
+  DegradedProcessor processor(16);
+  StreamEngineOptions options;
+  options.strict = true;
+  StreamEngine engine(options);
+  engine.attach(processor);
+  try {
+    (void)engine.run(stream);
+    FAIL() << "strict engine accepted a degraded run";
+  } catch (const DecodeDegradedError& e) {
+    EXPECT_NE(std::string(e.what()).find("Degraded"), std::string::npos);
+  }
+  // strict throws AFTER the pass machinery completed: the engine is not
+  // poisoned and the (partial) results remain takeable for post-mortems.
+  EXPECT_FALSE(engine.poisoned());
+}
+
+}  // namespace
+}  // namespace kw

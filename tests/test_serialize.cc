@@ -489,6 +489,7 @@ class CheckpointFile {
   ~CheckpointFile() {
     std::remove(path_.c_str());
     std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".prev").c_str());
   }
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -587,15 +588,20 @@ TEST(Checkpoint, RejectsCorruptAndMismatchedFiles) {
     EXPECT_THROW((void)engine.resume(stream, ckpt.path() + ".nope"),
                  ser::SerializeError);
   }
-  // Flipped byte: CRC rejects before any state is parsed.
+  // Flipped byte in the latest AND the rotation fallback: CRC rejects both
+  // before any state is parsed (the corrupt-latest-with-good-prev case --
+  // fallback succeeds -- lives in test_crash_recovery.cc).
   {
-    std::ifstream is(ckpt.path(), std::ios::binary);
-    std::string bytes((std::istreambuf_iterator<char>(is)),
-                      std::istreambuf_iterator<char>());
-    bytes[bytes.size() / 2] ^= 0x10;
-    std::ofstream os(ckpt.path(), std::ios::binary | std::ios::trunc);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    os.close();
+    for (const std::string path : {ckpt.path(), ckpt.path() + ".prev"}) {
+      std::ifstream is(path, std::ios::binary);
+      if (!is) continue;
+      std::string bytes((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+      is.close();
+      bytes[bytes.size() / 2] ^= 0x10;
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
     SpanningForestProcessor p(32, config);
     StreamEngine engine(options);
     engine.attach(p);
@@ -633,11 +639,44 @@ TEST(Checkpoint, OptionsValidated) {
   no_path.checkpoint_every_updates = 100;
   EXPECT_THROW(StreamEngine{no_path}, std::invalid_argument);
 
+  // Sharded checkpointing is legal (pass-boundary cuts); what a sharded
+  // engine rejects is resuming from a MID-pass cut, which only a sequential
+  // run can write.  Exercised end to end in test_crash_recovery.cc; here we
+  // just pin that construction succeeds.
   StreamEngineOptions sharded;
   sharded.shards = 2;
   sharded.checkpoint_every_updates = 100;
   sharded.checkpoint_path = "x.kwsk";
-  EXPECT_THROW(StreamEngine{sharded}, std::invalid_argument);
+  EXPECT_NO_THROW(StreamEngine{sharded});
+}
+
+TEST(Checkpoint, ShardedResumeRejectsMidPassCut) {
+  // A sequential checkpointed run writes mid-pass cuts; a sharded engine
+  // cannot restart inside a pass and must say so, not desync.
+  const DynamicStream stream = test_stream(48, 260, 120, 133);
+  AgmConfig config;
+  config.seed = 77;
+  const CheckpointFile ckpt("mid_pass_cut.kwsk");
+
+  StreamEngineOptions seq_options;
+  seq_options.batch_size = 64;
+  seq_options.checkpoint_every_updates = 150;  // not a pass boundary
+  seq_options.checkpoint_path = ckpt.path();
+  {
+    SpanningForestProcessor forest(48, config);
+    StreamEngine seq(seq_options);
+    seq.attach(forest);
+    (void)seq.run(stream);
+  }
+
+  StreamEngineOptions sharded_options;
+  sharded_options.batch_size = 64;
+  sharded_options.shards = 2;
+  SpanningForestProcessor fresh(48, config);
+  StreamEngine sharded(sharded_options);
+  sharded.attach(fresh);
+  EXPECT_THROW((void)sharded.resume(stream, ckpt.path()),
+               ser::SerializeError);
 }
 
 }  // namespace
