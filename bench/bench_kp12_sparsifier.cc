@@ -27,6 +27,8 @@
 //
 // Part 2 (--full only): the historical E5 quality table -- spectral
 // envelope, cut preservation, SS08 offline anchor at matched sparsity.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -179,6 +181,35 @@ void run_ingest(std::vector<Result>& results, bool quick) {
     scalar.ms = std::min(scalar.ms, ms);
   }
 
+  // Finish-side decode sweep: ingest both passes untimed, then time the
+  // terminal kv-table decode (finish()) at explicit decode lane counts.  The
+  // decode scatter is bit-identical at every lane count (the ThreadedDecode
+  // wall), so these rows time pure decode throughput; w1 is the row the CI
+  // compare gates against the committed baseline.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    Kp12Config dc = config;
+    dc.ingest_workers = 1;
+    dc.decode_workers = workers;
+    Result row;
+    row.name = "kp12_finish_decode_w" + std::to_string(workers);
+    row.updates = ups.size();
+    row.ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      Kp12Sparsifier sparsifier(n, dc);
+      (void)ingest_once(
+          sparsifier, ups, 1,
+          [](Kp12Sparsifier& s, std::span<const EdgeUpdate> b) {
+            s.absorb(b);
+          },
+          nullptr);
+      Timer timer;
+      sparsifier.finish();
+      row.ms = std::min(row.ms, timer.millis());
+      (void)sparsifier.take_result();
+    }
+    results.push_back(row);
+  }
+
   // Self-check: the fused and scalar pipelines must agree EXACTLY on a full
   // run (ingest once per pass, finish, compare everything).
   bool identical = false;
@@ -262,10 +293,13 @@ void write_json(const std::vector<Result>& results, const std::string& path,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss: peak RSS in KiB on Linux
   std::fprintf(f, "{\n  \"bench\": \"kp12\",\n  \"schema\": 1,\n");
   std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
                quick ? "true" : "false",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", ru.ru_maxrss);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

@@ -24,6 +24,8 @@
 // Emits BENCH_serialize.json; committed baselines (full + quick) are
 // compared by tools/compare_bench.py in CI, normalized by
 // forest_ingest_plain so runner-speed differences cancel.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -80,6 +82,9 @@ void write_json(const std::vector<Result>& results, const std::string& path,
   std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
                quick ? "true" : "false",
                std::thread::hardware_concurrency());
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss: peak RSS in KiB on Linux
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", ru.ru_maxrss);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

@@ -21,6 +21,8 @@
 // on regressions against it (CI fails the job above its --fail-over bound).
 // `--quick` shrinks the workload for CI; `--out PATH` overrides the output
 // path.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -331,6 +333,9 @@ void write_json(const std::vector<Result>& results, const std::string& path,
   std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
                quick ? "true" : "false",
                std::thread::hardware_concurrency());
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss: peak RSS in KiB on Linux
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", ru.ru_maxrss);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

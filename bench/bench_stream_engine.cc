@@ -19,6 +19,8 @@
 // and win once the machine actually has that many hardware threads.  The
 // committed baselines record the machine's hardware_concurrency so a
 // single-core baseline is not misread as "threading doesn't help".
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -99,6 +101,9 @@ void write_json(const std::vector<Result>& results, const std::string& path,
   std::fprintf(f, "  \"quick\": %s,\n  \"hardware_threads\": %u,\n",
                quick ? "true" : "false",
                std::thread::hardware_concurrency());
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss: peak RSS in KiB on Linux
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", ru.ru_maxrss);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

@@ -11,7 +11,9 @@ namespace kw {
 
 ForestResult agm_spanning_forest(const BankGroup& group,
                                  std::size_t group_first, std::size_t rounds,
-                                 const std::vector<std::uint32_t>& partition) {
+                                 const std::vector<std::uint32_t>& partition,
+                                 WorkerPool* pool,
+                                 std::size_t decode_lanes) {
   const auto n = static_cast<Vertex>(group.vertices());
   if (partition.size() != n) {
     throw std::invalid_argument("partition size mismatch");
@@ -37,14 +39,31 @@ ForestResult agm_spanning_forest(const BankGroup& group,
     }
   }
 
+  // Lanes the decode scatter may actually occupy; 1 = plain loop.
+  std::size_t lanes = 1;
+  if (pool != nullptr) {
+    lanes = pool->lanes();
+    if (decode_lanes != 0) lanes = std::min(lanes, decode_lanes);
+    lanes = std::max<std::size_t>(lanes, 1);
+  }
+
   ForestResult result;
   // Decode-side scratch, reused across rounds (every round's bank shares
-  // one geometry): the summed stripe, the component-membership counting
-  // sort, and the per-round merge list.
-  std::vector<OneSparseCell> acc(group.cells_per_stripe());
+  // one geometry): one summed-stripe accumulator per LANE, the
+  // component-membership counting sort, the per-component decode slots,
+  // and the per-round merge list.
+  const std::size_t stripe = group.cells_per_stripe();
+  std::vector<OneSparseCell> accs(lanes * stripe);
   std::vector<Vertex> root_of(n);
   std::vector<Vertex> members(n);           // vertices grouped by component
   std::vector<std::uint32_t> member_end(n);  // running cursor -> end fences
+  std::vector<Vertex> roots;                 // component roots, ascending
+  struct RootDecode {
+    Edge edge{};
+    bool has_edge = false;
+    bool failed = false;
+  };
+  std::vector<RootDecode> decoded;
   std::vector<Edge> merges;
   for (std::size_t round = 0; round < rounds; ++round) {
     const BankGroup::View bank = group.view(group_first + round);
@@ -63,26 +82,48 @@ ForestResult agm_spanning_forest(const BankGroup& group,
     for (Vertex v = 0; v < n; ++v) {
       members[member_end[root_of[v]]++] = v;  // leaves end fences behind
     }
-    // One summed stripe and one decoded outgoing edge per component.
-    merges.clear();
-    std::size_t round_failures = 0;
+    roots.clear();
     for (Vertex root = 0; root < n; ++root) {
       const std::uint32_t begin = root == 0 ? 0 : member_end[root - 1];
+      if (begin != member_end[root]) roots.push_back(root);
+    }
+    // One summed stripe and one decoded outgoing edge per component.  The
+    // round's inputs (bank, counting sort, root_of) are frozen during the
+    // scatter; task i writes decoded[i] only and sums into its own lane's
+    // accumulator stripe, so any lane assignment decodes the exact
+    // sequential cells -- the fold below walks slots in component order,
+    // keeping failure counts and merge order bit-identical.
+    decoded.assign(roots.size(), RootDecode{});
+    const auto decode_root = [&](std::size_t i, std::size_t lane) {
+      const Vertex root = roots[i];
+      const std::uint32_t begin = root == 0 ? 0 : member_end[root - 1];
       const std::uint32_t end = member_end[root];
-      if (begin == end) continue;  // not a component root
+      const std::span<OneSparseCell> acc{accs.data() + lane * stripe, stripe};
       std::fill(acc.begin(), acc.end(), OneSparseCell{});
-      for (std::uint32_t i = begin; i < end; ++i) {
-        bank.accumulate(acc, members[i], 1);
+      for (std::uint32_t m = begin; m < end; ++m) {
+        bank.accumulate(acc, members[m], 1);
       }
       const auto rec = bank.decode_cells(acc);
       if (!rec.has_value()) {
         // Zero sketch = isolated component (fine); nonzero = decode failure.
-        if (!BankGroup::cells_zero(acc)) ++round_failures;
-        continue;
+        decoded[i].failed = !BankGroup::cells_zero(acc);
+        return;
       }
       const auto [u, v] = pair_from_id(rec->coord, n);
-      if (root_of[u] == root_of[v]) continue;  // should not happen; defensive
-      merges.push_back({u, v, 1.0});
+      if (root_of[u] == root_of[v]) return;  // should not happen; defensive
+      decoded[i].edge = {u, v, 1.0};
+      decoded[i].has_edge = true;
+    };
+    if (pool != nullptr && lanes > 1 && roots.size() > 1) {
+      pool->run_indexed(roots.size(), decode_root, lanes);
+    } else {
+      for (std::size_t i = 0; i < roots.size(); ++i) decode_root(i, 0);
+    }
+    merges.clear();
+    std::size_t round_failures = 0;
+    for (const RootDecode& d : decoded) {
+      if (d.failed) ++round_failures;
+      if (d.has_edge) merges.push_back(d.edge);
     }
     result.decode_failures_per_round.push_back(round_failures);
     result.decode_failures += round_failures;
@@ -114,6 +155,13 @@ ForestResult agm_spanning_forest(const AgmGraphSketch& sketch) {
   return agm_spanning_forest(sketch, identity);
 }
 
+ForestResult agm_spanning_forest(const AgmGraphSketch& sketch,
+                                 const std::vector<std::uint32_t>& partition,
+                                 WorkerPool& pool, std::size_t decode_lanes) {
+  return agm_spanning_forest(sketch.bank_group(), 0, sketch.rounds(),
+                             partition, &pool, decode_lanes);
+}
+
 // ---- SpanningForestProcessor ----------------------------------------------
 
 SpanningForestProcessor::SpanningForestProcessor(Vertex n,
@@ -136,13 +184,26 @@ void SpanningForestProcessor::advance_pass() {
       "SpanningForestProcessor: single-pass, advance_pass() is never legal");
 }
 
+void SpanningForestProcessor::use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                                              std::size_t decode_lanes) {
+  pool_ = std::move(pool);
+  decode_lanes_ = decode_lanes;
+}
+
 void SpanningForestProcessor::finish() {
   if (finished_) {
     throw std::logic_error("SpanningForestProcessor: finish() called twice");
   }
   finished_ = true;
-  result_ = partition_.empty() ? agm_spanning_forest(sketch_)
-                               : agm_spanning_forest(sketch_, partition_);
+  std::vector<std::uint32_t> identity;
+  const std::vector<std::uint32_t>* part = &partition_;
+  if (partition_.empty()) {
+    identity.resize(sketch_.n());
+    std::iota(identity.begin(), identity.end(), 0u);
+    part = &identity;
+  }
+  result_ = agm_spanning_forest(sketch_.bank_group(), 0, sketch_.rounds(),
+                                *part, pool_.get(), decode_lanes_);
   health_.name = "SpanningForest";
   health_.l0_failures = result_->decode_failures;
   health_.failures_per_round = result_->decode_failures_per_round;

@@ -17,6 +17,7 @@
 #include "agm/neighborhood_sketch.h"
 #include "engine/stream_processor.h"
 #include "graph/graph.h"
+#include "util/worker_pool.h"
 
 namespace kw {
 
@@ -44,9 +45,23 @@ struct ForestResult {
 // `rounds` groups starting at `group_first` (pair coordinates over the
 // group's vertex count).  KConnectivitySketch peels each layer's forest
 // from its slice of one shared group this way.
+//
+// When `pool` is non-null, each round's per-component accumulate + decode
+// fans out over the pool (at most `decode_lanes` lanes; 0 = all).  Round
+// structure stays sequential: components are listed before the scatter,
+// every task reads only the round's frozen union-find snapshot and writes
+// its own decode slot (per-lane accumulator stripes keep scratch disjoint),
+// and the merge fold walks the slots in component order -- so the forest is
+// bit-identical to the sequential decode at every lane count.
 [[nodiscard]] ForestResult agm_spanning_forest(
     const BankGroup& group, std::size_t group_first, std::size_t rounds,
-    const std::vector<std::uint32_t>& partition);
+    const std::vector<std::uint32_t>& partition, WorkerPool* pool = nullptr,
+    std::size_t decode_lanes = 0);
+
+// Threaded convenience over a whole sketch.
+[[nodiscard]] ForestResult agm_spanning_forest(
+    const AgmGraphSketch& sketch, const std::vector<std::uint32_t>& partition,
+    WorkerPool& pool, std::size_t decode_lanes);
 
 // Push-based front-end (Theorem 10 as a StreamProcessor): one pass
 // maintaining the AGM sketches, Boruvka-over-sketches at finish().
@@ -75,6 +90,11 @@ class SpanningForestProcessor final : public StreamProcessor {
   // Decode-failure accounting (engine/health.h); survives take_result().
   [[nodiscard]] ProcessorHealth health() const override;
 
+  // Adopts the engine's shared pool: the finish()-time Boruvka decode fans
+  // out across decode_lanes of it (bit-identical at every lane count).
+  void use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                       std::size_t decode_lanes) override;
+
   // The underlying sketch (e.g. for nominal_bytes accounting).
   [[nodiscard]] const AgmGraphSketch& sketch() const noexcept {
     return sketch_;
@@ -92,6 +112,9 @@ class SpanningForestProcessor final : public StreamProcessor {
   bool finished_ = false;
   std::optional<ForestResult> result_;
   ProcessorHealth health_;  // filled at finish()
+  // Engine-provided decode budget (use_worker_pool); empty = sequential.
+  std::shared_ptr<WorkerPool> pool_;
+  std::size_t decode_lanes_ = 0;
 };
 
 }  // namespace kw

@@ -85,6 +85,13 @@ struct Kp12Config {
   // are bit-identical for every lane count, so this is never serialized
   // and never perturbs the seed chain.
   std::size_t ingest_workers = 0;
+
+  // Worker lanes for the terminal-table decode inside finish() (0 =
+  // hardware_concurrency).  Shares ONE WorkerPool with the ingest lanes
+  // (sized to the larger of the two; per-phase lane caps pick the budget),
+  // so ingest and decode never oversubscribe the machine.  Execution-only,
+  // like ingest_workers: never serialized, bit-identical at any count.
+  std::size_t decode_workers = 0;
 };
 
 }  // namespace kw

@@ -126,10 +126,32 @@ void Kp12Sparsifier::ensure_instances() {
   }
 }
 
+std::size_t Kp12Sparsifier::ingest_lane_cap() const {
+  return WorkerPool::resolve_lanes(config_.ingest_workers);
+}
+
+std::size_t Kp12Sparsifier::decode_lane_cap() const {
+  if (config_.decode_workers != 0) {
+    return WorkerPool::resolve_lanes(config_.decode_workers);
+  }
+  if (engine_decode_lanes_ != 0) return engine_decode_lanes_;
+  return WorkerPool::resolve_lanes(0);
+}
+
+void Kp12Sparsifier::use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                                     std::size_t decode_lanes) {
+  shared_pool_ = std::move(pool);
+  engine_decode_lanes_ = decode_lanes;
+}
+
 WorkerPool& Kp12Sparsifier::pool() {
-  if (!pool_) {
-    pool_ = std::make_unique<WorkerPool>(
-        WorkerPool::resolve_lanes(config_.ingest_workers));
+  const std::size_t want = std::max(ingest_lane_cap(), decode_lane_cap());
+  // Prefer the engine's shared budget; fall back to a private pool only
+  // when this instance's explicit config demands more lanes than the
+  // engine allotted (a test knob -- the default 0/auto never does).
+  if (shared_pool_ && shared_pool_->lanes() >= want) return *shared_pool_;
+  if (!pool_ || pool_->lanes() < want) {
+    pool_ = std::make_unique<WorkerPool>(want);
   }
   return *pool_;
 }
@@ -143,6 +165,12 @@ Kp12Sparsifier::Kp12Sparsifier(const Kp12Sparsifier& other, EmptyCloneTag)
       h_levels_(other.h_levels_),
       estimate_hashes_(other.estimate_hashes_),
       sample_hashes_(other.sample_hashes_) {
+  // Clones live inside concurrent-ingest worker threads (one shard per
+  // worker): the shard thread IS the lane, so a clone must never spin a
+  // nested pool next to the driver's workers.  Execution-only knobs --
+  // forcing them to 1 cannot perturb the merged state.
+  config_.ingest_workers = 1;
+  config_.decode_workers = 1;
   oracles_.resize(other.oracles_.size());
   for (std::size_t j = 0; j < other.oracles_.size(); ++j) {
     oracles_[j].reserve(other.oracles_[j].size());
@@ -226,16 +254,19 @@ void Kp12Sparsifier::absorb(std::span<const EdgeUpdate> batch) {
   // result bit for bit.
   const std::size_t rows = config_.j_copies + config_.z_samples;
   if (row_scratch_.size() < rows) row_scratch_.resize(rows);
-  pool().run(rows, [this](std::size_t r) {
-    if (r < config_.j_copies) {
-      dispatch_copy(estimate_hashes_[r], t_levels_, oracles_[r],
-                    row_scratch_[r]);
-    } else {
-      const std::size_t s = r - config_.j_copies;
-      dispatch_copy(sample_hashes_[s], h_levels_, samplers_[s],
-                    row_scratch_[r]);
-    }
-  });
+  pool().run(
+      rows,
+      [this](std::size_t r) {
+        if (r < config_.j_copies) {
+          dispatch_copy(estimate_hashes_[r], t_levels_, oracles_[r],
+                        row_scratch_[r]);
+        } else {
+          const std::size_t s = r - config_.j_copies;
+          dispatch_copy(sample_hashes_[s], h_levels_, samplers_[s],
+                        row_scratch_[r]);
+        }
+      },
+      ingest_lane_cap());
 }
 
 void Kp12Sparsifier::dispatch_copy(const KWiseHash& hash, std::size_t levels,
@@ -315,7 +346,9 @@ void Kp12Sparsifier::advance_pass() {
   for (auto& row : samplers_) {
     for (auto& a : row) all.push_back(&a);
   }
-  pool().run(all.size(), [&all](std::size_t i) { all[i]->finish_pass1(); });
+  pool().run(
+      all.size(), [&all](std::size_t i) { all[i]->finish_pass1(); },
+      ingest_lane_cap());
   phase_ = Phase::kPass2;
 }
 
@@ -377,9 +410,12 @@ void Kp12Sparsifier::finish() {
   diag.sample_instances = initialized_ ? config_.z_samples * h_levels_ : 0;
 
   // ---- Finish all instances -------------------------------------------
-  // The decode-heavy per-instance finish() fans out over the pool (each
-  // instance touches only its own state); aggregation below stays
-  // sequential.
+  // The decode-heavy terminal-table work fans out at (instance, terminal)
+  // granularity: begin_finish() flips phases sequentially, every
+  // decode_terminal(instance, t) task touches only its own slot (disjoint
+  // even within one instance), and complete_finish() folds the slots in
+  // fleet order -- bit-identical to the sequential per-instance finish()
+  // at every lane count.  Aggregation below stays sequential.
   {
     std::vector<TwoPassSpanner*> all;
     for (auto& row : oracles_) {
@@ -388,7 +424,18 @@ void Kp12Sparsifier::finish() {
     for (auto& row : samplers_) {
       for (auto& a : row) all.push_back(&a);
     }
-    pool().run(all.size(), [&all](std::size_t i) { all[i]->finish(); });
+    std::vector<std::pair<TwoPassSpanner*, std::size_t>> tasks;
+    for (TwoPassSpanner* inst : all) {
+      const std::size_t terminals = inst->begin_finish();
+      for (std::size_t t = 0; t < terminals; ++t) tasks.push_back({inst, t});
+    }
+    pool().run(
+        tasks.size(),
+        [&tasks](std::size_t i) {
+          tasks[i].first->decode_terminal(tasks[i].second);
+        },
+        decode_lane_cap());
+    for (TwoPassSpanner* inst : all) inst->complete_finish();
   }
   std::vector<std::vector<SpannerOracle>> oracle_graphs;
   oracle_graphs.reserve(config_.j_copies);

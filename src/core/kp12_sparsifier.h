@@ -131,6 +131,15 @@ class Kp12Sparsifier final : public StreamProcessor {
   // (engine/health.h); survives take_result().
   [[nodiscard]] ProcessorHealth health() const override;
 
+  // Adopts the engine's shared pool (StreamProcessor contract): ingest
+  // scatter and finish-time decode then draw lanes from one budget via
+  // per-phase lane caps.  Kp12Config::decode_workers, when nonzero, beats
+  // the engine-level decode_lanes.  If the shared pool is smaller than this
+  // instance's configured lane demand (a test forcing more lanes than the
+  // engine allotted), a private pool of the demanded size is used instead.
+  void use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                       std::size_t decode_lanes) override;
+
   // Convenience: the full pipeline with exactly two pass-counted replays
   // via StreamEngine.  The input graph is treated as unweighted
   // (Corollary 2's weighted case is weighted_kp12_sparsify below).
@@ -173,6 +182,11 @@ class Kp12Sparsifier final : public StreamProcessor {
   void dispatch_copy(const KWiseHash& hash, std::size_t levels,
                      std::vector<TwoPassSpanner>& row, RowScratch& scratch);
   [[nodiscard]] WorkerPool& pool();
+  // Per-phase lane budgets (resolved, >= 1) carved out of pool() by lane
+  // caps: ingest from config_.ingest_workers, decode from
+  // config_.decode_workers (engine decode_lanes when that is 0/auto).
+  [[nodiscard]] std::size_t ingest_lane_cap() const;
+  [[nodiscard]] std::size_t decode_lane_cap() const;
 
   Vertex n_;
   Kp12Config config_;
@@ -198,9 +212,13 @@ class Kp12Sparsifier final : public StreamProcessor {
   std::vector<std::uint64_t> slot_table_;     // open-addressing dedup keys
   std::vector<std::uint32_t> slot_ids_;       // dedup payload: slot index
   std::vector<RowScratch> row_scratch_;       // [j_copies + z_samples]
-  // Lazy: built on first use from config_.ingest_workers; execution-only
-  // state -- never cloned, merged, or serialized.
+  // Lazy: built on first use, sized to the larger of the ingest and decode
+  // lane budgets; execution-only state -- never cloned, merged, or
+  // serialized.  When the engine provided a shared pool big enough
+  // (shared_pool_), it is used instead and pool_ stays empty.
   std::unique_ptr<WorkerPool> pool_;
+  std::shared_ptr<WorkerPool> shared_pool_;  // engine-provided, optional
+  std::size_t engine_decode_lanes_ = 0;      // 0 = engine never said
 };
 
 // Corollary 2, weighted case: round weights to powers of (1 + class_eps),

@@ -250,21 +250,28 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
   }
   switch (phase_) {
     case Phase::kPass1: {
+      const std::size_t page_cell_count =
+          static_cast<std::size_t>(n_) * pass1_cell_count_;
       for (std::size_t idx = 0; idx < pass1_pages_.size(); ++idx) {
         Pass1Page& mine = pass1_pages_[idx];
-        Pass1Page& theirs = o.pass1_pages_[idx];
-        if (theirs.cells.empty()) continue;  // never touched: all zero
-        if (mine.cells.empty()) {
-          mine.cells = std::move(theirs.cells);
-          mine.touched = std::move(theirs.touched);
-        } else {
-          for (std::size_t c = 0; c < mine.cells.size(); ++c) {
-            mine.cells[c].merge(theirs.cells[c], 1);
-          }
-          for (Vertex v = 0; v < n_; ++v) {
-            mine.touched[v] = static_cast<char>(mine.touched[v] |
-                                                theirs.touched[v]);
-          }
+        const Pass1Page& theirs = o.pass1_pages_[idx];
+        if (!o.page_live(theirs)) continue;  // never touched: all zero
+        if (!page_live(mine)) {
+          // Blocks live in per-instance arenas, so absorbing their page is
+          // a copy into a fresh (zero) block -- merging into zeros below
+          // lands the identical cells the historical vector move produced.
+          mine.cells = page_arena_.allocate(page_cell_count);
+          mine.touched = touch_arena_.allocate(n_);
+        }
+        const OneSparseCell* src = o.page_cells(theirs);
+        OneSparseCell* dst = page_cells(mine);
+        for (std::size_t c = 0; c < page_cell_count; ++c) {
+          dst[c].merge(src[c], 1);
+        }
+        const char* sflags = o.page_flags(theirs);
+        char* dflags = page_flags(mine);
+        for (Vertex v = 0; v < n_; ++v) {
+          dflags[v] = static_cast<char>(dflags[v] | sflags[v]);
         }
       }
       // Shards each count their own first touch of a (u, r, j) sketch, so
@@ -272,7 +279,9 @@ void TwoPassSpanner::merge(StreamProcessor&& other) {
       // the ground truth.
       std::size_t touched = 0;
       for (const Pass1Page& page : pass1_pages_) {
-        for (const char t : page.touched) touched += t != 0;
+        if (!page_live(page)) continue;
+        const char* flags = page_flags(page);
+        for (Vertex v = 0; v < n_; ++v) touched += flags[v] != 0;
       }
       diagnostics_.pass1_sketches_touched = touched;
       break;
@@ -309,17 +318,18 @@ KvTableBank& TwoPassSpanner::bank_for(std::size_t t) {
 }
 
 OneSparseCell* TwoPassSpanner::page_stripe(Pass1Page& page, Vertex keeper) {
-  if (page.cells.empty()) {
-    page.cells.resize(static_cast<std::size_t>(n_) * pass1_cell_count_);
-    page.touched.assign(n_, 0);
+  if (!page_live(page)) {
+    page.cells =
+        page_arena_.allocate(static_cast<std::size_t>(n_) * pass1_cell_count_);
+    page.touched = touch_arena_.allocate(n_);
   }
-  char& flag = page.touched[keeper];
-  if (flag == 0) {
-    flag = 1;
+  char* flags = page_flags(page);
+  if (flags[keeper] == 0) {
+    flags[keeper] = 1;
     ++diagnostics_.pass1_sketches_touched;
   }
-  return page.cells.data() + static_cast<std::size_t>(keeper) *
-                                 pass1_cell_count_;
+  return page_cells(page) + static_cast<std::size_t>(keeper) *
+                                pass1_cell_count_;
 }
 
 void TwoPassSpanner::pass1_update(const EdgeUpdate& update) {
@@ -594,18 +604,20 @@ std::optional<Connector> TwoPassSpanner::sketch_connector(
   acc_.resize(pass1_cell_count_);
   for (std::size_t j = edge_levels_; j-- > 0;) {
     Pass1Page& page = page_at(level + 1, j);
-    if (page.cells.empty()) continue;  // page never touched: all zero
+    if (!page_live(page)) continue;  // page never touched: all zero
     std::fill(acc_.begin(), acc_.end(), OneSparseCell{});
     bool any = false;
+    const char* flags = page_flags(page);
+    const OneSparseCell* cells = page_cells(page);
     // Sum per member OCCURRENCE (duplicate copies fold twice), exactly like
     // the historical per-key merge; an untouched member's stripe is zero
     // and skipping it keeps `any` equal to "some member had a materialized
     // sketch".
     for (const Vertex v : members) {
-      if (page.touched[v] == 0) continue;
+      if (flags[v] == 0) continue;
       any = true;
       const OneSparseCell* stripe =
-          page.cells.data() + static_cast<std::size_t>(v) * pass1_cell_count_;
+          cells + static_cast<std::size_t>(v) * pass1_cell_count_;
       for (std::size_t c = 0; c < pass1_cell_count_; ++c) {
         acc_[c].merge(stripe[c], 1);
       }
@@ -661,10 +673,9 @@ void TwoPassSpanner::finish_pass1() {
       diagnostics_.pass1_sketches_touched *
       (pass1_cell_count_ * sizeof(OneSparseCell) +
        sizeof(SparseRecoveryConfig));
-  for (Pass1Page& page : pass1_pages_) {
-    page.cells = {};
-    page.touched = {};
-  }
+  for (Pass1Page& page : pass1_pages_) page = Pass1Page{};
+  page_arena_.reset();  // O(1): every page block dropped at once
+  touch_arena_.reset();
   phase_ = Phase::kPass2;
 }
 
@@ -871,10 +882,50 @@ void TwoPassSpanner::pass2_ingest_row(
   }
 }
 
-void TwoPassSpanner::finish() {
+std::size_t TwoPassSpanner::begin_finish() {
   if (phase_ != Phase::kPass2) throw std::logic_error("not in pass 2");
   phase_ = Phase::kDone;
+  finish_slots_.assign(terminals_.size(), TerminalDecode{});
+  return terminals_.size();
+}
 
+void TwoPassSpanner::decode_terminal(std::size_t t) {
+  // Terminal copies: recover one edge per outside neighbor.  For each key v
+  // take the sparsest Y_j level at which the embedded neighborhood sketch
+  // decodes (Algorithm 2 lines 23-33).  A terminal whose bank was never
+  // materialized saw no pass-2 update: every level decodes empty, exactly
+  // like the historical untouched tables.
+  //
+  // Reads banks_[t] (const decode) and shared immutable geometry; writes
+  // finish_slots_[t] only -- disjoint across terminals, hence lane-safe.
+  if (!banks_[t]) return;
+  const KvTableBank& bank = *banks_[t];
+  TerminalDecode& slot = finish_slots_[t];
+  std::unordered_set<Vertex> resolved;
+  std::unordered_set<Vertex> seen;  // keys observed at any level
+  for (std::size_t j = vertex_levels_; j-- > 0;) {
+    const auto decoded = bank.decode(j);
+    if (!decoded.has_value()) {
+      ++slot.undecodable;
+      continue;
+    }
+    for (const auto& entry : *decoded) {
+      const auto v = static_cast<Vertex>(entry.key);
+      seen.insert(v);
+      if (resolved.contains(v)) continue;
+      const auto support = bank.decode_payload(entry);
+      if (!support.has_value() || support->empty()) continue;
+      const auto w = static_cast<Vertex>(support->front().coord);
+      slot.edges.emplace_back(w, v);
+      resolved.insert(v);
+    }
+  }
+  for (const Vertex v : seen) {
+    if (!resolved.contains(v)) ++slot.unrecovered;
+  }
+}
+
+void TwoPassSpanner::complete_finish() {
   std::map<std::pair<Vertex, Vertex>, double> edges;
   auto add = [&edges](Vertex a, Vertex b, double w) {
     edges.try_emplace({std::min(a, b), std::max(a, b)}, w);
@@ -886,38 +937,21 @@ void TwoPassSpanner::finish() {
     note_augmented(e);
   }
 
-  // Terminal copies: recover one edge per outside neighbor.  For each key v
-  // take the sparsest Y_j level at which the embedded neighborhood sketch
-  // decodes (Algorithm 2 lines 23-33).  A terminal whose bank was never
-  // materialized saw no pass-2 update: every level decodes empty, exactly
-  // like the historical untouched tables.
-  for (std::size_t t = 0; t < terminals_.size(); ++t) {
-    if (!banks_[t]) continue;
-    const KvTableBank& bank = *banks_[t];
-    std::unordered_set<Vertex> resolved;
-    std::unordered_set<Vertex> seen;  // keys observed at any level
-    for (std::size_t j = vertex_levels_; j-- > 0;) {
-      const auto decoded = bank.decode(j);
-      if (!decoded.has_value()) {
-        ++diagnostics_.pass2_tables_undecodable;
-        continue;
-      }
-      for (const auto& entry : *decoded) {
-        const auto v = static_cast<Vertex>(entry.key);
-        seen.insert(v);
-        if (resolved.contains(v)) continue;
-        const auto support = bank.decode_payload(entry);
-        if (!support.has_value() || support->empty()) continue;
-        const auto w = static_cast<Vertex>(support->front().coord);
-        add(w, v, 1.0);
-        note_augmented({w, v, 1.0});
-        resolved.insert(v);
-      }
-    }
-    for (const Vertex v : seen) {
-      if (!resolved.contains(v)) ++diagnostics_.pass2_neighbors_unrecovered;
+  // Fold the per-terminal decodes in terminal order.  `edges` and
+  // `augmented_` dedup by try_emplace and every recovered edge carries
+  // weight 1.0, so the fold is bit-identical to the historical interleaved
+  // per-terminal loop regardless of how the decodes were scheduled.
+  for (std::size_t t = 0; t < finish_slots_.size(); ++t) {
+    const TerminalDecode& slot = finish_slots_[t];
+    diagnostics_.pass2_tables_undecodable += slot.undecodable;
+    diagnostics_.pass2_neighbors_unrecovered += slot.unrecovered;
+    for (const auto& [w, v] : slot.edges) {
+      add(w, v, 1.0);
+      note_augmented({w, v, 1.0});
     }
   }
+  finish_slots_.clear();
+  finish_slots_.shrink_to_fit();
 
   TwoPassResult result;
   Graph spanner(n_);
@@ -951,6 +985,12 @@ void TwoPassSpanner::finish() {
   result_ = std::move(result);
 }
 
+void TwoPassSpanner::finish() {
+  const std::size_t terminal_count = begin_finish();
+  for (std::size_t t = 0; t < terminal_count; ++t) decode_terminal(t);
+  complete_finish();
+}
+
 TwoPassResult TwoPassSpanner::take_result() {
   if (!result_.has_value()) {
     throw std::logic_error(
@@ -975,7 +1015,8 @@ std::span<const OneSparseCell> TwoPassSpanner::pass1_cells(
     throw std::out_of_range("pass1_cells: no such page");
   }
   const Pass1Page& page = pass1_pages_[(r - 1) * edge_levels_ + j];
-  return {page.cells.data(), page.cells.size()};
+  if (!page_live(page)) return {};
+  return {page_cells(page), static_cast<std::size_t>(n_) * pass1_cell_count_};
 }
 
 TwoPassResult TwoPassSpanner::run(const DynamicStream& stream) {

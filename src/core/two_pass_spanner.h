@@ -76,6 +76,7 @@
 #include "sketch/sparse_recovery.h"
 #include "stream/dynamic_stream.h"
 #include "util/hashing.h"
+#include "util/slab_arena.h"
 
 namespace kw {
 
@@ -209,6 +210,20 @@ class TwoPassSpanner final : public StreamProcessor {
   // Valid once after finish().
   [[nodiscard]] TwoPassResult take_result();
 
+  // --- split finish (the threaded decode path; see Kp12Sparsifier) ---
+  // finish() == begin_finish() + decode_terminal(0..T-1) + complete_finish().
+  // begin_finish() freezes ingestion (phase -> done) and returns the
+  // terminal count T.  decode_terminal(t) decodes terminal t's bank into a
+  // private result slot -- it only READS shared state (banks are const
+  // during decode) and writes slot t, so calls for DISTINCT terminals may
+  // run concurrently on a worker pool.  complete_finish() folds the slots
+  // in terminal order and assembles the result; the fold order is fixed, so
+  // the result is bit-identical to the sequential finish() at every lane
+  // count.
+  [[nodiscard]] std::size_t begin_finish();
+  void decode_terminal(std::size_t t);
+  void complete_finish();
+
   // Decode-failure accounting (engine/health.h), from the running
   // diagnostics: pass-1 connector-scan failures count as sparse-recovery
   // misses, undecodable pass-2 tables and unrecovered neighbors as kv
@@ -301,9 +316,16 @@ class TwoPassSpanner final : public StreamProcessor {
   // nothing.  touched mirrors the historical map's key set ((u, r, j)
   // materialized iff an update landed there), keeping diagnostics and
   // connector-scan semantics bit-compatible.
+  //
+  // Storage is two per-instance slab arenas (cells / touch flags): a page
+  // holds arena HANDLES, so every materialized page of an instance lives in
+  // one contiguous store, finish_pass1's teardown is an O(1) arena reset,
+  // and pages copy/move with the instance.  All pages of an instance are
+  // the same size (n * cell_count cells, n flags), so freed blocks recycle
+  // trivially.  kNull == never materialized (all-zero sketch state).
   struct Pass1Page {
-    std::vector<OneSparseCell> cells;  // n * cell_count or empty
-    std::vector<char> touched;         // per-vertex, or empty
+    SlabArena<OneSparseCell>::Handle cells = SlabArena<OneSparseCell>::kNull;
+    SlabArena<char>::Handle touched = SlabArena<char>::kNull;
   };
 
   // Staged per-(slot, j) scatter operands for the current r: the basis
@@ -322,6 +344,24 @@ class TwoPassSpanner final : public StreamProcessor {
 
   [[nodiscard]] Pass1Page& page_at(unsigned r, std::size_t j) {
     return pass1_pages_[(r - 1) * edge_levels_ + j];
+  }
+  // Arena accessors for a page's blocks.  Slabs never move, so these
+  // pointers stay valid across later page materializations; only reset()
+  // (a new pass) or deserialization invalidates them.
+  [[nodiscard]] bool page_live(const Pass1Page& p) const noexcept {
+    return p.cells != SlabArena<OneSparseCell>::kNull;
+  }
+  [[nodiscard]] OneSparseCell* page_cells(const Pass1Page& p) {
+    return page_arena_.data(p.cells);
+  }
+  [[nodiscard]] const OneSparseCell* page_cells(const Pass1Page& p) const {
+    return page_arena_.data(p.cells);
+  }
+  [[nodiscard]] char* page_flags(const Pass1Page& p) {
+    return touch_arena_.data(p.touched);
+  }
+  [[nodiscard]] const char* page_flags(const Pass1Page& p) const {
+    return touch_arena_.data(p.touched);
   }
   // Lazily materializes terminal t's H^u_* level bank: a terminal no pass-2
   // update ever lands in never pays for construction (the between-pass
@@ -368,8 +408,11 @@ class TwoPassSpanner final : public StreamProcessor {
   std::size_t pass1_cell_count_ = 0;
   std::size_t coord_bytes_ = 1;
 
-  // Pass 1: (k-1) * edge_levels_ pages (see Pass1Page).
+  // Pass 1: (k-1) * edge_levels_ pages (see Pass1Page), blocks in the two
+  // arenas below.
   std::vector<Pass1Page> pass1_pages_;
+  SlabArena<OneSparseCell> page_arena_;
+  SlabArena<char> touch_arena_;
 
   // Between passes.
   std::optional<ClusterForest> forest_;
@@ -389,6 +432,16 @@ class TwoPassSpanner final : public StreamProcessor {
   std::size_t pass1_touched_bytes_ = 0;  // recorded before pass-1 teardown
   std::map<std::pair<Vertex, Vertex>, double> augmented_;  // dedup
   std::optional<TwoPassResult> result_;  // set by finish()
+
+  // Per-terminal decode output (begin_finish -> decode_terminal ->
+  // complete_finish): recovered (w, v) edges in decode order plus the
+  // terminal's failure counts, folded sequentially by complete_finish.
+  struct TerminalDecode {
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    std::size_t undecodable = 0;
+    std::size_t unrecovered = 0;
+  };
+  std::vector<TerminalDecode> finish_slots_;
 
   // ---- staged-ingest scratch (reused across batches; never cloned) ----
   std::vector<std::uint64_t> scratch_hash_;   // per-slot / per-list hashes

@@ -203,6 +203,13 @@ std::size_t DemuxProcessor::shard_affinity(
   return lanes_.front()->shard_affinity(update, shards);
 }
 
+void DemuxProcessor::use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                                     std::size_t decode_lanes) {
+  for (StreamProcessor* lane : lanes_) {
+    lane->use_worker_pool(pool, decode_lanes);
+  }
+}
+
 void DemuxProcessor::merge(StreamProcessor&& other) {
   auto& o = merge_cast<DemuxProcessor>(other);
   if (o.lanes_.size() != lanes_.size()) {

@@ -114,6 +114,12 @@ class DemuxProcessor final : public StreamProcessor {
   [[nodiscard]] std::size_t shard_affinity(
       const EdgeUpdate& update, std::size_t shards) const noexcept override;
 
+  // A demux is transparent to the engine's shared lane budget too: the pool
+  // is forwarded to every lane (lanes finish one after another, so they
+  // never contend for it).
+  void use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                       std::size_t decode_lanes) override;
+
   // ---- serialization (src/serialize/processor_serialize.cc) ------------
   // A demux serializes as the ordered list of its lanes' payloads; every
   // lane must itself be serializable.  deserialize() restores lane state in

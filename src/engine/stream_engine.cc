@@ -16,6 +16,7 @@
 
 #include "serialize/serialize.h"
 #include "util/fault_injection.h"
+#include "util/worker_pool.h"
 
 namespace kw {
 
@@ -93,6 +94,18 @@ EngineRunStats StreamEngine::run_from(StreamSource& source,
                                       std::uint64_t skip_updates) {
   check_not_poisoned();
   const std::size_t total_passes = validate_and_count_passes(source);
+
+  // One shared lane budget for the whole engine: every processor that
+  // scatters or decodes in parallel draws from this pool through per-phase
+  // lane caps, instead of spinning a private thread set next to the shard
+  // workers.  A 1-lane pool (e.g. a single-threaded host) starts no threads
+  // at all.
+  const std::size_t decode_lanes =
+      WorkerPool::resolve_lanes(options_.decode_workers);
+  if (!pool_) pool_ = std::make_shared<WorkerPool>(decode_lanes);
+  for (StreamProcessor* p : processors_) {
+    p->use_worker_pool(pool_, decode_lanes);
+  }
 
   // One persistent driver serves every sharded pass of the run: worker
   // threads outlive pass boundaries, only the per-pass clones are re-taken.

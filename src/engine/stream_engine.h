@@ -31,6 +31,8 @@
 
 namespace kw {
 
+class WorkerPool;
+
 struct StreamEngineOptions {
   StreamEngineOptions() = default;
   // The two knobs almost every caller sets; driver tuning keeps defaults.
@@ -59,6 +61,17 @@ struct StreamEngineOptions {
   // Nonzero: seeded random per-buffer flush thresholds (test knob; see
   // ConcurrentIngestOptions::flush_jitter_seed).
   std::uint64_t shard_flush_jitter_seed = 0;
+
+  // ---- shared execution resources --------------------------------------
+  // Worker lanes for finish()-time decode parallelism inside processors
+  // that support it (KP12 terminal-table decode, AGM Boruvka rounds);
+  // 0 = one lane per hardware thread.  The engine builds ONE WorkerPool per
+  // engine, sized to this, and hands it to every attached processor
+  // (StreamProcessor::use_worker_pool) so ingest scatter and decode share a
+  // single lane budget instead of each processor spinning private threads
+  // next to the shard workers.  Execution-only: results are bit-identical
+  // at every value.
+  std::size_t decode_workers = 0;
 
   // ---- periodic checkpointing ------------------------------------------
   // 0 = off.  When set, every checkpoint_every_updates absorbed updates the
@@ -177,6 +190,10 @@ class StreamEngine {
 
   StreamEngineOptions options_;
   std::vector<StreamProcessor*> processors_;
+  // The engine-wide lane budget (options_.decode_workers lanes), built on
+  // the first run and handed to every attached processor; see
+  // StreamProcessor::use_worker_pool.
+  std::shared_ptr<WorkerPool> pool_;
   std::uint64_t updates_since_checkpoint_ = 0;
   bool poisoned_ = false;
 };

@@ -32,6 +32,8 @@
 
 namespace kw {
 
+class WorkerPool;
+
 class StreamProcessor {
  public:
   virtual ~StreamProcessor() = default;
@@ -97,6 +99,23 @@ class StreamProcessor {
       const EdgeUpdate& update, std::size_t shards) const noexcept {
     const Vertex lo = update.u < update.v ? update.u : update.v;
     return static_cast<std::size_t>(lo) % shards;
+  }
+
+  // ---- execution resources (engine-provided) ---------------------------
+
+  // The engine hands every attached processor ONE shared WorkerPool before
+  // feeding a run, so parallel phases (ingest scatter, decode at finish)
+  // draw lanes from a single machine-wide budget instead of each processor
+  // spinning a private thread set next to the shard workers.  decode_lanes
+  // is the engine-level lane budget for finish()-time decode (resolved,
+  // >= 1); processor-local knobs may override it, and per-phase lane caps
+  // pick the budget out of the shared pool.  Lane counts are execution-only
+  // -- a processor must produce bit-identical results at every count.  The
+  // default ignores the pool (processors with no internal parallelism).
+  virtual void use_worker_pool(std::shared_ptr<WorkerPool> pool,
+                               std::size_t decode_lanes) {
+    (void)pool;
+    (void)decode_lanes;
   }
 
   // ---- serialization (src/serialize) -----------------------------------

@@ -138,11 +138,15 @@ void KvTableBank::serialize_state(ser::Writer& w) const {
   for (const std::uint32_t i : order) {
     const Entry& e = entries_[i];
     w.u64(e.slot_id);
-    w.u64(e.block.size() / cell_stride_);  // touched levels 0..jcap
+    w.u64(e.rows);  // touched levels 0..jcap
     // Rows are the in-memory LEVEL DIFFS (level j's value is the suffix sum
     // of rows >= j); readers get the same representation back, so merge /
-    // decode semantics round-trip unchanged.
-    for (const OneSparseCell& c : e.block) ser::put_cell(w, c);
+    // decode semantics round-trip unchanged.  The arena block layout is a
+    // memory detail: the wire carries the same dense row stream the
+    // historical per-entry vectors produced.
+    const OneSparseCell* cells = cells_of(e);
+    const std::size_t count = std::size_t{e.rows} * cell_stride_;
+    for (std::size_t c = 0; c < count; ++c) ser::put_cell(w, cells[c]);
   }
   w.end_section();
 }
@@ -155,6 +159,7 @@ void KvTableBank::deserialize_state(ser::Reader& r) {
   entries_.clear();
   ht_slot_.clear();
   ht_index_.clear();
+  arena_.reset();
   entries_.reserve(count);
   std::uint64_t prev_slot = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -169,9 +174,13 @@ void KvTableBank::deserialize_state(ser::Reader& r) {
     if (touched_levels == 0 || touched_levels > levels_) {
       throw ser::SerializeError("KvTableBank touched level count invalid");
     }
-    e.block.resize(static_cast<std::size_t>(touched_levels) * cell_stride_);
-    for (OneSparseCell& c : e.block) c = ser::get_cell(r);
-    entries_.push_back(std::move(e));
+    e.rows = static_cast<std::uint32_t>(touched_levels);
+    e.cap = e.rows;  // exact-size block: a bulk load never regrows
+    const std::size_t cells = std::size_t{e.rows} * cell_stride_;
+    e.block = arena_.allocate(cells);
+    OneSparseCell* dst = arena_.data(e.block);
+    for (std::size_t c = 0; c < cells; ++c) dst[c] = ser::get_cell(r);
+    entries_.push_back(e);
   }
   // One rebuild at the final size (grow_table sizes off entries_.size()).
   if (!entries_.empty()) grow_table();

@@ -175,12 +175,16 @@ void TwoPassSpanner::serialize(ser::Writer& w) const {
     w.u64(diagnostics_.pass1_scan_failures);
     w.end_section();
     for (const Pass1Page& page : pass1_pages_) {
-      const bool materialized = !page.cells.empty();
+      const bool materialized = page_live(page);
       w.u8(materialized ? 1 : 0);
       if (!materialized) continue;
-      w.bytes(page.touched.data(), page.touched.size());
-      ser::write_cells(w, {page.cells.data(), page.cells.size()},
-                       "two_pass.page");
+      // Arena blocks are contiguous and page-sized, so the wire stream is
+      // identical to the historical per-page vectors.
+      w.bytes(page_flags(page), n_);
+      ser::write_cells(
+          w, {page_cells(page), static_cast<std::size_t>(n_) *
+                                    pass1_cell_count_},
+          "two_pass.page");
     }
     return;
   }
@@ -247,17 +251,20 @@ void TwoPassSpanner::deserialize(ser::Reader& r) {
     pass1_touched_bytes_ = 0;
     diagnostics_.pass1_sketches_touched = static_cast<std::size_t>(r.u64());
     diagnostics_.pass1_scan_failures = static_cast<std::size_t>(r.u64());
+    page_arena_.reset();
+    touch_arena_.reset();
     for (Pass1Page& page : pass1_pages_) {
       const bool materialized = r.u8() != 0;
       if (!materialized) {
-        page.cells = {};
-        page.touched = {};
+        page = Pass1Page{};
         continue;
       }
-      page.touched.resize(n_);
-      r.bytes(page.touched.data(), page.touched.size());
-      page.cells.resize(static_cast<std::size_t>(n_) * pass1_cell_count_);
-      ser::read_cells(r, {page.cells.data(), page.cells.size()});
+      page.touched = touch_arena_.allocate(n_);
+      r.bytes(page_flags(page), n_);
+      page.cells = page_arena_.allocate(static_cast<std::size_t>(n_) *
+                                        pass1_cell_count_);
+      ser::read_cells(r, {page_cells(page), static_cast<std::size_t>(n_) *
+                                                pass1_cell_count_});
     }
     return;
   }
@@ -278,10 +285,9 @@ void TwoPassSpanner::deserialize(ser::Reader& r) {
   for (std::size_t t = 0; t < terminals_.size(); ++t) {
     if (r.u8() != 0) bank_for(t).deserialize_state(r);
   }
-  for (Pass1Page& page : pass1_pages_) {
-    page.cells = {};
-    page.touched = {};
-  }
+  for (Pass1Page& page : pass1_pages_) page = Pass1Page{};
+  page_arena_.reset();
+  touch_arena_.reset();
   phase_ = Phase::kPass2;
 }
 

@@ -170,6 +170,28 @@ KvTableBank::Entry& KvTableBank::entry_at(std::uint64_t slot_id) {
   return entries_.back();
 }
 
+void KvTableBank::ensure_rows(Entry& entry, std::uint32_t rows) {
+  if (entry.rows >= rows) return;
+  if (rows > entry.cap) {
+    const std::uint32_t cap =
+        std::max(std::bit_ceil(rows), entry.cap * 2);
+    const CellArena::Handle grown =
+        arena_.allocate(std::size_t{cap} * cell_stride_);
+    if (entry.rows != 0) {
+      const std::size_t old_cells = std::size_t{entry.rows} * cell_stride_;
+      const OneSparseCell* src = arena_.data(entry.block);
+      std::copy(src, src + old_cells, arena_.data(grown));
+    }
+    if (entry.cap != 0) {
+      arena_.free(entry.block, std::size_t{entry.cap} * cell_stride_);
+    }
+    entry.block = grown;
+    entry.cap = cap;
+  }
+  // rows..cap-1 is still zero (see Entry::cap), so deepening is free.
+  entry.rows = rows;
+}
+
 const KvTableBank::Entry* KvTableBank::find_entry(
     std::uint64_t slot_id) const {
   if (ht_slot_.empty()) return nullptr;
@@ -250,11 +272,11 @@ void KvTableBank::update(std::uint64_t key, std::int64_t key_delta,
   }
   // Diff representation: the whole level prefix 0..jmax is recorded by one
   // cell-row write at jmax (levels materialize as suffix sums).
-  const std::size_t want = (jmax + 1) * cell_stride_;
+  const std::uint32_t want_rows = static_cast<std::uint32_t>(jmax + 1);
   for (std::size_t t = 0; t < config.tables; ++t) {
     Entry& entry = entry_at(slot(t, key));
-    if (entry.block.size() < want) entry.block.resize(want);
-    OneSparseCell* cells = entry.block.data() + jmax * cell_stride_;
+    ensure_rows(entry, want_rows);
+    OneSparseCell* cells = arena_.data(entry.block) + jmax * cell_stride_;
     if (key_delta != 0) {
       cells[0].add_term(key, key_delta, kt1, kt2);
     }
@@ -285,11 +307,11 @@ void KvTableBank::update_staged(std::uint64_t key, std::int64_t key_delta,
   const std::uint32_t* pcell = g.pay_cells(payload_coord);
   const std::size_t payload_rows = g.payload_rows();
   const std::size_t tables = g.config(cls_).tables;
-  const std::size_t want = (jmax + 1) * cell_stride_;
+  const std::uint32_t want_rows = static_cast<std::uint32_t>(jmax + 1);
   for (std::size_t t = 0; t < tables; ++t) {
     Entry& entry = entry_at(t * cells_per_table_ + buckets[t]);
-    if (entry.block.size() < want) entry.block.resize(want);
-    OneSparseCell* cells = entry.block.data() + jmax * cell_stride_;
+    ensure_rows(entry, want_rows);
+    OneSparseCell* cells = arena_.data(entry.block) + jmax * cell_stride_;
     if (key_delta != 0) {
       cells[0].add_term(key, key_delta, kt1, kt2);
     }
@@ -310,19 +332,20 @@ void KvTableBank::merge(const KvTableBank& other, std::int64_t sign) {
   }
   for (const Entry& theirs : other.entries_) {
     Entry& mine = entry_at(theirs.slot_id);
-    if (mine.block.size() < theirs.block.size()) {
-      mine.block.resize(theirs.block.size());
-    }
-    for (std::size_t c = 0; c < theirs.block.size(); ++c) {
-      mine.block[c].merge(theirs.block[c], sign);
-    }
+    ensure_rows(mine, theirs.rows);
+    const std::size_t count = std::size_t{theirs.rows} * cell_stride_;
+    const OneSparseCell* src = other.arena_.data(theirs.block);
+    OneSparseCell* dst = arena_.data(mine.block);
+    for (std::size_t c = 0; c < count; ++c) dst[c].merge(src[c], sign);
   }
 }
 
 bool KvTableBank::is_zero() const noexcept {
   for (const Entry& e : entries_) {
-    for (const OneSparseCell& c : e.block) {
-      if (!c.is_zero()) return false;
+    const OneSparseCell* cells = cells_of(e);
+    const std::size_t count = std::size_t{e.rows} * cell_stride_;
+    for (std::size_t c = 0; c < count; ++c) {
+      if (!cells[c].is_zero()) return false;
     }
   }
   return true;
@@ -351,12 +374,12 @@ std::optional<std::vector<KvEntry>> KvTableBank::decode(
   std::vector<char> reaches(entries_.size(), 0);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
-    const std::size_t jcap = e.block.size() / cell_stride_;
+    const std::size_t jcap = e.rows;
     if (jcap <= level) continue;
     reaches[i] = 1;
     OneSparseCell* out = mat.data() + i * cell_stride_;
     for (std::size_t j = level; j < jcap; ++j) {
-      const OneSparseCell* row = e.block.data() + j * cell_stride_;
+      const OneSparseCell* row = cells_of(e) + j * cell_stride_;
       for (std::size_t c = 0; c < cell_stride_; ++c) out[c].merge(row[c], 1);
     }
   }
@@ -496,10 +519,10 @@ std::size_t KvTableBank::touched_bytes() const noexcept {
   std::size_t live_levels = 0;
   std::vector<OneSparseCell> acc(cell_stride_);
   for (const Entry& e : entries_) {
-    const std::size_t jcap = e.block.size() / cell_stride_;
+    const std::size_t jcap = e.rows;
     std::fill(acc.begin(), acc.end(), OneSparseCell{});
     for (std::size_t j = jcap; j-- > 0;) {
-      const OneSparseCell* cells = e.block.data() + j * cell_stride_;
+      const OneSparseCell* cells = cells_of(e) + j * cell_stride_;
       bool live = false;
       for (std::size_t c = 0; c < cell_stride_; ++c) {
         acc[c].merge(cells[c], 1);

@@ -29,6 +29,7 @@
 #include "sketch/fingerprint.h"
 #include "sketch/sparse_recovery.h"
 #include "util/hashing.h"
+#include "util/slab_arena.h"
 
 namespace kw {
 
@@ -247,19 +248,41 @@ class KvTableBank {
   void deserialize_state(ser::Reader& r);
 
  private:
-  // One touched (table, slot): DIFF rows for levels 0..jcap, level-major --
-  // block[j * cell_stride_] is level j's key-detector diff,
-  // block[j * cell_stride_ + 1 + c] is payload cell diff c; the level's
-  // value is the suffix sum of rows >= j (see the class comment).
+  using CellArena = SlabArena<OneSparseCell>;
+
+  // One touched (table, slot): DIFF rows for levels 0..rows-1, level-major,
+  // living in the bank's cell arena at `block` -- row j starts at
+  // block + j * cell_stride_; cell 0 of a row is the level's key-detector
+  // diff, cells 1 + c its payload diffs; the level's value is the suffix
+  // sum of rows >= j (see the class comment).  `rows` is the deepest level
+  // prefix an update or merge ever touched at this slot (the wire format's
+  // "touched levels").  Handles are offsets into the per-bank slab arena,
+  // so entries copy/move with the bank and a bank's blocks pack into a
+  // handful of geometrically sized slabs instead of one malloc per entry.
   struct Entry {
     std::uint64_t slot_id = 0;
-    std::vector<OneSparseCell> block;
+    CellArena::Handle block = CellArena::kNull;
+    std::uint32_t rows = 0;  // logical depth: what decode/serialize see
+    // Allocated depth (block spans cap * cell_stride_ cells).  Rows grow
+    // one level at a time as deeper jmax values arrive, so the block is
+    // sized geometrically and `rows` advances within it without touching
+    // the arena -- the amortized-O(1) growth the per-entry vectors had.
+    // The tail rows..cap-1 stays zero (allocate() zero-fills and writes
+    // land below `rows`), which is what makes the in-place advance legal.
+    std::uint32_t cap = 0;
   };
 
   [[nodiscard]] std::uint64_t slot(std::size_t table, std::uint64_t key) const;
   [[nodiscard]] Entry& entry_at(std::uint64_t slot_id);
   [[nodiscard]] const Entry* find_entry(std::uint64_t slot_id) const;
   void grow_table();
+  // Grows an entry's block to cover rows 0..rows-1 (zero-filled tail, old
+  // rows copied, old block recycled).  Invalidates raw cell pointers into
+  // arena_ -- callers re-fetch after.
+  void ensure_rows(Entry& entry, std::uint32_t rows);
+  [[nodiscard]] const OneSparseCell* cells_of(const Entry& e) const {
+    return arena_.data(e.block);
+  }
 
   std::shared_ptr<const KvBankGeometry> geo_;
   std::size_t cls_ = 0;
@@ -274,6 +297,7 @@ class KvTableBank {
   std::vector<std::uint64_t> ht_slot_;
   std::vector<std::uint32_t> ht_index_;
   std::vector<Entry> entries_;
+  CellArena arena_;  // every entry's cell block, one contiguous store
 };
 
 class LinearKeyValueSketch {

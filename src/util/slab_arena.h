@@ -1,0 +1,153 @@
+#pragma once
+// SlabArena<T>: a typed, slab-backed, offset-addressed block arena.
+//
+// Blocks are carved bump-pointer style out of geometrically growing
+// slabs: slab k holds (64 << k) elements, so an arena's slab count is
+// logarithmic in its size, a tiny arena touches only tiny slabs, and
+// total slab storage is at most ~2x the carved cells.  A handle is the
+// block's GLOBAL element offset (slab k starts at offset 64*(2^k - 1)),
+// decoded back to (slab, offset) with one bit_width -- so handles stay
+// valid as slabs are added and when the arena (and whatever owns it) is
+// copied or moved, and the arena can be memberwise-copied together with
+// the structures holding its handles (bank clones, spanner merges).
+// Slabs never move once allocated: growth never copies a cell -- the
+// amortization per-entry vectors buy with geometric capacity, the slab
+// list gets by construction -- and data(handle) pointers are STABLE
+// across later allocate() calls.
+//
+// Rules for callers:
+//   * allocate(count) returns a zero-initialized block of `count`
+//     elements (value-initialized; freelist reuse is re-zeroed).  A
+//     block never straddles slabs: widths too narrow for the block are
+//     skipped (skipped slabs stay unallocated).
+//   * free(handle, count) recycles the block into an exact-size
+//     freelist bucket; the next allocate of the same count reuses it.
+//   * reset() drops every block (and the slabs backing them) at once.
+//
+// T must be trivially destructible (cells, flags) -- that is what makes
+// reset() and free() constant-time per slab.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace kw {
+
+template <typename T>
+class SlabArena {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SlabArena requires trivially destructible elements");
+
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNull = 0xffffffffu;
+
+  // Returns a zero-initialized block of `count` elements; kNull if
+  // count == 0.  Never invalidates data() pointers of other blocks.
+  [[nodiscard]] Handle allocate(std::size_t count) {
+    if (count == 0) return kNull;
+    if (count < free_.size() && !free_[count].empty()) {
+      const Handle h = free_[count].back();
+      free_[count].pop_back();
+      free_slots_ -= count;
+      T* p = data(h);
+      for (std::size_t i = 0; i < count; ++i) p[i] = T{};
+      return h;
+    }
+    if (slabs_.empty() ||
+        bump_ + count > width_of(slabs_.size() - 1)) {
+      // Seal the current slab and open the first one wide enough for
+      // the block (narrower widths are skipped, left unallocated).
+      while (true) {
+        const std::size_t k = slabs_.size();
+        if (start_of(k) + width_of(k) >
+            static_cast<std::size_t>(kNull)) {
+          throw std::length_error("SlabArena: handle space exhausted");
+        }
+        slabs_.emplace_back();
+        if (width_of(k) >= count) {
+          // Reserve the full width but only size (and so zero-fill) per
+          // carved block below: resize within capacity never moves the
+          // slab, so pointer stability holds and a carve touches just
+          // the block's own cells.
+          slabs_.back().reserve(width_of(k));
+          bump_ = 0;
+          break;
+        }
+      }
+    }
+    slabs_.back().resize(bump_ + count);  // value-inits the new block
+    const Handle h =
+        static_cast<Handle>(start_of(slabs_.size() - 1) + bump_);
+    bump_ += count;
+    used_ += count;
+    return h;
+  }
+
+  // Recycles a block for reuse by a later allocate() of the same count.
+  // The caller owns the pairing of handle and count (blocks carry no
+  // header); freeing with the wrong count corrupts the freelist.
+  void free(Handle h, std::size_t count) {
+    if (h == kNull || count == 0) return;
+    if (count >= free_.size()) free_.resize(count + 1);
+    free_[count].push_back(h);
+    free_slots_ += count;
+  }
+
+  // Drops every block -- and the slabs backing them -- at once.
+  void reset() {
+    slabs_.clear();
+    for (auto& bucket : free_) bucket.clear();
+    bump_ = 0;
+    used_ = 0;
+    free_slots_ = 0;
+  }
+
+  [[nodiscard]] T* data(Handle h) {
+    const std::size_t k = slab_of(h);
+    return slabs_[k].data() + (h - start_of(k));
+  }
+  [[nodiscard]] const T* data(Handle h) const {
+    const std::size_t k = slab_of(h);
+    return slabs_[k].data() + (h - start_of(k));
+  }
+
+  // Total element slots ever carved (live + recycled).
+  [[nodiscard]] std::size_t used_slots() const { return used_; }
+  // Slots currently parked on freelists.
+  [[nodiscard]] std::size_t free_slots() const { return free_slots_; }
+  [[nodiscard]] std::size_t live_slots() const {
+    return used_ - free_slots_;
+  }
+
+ private:
+  static constexpr std::size_t kBaseLog2 = 6;  // slab 0: 64 elements
+
+  // Slab k spans global offsets [64*(2^k - 1), 64*(2^(k+1) - 1)).
+  [[nodiscard]] static constexpr std::size_t width_of(std::size_t k) {
+    return std::size_t{1} << (kBaseLog2 + k);
+  }
+  [[nodiscard]] static constexpr std::size_t start_of(std::size_t k) {
+    return ((std::size_t{1} << k) - 1) << kBaseLog2;
+  }
+  [[nodiscard]] static std::size_t slab_of(Handle h) {
+    const std::size_t q =
+        (static_cast<std::size_t>(h) >> kBaseLog2) + 1;
+    return static_cast<std::size_t>(std::bit_width(q)) - 1;
+  }
+
+  std::vector<std::vector<T>> slabs_;
+  std::size_t bump_ = 0;  // next free element of the LAST slab
+  std::size_t used_ = 0;  // total elements carved across all slabs
+  // Exact-size buckets: free_[count] holds handles of freed blocks of
+  // exactly `count` elements.  Block sizes in this codebase are small
+  // multiples of a per-structure stride, so the bucket vector stays
+  // short.
+  std::vector<std::vector<Handle>> free_;
+  std::size_t free_slots_ = 0;
+};
+
+}  // namespace kw

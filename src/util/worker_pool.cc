@@ -30,7 +30,7 @@ std::size_t WorkerPool::resolve_lanes(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-void WorkerPool::work(Job& job) {
+void WorkerPool::work(Job& job, std::size_t lane) {
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
@@ -40,7 +40,11 @@ void WorkerPool::work(Job& job) {
             "fault injected: worker_pool.task (task " + std::to_string(i) +
             ")");
       }
-      (*job.fn)(i);
+      if (job.indexed_fn != nullptr) {
+        (*job.indexed_fn)(i, lane);
+      } else {
+        (*job.fn)(i);
+      }
     } catch (...) {
       if (!job.failed.exchange(true, std::memory_order_acq_rel)) {
         job.error = std::current_exception();
@@ -60,14 +64,33 @@ void WorkerPool::worker_loop(std::size_t lane) {
   SpscQueue<Job*>& inbox = *inboxes_[lane];
   Job* job = nullptr;
   while (inbox.pop(job)) {
-    work(*job);
+    work(*job, lane + 1);  // lane 0 is the caller
+  }
+}
+
+void WorkerPool::run_job(Job& job, std::size_t lane_cap) {
+  // Wake only as many threads as there are tasks beyond the caller's lane,
+  // and never more than this run's lane budget allows.
+  std::size_t wake = std::min(inboxes_.size(), job.count - 1);
+  if (lane_cap != 0) wake = std::min(wake, lane_cap - 1);
+  for (std::size_t i = 0; i < wake; ++i) inboxes_[i]->push(&job);
+  work(job, 0);
+  const std::size_t participants = wake + 1;  // pool lanes + this caller
+  std::size_t seen = job.done.load(std::memory_order_acquire);
+  while (seen != participants) {
+    job.done.wait(seen, std::memory_order_acquire);
+    seen = job.done.load(std::memory_order_acquire);
+  }
+  if (job.failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(job.error);
   }
 }
 
 void WorkerPool::run(std::size_t count,
-                     const std::function<void(std::size_t)>& fn) {
+                     const std::function<void(std::size_t)>& fn,
+                     std::size_t lane_cap) {
   if (count == 0) return;
-  if (lanes_ == 1 || count == 1) {
+  if (lanes_ == 1 || count == 1 || lane_cap == 1) {
     // Sequential fast path: no job object, exceptions propagate directly.
     for (std::size_t i = 0; i < count; ++i) {
       if (fault::fire(fault::site::kPoolTask)) {
@@ -82,19 +105,28 @@ void WorkerPool::run(std::size_t count,
   Job job;
   job.fn = &fn;
   job.count = count;
-  // Wake only as many threads as there are tasks beyond the caller's lane.
-  const std::size_t wake = std::min(inboxes_.size(), count - 1);
-  for (std::size_t i = 0; i < wake; ++i) inboxes_[i]->push(&job);
-  work(job);
-  const std::size_t participants = wake + 1;  // pool lanes + this caller
-  std::size_t seen = job.done.load(std::memory_order_acquire);
-  while (seen != participants) {
-    job.done.wait(seen, std::memory_order_acquire);
-    seen = job.done.load(std::memory_order_acquire);
+  run_job(job, lane_cap);
+}
+
+void WorkerPool::run_indexed(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t lane_cap) {
+  if (count == 0) return;
+  if (lanes_ == 1 || count == 1 || lane_cap == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (fault::fire(fault::site::kPoolTask)) {
+        throw std::runtime_error(
+            "fault injected: worker_pool.task (task " + std::to_string(i) +
+            ")");
+      }
+      fn(i, 0);
+    }
+    return;
   }
-  if (job.failed.load(std::memory_order_acquire)) {
-    std::rethrow_exception(job.error);
-  }
+  Job job;
+  job.indexed_fn = &fn;
+  job.count = count;
+  run_job(job, lane_cap);
 }
 
 }  // namespace kw

@@ -49,14 +49,31 @@ class WorkerPool {
   // until every claimed task returned; the first exception (if any) is
   // rethrown here.  Not reentrant: one run() at a time per pool, and fn must
   // only touch state disjoint from every other task's.
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+  //
+  // lane_cap bounds how many lanes participate in THIS run (0 = all of
+  // them); a shared pool can thus serve phases with different lane budgets
+  // (ingest vs decode) without re-spawning threads.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           std::size_t lane_cap = 0);
+
+  // Like run(), but fn also receives the dense lane index of the executing
+  // lane (0 = caller, 1..wake = pool threads; always < the participant
+  // count for this run).  Tasks may use it to address per-lane scratch
+  // stripes -- writes stay disjoint because a lane only ever touches its
+  // own stripe.
+  void run_indexed(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t lane_cap = 0);
 
   // config knob -> lane count: 0 means "auto" (hardware_concurrency).
   [[nodiscard]] static std::size_t resolve_lanes(std::size_t requested);
 
  private:
   struct Job {
+    // Exactly one of fn / indexed_fn is set per run.
     const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* indexed_fn = nullptr;
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -64,8 +81,9 @@ class WorkerPool {
     std::exception_ptr error;  // written by the failed.exchange winner only
   };
 
-  static void work(Job& job);
+  static void work(Job& job, std::size_t lane);
   void worker_loop(std::size_t lane);
+  void run_job(Job& job, std::size_t lane_cap);
 
   std::size_t lanes_;
   std::vector<std::unique_ptr<SpscQueue<Job*>>> inboxes_;  // one per thread

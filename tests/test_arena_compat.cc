@@ -1,0 +1,135 @@
+// Backward compatibility of the slab-arena refactor with the PR-9-era wire
+// format: tests/data/kp12_checkpoint_v2.kwsk was written by the build that
+// stored entry cell blocks as per-entry heap vectors.  The arena layout is a
+// MEMORY detail -- blocks are re-derived on load -- so the committed v2
+// bytes must (a) restore into arena-backed banks and reserialize
+// bit-identically, (b) continue and finish to the exact fresh-run result,
+// and (c) stay fully CRC/validation-guarded against corruption.
+//
+// The fixture workload mirrors tools/make_kp12_fixture.cc exactly; any
+// change there must be mirrored here (and the fixture regenerated).
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/kp12_sparsifier.h"
+#include "graph/generators.h"
+#include "serialize/serialize.h"
+#include "stream/dynamic_stream.h"
+
+namespace kw {
+namespace {
+
+constexpr char kFixturePath[] =
+    KW_SOURCE_DIR "/tests/data/kp12_checkpoint_v2.kwsk";
+constexpr std::size_t kPass2Cut = 8;  // updates fed into pass 2 at the cut
+constexpr std::size_t kBatch = 1024;
+
+[[nodiscard]] std::string read_fixture() {
+  std::ifstream f(kFixturePath, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << "missing fixture: " << kFixturePath;
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return std::move(buffer).str();
+}
+
+[[nodiscard]] Kp12Config fixture_config() {
+  Kp12Config config;
+  config.k = 2;
+  config.epsilon = 0.5;
+  config.seed = 13;
+  config.j_copies = 2;
+  config.z_samples = 2;
+  config.ingest_workers = 1;
+  return config;
+}
+
+[[nodiscard]] DynamicStream fixture_stream() {
+  const Vertex n = 16;
+  const Graph g = erdos_renyi_gnm(n, 3ULL * n, /*seed=*/7);
+  return DynamicStream::with_churn(g, 2ULL * n, /*seed=*/11);
+}
+
+void feed(Kp12Sparsifier& sparsifier, std::span<const EdgeUpdate> ups,
+          std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; i += kBatch) {
+    const std::size_t len = std::min(kBatch, end - i);
+    sparsifier.absorb(ups.subspan(i, len));
+  }
+}
+
+TEST(ArenaCompat, V2CheckpointRestoresBitIdentically) {
+  const std::string fixture = read_fixture();
+  ASSERT_FALSE(fixture.empty());
+
+  const DynamicStream stream = fixture_stream();
+  Kp12Sparsifier restored(stream.n(), fixture_config());
+  ser::load_from_bytes(fixture, restored);
+  // Arena-backed banks must reproduce the historical per-entry-vector byte
+  // stream exactly: save(load(v2)) == v2.
+  EXPECT_EQ(ser::save_to_bytes(restored), fixture);
+}
+
+TEST(ArenaCompat, RestoredCheckpointContinuesToFreshRunResult) {
+  const std::string fixture = read_fixture();
+  const DynamicStream stream = fixture_stream();
+  const auto& ups = stream.updates();
+  const std::size_t cut = std::min<std::size_t>(kPass2Cut, ups.size());
+
+  // Fresh uninterrupted run.
+  Kp12Sparsifier fresh(stream.n(), fixture_config());
+  feed(fresh, ups, 0, ups.size());
+  fresh.advance_pass();
+  feed(fresh, ups, 0, ups.size());
+  fresh.finish();
+  const Kp12Result expected = fresh.take_result();
+
+  // Restore the PR-9-era mid-pass-2 cut and replay only the remainder.
+  Kp12Sparsifier restored(stream.n(), fixture_config());
+  ser::load_from_bytes(fixture, restored);
+  feed(restored, ups, cut, ups.size());
+  restored.finish();
+  const Kp12Result resumed = restored.take_result();
+
+  ASSERT_EQ(expected.sparsifier.m(), resumed.sparsifier.m());
+  for (std::size_t i = 0; i < expected.sparsifier.edges().size(); ++i) {
+    EXPECT_EQ(expected.sparsifier.edges()[i].u,
+              resumed.sparsifier.edges()[i].u);
+    EXPECT_EQ(expected.sparsifier.edges()[i].v,
+              resumed.sparsifier.edges()[i].v);
+    EXPECT_DOUBLE_EQ(expected.sparsifier.edges()[i].weight,
+                     resumed.sparsifier.edges()[i].weight);
+  }
+  EXPECT_EQ(expected.diagnostics.edges_weighted,
+            resumed.diagnostics.edges_weighted);
+  EXPECT_EQ(expected.nominal_bytes, resumed.nominal_bytes);
+}
+
+TEST(ArenaCompat, CorruptedV2CheckpointIsRejected) {
+  const std::string fixture = read_fixture();
+  ASSERT_GT(fixture.size(), 24u);
+  const DynamicStream stream = fixture_stream();
+  Kp12Sparsifier dst(stream.n(), fixture_config());
+
+  // A committed-fixture bit-flip sweep: the envelope CRC (plus the section
+  // validation behind it) must reject every single-bit corruption of the
+  // historical bytes, including in any section the arena refactor touched.
+  const std::size_t stride = std::max<std::size_t>(1, fixture.size() / 64);
+  for (std::size_t pos = 0; pos < fixture.size(); pos += stride) {
+    std::string bad = fixture;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 << (pos % 8)));
+    EXPECT_THROW(ser::load_from_bytes(bad, dst), ser::SerializeError)
+        << "flip at byte " << pos << " of " << fixture.size()
+        << " was accepted";
+  }
+  // The sweep never poisoned the destination: pristine bytes still load.
+  EXPECT_NO_THROW(ser::load_from_bytes(fixture, dst));
+}
+
+}  // namespace
+}  // namespace kw

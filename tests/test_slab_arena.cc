@@ -1,0 +1,116 @@
+#include "util/slab_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/fingerprint.h"
+
+namespace kw {
+namespace {
+
+TEST(SlabArena, AllocateReturnsZeroInitializedBlocks) {
+  SlabArena<std::uint64_t> arena;
+  const auto h = arena.allocate(7);
+  ASSERT_NE(h, SlabArena<std::uint64_t>::kNull);
+  const std::uint64_t* p = arena.data(h);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(p[i], 0u) << i;
+  EXPECT_EQ(arena.used_slots(), 7u);
+  EXPECT_EQ(arena.live_slots(), 7u);
+}
+
+TEST(SlabArena, AllocateZeroIsNull) {
+  SlabArena<int> arena;
+  EXPECT_EQ(arena.allocate(0), SlabArena<int>::kNull);
+  EXPECT_EQ(arena.used_slots(), 0u);
+  arena.free(SlabArena<int>::kNull, 0);  // no-op
+  EXPECT_EQ(arena.free_slots(), 0u);
+}
+
+TEST(SlabArena, HandlesStayValidAcrossGrowth) {
+  SlabArena<std::uint32_t> arena;
+  std::vector<SlabArena<std::uint32_t>::Handle> handles;
+  // Force many reallocations of the backing store.
+  for (std::uint32_t b = 0; b < 512; ++b) {
+    const auto h = arena.allocate(9);
+    arena.data(h)[0] = b + 1;
+    arena.data(h)[8] = ~b;
+    handles.push_back(h);
+  }
+  for (std::uint32_t b = 0; b < 512; ++b) {
+    EXPECT_EQ(arena.data(handles[b])[0], b + 1);
+    EXPECT_EQ(arena.data(handles[b])[8], ~b);
+  }
+}
+
+TEST(SlabArena, FreelistReusesExactSizeAndRezeroes) {
+  SlabArena<std::uint64_t> arena;
+  const auto a = arena.allocate(5);
+  const auto b = arena.allocate(3);
+  arena.data(a)[0] = 11;
+  arena.data(b)[0] = 22;
+  const std::size_t carved = arena.used_slots();
+  arena.free(a, 5);
+  EXPECT_EQ(arena.free_slots(), 5u);
+  EXPECT_EQ(arena.live_slots(), carved - 5);
+
+  // A different size must NOT reuse the freed block.
+  const auto c = arena.allocate(4);
+  EXPECT_NE(c, a);
+  // The exact size must reuse it, zeroed.
+  const auto d = arena.allocate(5);
+  EXPECT_EQ(d, a);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(arena.data(d)[i], 0u) << i;
+  EXPECT_EQ(arena.free_slots(), 0u);
+  EXPECT_EQ(arena.data(b)[0], 22u);
+}
+
+TEST(SlabArena, ResetDropsEverythingAndReusesStorage) {
+  SlabArena<std::uint64_t> arena;
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(17);
+  arena.free(arena.allocate(17), 17);
+  EXPECT_GT(arena.used_slots(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.used_slots(), 0u);
+  EXPECT_EQ(arena.free_slots(), 0u);
+  // Fresh allocations start from offset 0 again and are zeroed.
+  const auto h = arena.allocate(4);
+  EXPECT_EQ(h, 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(arena.data(h)[i], 0u);
+}
+
+TEST(SlabArena, CopyingOwnerPreservesHandleAddressing) {
+  // Handles are offsets: a memberwise copy of the arena leaves every
+  // handle meaningful in the copy -- the property bank clone/merge relies
+  // on.
+  SlabArena<std::uint64_t> arena;
+  const auto h1 = arena.allocate(2);
+  const auto h2 = arena.allocate(2);
+  arena.data(h1)[1] = 7;
+  arena.data(h2)[0] = 9;
+
+  SlabArena<std::uint64_t> copy = arena;
+  arena.data(h1)[1] = 1000;  // mutate original; copy must be independent
+  EXPECT_EQ(copy.data(h1)[1], 7u);
+  EXPECT_EQ(copy.data(h2)[0], 9u);
+}
+
+TEST(SlabArena, HoldsCellBlocks) {
+  SlabArena<OneSparseCell> arena;
+  const auto h = arena.allocate(3);
+  OneSparseCell* cells = arena.data(h);
+  EXPECT_TRUE(cells[0].is_zero());
+  cells[1].count = 4;
+  cells[1].coord_sum = 40;
+  const auto h2 = arena.allocate(3);
+  EXPECT_TRUE(arena.data(h2)[0].is_zero());
+  EXPECT_EQ(arena.data(h)[1].count, 4);
+  arena.free(h, 3);
+  const auto h3 = arena.allocate(3);
+  EXPECT_EQ(h3, h);
+  EXPECT_TRUE(arena.data(h3)[1].is_zero());
+}
+
+}  // namespace
+}  // namespace kw

@@ -29,7 +29,7 @@ import sys
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {r["name"]: r for r in data.get("results", [])}
+    return data, {r["name"]: r for r in data.get("results", [])}
 
 
 def main():
@@ -48,8 +48,19 @@ def main():
                              "(cancels out machine-speed differences)")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    current = load(args.current)
+    base_meta, baseline = load(args.baseline)
+    cur_meta, current = load(args.current)
+
+    base_hw = base_meta.get("hardware_threads")
+    cur_hw = cur_meta.get("hardware_threads")
+    if base_hw is not None and cur_hw is not None and base_hw != cur_hw:
+        # Worker-sweep rows (ingest_w*/decode_w*) scale with the lane budget,
+        # so cross-machine compares of those rows measure the hardware, not
+        # the code.  Warn-only: the normalized compare still calibrates the
+        # single-lane rows.
+        print(f"WARNING: baseline was recorded with hardware_threads="
+              f"{base_hw} but this machine has {cur_hw}; threaded worker-"
+              "sweep rows are not comparable across different lane budgets")
 
     norm_base = norm_cur = 1.0
     if args.normalize_by is not None:

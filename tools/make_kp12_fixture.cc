@@ -1,0 +1,69 @@
+// Generates tests/data/kp12_checkpoint_v2.kwsk: a mid-pass-2 KP12
+// sparsifier checkpoint in envelope format v2, used by the backward-compat
+// suite in tests/test_arena_compat.cc.
+//
+// The committed fixture bytes were produced by the PR-9-era build (entry
+// cell blocks stored as per-entry heap vectors, before the slab-arena
+// layout), so the suite proves that arena-backed banks restore the
+// historical byte stream bit-identically.  Regenerating with a newer build
+// must produce the SAME bytes (the wire format is layout-independent); the
+// generator stays in-tree so that property is easy to re-check:
+//
+//   cmake --build build -j --target make_kp12_fixture   # or link by hand
+//   ./build/make_kp12_fixture tests/data/kp12_checkpoint_v2.kwsk
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "core/kp12_sparsifier.h"
+#include "graph/generators.h"
+#include "serialize/serialize.h"
+#include "stream/dynamic_stream.h"
+
+int main(int argc, char** argv) {
+  using namespace kw;
+  const std::string out =
+      argc > 1 ? argv[1] : "tests/data/kp12_checkpoint_v2.kwsk";
+
+  // Workload and cut mirror tests/test_arena_compat.cc exactly; any change
+  // here must be mirrored there.
+  const Vertex n = 16;
+  const Graph g = erdos_renyi_gnm(n, 3ULL * n, /*seed=*/7);
+  const DynamicStream stream = DynamicStream::with_churn(g, 2ULL * n,
+                                                         /*seed=*/11);
+  const auto& ups = stream.updates();
+
+  Kp12Config config;
+  config.k = 2;
+  config.epsilon = 0.5;
+  config.seed = 13;
+  config.j_copies = 2;
+  config.z_samples = 2;
+  config.ingest_workers = 1;
+
+  Kp12Sparsifier sparsifier(n, config);
+  constexpr std::size_t kBatch = 1024;
+  const auto feed = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; i += kBatch) {
+      const std::size_t len = std::min(kBatch, end - i);
+      sparsifier.absorb(std::span<const EdgeUpdate>{ups.data() + i, len});
+    }
+  };
+  feed(0, ups.size());
+  sparsifier.advance_pass();
+  // Mid-pass-2 cut: a short prefix is enough to materialize live bank cell
+  // state in every instance while keeping the committed fixture small.
+  feed(0, std::min<std::size_t>(8, ups.size()));
+
+  const std::string bytes = ser::save_to_bytes(sparsifier);
+  std::ofstream f(out, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), bytes.size());
+  return 0;
+}
